@@ -1,0 +1,107 @@
+//! Minimal `key=value` command-line parsing for the experiment binaries.
+//!
+//! Every binary accepts `key=value` pairs, e.g.
+//! `cargo run --release -p blinkml-bench --bin fig5_speedup -- reps=5 scale=0.5`.
+//! Unknown keys are rejected loudly so typos cannot silently change an
+//! experiment.
+
+use std::collections::BTreeMap;
+
+/// Parsed experiment arguments.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    values: BTreeMap<String, String>,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args`, validating keys against `allowed`.
+    ///
+    /// # Panics
+    /// Panics (with a usage message) on malformed or unknown arguments.
+    pub fn parse(allowed: &[&str]) -> Self {
+        Self::from_iter(std::env::args().skip(1), allowed)
+    }
+
+    /// Parse an explicit argument iterator (testable entry point).
+    pub fn from_iter(args: impl IntoIterator<Item = String>, allowed: &[&str]) -> Self {
+        let mut values = BTreeMap::new();
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                panic!("malformed argument '{arg}': expected key=value (allowed: {allowed:?})");
+            };
+            if !allowed.contains(&key) {
+                panic!("unknown argument '{key}' (allowed: {allowed:?})");
+            }
+            values.insert(key.to_string(), value.to_string());
+        }
+        BenchArgs { values }
+    }
+
+    /// A `usize` argument with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("argument '{key}' must be an integer")))
+            .unwrap_or(default)
+    }
+
+    /// An `f64` argument with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("argument '{key}' must be a number")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64` argument with a default (seeds).
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("argument '{key}' must be an integer")))
+            .unwrap_or(default)
+    }
+
+    /// A string argument with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_defaults() {
+        let args = BenchArgs::from_iter(
+            ["reps=3".to_string(), "scale=0.5".to_string()],
+            &["reps", "scale", "seed"],
+        );
+        assert_eq!(args.get_usize("reps", 20), 3);
+        assert!((args.get_f64("scale", 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(args.get_u64("seed", 42), 42);
+        assert_eq!(args.get_str("mode", "full"), "full");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_keys() {
+        BenchArgs::from_iter(["bogus=1".to_string()], &["reps"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed argument")]
+    fn rejects_malformed() {
+        BenchArgs::from_iter(["reps".to_string()], &["reps"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer")]
+    fn rejects_bad_types() {
+        let args = BenchArgs::from_iter(["reps=abc".to_string()], &["reps"]);
+        args.get_usize("reps", 1);
+    }
+}

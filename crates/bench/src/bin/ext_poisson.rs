@@ -1,0 +1,75 @@
+//! Extension experiment (not in the paper's evaluation): the paper
+//! names Poisson regression as a supported GLM (§1, §2.2) but never
+//! evaluates it. This binary runs the Figure 5/6 protocol on a
+//! well-specified Poisson workload, validating that the generic
+//! machinery — ObservedFisher, accuracy estimation, sample-size search —
+//! carries over to a non-Gaussian, non-Bernoulli likelihood unchanged.
+//!
+//! Usage:
+//! `cargo run --release -p blinkml-bench --bin ext_poisson -- [scale=1.0] [reps=5] [n0=1000] [k=100] [seed=1]`
+
+use blinkml_bench::{combos::ComboId, fmt_duration, BenchArgs, Table};
+use blinkml_prob::quantile::summary;
+
+fn main() {
+    let args = BenchArgs::parse(&["scale", "reps", "n0", "k", "seed"]);
+    let scale = args.get_f64("scale", 1.0);
+    let reps = args.get_usize("reps", 5);
+    let n0 = args.get_usize("n0", 1_000);
+    let k = args.get_usize("k", 100);
+    let seed = args.get_u64("seed", 1);
+
+    let id = ComboId::PoissonSynthetic;
+    println!("# Extension — Poisson regression through the Fig 5/6 protocol (scale={scale}, reps={reps})");
+    let mut combo = id.make(scale, seed);
+    let full = combo.train_full();
+    println!(
+        "{}: N = {}, d = {}, full-model training = {} ({} iters)",
+        id.label(),
+        combo.train_len(),
+        combo.dim(),
+        fmt_duration(full.elapsed),
+        full.iterations
+    );
+
+    let mut table = Table::new(
+        "Poisson: speedup and guarantee vs requested accuracy",
+        &["Requested", "Median Time", "Ratio", "Sample Size", "Actual Mean", "Actual Min"],
+    );
+    for &accuracy in &[0.80, 0.90, 0.95, 0.98, 0.99] {
+        let epsilon = 1.0 - accuracy;
+        let mut times = Vec::with_capacity(reps);
+        let mut sizes = Vec::with_capacity(reps);
+        let mut actuals = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let run = combo.run_blinkml(epsilon, 0.05, n0, k, seed + 53 * rep as u64);
+            times.push(run.elapsed.as_secs_f64());
+            sizes.push(run.sample_size);
+            actuals.push(combo.actual_accuracy(&run.theta));
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sizes.sort_unstable();
+        let median_t = times[times.len() / 2];
+        let (mean, lo, _) = summary(&actuals, 0.05, 0.95);
+        table.row(&[
+            format!("{:.0}%", accuracy * 100.0),
+            format!("{median_t:.3} s"),
+            format!("{:.1}%", 100.0 * median_t / full.elapsed.as_secs_f64()),
+            format!("{}", sizes[sizes.len() / 2]),
+            format!("{:.2}%", mean * 100.0),
+            format!("{:.2}%", lo * 100.0),
+        ]);
+        blinkml_bench::report::append_result(
+            "ext_poisson",
+            &serde_json::json!({
+                "requested_accuracy": accuracy,
+                "median_time_s": median_t,
+                "full_time_s": full.elapsed.as_secs_f64(),
+                "median_sample_size": sizes[sizes.len() / 2],
+                "actual_mean": mean,
+                "actual_min": lo,
+            }),
+        );
+    }
+    table.print();
+}

@@ -1,0 +1,79 @@
+//! Figure 5 / Table 4: BlinkML's training-time savings vs full training.
+//!
+//! For each (model, dataset) combination and requested accuracy, runs
+//! BlinkML end-to-end and reports the median training time, the ratio to
+//! full-model training, the speedup, and the chosen sample size.
+//!
+//! Usage:
+//! `cargo run --release -p blinkml-bench --bin fig5_speedup -- [scale=1.0] [reps=5] [n0=1000] [k=100] [seed=1] [combo=<label substr>]`
+
+use blinkml_bench::{combos::ComboId, fmt_duration, BenchArgs, Table};
+
+fn main() {
+    let args = BenchArgs::parse(&["scale", "reps", "n0", "k", "seed", "combo"]);
+    let scale = args.get_f64("scale", 1.0);
+    let reps = args.get_usize("reps", 5);
+    let n0 = args.get_usize("n0", 1_000);
+    let k = args.get_usize("k", 100);
+    let seed = args.get_u64("seed", 1);
+    let filter = args.get_str("combo", "");
+
+    println!("# Figure 5 / Table 4 — training time savings (scale={scale}, reps={reps}, n0={n0}, k={k})");
+    for id in ComboId::paper_combos() {
+        if !filter.is_empty() && !id.label().contains(&filter) {
+            continue;
+        }
+        let mut combo = id.make(scale, seed);
+        let full = combo.train_full();
+        println!(
+            "\n{}: N = {}, d = {}, full-model training = {} ({} iters)",
+            id.label(),
+            combo.train_len(),
+            combo.dim(),
+            fmt_duration(full.elapsed),
+            full.iterations
+        );
+
+        let mut table = Table::new(
+            format!("{} — speedup vs requested accuracy", id.label()),
+            &["Requested Acc", "Training Time", "Ratio to Full", "Speedup", "Sample Size"],
+        );
+        for &accuracy in id.accuracy_sweep() {
+            let epsilon = 1.0 - accuracy;
+            let mut times: Vec<f64> = Vec::with_capacity(reps);
+            let mut sizes: Vec<usize> = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let run = combo.run_blinkml(epsilon, 0.05, id.effective_n0(n0), k, seed + 17 * rep as u64);
+                times.push(run.elapsed.as_secs_f64());
+                sizes.push(run.sample_size);
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let median = times[times.len() / 2];
+            let ratio = median / full.elapsed.as_secs_f64();
+            let median_n = {
+                sizes.sort_unstable();
+                sizes[sizes.len() / 2]
+            };
+            table.row(&[
+                format!("{:.2}%", accuracy * 100.0),
+                format!("{median:.3} s"),
+                format!("{:.2}%", ratio * 100.0),
+                format!("{:.1}x", 1.0 / ratio.max(1e-12)),
+                format!("{median_n}"),
+            ]);
+            blinkml_bench::report::append_result(
+                "fig5_speedup",
+                &serde_json::json!({
+                    "combo": id.label(),
+                    "requested_accuracy": accuracy,
+                    "median_time_s": median,
+                    "full_time_s": full.elapsed.as_secs_f64(),
+                    "ratio": ratio,
+                    "median_sample_size": median_n,
+                    "N": combo.train_len(),
+                }),
+            );
+        }
+        table.print();
+    }
+}

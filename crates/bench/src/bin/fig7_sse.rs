@@ -1,0 +1,86 @@
+//! Figure 7 / Tables 6–7: Sample Size Estimator vs baselines.
+//!
+//! Compares BlinkML's sample-size estimation against the paper's three
+//! baselines — FixedRatio (1%), RelativeRatio ((1−ε)·10%), and
+//! IncEstimator (grow n = base·k² until certified) — on the (Lin,
+//! Power-like) and (LR, Criteo-like) combinations: actual accuracy
+//! (Table 6) and runtime including BlinkML's pure training time
+//! (Table 7).
+//!
+//! Usage:
+//! `cargo run --release -p blinkml-bench --bin fig7_sse -- [scale=1.0] [reps=3] [n0=1000] [k=100] [seed=1]`
+
+use blinkml_bench::{combos::ComboId, BenchArgs, Table};
+
+fn main() {
+    let args = BenchArgs::parse(&["scale", "reps", "n0", "k", "seed"]);
+    let scale = args.get_f64("scale", 1.0);
+    let reps = args.get_usize("reps", 3);
+    let n0 = args.get_usize("n0", 1_000);
+    let k = args.get_usize("k", 100);
+    let seed = args.get_u64("seed", 1);
+    let accuracies = [0.80, 0.85, 0.90, 0.95, 0.96, 0.97, 0.98, 0.99];
+
+    println!("# Figure 7 / Tables 6-7 — sample size estimation (scale={scale}, reps={reps})");
+    for id in [ComboId::LinPower, ComboId::LrCriteo] {
+        let mut combo = id.make(scale, seed);
+        combo.train_full();
+        let mut acc_table = Table::new(
+            format!("{} — actual accuracy by policy (Table 6)", id.label()),
+            &["Requested", "FixedRatio", "RelativeRatio", "IncEstimator", "BlinkML"],
+        );
+        let mut time_table = Table::new(
+            format!("{} — runtime by policy (Table 7)", id.label()),
+            &["Requested", "FixedRatio", "RelativeRatio", "IncEstimator", "BlinkML", "BlinkML pure training"],
+        );
+        for &accuracy in &accuracies {
+            let epsilon = 1.0 - accuracy;
+            let mut acc = [0.0f64; 4];
+            let mut time = [0.0f64; 4];
+            let mut pure_training = 0.0f64;
+            for rep in 0..reps {
+                let rep_seed = seed + 101 * rep as u64;
+                for (slot, policy) in ["fixed", "relative", "inc"].iter().enumerate() {
+                    let run = combo.run_policy(policy, epsilon, 0.05, k, rep_seed);
+                    acc[slot] += combo.actual_accuracy(&run.theta);
+                    time[slot] += run.elapsed.as_secs_f64();
+                }
+                let run = combo.run_blinkml(epsilon, 0.05, n0, k, rep_seed);
+                acc[3] += combo.actual_accuracy(&run.theta);
+                time[3] += run.elapsed.as_secs_f64();
+                pure_training +=
+                    (run.initial_training + run.final_training).as_secs_f64();
+            }
+            let r = reps as f64;
+            acc_table.row(&[
+                format!("{:.0}%", accuracy * 100.0),
+                format!("{:.2}%", acc[0] / r * 100.0),
+                format!("{:.2}%", acc[1] / r * 100.0),
+                format!("{:.2}%", acc[2] / r * 100.0),
+                format!("{:.2}%", acc[3] / r * 100.0),
+            ]);
+            time_table.row(&[
+                format!("{:.0}%", accuracy * 100.0),
+                format!("{:.2} s", time[0] / r),
+                format!("{:.2} s", time[1] / r),
+                format!("{:.2} s", time[2] / r),
+                format!("{:.2} s", time[3] / r),
+                format!("{:.2} s", pure_training / r),
+            ]);
+            blinkml_bench::report::append_result(
+                "fig7_sse",
+                &serde_json::json!({
+                    "combo": id.label(),
+                    "requested_accuracy": accuracy,
+                    "acc_fixed": acc[0] / r, "acc_relative": acc[1] / r,
+                    "acc_inc": acc[2] / r, "acc_blinkml": acc[3] / r,
+                    "time_fixed_s": time[0] / r, "time_relative_s": time[1] / r,
+                    "time_inc_s": time[2] / r, "time_blinkml_s": time[3] / r,
+                    "time_blinkml_pure_s": pure_training / r,
+                }),
+            );
+        }
+        acc_table.print();
+        time_table.print();
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared harness for the BlinkML experiment suite.
+//!
+//! Each binary in `src/bin/` regenerates one table/figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index). This library provides
+//! the common pieces: the eight (model, dataset) combinations of §5.1,
+//! timing helpers, fixed-width table printing, and JSON result capture
+//! for EXPERIMENTS.md.
+
+pub mod args;
+pub mod combos;
+pub mod report;
+
+pub use args::BenchArgs;
+pub use combos::{ComboId, ComboRun};
+pub use report::{fmt_duration, Table};
+
+use std::time::{Duration, Instant};
+
+/// Time a closure, returning its output and the elapsed wall-clock time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed())
+}
+
+/// The requested-accuracy sweep used by Figures 5 and 6 for Lin/LR/ME.
+pub const GLM_ACCURACY_SWEEP: &[f64] = &[0.80, 0.85, 0.90, 0.95, 0.96, 0.97, 0.98, 0.99];
+
+/// The requested-accuracy sweep used by Figures 5 and 6 for PPCA.
+pub const PPCA_ACCURACY_SWEEP: &[f64] = &[0.90, 0.95, 0.99, 0.995, 0.999, 0.9995, 0.9999];

@@ -1,0 +1,133 @@
+//! Fixed-width table printing and JSON result capture.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A fixed-width text table printed in the paper's row format.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Human-readable duration (`1.23 s` / `45.6 ms`).
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+/// Append one JSON line of experiment results to
+/// `results/<experiment>.jsonl` (relative to the workspace root), so
+/// EXPERIMENTS.md can be regenerated from raw data.
+pub fn append_result(experiment: &str, json: &serde_json::Value) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // result capture is best-effort
+    }
+    let path = dir.join(format!("{experiment}.jsonl"));
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{json}");
+    }
+}
+
+/// The results directory (override with `BLINKML_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("BLINKML_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "longer"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("longer"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_duration(Duration::from_millis(2_500)), "2.50 s");
+        assert_eq!(fmt_duration(Duration::from_micros(45_600)), "45.6 ms");
+    }
+}

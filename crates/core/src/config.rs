@@ -1,0 +1,165 @@
+//! BlinkML configuration: the approximation contract and system knobs.
+
+use crate::error::CoreError;
+use blinkml_optim::OptimOptions;
+
+/// Which method computes the statistics (`H`, `J`) behind the parameter
+/// distribution of Theorem 1 (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatisticsMethod {
+    /// Analytic Hessian; exact but model-specific and `Ω(d²)`.
+    ClosedForm,
+    /// Finite-difference Hessian from `d` gradient probes; model-agnostic
+    /// but `O(d)` `grads` calls.
+    InverseGradients,
+    /// Factored covariance from per-example gradients via the information
+    /// matrix equality — BlinkML's default.
+    ObservedFisher,
+}
+
+impl StatisticsMethod {
+    /// Human-readable name used in reports and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StatisticsMethod::ClosedForm => "ClosedForm",
+            StatisticsMethod::InverseGradients => "InverseGradients",
+            StatisticsMethod::ObservedFisher => "ObservedFisher",
+        }
+    }
+}
+
+/// Full BlinkML configuration.
+///
+/// The *approximation contract* is `(epsilon, delta)`: the returned model
+/// must satisfy `Pr[v(m_n) ≤ ε] ≥ 1 − δ` where `v` is the prediction
+/// difference against the full model.
+#[derive(Debug, Clone)]
+pub struct BlinkMlConfig {
+    /// Error bound `ε` on the prediction difference (e.g. 0.05 for a "95%
+    /// accurate" model).
+    pub epsilon: f64,
+    /// Violation probability `δ` (paper default 0.05).
+    pub delta: f64,
+    /// Initial sample size `n₀` (paper default 10 000).
+    pub initial_sample_size: usize,
+    /// Holdout size used for estimating prediction differences.
+    pub holdout_size: usize,
+    /// Number of Monte Carlo parameter draws `k` in the accuracy and
+    /// sample-size estimators.
+    pub num_param_samples: usize,
+    /// Statistics computation method.
+    pub statistics_method: StatisticsMethod,
+    /// Optimizer options for model training.
+    pub optim: OptimOptions,
+    /// Also compute an accuracy estimate for the final model (extra
+    /// statistics pass; off by default, matching the paper's workflow
+    /// where the sample-size estimate itself carries the guarantee).
+    pub estimate_final_accuracy: bool,
+}
+
+impl Default for BlinkMlConfig {
+    fn default() -> Self {
+        BlinkMlConfig {
+            epsilon: 0.05,
+            delta: 0.05,
+            initial_sample_size: 10_000,
+            holdout_size: 2_000,
+            num_param_samples: 100,
+            statistics_method: StatisticsMethod::ObservedFisher,
+            optim: OptimOptions::default(),
+            estimate_final_accuracy: false,
+        }
+    }
+}
+
+impl BlinkMlConfig {
+    /// Validate the contract and knobs.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "epsilon must be in (0,1), got {}",
+                self.epsilon
+            )));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "delta must be in (0,1), got {}",
+                self.delta
+            )));
+        }
+        if self.initial_sample_size == 0 {
+            return Err(CoreError::InvalidConfig(
+                "initial_sample_size must be positive".into(),
+            ));
+        }
+        if self.holdout_size == 0 {
+            return Err(CoreError::InvalidConfig("holdout_size must be positive".into()));
+        }
+        if self.num_param_samples < 2 {
+            return Err(CoreError::InvalidConfig(
+                "num_param_samples must be at least 2".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Convenience constructor: "train a `(accuracy × 100)`% accurate
+    /// model with confidence `1 − δ`" — the interface of the paper's
+    /// Figure 1.
+    pub fn with_accuracy(accuracy: f64, delta: f64) -> Self {
+        BlinkMlConfig {
+            epsilon: 1.0 - accuracy,
+            delta,
+            ..BlinkMlConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(BlinkMlConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn with_accuracy_sets_epsilon() {
+        let c = BlinkMlConfig::with_accuracy(0.95, 0.05);
+        assert!((c.epsilon - 0.05).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_epsilon_and_delta() {
+        let mut c = BlinkMlConfig::default();
+        c.epsilon = 0.0;
+        assert!(c.validate().is_err());
+        c.epsilon = 1.0;
+        assert!(c.validate().is_err());
+        c.epsilon = 0.1;
+        c.delta = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        let mut c = BlinkMlConfig::default();
+        c.initial_sample_size = 0;
+        assert!(c.validate().is_err());
+        c = BlinkMlConfig::default();
+        c.holdout_size = 0;
+        assert!(c.validate().is_err());
+        c = BlinkMlConfig::default();
+        c.num_param_samples = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(StatisticsMethod::ObservedFisher.name(), "ObservedFisher");
+        assert_eq!(StatisticsMethod::ClosedForm.name(), "ClosedForm");
+        assert_eq!(StatisticsMethod::InverseGradients.name(), "InverseGradients");
+    }
+}

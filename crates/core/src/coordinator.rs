@@ -1,0 +1,361 @@
+//! The BlinkML Coordinator (paper §2.3).
+//!
+//! Workflow: draw the initial sample `D₀`, train `m₀`, estimate its
+//! accuracy; if the contract is already met, return `m₀`. Otherwise ask
+//! the Sample Size Estimator for the minimum `n` and train the final
+//! model on a fresh size-`n` sample (warm-started from `θ₀`). At most
+//! two approximate models are ever trained.
+
+use crate::accuracy::ModelAccuracyEstimator;
+use crate::config::BlinkMlConfig;
+use crate::error::CoreError;
+use crate::mcs::{ModelClassSpec, TrainedModel};
+use crate::sample_size::SampleSizeEstimator;
+use crate::stats::compute_statistics;
+use blinkml_data::{Dataset, FeatureVec};
+use blinkml_prob::split_seed;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each coordinator phase — the decomposition
+/// reported in the paper's Figure 8a / Table 8.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingPhaseTimes {
+    /// Training the initial model `m₀` on `D₀`.
+    pub initial_training: Duration,
+    /// Computing the statistics (`H`, `J` factor).
+    pub statistics: Duration,
+    /// Accuracy estimation plus sample-size search.
+    pub sample_size_search: Duration,
+    /// Training the final model (zero when `m₀` was returned).
+    pub final_training: Duration,
+}
+
+impl TrainingPhaseTimes {
+    /// Total coordinator time.
+    pub fn total(&self) -> Duration {
+        self.initial_training + self.statistics + self.sample_size_search + self.final_training
+    }
+}
+
+/// The result of a BlinkML training run.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// The returned (approximate) model.
+    pub model: TrainedModel,
+    /// Sample size the returned model was trained on.
+    pub sample_size: usize,
+    /// Size `N` of the sampling pool.
+    pub full_data_size: usize,
+    /// Accuracy estimate `ε₀` of the initial model (always computed).
+    pub initial_epsilon: f64,
+    /// Estimated `ε` for the returned model: `ε₀` when the initial model
+    /// was returned, the contract `ε` otherwise (or a fresh estimate
+    /// when `estimate_final_accuracy` is set).
+    pub estimated_epsilon: f64,
+    /// Whether the initial model already satisfied the contract.
+    pub used_initial_model: bool,
+    /// Phase timing breakdown.
+    pub phases: TrainingPhaseTimes,
+    /// Binary-search probes used by the sample-size estimator.
+    pub search_probes: usize,
+}
+
+impl TrainingOutcome {
+    /// Generalization-error bound for the *full* model from Lemma 1:
+    /// given the approximate model's holdout error `ε_g`, the full
+    /// model's error is at most `ε_g + ε − ε_g·ε` with probability
+    /// `1 − δ`.
+    pub fn full_model_error_bound(&self, approx_generalization_error: f64) -> f64 {
+        let eg = approx_generalization_error;
+        let e = self.estimated_epsilon;
+        eg + e - eg * e
+    }
+}
+
+/// The BlinkML coordinator.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    config: BlinkMlConfig,
+}
+
+impl Coordinator {
+    /// Coordinator with the given configuration.
+    pub fn new(config: BlinkMlConfig) -> Self {
+        Coordinator { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &BlinkMlConfig {
+        &self.config
+    }
+
+    /// Train with an internal holdout split: `holdout_size` examples are
+    /// carved out of `data` and never used for training.
+    pub fn train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+        &self,
+        spec: &S,
+        data: &Dataset<F>,
+        seed: u64,
+    ) -> Result<TrainingOutcome, CoreError> {
+        self.config.validate()?;
+        let holdout_size = self.config.holdout_size.min(data.len() / 5);
+        if holdout_size == 0 {
+            return Err(CoreError::InvalidData(format!(
+                "dataset of {} examples is too small to carve a holdout",
+                data.len()
+            )));
+        }
+        let split = data.split(holdout_size, 0, split_seed(seed, 100));
+        self.train_with_holdout(spec, &split.train, &split.holdout, seed)
+    }
+
+    /// Train against an explicit training pool and holdout set.
+    pub fn train_with_holdout<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+        &self,
+        spec: &S,
+        train: &Dataset<F>,
+        holdout: &Dataset<F>,
+        seed: u64,
+    ) -> Result<TrainingOutcome, CoreError> {
+        self.config.validate()?;
+        if train.is_empty() {
+            return Err(CoreError::InvalidData("empty training pool".into()));
+        }
+        if holdout.is_empty() {
+            return Err(CoreError::InvalidData("empty holdout set".into()));
+        }
+        let full_n = train.len();
+        let n0 = self.config.initial_sample_size.min(full_n);
+        let mut phases = TrainingPhaseTimes::default();
+
+        // Phase 1: initial model on D₀.
+        let t = Instant::now();
+        let d0 = train.sample(n0, split_seed(seed, 0));
+        let m0 = spec.train(&d0, None, &self.config.optim)?;
+        phases.initial_training = t.elapsed();
+
+        if n0 == full_n {
+            // The "initial sample" is the whole dataset: exact model.
+            return Ok(TrainingOutcome {
+                sample_size: n0,
+                full_data_size: full_n,
+                initial_epsilon: 0.0,
+                estimated_epsilon: 0.0,
+                used_initial_model: true,
+                phases,
+                search_probes: 0,
+                model: m0,
+            });
+        }
+
+        // Phase 2: statistics of m₀.
+        let t = Instant::now();
+        let stats =
+            compute_statistics(self.config.statistics_method, spec, m0.parameters(), &d0)?;
+        phases.statistics = t.elapsed();
+
+        // Phase 3a: accuracy of m₀.
+        let t = Instant::now();
+        let accuracy = ModelAccuracyEstimator::new(self.config.num_param_samples);
+        let eps0 = accuracy.estimate(
+            spec,
+            m0.parameters(),
+            &stats,
+            n0,
+            full_n,
+            holdout,
+            self.config.delta,
+            split_seed(seed, 1),
+        );
+        if eps0 <= self.config.epsilon {
+            phases.sample_size_search = t.elapsed();
+            return Ok(TrainingOutcome {
+                sample_size: n0,
+                full_data_size: full_n,
+                initial_epsilon: eps0,
+                estimated_epsilon: eps0,
+                used_initial_model: true,
+                phases,
+                search_probes: 0,
+                model: m0,
+            });
+        }
+
+        // Phase 3b: minimum sample size (no extra training).
+        let sse = SampleSizeEstimator::new(self.config.num_param_samples);
+        let est = sse.estimate(
+            spec,
+            m0.parameters(),
+            &stats,
+            n0,
+            full_n,
+            holdout,
+            self.config.epsilon,
+            self.config.delta,
+            split_seed(seed, 2),
+        );
+        phases.sample_size_search = t.elapsed();
+
+        // Phase 4: final model, warm-started from θ₀.
+        let t = Instant::now();
+        let dn = train.sample(est.n, split_seed(seed, 3));
+        let mn = spec.train(&dn, Some(m0.parameters()), &self.config.optim)?;
+        phases.final_training = t.elapsed();
+
+        let estimated_epsilon = if self.config.estimate_final_accuracy && est.n < full_n {
+            let t = Instant::now();
+            let stats_n = compute_statistics(
+                self.config.statistics_method,
+                spec,
+                mn.parameters(),
+                &dn,
+            )?;
+            let eps = accuracy.estimate(
+                spec,
+                mn.parameters(),
+                &stats_n,
+                est.n,
+                full_n,
+                holdout,
+                self.config.delta,
+                split_seed(seed, 4),
+            );
+            phases.statistics += t.elapsed();
+            eps
+        } else if est.n >= full_n {
+            0.0
+        } else {
+            self.config.epsilon
+        };
+
+        Ok(TrainingOutcome {
+            sample_size: est.n,
+            full_data_size: full_n,
+            initial_epsilon: eps0,
+            estimated_epsilon,
+            used_initial_model: false,
+            phases,
+            search_probes: est.probes,
+            model: mn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StatisticsMethod;
+    use crate::models::linreg::LinearRegressionSpec;
+    use crate::models::logreg::LogisticRegressionSpec;
+    use blinkml_data::generators::{synthetic_linear, synthetic_logistic};
+    use blinkml_optim::OptimOptions;
+
+    fn config(epsilon: f64, n0: usize) -> BlinkMlConfig {
+        BlinkMlConfig {
+            epsilon,
+            delta: 0.05,
+            initial_sample_size: n0,
+            holdout_size: 800,
+            num_param_samples: 64,
+            statistics_method: StatisticsMethod::ObservedFisher,
+            optim: OptimOptions::default(),
+            estimate_final_accuracy: false,
+        }
+    }
+
+    #[test]
+    fn loose_contract_returns_initial_model() {
+        let (data, _) = synthetic_logistic(20_000, 5, 2.0, 1);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let out = Coordinator::new(config(0.5, 500))
+            .train(&spec, &data, 42)
+            .unwrap();
+        assert!(out.used_initial_model);
+        assert_eq!(out.sample_size, 500);
+        assert!(out.estimated_epsilon <= 0.5);
+        assert_eq!(out.phases.final_training, Duration::ZERO);
+    }
+
+    #[test]
+    fn tight_contract_trains_second_model() {
+        let (data, _) = synthetic_logistic(30_000, 5, 2.0, 2);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let out = Coordinator::new(config(0.01, 300))
+            .train(&spec, &data, 43)
+            .unwrap();
+        assert!(!out.used_initial_model);
+        assert!(out.sample_size > 300, "n = {}", out.sample_size);
+        assert!(out.search_probes > 0);
+        assert!(out.phases.final_training > Duration::ZERO);
+        assert!(out.initial_epsilon > 0.01);
+    }
+
+    #[test]
+    fn returned_model_matches_trained_full_model_within_epsilon() {
+        let (data, _) = synthetic_linear(15_000, 4, 0.5, 3);
+        let split = data.split(1_000, 0, 4);
+        let spec = LinearRegressionSpec::new(1e-3);
+        let epsilon = 0.05;
+        let out = Coordinator::new(config(epsilon, 400))
+            .train_with_holdout(&spec, &split.train, &split.holdout, 44)
+            .unwrap();
+        let full = spec
+            .train(&split.train, None, &OptimOptions::default())
+            .unwrap();
+        let v = spec.diff(
+            out.model.parameters(),
+            full.parameters(),
+            &split.holdout,
+        );
+        assert!(v <= epsilon * 1.5, "realized difference {v}");
+    }
+
+    #[test]
+    fn n0_larger_than_dataset_trains_exact_model() {
+        let (data, _) = synthetic_linear(1_500, 3, 0.3, 5);
+        let spec = LinearRegressionSpec::new(1e-3);
+        let out = Coordinator::new(config(0.05, 10_000))
+            .train(&spec, &data, 45)
+            .unwrap();
+        assert!(out.used_initial_model);
+        assert_eq!(out.sample_size, out.full_data_size);
+        assert_eq!(out.estimated_epsilon, 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_tiny_inputs() {
+        let spec = LinearRegressionSpec::new(1e-3);
+        let empty = Dataset::<blinkml_data::DenseVec>::new("empty", 2, vec![]);
+        assert!(Coordinator::new(config(0.05, 100))
+            .train(&spec, &empty, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn lemma1_bound_formula() {
+        let out = TrainingOutcome {
+            model: TrainedModel::new(vec![0.0], 10, 0, true, 0.0),
+            sample_size: 10,
+            full_data_size: 100,
+            initial_epsilon: 0.1,
+            estimated_epsilon: 0.1,
+            used_initial_model: true,
+            phases: TrainingPhaseTimes::default(),
+            search_probes: 0,
+        };
+        // ε_g + ε − ε_g·ε with ε_g = 0.2, ε = 0.1.
+        let bound = out.full_model_error_bound(0.2);
+        assert!((bound - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = synthetic_logistic(10_000, 4, 2.0, 6);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let c = Coordinator::new(config(0.05, 300));
+        let a = c.train(&spec, &data, 7).unwrap();
+        let b = c.train(&spec, &data, 7).unwrap();
+        assert_eq!(a.sample_size, b.sample_size);
+        assert_eq!(a.model.parameters(), b.model.parameters());
+    }
+}

@@ -1,0 +1,322 @@
+//! Fast evaluation of prediction differences across many parameter draws.
+//!
+//! Both estimators evaluate `v(m(θ_a), m(θ_b))` for `k` parameter draws
+//! at every probe. For margin-based models (all GLMs and max-entropy)
+//! the holdout scores are **linear** in `θ`, so the engine precomputes
+//! the score matrices of the base parameter and of each pooled draw
+//! once; a probe at any sample size then costs `O(holdout · outputs)`
+//! scalar work instead of `O(holdout · D)` dot products. This is the
+//! practical companion of the paper's sampling-by-scaling optimization
+//! (§4.3): the same unscaled pool serves every `n`.
+//!
+//! Models without margins (PPCA) fall back to materializing parameter
+//! vectors and calling the spec's own `diff`.
+
+use crate::mcs::ModelClassSpec;
+use crate::stats::ModelStatistics;
+use blinkml_data::{Dataset, FeatureVec};
+use blinkml_prob::{rng_from_seed, MvnSampler};
+
+/// Precomputed state for repeated difference evaluations over pooled
+/// parameter draws.
+pub struct DiffEngine<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> {
+    spec: &'a S,
+    holdout: &'a Dataset<F>,
+    mode: Mode<'a>,
+}
+
+enum Mode<'a> {
+    /// Margin fast path: flattened `holdout_len × outputs` score
+    /// matrices.
+    Margins {
+        outputs: usize,
+        rms: bool,
+        base: Vec<f64>,
+        pool_u: Vec<Vec<f64>>,
+        pool_w: Vec<Vec<f64>>,
+    },
+    /// Generic fallback over raw parameter vectors.
+    Generic {
+        base: &'a [f64],
+        pool_u: &'a [Vec<f64>],
+        pool_w: &'a [Vec<f64>],
+    },
+}
+
+/// Draw a pool of `count` centered parameter-perturbation vectors from
+/// the model statistics (unscaled: covariance `H⁻¹JH⁻¹`).
+pub fn draw_pool(stats: &ModelStatistics, count: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut sampler = MvnSampler::new(stats);
+    let mut rng = rng_from_seed(seed);
+    sampler.sample_pool(&mut rng, count)
+}
+
+impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> DiffEngine<'a, F, S> {
+    /// Build an engine for `theta_base` and the given perturbation
+    /// pools. `pool_w` may be empty when only one-stage differences are
+    /// needed (accuracy estimation).
+    pub fn new(
+        spec: &'a S,
+        holdout: &'a Dataset<F>,
+        theta_base: &'a [f64],
+        pool_u: &'a [Vec<f64>],
+        pool_w: &'a [Vec<f64>],
+    ) -> Self {
+        let mode = match spec.num_margin_outputs(holdout.dim()) {
+            Some(outputs) => {
+                let score = |theta: &[f64]| -> Vec<f64> {
+                    let mut m = vec![0.0; holdout.len() * outputs];
+                    for (i, e) in holdout.iter().enumerate() {
+                        spec.margins(theta, &e.x, &mut m[i * outputs..(i + 1) * outputs]);
+                    }
+                    m
+                };
+                Mode::Margins {
+                    outputs,
+                    rms: spec.diff_is_rms(),
+                    base: score(theta_base),
+                    pool_u: pool_u.iter().map(|u| score(u)).collect(),
+                    pool_w: pool_w.iter().map(|w| score(w)).collect(),
+                }
+            }
+            None => Mode::Generic {
+                base: theta_base,
+                pool_u,
+                pool_w,
+            },
+        };
+        DiffEngine {
+            spec,
+            holdout,
+            mode,
+        }
+    }
+
+    /// Number of pooled draws available.
+    pub fn pool_size(&self) -> usize {
+        match &self.mode {
+            Mode::Margins { pool_u, .. } => pool_u.len(),
+            Mode::Generic { pool_u, .. } => pool_u.len(),
+        }
+    }
+
+    /// `v(m(θ_base), m(θ_base + scale·u_i))` — the accuracy-estimator
+    /// form (Corollary 1: `θ̂_N | θ_n`).
+    pub fn diff_one_stage(&self, i: usize, scale: f64) -> f64 {
+        match &self.mode {
+            Mode::Margins {
+                outputs,
+                rms,
+                base,
+                pool_u,
+                ..
+            } => {
+                let u = &pool_u[i];
+                self.margin_diff(*outputs, *rms, |j, a, b| {
+                    for t in 0..*outputs {
+                        let s = base[j * outputs + t];
+                        a[t] = s;
+                        b[t] = s + scale * u[j * outputs + t];
+                    }
+                })
+            }
+            Mode::Generic { base, pool_u, .. } => {
+                let u = &pool_u[i];
+                let other: Vec<f64> = base
+                    .iter()
+                    .zip(u)
+                    .map(|(b, ui)| b + scale * ui)
+                    .collect();
+                self.spec.diff(base, &other, self.holdout)
+            }
+        }
+    }
+
+    /// `v(m(θ_n,i), m(θ_N,i))` with `θ_n,i = θ_base + scale1·u_i` and
+    /// `θ_N,i = θ_n,i + scale2·w_i` — the sample-size-estimator form
+    /// (two-stage sampling, paper §4.1).
+    pub fn diff_two_stage(&self, i: usize, scale1: f64, scale2: f64) -> f64 {
+        match &self.mode {
+            Mode::Margins {
+                outputs,
+                rms,
+                base,
+                pool_u,
+                pool_w,
+            } => {
+                let u = &pool_u[i];
+                let w = &pool_w[i];
+                self.margin_diff(*outputs, *rms, |j, a, b| {
+                    for t in 0..*outputs {
+                        let sn = base[j * outputs + t] + scale1 * u[j * outputs + t];
+                        a[t] = sn;
+                        b[t] = sn + scale2 * w[j * outputs + t];
+                    }
+                })
+            }
+            Mode::Generic {
+                base,
+                pool_u,
+                pool_w,
+            } => {
+                let u = &pool_u[i];
+                let w = &pool_w[i];
+                let theta_n: Vec<f64> = base
+                    .iter()
+                    .zip(u)
+                    .map(|(b, ui)| b + scale1 * ui)
+                    .collect();
+                let theta_big: Vec<f64> = theta_n
+                    .iter()
+                    .zip(w)
+                    .map(|(t, wi)| t + scale2 * wi)
+                    .collect();
+                self.spec.diff(&theta_n, &theta_big, self.holdout)
+            }
+        }
+    }
+
+    /// Shared margin-difference loop: `fill(j, a, b)` writes the two
+    /// score vectors for holdout example `j`.
+    fn margin_diff(
+        &self,
+        outputs: usize,
+        rms: bool,
+        fill: impl Fn(usize, &mut [f64], &mut [f64]),
+    ) -> f64 {
+        let h = self.holdout.len();
+        if h == 0 {
+            return 0.0;
+        }
+        let mut a = vec![0.0; outputs];
+        let mut b = vec![0.0; outputs];
+        if rms {
+            let mut sum_sq = 0.0;
+            for j in 0..h {
+                fill(j, &mut a, &mut b);
+                let pa = self.spec.predict_from_margins(&a);
+                let pb = self.spec.predict_from_margins(&b);
+                sum_sq += (pa - pb) * (pa - pb);
+            }
+            (sum_sq / h as f64).sqrt()
+        } else {
+            let mut disagree = 0usize;
+            for j in 0..h {
+                fill(j, &mut a, &mut b);
+                if self.spec.predict_from_margins(&a) != self.spec.predict_from_margins(&b) {
+                    disagree += 1;
+                }
+            }
+            disagree as f64 / h as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::linreg::LinearRegressionSpec;
+    use crate::models::logreg::LogisticRegressionSpec;
+    use crate::models::ppca::PpcaSpec;
+    use blinkml_data::generators::{low_rank_gaussian, synthetic_linear, synthetic_logistic};
+
+    #[test]
+    fn margin_path_matches_spec_diff_linear() {
+        let (holdout, _) = synthetic_linear(300, 4, 0.1, 1);
+        let spec = LinearRegressionSpec::new(1e-3);
+        // d = 4 features + the trailing ln σ² parameter.
+        let base = vec![0.5, -0.2, 0.3, 0.1, 0.0];
+        let pool: Vec<Vec<f64>> = vec![
+            vec![0.1, 0.0, -0.1, 0.2, 0.05],
+            vec![-0.3, 0.2, 0.0, 0.05, -0.1],
+        ];
+        let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        for i in 0..2 {
+            for scale in [0.0, 0.1, 1.0] {
+                let fast = engine.diff_one_stage(i, scale);
+                let other: Vec<f64> = base
+                    .iter()
+                    .zip(&pool[i])
+                    .map(|(b, u)| b + scale * u)
+                    .collect();
+                let slow = spec.diff(&base, &other, &holdout);
+                assert!(
+                    (fast - slow).abs() < 1e-12,
+                    "one-stage i={i} scale={scale}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn margin_path_matches_spec_diff_two_stage_logistic() {
+        let (holdout, _) = synthetic_logistic(400, 3, 2.0, 2);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let base = vec![0.8, -0.5, 0.2];
+        let pool_u = vec![vec![0.2, 0.1, -0.3], vec![0.0, -0.2, 0.1]];
+        let pool_w = vec![vec![-0.1, 0.3, 0.2], vec![0.15, 0.0, -0.25]];
+        let engine = DiffEngine::new(&spec, &holdout, &base, &pool_u, &pool_w);
+        for i in 0..2 {
+            let (s1, s2) = (0.7, 0.3);
+            let fast = engine.diff_two_stage(i, s1, s2);
+            let theta_n: Vec<f64> = base
+                .iter()
+                .zip(&pool_u[i])
+                .map(|(b, u)| b + s1 * u)
+                .collect();
+            let theta_big: Vec<f64> = theta_n
+                .iter()
+                .zip(&pool_w[i])
+                .map(|(t, w)| t + s2 * w)
+                .collect();
+            let slow = spec.diff(&theta_n, &theta_big, &holdout);
+            assert!((fast - slow).abs() < 1e-12, "i={i}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn generic_path_serves_ppca() {
+        let holdout = low_rank_gaussian(50, 4, 2, 0.2, 3);
+        let spec = PpcaSpec::new(2);
+        let base: Vec<f64> = (0..9).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let pool = vec![vec![0.05; 9], vec![-0.02; 9]];
+        let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        let v = engine.diff_one_stage(0, 1.0);
+        let other: Vec<f64> = base.iter().zip(&pool[0]).map(|(b, u)| b + u).collect();
+        let expect = spec.diff(&base, &other, &holdout);
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_scale_means_zero_difference() {
+        let (holdout, _) = synthetic_logistic(200, 3, 2.0, 4);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let base = vec![0.4, 0.4, -0.2];
+        let pool = vec![vec![1.0, 1.0, 1.0]];
+        let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        assert_eq!(engine.diff_one_stage(0, 0.0), 0.0);
+        assert_eq!(engine.diff_two_stage(0, 0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn difference_grows_with_scale() {
+        let (holdout, _) = synthetic_linear(300, 3, 0.1, 5);
+        let spec = LinearRegressionSpec::new(0.0);
+        let base = vec![1.0, 1.0, 1.0, 0.0];
+        let pool = vec![vec![0.5, -0.5, 0.2, 0.1]];
+        let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        let v1 = engine.diff_one_stage(0, 0.1);
+        let v2 = engine.diff_one_stage(0, 1.0);
+        assert!(v2 > v1, "{v2} vs {v1}");
+    }
+
+    #[test]
+    fn pool_size_reports() {
+        let (holdout, _) = synthetic_linear(10, 2, 0.1, 6);
+        let spec = LinearRegressionSpec::new(0.0);
+        let base = vec![0.0, 0.0, 0.0];
+        let pool = vec![vec![1.0, 0.0, 0.0]; 7];
+        let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &[]);
+        assert_eq!(engine.pool_size(), 7);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the BlinkML core.
+
+use blinkml_linalg::LinalgError;
+use blinkml_optim::OptimError;
+use std::fmt;
+
+/// Errors surfaced by BlinkML training and estimation.
+#[derive(Debug, Clone)]
+pub enum CoreError {
+    /// The optimizer failed while training a model.
+    Optimization(OptimError),
+    /// A matrix factorization failed (statistics computation).
+    Linalg(LinalgError),
+    /// The configuration is inconsistent (e.g. `ε ≤ 0`, empty holdout).
+    InvalidConfig(String),
+    /// The chosen statistics method is not available for this model
+    /// class (e.g. ClosedForm for max-entropy).
+    UnsupportedStatistics {
+        /// Model class name.
+        model: &'static str,
+        /// Statistics method name.
+        method: &'static str,
+    },
+    /// The dataset is unusable for the request (too small, wrong labels).
+    InvalidData(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Optimization(e) => write!(f, "training failed: {e}"),
+            CoreError::Linalg(e) => write!(f, "statistics computation failed: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::UnsupportedStatistics { model, method } => {
+                write!(f, "{method} statistics are not available for {model}")
+            }
+            CoreError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Optimization(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OptimError> for CoreError {
+    fn from(e: OptimError) -> Self {
+        CoreError::Optimization(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = OptimError::NonFiniteObjective.into();
+        assert!(e.to_string().contains("training failed"));
+        let e: CoreError = LinalgError::Singular { pivot: 1 }.into();
+        assert!(e.to_string().contains("statistics"));
+        let e = CoreError::UnsupportedStatistics {
+            model: "maxent",
+            method: "ClosedForm",
+        };
+        assert!(e.to_string().contains("maxent"));
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CoreError::InvalidData("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CoreError = OptimError::NonFiniteObjective.into();
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidConfig("z".into()).source().is_none());
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-example gradient matrices in factored-friendly form.
+//!
+//! The paper's `grads` MCS method returns the list `ψ_i = q(θ; x_i, y_i)
+//! + r(θ)` for every training example (§2.2). ObservedFisher needs three
+//! operations on this list (§3.4, §4.3):
+//!
+//! 1. the `D x D` second moment `J = (1/n) Σ ψ ψᵀ` (when `D ≤ n`),
+//! 2. the `n x n` Gram matrix `G_{ij} = ψ_i·ψ_j / n` (when `D > n`),
+//! 3. transposed application `Q'ᵀ w = (1/√n) Σ w_i ψ_i` (factored
+//!    sampling without ever materializing a `D`-sized basis).
+//!
+//! For sparse GLMs, `ψ_i = c_i·x_i + shift` where the shift `r(θ) = βθ`
+//! is shared by all rows; [`Grads::Sparse`] keeps that structure so the
+//! three operations stay `O(nnz)` instead of `O(n·D)`.
+
+use blinkml_data::{FeatureVec, SparseVec};
+use blinkml_linalg::blas::syrk_t;
+use blinkml_linalg::vector::dot;
+use blinkml_linalg::Matrix;
+
+/// The per-example gradient list in one of two layouts.
+#[derive(Debug, Clone)]
+pub enum Grads {
+    /// Dense `n x D` row matrix of `ψ_i`.
+    Dense(Matrix),
+    /// Sparse rows plus a shared dense shift: `ψ_i = rows[i] + shift`.
+    Sparse {
+        /// Per-example sparse parts.
+        rows: Vec<SparseVec>,
+        /// Shared dense shift (`r(θ)`, usually `βθ`).
+        shift: Vec<f64>,
+    },
+}
+
+impl Grads {
+    /// Number of examples `n`.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            Grads::Dense(m) => m.rows(),
+            Grads::Sparse { rows, .. } => rows.len(),
+        }
+    }
+
+    /// Parameter dimension `D`.
+    pub fn dim(&self) -> usize {
+        match self {
+            Grads::Dense(m) => m.cols(),
+            Grads::Sparse { shift, .. } => shift.len(),
+        }
+    }
+
+    /// Second moment `J = (1/n) Σ ψ ψᵀ` as a dense `D x D` matrix.
+    ///
+    /// Only sensible when `D` is small; the coordinator picks the Gram
+    /// path otherwise.
+    pub fn second_moment(&self) -> Matrix {
+        let n = self.num_rows().max(1) as f64;
+        match self {
+            Grads::Dense(m) => {
+                let mut j = syrk_t(m);
+                j.scale(1.0 / n);
+                j
+            }
+            Grads::Sparse { rows, shift } => {
+                let d = shift.len();
+                let mut j = Matrix::zeros(d, d);
+                let mut dense_row = vec![0.0; d];
+                for row in rows {
+                    dense_row.copy_from_slice(shift);
+                    row.add_scaled_into(1.0, &mut dense_row);
+                    blinkml_linalg::blas::ger(1.0 / n, &dense_row, &dense_row, &mut j);
+                }
+                j
+            }
+        }
+    }
+
+    /// Gram matrix `G_{ij} = ψ_i·ψ_j / n` as a dense `n x n` matrix.
+    pub fn gram(&self) -> Matrix {
+        let n = self.num_rows();
+        let scale = 1.0 / n.max(1) as f64;
+        match self {
+            Grads::Dense(m) => {
+                let mut g = blinkml_linalg::blas::syrk_n(m);
+                g.scale(scale);
+                g
+            }
+            Grads::Sparse { rows, shift } => {
+                // ψ_i·ψ_j = s_i·s_j + s_i·c + s_j·c + c·c with c = shift.
+                let c_dot_c = dot(shift, shift);
+                let s_dot_c: Vec<f64> = rows.iter().map(|r| r.dot(shift)).collect();
+                let mut g = Matrix::zeros(n, n);
+                for i in 0..n {
+                    for j in i..n {
+                        let v = (sparse_dot(&rows[i], &rows[j])
+                            + s_dot_c[i]
+                            + s_dot_c[j]
+                            + c_dot_c)
+                            * scale;
+                        g[(i, j)] = v;
+                        g[(j, i)] = v;
+                    }
+                }
+                g
+            }
+        }
+    }
+
+    /// `Q'ᵀ w = (1/√n) Σ w_i ψ_i` — the transposed application used by
+    /// the implicit covariance factor.
+    pub fn t_apply(&self, w: &[f64]) -> Vec<f64> {
+        let n = self.num_rows();
+        assert_eq!(w.len(), n, "t_apply: weight length mismatch");
+        let inv_sqrt_n = 1.0 / (n.max(1) as f64).sqrt();
+        let mut out = vec![0.0; self.dim()];
+        match self {
+            Grads::Dense(m) => {
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi == 0.0 {
+                        continue;
+                    }
+                    let row = m.row(i);
+                    for (o, &v) in out.iter_mut().zip(row) {
+                        *o += wi * v;
+                    }
+                }
+            }
+            Grads::Sparse { rows, shift } => {
+                let w_sum: f64 = w.iter().sum();
+                for (row, &wi) in rows.iter().zip(w) {
+                    if wi != 0.0 {
+                        row.add_scaled_into(wi, &mut out);
+                    }
+                }
+                for (o, &c) in out.iter_mut().zip(shift) {
+                    *o += w_sum * c;
+                }
+            }
+        }
+        for o in &mut out {
+            *o *= inv_sqrt_n;
+        }
+        out
+    }
+
+    /// Materialize row `i` as a dense vector (testing utility).
+    pub fn row_dense(&self, i: usize) -> Vec<f64> {
+        match self {
+            Grads::Dense(m) => m.row(i).to_vec(),
+            Grads::Sparse { rows, shift } => {
+                let mut out = shift.clone();
+                rows[i].add_scaled_into(1.0, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Mean row `(1/n) Σ ψ_i` — equals the full objective gradient at the
+    /// trained parameter, hence ≈ 0 at an optimum (useful invariant).
+    pub fn mean_row(&self) -> Vec<f64> {
+        let n = self.num_rows().max(1) as f64;
+        let mut out = self.t_apply(&vec![1.0; self.num_rows()]);
+        // t_apply already divides by √n; adjust to 1/n.
+        let fix = 1.0 / n.sqrt();
+        for o in &mut out {
+            *o *= fix;
+        }
+        out
+    }
+}
+
+/// Merge-join dot product of two sorted sparse vectors.
+fn sparse_dot(a: &SparseVec, b: &SparseVec) -> f64 {
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let mut s = 0.0;
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < ai.len() && q < bi.len() {
+        match ai[p].cmp(&bi[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                s += av[p] * bv[q];
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_example() -> Grads {
+        Grads::Dense(Matrix::from_vec(
+            3,
+            2,
+            vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0],
+        ))
+    }
+
+    fn sparse_example() -> Grads {
+        // Same matrix as dense_example minus a shift of (0.5, -0.5):
+        // rows: (0.5, 2.5), (-1.5, 1.0), (2.5, -1.5)
+        Grads::Sparse {
+            rows: vec![
+                SparseVec::new(2, vec![0, 1], vec![0.5, 2.5]),
+                SparseVec::new(2, vec![0, 1], vec![-1.5, 1.0]),
+                SparseVec::new(2, vec![0, 1], vec![2.5, -1.5]),
+            ],
+            shift: vec![0.5, -0.5],
+        }
+    }
+
+    #[test]
+    fn dims() {
+        assert_eq!(dense_example().num_rows(), 3);
+        assert_eq!(dense_example().dim(), 2);
+        assert_eq!(sparse_example().num_rows(), 3);
+        assert_eq!(sparse_example().dim(), 2);
+    }
+
+    #[test]
+    fn sparse_rows_match_dense() {
+        let d = dense_example();
+        let s = sparse_example();
+        for i in 0..3 {
+            let rd = d.row_dense(i);
+            let rs = s.row_dense(i);
+            for (a, b) in rd.iter().zip(&rs) {
+                assert!((a - b).abs() < 1e-12, "row {i}: {rd:?} vs {rs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn second_moment_matches_between_layouts() {
+        let jd = dense_example().second_moment();
+        let js = sparse_example().second_moment();
+        assert!(jd.max_abs_diff(&js) < 1e-12);
+        // Hand check J[0][0] = (1 + 1 + 9)/3.
+        assert!((jd[(0, 0)] - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_matches_between_layouts() {
+        let gd = dense_example().gram();
+        let gs = sparse_example().gram();
+        assert!(gd.max_abs_diff(&gs) < 1e-12);
+        // G[0][1] = (1·(−1) + 2·0.5)/3 = 0.
+        assert!(gd[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_and_second_moment_share_spectrum() {
+        // Nonzero eigenvalues of J (D x D) and G (n x n) coincide.
+        let g = dense_example().gram();
+        let j = dense_example().second_moment();
+        let eg = blinkml_linalg::SymmetricEigen::new(&g).unwrap();
+        let ej = blinkml_linalg::SymmetricEigen::new(&j).unwrap();
+        for k in 0..2 {
+            assert!(
+                (eg.eigenvalues[k] - ej.eigenvalues[k]).abs() < 1e-10,
+                "eigenvalue {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn t_apply_matches_manual() {
+        let d = dense_example();
+        let w = [1.0, 0.0, -1.0];
+        let got = d.t_apply(&w);
+        // (1/√3)·(row0 − row2) = (1/√3)·(−2, 4)
+        let s3 = 3.0f64.sqrt();
+        assert!((got[0] + 2.0 / s3).abs() < 1e-12);
+        assert!((got[1] - 4.0 / s3).abs() < 1e-12);
+
+        let s = sparse_example();
+        let got_s = s.t_apply(&w);
+        for (a, b) in got.iter().zip(&got_s) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_row_is_average() {
+        let d = dense_example();
+        let m = d.mean_row();
+        assert!((m[0] - 1.0).abs() < 1e-12); // (1 − 1 + 3)/3
+        assert!((m[1] - 1.0 / 6.0).abs() < 1e-12); // (2 + 0.5 − 2)/3
+    }
+
+    #[test]
+    fn sparse_dot_disjoint_and_overlapping() {
+        let a = SparseVec::new(6, vec![0, 2], vec![1.0, 2.0]);
+        let b = SparseVec::new(6, vec![1, 3], vec![5.0, 5.0]);
+        assert_eq!(sparse_dot(&a, &b), 0.0);
+        let c = SparseVec::new(6, vec![2, 3], vec![4.0, 1.0]);
+        assert_eq!(sparse_dot(&a, &c), 8.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The Model Class Specification (MCS) abstraction.
+//!
+//! An MCS is the contract between BlinkML's generic machinery and a
+//! concrete model class (paper §2.2): it exposes the regularized
+//! negative log-likelihood objective, the per-example gradient list
+//! (`grads`), the prediction function, and the prediction-difference
+//! metric (`diff`). Everything else in the system — statistics
+//! computation, accuracy estimation, sample-size search, the coordinator
+//! — is written against this trait only.
+
+use crate::error::CoreError;
+use crate::grads::Grads;
+use blinkml_data::{Dataset, FeatureVec};
+use blinkml_linalg::Matrix;
+use blinkml_optim::{minimize, Objective, OptimOptions};
+use serde::{Deserialize, Serialize};
+
+/// A model trained on a specific sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedModel {
+    theta: Vec<f64>,
+    /// Sample size the model was trained on.
+    pub sample_size: usize,
+    /// Optimizer iterations (0 for closed-form training).
+    pub iterations: usize,
+    /// Whether the optimizer reported convergence.
+    pub converged: bool,
+    /// Final objective value.
+    pub objective_value: f64,
+}
+
+impl TrainedModel {
+    /// Construct from raw parts (used by MCS `train` implementations).
+    pub fn new(
+        theta: Vec<f64>,
+        sample_size: usize,
+        iterations: usize,
+        converged: bool,
+        objective_value: f64,
+    ) -> Self {
+        TrainedModel {
+            theta,
+            sample_size,
+            iterations,
+            converged,
+            objective_value,
+        }
+    }
+
+    /// The learned parameter vector `θ`.
+    pub fn parameters(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Consume the model, returning `θ`.
+    pub fn into_parameters(self) -> Vec<f64> {
+        self.theta
+    }
+}
+
+/// What a model's prediction is computed from, for the fast-diff path.
+///
+/// Every GLM in the paper predicts through per-output linear scores
+/// `x·θ_block`; exposing those lets the estimators precompute holdout
+/// score matrices once per parameter-pool element and then evaluate the
+/// prediction difference at any sample size in `O(holdout · outputs)`
+/// (the engine behind the paper's "no additional training" sample-size
+/// search being cheap in practice).
+pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
+    /// Short model-class name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Parameter dimension for a dataset of feature dimension
+    /// `data_dim`.
+    fn param_dim(&self, data_dim: usize) -> usize;
+
+    /// L2 regularization coefficient `β` (`r(θ) = βθ`, `J_r = βI`);
+    /// return 0 for unregularized models.
+    fn regularization(&self) -> f64;
+
+    /// Averaged objective `f_n(θ)` (Equation 2) and its gradient on
+    /// `data`.
+    fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>);
+
+    /// The per-example gradient list `ψ_i = q(θ; x_i, y_i) + r(θ)`
+    /// (paper's `grads` MCS method).
+    fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads;
+
+    /// Analytic Hessian of `g_n` at `θ` when a closed form exists
+    /// (paper §3.4 Method 1); `None` for models without one.
+    fn closed_form_hessian(&self, _theta: &[f64], _data: &Dataset<F>) -> Option<Matrix> {
+        None
+    }
+
+    /// Predict the output for one feature vector (class index for
+    /// classifiers, real value for regressors).
+    fn predict(&self, theta: &[f64], x: &F) -> f64;
+
+    /// Prediction difference `v` between two parameter vectors on a
+    /// holdout set: disagreement rate for classifiers, RMS prediction
+    /// difference for regressors, `1 − cos` for PPCA (paper §2.1 and
+    /// Appendix C).
+    fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<F>) -> f64;
+
+    /// Generalization error on labelled data: misclassification rate for
+    /// classifiers, RMSE for regressors.
+    fn generalization_error(&self, theta: &[f64], data: &Dataset<F>) -> f64;
+
+    /// Number of linear-score outputs per example, when predictions are
+    /// a pure function of per-block linear scores `x·θ_block`
+    /// (`None` disables the fast-diff path; PPCA uses `None`).
+    fn num_margin_outputs(&self, _data_dim: usize) -> Option<usize> {
+        None
+    }
+
+    /// Linear scores for one example under `θ`, written into `out`
+    /// (length [`Self::num_margin_outputs`]). Only called when margins
+    /// are supported.
+    fn margins(&self, _theta: &[f64], _x: &F, _out: &mut [f64]) {
+        unreachable!("margins() called on a model without margin support");
+    }
+
+    /// Prediction as a function of the margin scores (paired with
+    /// [`Self::margins`]).
+    fn predict_from_margins(&self, _scores: &[f64]) -> f64 {
+        unreachable!("predict_from_margins() called on a model without margin support");
+    }
+
+    /// Whether `v` compares real-valued predictions (RMS) rather than
+    /// discrete ones (disagreement rate). Drives the fast-diff math.
+    fn diff_is_rms(&self) -> bool {
+        false
+    }
+
+    /// Train on `data`, optionally warm-starting from a previous
+    /// parameter vector. The default implementation runs the
+    /// dimension-appropriate quasi-Newton solver on [`Self::objective`];
+    /// closed-form models (PPCA) override it.
+    fn train(
+        &self,
+        data: &Dataset<F>,
+        warm_start: Option<&[f64]>,
+        options: &OptimOptions,
+    ) -> Result<TrainedModel, CoreError> {
+        if data.is_empty() {
+            return Err(CoreError::InvalidData("cannot train on an empty dataset".into()));
+        }
+        let dim = self.param_dim(data.dim());
+        let theta0: Vec<f64> = match warm_start {
+            Some(w) => {
+                if w.len() != dim {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "warm start has dim {}, model needs {dim}",
+                        w.len()
+                    )));
+                }
+                w.to_vec()
+            }
+            None => vec![0.0; dim],
+        };
+        let adapter = SpecObjective { spec: self, data };
+        let result = minimize(&adapter, &theta0, options)?;
+        Ok(TrainedModel {
+            theta: result.theta,
+            sample_size: data.len(),
+            iterations: result.iterations,
+            converged: result.converged,
+            objective_value: result.value,
+        })
+    }
+}
+
+/// Adapter exposing an MCS objective to the optimizer.
+struct SpecObjective<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> {
+    spec: &'a S,
+    data: &'a Dataset<F>,
+}
+
+impl<F: FeatureVec, S: ModelClassSpec<F> + ?Sized> Objective for SpecObjective<'_, F, S> {
+    fn dim(&self) -> usize {
+        self.spec.param_dim(self.data.dim())
+    }
+
+    fn value_grad(&self, theta: &[f64]) -> (f64, Vec<f64>) {
+        self.spec.objective(theta, self.data)
+    }
+}
+
+/// Disagreement rate between two discrete predictors over a holdout set.
+pub fn classification_diff<F: FeatureVec>(
+    predict: impl Fn(&F) -> f64,
+    predict_other: impl Fn(&F) -> f64,
+    holdout: &Dataset<F>,
+) -> f64 {
+    if holdout.is_empty() {
+        return 0.0;
+    }
+    let disagreements = holdout
+        .iter()
+        .filter(|e| predict(&e.x) != predict_other(&e.x))
+        .count();
+    disagreements as f64 / holdout.len() as f64
+}
+
+/// RMS difference between two real-valued predictors over a holdout set.
+pub fn regression_diff<F: FeatureVec>(
+    predict: impl Fn(&F) -> f64,
+    predict_other: impl Fn(&F) -> f64,
+    holdout: &Dataset<F>,
+) -> f64 {
+    if holdout.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = holdout
+        .iter()
+        .map(|e| {
+            let d = predict(&e.x) - predict_other(&e.x);
+            d * d
+        })
+        .sum();
+    (sum_sq / holdout.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkml_data::DenseVec;
+    use blinkml_data::Example;
+
+    fn toy_holdout() -> Dataset<DenseVec> {
+        let examples = (0..4)
+            .map(|i| Example {
+                x: DenseVec::new(vec![i as f64]),
+                y: 0.0,
+            })
+            .collect();
+        Dataset::new("toy", 1, examples)
+    }
+
+    #[test]
+    fn classification_diff_counts_disagreements() {
+        let h = toy_holdout();
+        // Predictors disagree on x >= 2 (two of four examples).
+        let a = |x: &DenseVec| if x.0[0] >= 2.0 { 1.0 } else { 0.0 };
+        let b = |_: &DenseVec| 0.0;
+        assert!((classification_diff(a, b, &h) - 0.5).abs() < 1e-12);
+        assert_eq!(classification_diff(b, b, &h), 0.0);
+    }
+
+    #[test]
+    fn regression_diff_is_rms() {
+        let h = toy_holdout();
+        let a = |x: &DenseVec| x.0[0];
+        let b = |x: &DenseVec| x.0[0] + 2.0;
+        assert!((regression_diff(a, b, &h) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_of_empty_holdout_is_zero() {
+        let h = Dataset::<DenseVec>::new("empty", 1, vec![]);
+        assert_eq!(classification_diff(|_| 0.0, |_| 1.0, &h), 0.0);
+        assert_eq!(regression_diff(|_| 0.0, |_| 1.0, &h), 0.0);
+    }
+
+    #[test]
+    fn trained_model_accessors() {
+        let m = TrainedModel::new(vec![1.0, 2.0], 100, 5, true, 0.25);
+        assert_eq!(m.parameters(), &[1.0, 2.0]);
+        assert_eq!(m.sample_size, 100);
+        assert!(m.converged);
+        assert_eq!(m.into_parameters(), vec![1.0, 2.0]);
+    }
+}

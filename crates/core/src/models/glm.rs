@@ -1,0 +1,247 @@
+//! Shared machinery for single-output generalized linear models.
+//!
+//! Linear, logistic, and Poisson regression all fit the pattern
+//! `f_n(θ) = (1/n) Σ ℓ(θᵀx_i, y_i) + (β/2)‖θ‖²`: the per-example
+//! gradient is `ℓ'(m_i, y_i)·x_i + βθ` and the closed-form Hessian is
+//! `(1/n) Xᵀ diag(ℓ'') X + βI`. A [`GlmFamily`] supplies the three
+//! scalar functions; [`GlmSpec`] turns any family into a full
+//! [`ModelClassSpec`].
+
+use crate::grads::Grads;
+use crate::mcs::{classification_diff, regression_diff, ModelClassSpec};
+use blinkml_data::parallel::{par_accumulate, par_ranges};
+use blinkml_data::{Dataset, FeatureVec};
+use blinkml_linalg::Matrix;
+use std::marker::PhantomData;
+
+/// The scalar loss family of a single-output GLM.
+pub trait GlmFamily: Send + Sync + 'static {
+    /// Model-class name for reports.
+    const NAME: &'static str;
+
+    /// Whether the prediction difference is RMS-based (regression) or a
+    /// disagreement rate (classification).
+    const RMS_DIFF: bool;
+
+    /// Per-example negative log-likelihood `ℓ(m, y)` at margin
+    /// `m = θᵀx` (up to a `θ`-independent constant).
+    fn loss(m: f64, y: f64) -> f64;
+
+    /// `∂ℓ/∂m`.
+    fn dloss(m: f64, y: f64) -> f64;
+
+    /// `∂²ℓ/∂m²` when available in closed form (enables the ClosedForm
+    /// statistics method).
+    fn d2loss(m: f64, y: f64) -> Option<f64>;
+
+    /// Prediction as a function of the margin.
+    fn predict(m: f64) -> f64;
+
+    /// Generalization error of one prediction against the true label:
+    /// 0/1 loss for classifiers, squared error for regressors.
+    fn example_error(m: f64, y: f64) -> f64;
+}
+
+/// A complete model-class specification built from a [`GlmFamily`].
+#[derive(Debug, Clone)]
+pub struct GlmSpec<Fam: GlmFamily> {
+    beta: f64,
+    _family: PhantomData<Fam>,
+}
+
+impl<Fam: GlmFamily> GlmSpec<Fam> {
+    /// Spec with L2-regularization coefficient `beta` (the paper uses
+    /// `β = 0.001` throughout its experiments).
+    pub fn new(beta: f64) -> Self {
+        assert!(beta >= 0.0, "regularization must be nonnegative");
+        GlmSpec {
+            beta,
+            _family: PhantomData,
+        }
+    }
+}
+
+impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
+    fn name(&self) -> &'static str {
+        Fam::NAME
+    }
+
+    fn param_dim(&self, data_dim: usize) -> usize {
+        data_dim
+    }
+
+    fn regularization(&self) -> f64 {
+        self.beta
+    }
+
+    fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {
+        let d = data.dim();
+        let n = data.len().max(1) as f64;
+        // Accumulate [Σℓ, Σℓ'·x] in one parallel pass; slot 0 is the
+        // loss, slots 1..=d the gradient.
+        let acc = par_accumulate(data.len(), d + 1, |i, acc| {
+            let e = data.get(i);
+            let m = e.x.dot(theta);
+            acc[0] += Fam::loss(m, e.y);
+            e.x.add_scaled_into(Fam::dloss(m, e.y), &mut acc[1..]);
+        });
+        let mut value = acc[0] / n;
+        let mut grad: Vec<f64> = acc[1..].iter().map(|v| v / n).collect();
+        if self.beta > 0.0 {
+            let norm_sq: f64 = theta.iter().map(|t| t * t).sum();
+            value += 0.5 * self.beta * norm_sq;
+            for (g, t) in grad.iter_mut().zip(theta) {
+                *g += self.beta * t;
+            }
+        }
+        (value, grad)
+    }
+
+    fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
+        let d = data.dim();
+        let shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
+        if F::IS_SPARSE {
+            let rows: Vec<_> = par_ranges(data.len(), |range| {
+                range
+                    .map(|i| {
+                        let e = data.get(i);
+                        let c = Fam::dloss(e.x.dot(theta), e.y);
+                        e.x.scaled_sparse(c, d, 0)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            Grads::Sparse { rows, shift }
+        } else {
+            let mut m = Matrix::zeros(data.len(), d);
+            for (i, e) in data.iter().enumerate() {
+                let c = Fam::dloss(e.x.dot(theta), e.y);
+                let row = m.row_mut(i);
+                row.copy_from_slice(&shift);
+                e.x.add_scaled_into(c, row);
+            }
+            Grads::Dense(m)
+        }
+    }
+
+    fn closed_form_hessian(&self, theta: &[f64], data: &Dataset<F>) -> Option<Matrix> {
+        let d = data.dim();
+        let n = data.len().max(1) as f64;
+        let mut h = Matrix::zeros(d, d);
+        let mut xi = vec![0.0; d];
+        for e in data.iter() {
+            let m = e.x.dot(theta);
+            let w = Fam::d2loss(m, e.y)?;
+            if w == 0.0 {
+                continue;
+            }
+            // H += (w/n)·x xᵀ.
+            xi.iter_mut().for_each(|v| *v = 0.0);
+            e.x.add_scaled_into(1.0, &mut xi);
+            blinkml_linalg::blas::ger(w / n, &xi, &xi, &mut h);
+        }
+        h.add_diag(self.beta);
+        Some(h)
+    }
+
+    fn predict(&self, theta: &[f64], x: &F) -> f64 {
+        Fam::predict(x.dot(theta))
+    }
+
+    fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<F>) -> f64 {
+        if Fam::RMS_DIFF {
+            regression_diff(
+                |x: &F| Fam::predict(x.dot(theta_a)),
+                |x: &F| Fam::predict(x.dot(theta_b)),
+                holdout,
+            )
+        } else {
+            classification_diff(
+                |x: &F| Fam::predict(x.dot(theta_a)),
+                |x: &F| Fam::predict(x.dot(theta_b)),
+                holdout,
+            )
+        }
+    }
+
+    fn generalization_error(&self, theta: &[f64], data: &Dataset<F>) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = data
+            .iter()
+            .map(|e| Fam::example_error(e.x.dot(theta), e.y))
+            .sum();
+        let mean = total / data.len() as f64;
+        if Fam::RMS_DIFF {
+            mean.sqrt()
+        } else {
+            mean
+        }
+    }
+
+    fn num_margin_outputs(&self, _data_dim: usize) -> Option<usize> {
+        Some(1)
+    }
+
+    fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
+        out[0] = x.dot(theta);
+    }
+
+    fn predict_from_margins(&self, scores: &[f64]) -> f64 {
+        Fam::predict(scores[0])
+    }
+
+    fn diff_is_rms(&self) -> bool {
+        Fam::RMS_DIFF
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use blinkml_data::Dataset;
+
+    /// Finite-difference check of `objective`'s gradient for any spec —
+    /// the load-bearing invariant for every model class.
+    pub fn check_gradient<F: FeatureVec, S: ModelClassSpec<F>>(
+        spec: &S,
+        theta: &[f64],
+        data: &Dataset<F>,
+        tol: f64,
+    ) {
+        let (_, grad) = spec.objective(theta, data);
+        let eps = 1e-6;
+        for i in 0..theta.len() {
+            let mut plus = theta.to_vec();
+            let mut minus = theta.to_vec();
+            plus[i] += eps;
+            minus[i] -= eps;
+            let (fp, _) = spec.objective(&plus, data);
+            let (fm, _) = spec.objective(&minus, data);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad[i] - fd).abs() < tol * (1.0 + fd.abs()),
+                "gradient coord {i}: analytic {} vs finite-diff {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    /// Check that the mean grads row equals the objective gradient —
+    /// the consistency contract between `grads` and `objective`.
+    pub fn check_grads_mean<F: FeatureVec, S: ModelClassSpec<F>>(
+        spec: &S,
+        theta: &[f64],
+        data: &Dataset<F>,
+        tol: f64,
+    ) {
+        let (_, grad) = spec.objective(theta, data);
+        let mean = spec.grads(theta, data).mean_row();
+        for (g, m) in grad.iter().zip(&mean) {
+            assert!((g - m).abs() < tol, "grads mean mismatch: {g} vs {m}");
+        }
+    }
+}

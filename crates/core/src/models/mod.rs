@@ -1,0 +1,21 @@
+//! The model classes shipped with BlinkML.
+//!
+//! The paper supports four classes — linear regression, logistic
+//! regression, max-entropy (softmax) classification, and PPCA — and
+//! names Poisson regression as a supported GLM; all five are implemented
+//! here. The three single-output GLMs share the [`glm`] machinery; the
+//! max-entropy classifier generalizes it to per-class blocks; PPCA is a
+//! closed-form MLE with its own gradient structure.
+
+pub mod glm;
+pub mod linreg;
+pub mod logreg;
+pub mod maxent;
+pub mod poisson;
+pub mod ppca;
+
+pub use linreg::LinearRegressionSpec;
+pub use logreg::LogisticRegressionSpec;
+pub use maxent::MaxEntSpec;
+pub use poisson::PoissonRegressionSpec;
+pub use ppca::PpcaSpec;

@@ -1,0 +1,106 @@
+//! Poisson regression with the log link.
+//!
+//! Listed by the paper as a supported GLM (§1, §2.2) though not
+//! evaluated; included here for completeness of the model family.
+
+use crate::models::glm::{GlmFamily, GlmSpec};
+
+/// Clamp on the linear predictor so `exp` cannot overflow; rates beyond
+/// `e^{30}` are far outside any count-data regime.
+const MARGIN_CLAMP: f64 = 30.0;
+
+/// Poisson family with the log link:
+/// `ℓ(m, y) = eᵐ − y·m` (negative log-likelihood up to `log y!`).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonFamily;
+
+impl GlmFamily for PoissonFamily {
+    const NAME: &'static str = "poisson-regression";
+    const RMS_DIFF: bool = true;
+
+    #[inline]
+    fn loss(m: f64, y: f64) -> f64 {
+        let m = m.clamp(-MARGIN_CLAMP, MARGIN_CLAMP);
+        m.exp() - y * m
+    }
+
+    #[inline]
+    fn dloss(m: f64, y: f64) -> f64 {
+        m.clamp(-MARGIN_CLAMP, MARGIN_CLAMP).exp() - y
+    }
+
+    #[inline]
+    fn d2loss(m: f64, _y: f64) -> Option<f64> {
+        Some(m.clamp(-MARGIN_CLAMP, MARGIN_CLAMP).exp())
+    }
+
+    #[inline]
+    fn predict(m: f64) -> f64 {
+        m.clamp(-MARGIN_CLAMP, MARGIN_CLAMP).exp()
+    }
+
+    #[inline]
+    fn example_error(m: f64, y: f64) -> f64 {
+        let rate = Self::predict(m);
+        (rate - y) * (rate - y)
+    }
+}
+
+/// L2-regularized Poisson regression.
+pub type PoissonRegressionSpec = GlmSpec<PoissonFamily>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs::ModelClassSpec;
+    use crate::models::glm::test_support::{check_gradient, check_grads_mean};
+    use blinkml_data::generators::synthetic_poisson;
+    use blinkml_optim::OptimOptions;
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (data, _) = synthetic_poisson(300, 4, 1);
+        let spec = PoissonRegressionSpec::new(1e-3);
+        let theta = vec![0.1, -0.1, 0.2, 0.0];
+        check_gradient(&spec, &theta, &data, 1e-5);
+        check_grads_mean(&spec, &theta, &data, 1e-10);
+    }
+
+    #[test]
+    fn training_approaches_ground_truth() {
+        let (data, w) = synthetic_poisson(30_000, 4, 2);
+        let spec = PoissonRegressionSpec::new(1e-5);
+        let model = spec.train(&data, None, &OptimOptions::default()).unwrap();
+        assert!(model.converged);
+        for (t, wi) in model.parameters().iter().zip(&w) {
+            assert!((t - wi).abs() < 0.05, "{t} vs {wi}");
+        }
+    }
+
+    #[test]
+    fn loss_is_clamped_against_overflow() {
+        assert!(PoissonFamily::loss(1e6, 1.0).is_finite());
+        assert!(PoissonFamily::dloss(1e6, 1.0).is_finite());
+        assert!(PoissonFamily::predict(1e6).is_finite());
+    }
+
+    #[test]
+    fn predictions_are_rates() {
+        let spec = PoissonRegressionSpec::new(0.0);
+        let x = blinkml_data::DenseVec::new(vec![1.0, 0.0]);
+        let theta = vec![std::f64::consts::LN_2, 5.0];
+        let p = spec.predict(&theta, &x);
+        assert!((p - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_uses_rate_scale() {
+        let (data, _) = synthetic_poisson(1_000, 3, 3);
+        let spec = PoissonRegressionSpec::new(0.0);
+        let a = vec![0.0, 0.0, 0.0];
+        let v = spec.diff(&a, &a, &data);
+        assert_eq!(v, 0.0);
+        let b = vec![0.1, 0.0, 0.0];
+        assert!(spec.diff(&a, &b, &data) > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the core invariants: gradient consistency
+//! across model classes, the scaling law of the parameter sampler, and
+//! estimator monotonicity.
+
+use blinkml_core::accuracy::sampling_alpha;
+use blinkml_core::diff_engine::{draw_pool, DiffEngine};
+use blinkml_core::models::{LinearRegressionSpec, LogisticRegressionSpec, MaxEntSpec};
+use blinkml_core::stats::observed_fisher;
+use blinkml_core::ModelClassSpec;
+use blinkml_data::generators::{synthetic_linear, synthetic_logistic, synthetic_multiclass};
+use blinkml_optim::OptimOptions;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn logistic_gradient_consistency(seed in 0u64..500, beta in 0.0f64..0.1) {
+        // grads mean must equal the objective gradient at any θ.
+        let (data, _) = synthetic_logistic(150, 4, 2.0, seed);
+        let spec = LogisticRegressionSpec::new(beta);
+        let theta: Vec<f64> = (0..4).map(|i| ((seed + i) % 7) as f64 * 0.1 - 0.3).collect();
+        let (_, grad) = spec.objective(&theta, &data);
+        let mean = spec.grads(&theta, &data).mean_row();
+        for (g, m) in grad.iter().zip(&mean) {
+            prop_assert!((g - m).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn linear_gradient_consistency(seed in 0u64..500) {
+        let (data, _) = synthetic_linear(150, 3, 0.5, seed);
+        let spec = LinearRegressionSpec::new(1e-3);
+        let mut theta: Vec<f64> = (0..4).map(|i| (i as f64) * 0.2 - 0.3).collect();
+        theta[3] = -0.2; // ln σ²
+        let (_, grad) = spec.objective(&theta, &data);
+        let mean = spec.grads(&theta, &data).mean_row();
+        for (g, m) in grad.iter().zip(&mean) {
+            prop_assert!((g - m).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn maxent_gradient_consistency(seed in 0u64..500) {
+        let data = synthetic_multiclass(120, 3, 3, seed);
+        let spec = MaxEntSpec::new(1e-3, 3);
+        let theta: Vec<f64> = (0..9).map(|i| ((i * 5) % 11) as f64 * 0.05).collect();
+        let (_, grad) = spec.objective(&theta, &data);
+        let mean = spec.grads(&theta, &data).mean_row();
+        for (g, m) in grad.iter().zip(&mean) {
+            prop_assert!((g - m).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn alpha_is_monotone(n1 in 10usize..10_000, n2 in 10usize..10_000) {
+        let big_n = 20_000usize;
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        // Larger samples give smaller parameter-sampling variance.
+        prop_assert!(sampling_alpha(hi, big_n) <= sampling_alpha(lo, big_n));
+        prop_assert!(sampling_alpha(lo, big_n) >= 0.0);
+    }
+
+    #[test]
+    fn diff_engine_scaling_is_monotone_for_rms(seed in 0u64..100) {
+        // For RMS (regression) differences, scaling the perturbation up
+        // scales the difference exactly linearly.
+        let (holdout, _) = synthetic_linear(200, 3, 0.3, seed);
+        let spec = LinearRegressionSpec::new(0.0);
+        let base = vec![0.5, -0.5, 0.25, 0.0];
+        let pool = vec![vec![0.3, 0.2, -0.1, 0.05]];
+        let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        let v1 = engine.diff_one_stage(0, 0.5);
+        let v2 = engine.diff_one_stage(0, 1.0);
+        prop_assert!((v2 - 2.0 * v1).abs() < 1e-9, "linear scaling: {v1} vs {v2}");
+    }
+
+    #[test]
+    fn accuracy_estimate_decreases_with_n(seed in 0u64..20) {
+        let (data, _) = synthetic_logistic(3_000, 4, 2.0, seed);
+        let split = data.split(400, 0, seed + 1);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let sample = split.train.sample(500, seed + 2);
+        let model = spec.train(&sample, None, &OptimOptions::default()).unwrap();
+        let stats = observed_fisher(&spec, model.parameters(), &sample).unwrap();
+        let est = blinkml_core::ModelAccuracyEstimator::new(32);
+        let full_n = split.train.len();
+        let eps_200 = est.estimate(
+            &spec, model.parameters(), &stats, 200, full_n, &split.holdout, 0.05, seed + 3,
+        );
+        let eps_1500 = est.estimate(
+            &spec, model.parameters(), &stats, 1_500, full_n, &split.holdout, 0.05, seed + 3,
+        );
+        prop_assert!(eps_1500 <= eps_200, "{eps_1500} > {eps_200}");
+    }
+
+    #[test]
+    fn pool_draws_scale_with_factor(seed in 0u64..50) {
+        // Sampling-by-scaling: pools are reusable across n because the
+        // draw for sample size n is exactly √α · (unscaled draw).
+        let (data, _) = synthetic_linear(2_000, 3, 0.5, seed);
+        let spec = LinearRegressionSpec::new(1e-3);
+        let sample = data.sample(400, seed);
+        let model = spec.train(&sample, None, &OptimOptions::default()).unwrap();
+        let stats = observed_fisher(&spec, model.parameters(), &sample).unwrap();
+        let a = draw_pool(&stats, 4, seed + 10);
+        let b = draw_pool(&stats, 4, seed + 10);
+        prop_assert_eq!(a, b, "pools must be deterministic per seed");
+    }
+}

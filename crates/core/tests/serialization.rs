@@ -1,0 +1,69 @@
+//! Model serialization round-trips: a trained approximate model must be
+//! storable and reloadable with bit-identical parameters (the workflow
+//! of a user who plans with BlinkML and deploys the sampled model).
+
+use blinkml_core::models::{LinearRegressionSpec, LogisticRegressionSpec, PpcaSpec};
+use blinkml_core::{ModelClassSpec, TrainedModel};
+use blinkml_data::generators::{low_rank_gaussian, synthetic_linear, synthetic_logistic};
+use blinkml_data::DenseVec;
+use blinkml_optim::OptimOptions;
+
+fn roundtrip(model: &TrainedModel) -> TrainedModel {
+    let json = serde_json::to_string(model).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn logistic_model_roundtrips_bit_identically() {
+    let (data, _) = synthetic_logistic(2_000, 6, 2.0, 1);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let model = spec.train(&data, None, &OptimOptions::default()).unwrap();
+    let back = roundtrip(&model);
+    assert_eq!(model.parameters(), back.parameters());
+    assert_eq!(model.sample_size, back.sample_size);
+    assert_eq!(model.iterations, back.iterations);
+    assert_eq!(model.converged, back.converged);
+    assert_eq!(model.objective_value, back.objective_value);
+}
+
+#[test]
+fn reloaded_model_predicts_identically() {
+    let (data, _) = synthetic_linear(1_500, 4, 0.3, 2);
+    let spec = LinearRegressionSpec::new(1e-3);
+    let model = spec.train(&data, None, &OptimOptions::default()).unwrap();
+    let back = roundtrip(&model);
+    for e in data.iter().take(64) {
+        assert_eq!(
+            spec.predict(model.parameters(), &e.x),
+            spec.predict(back.parameters(), &e.x)
+        );
+    }
+}
+
+#[test]
+fn ppca_model_roundtrips() {
+    let data = low_rank_gaussian(1_000, 6, 2, 0.2, 3);
+    let spec = PpcaSpec::new(2);
+    let model = <PpcaSpec as ModelClassSpec<DenseVec>>::train(
+        &spec,
+        &data,
+        None,
+        &OptimOptions::default(),
+    )
+    .unwrap();
+    let back = roundtrip(&model);
+    assert_eq!(model.parameters(), back.parameters());
+}
+
+#[test]
+fn feature_vectors_serialize() {
+    use blinkml_data::{FeatureVec, SparseVec};
+    let sparse = SparseVec::new(10, vec![1, 4, 7], vec![0.5, -1.0, 2.0]);
+    let json = serde_json::to_string(&sparse).unwrap();
+    let back: SparseVec = serde_json::from_str(&json).unwrap();
+    assert_eq!(sparse, back);
+    let dense = DenseVec::new(vec![1.0, 2.0, 3.0]);
+    let json = serde_json::to_string(&dense).unwrap();
+    let back: DenseVec = serde_json::from_str(&json).unwrap();
+    assert_eq!(dense.to_dense(), back.to_dense());
+}

@@ -1,0 +1,333 @@
+//! Feature-vector abstraction: dense and sparse rows behind one trait.
+//!
+//! BlinkML's models only need two operations on a feature vector: an
+//! inner product with a parameter slice (predictions, margins) and a
+//! scaled accumulation into a gradient buffer. Keeping those behind a
+//! trait lets a single model implementation serve both the dense
+//! low-dimensional datasets (Gas, Power, HIGGS, MNIST) and the sparse
+//! high-dimensional ones (Criteo, Yelp), exactly as the paper's Python
+//! implementation switches between dense and scipy-sparse matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// A single feature row.
+pub trait FeatureVec: Clone + Send + Sync + 'static {
+    /// Whether this representation is sparse. Guides the layout of
+    /// per-example gradient matrices: sparse features produce sparse
+    /// gradient rows.
+    const IS_SPARSE: bool;
+
+    /// Dimension of the ambient feature space.
+    fn dim(&self) -> usize;
+
+    /// Number of stored (potentially nonzero) entries.
+    fn nnz(&self) -> usize;
+
+    /// Inner product with a parameter slice of length `dim()`.
+    fn dot(&self, w: &[f64]) -> f64;
+
+    /// `out += coef * x`, where `out` has length `dim()`.
+    fn add_scaled_into(&self, coef: f64, out: &mut [f64]);
+
+    /// Value of coordinate `i` (slow path for sparse vectors).
+    fn get(&self, i: usize) -> f64;
+
+    /// Materialize as a dense vector.
+    fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.add_scaled_into(1.0, &mut out);
+        out
+    }
+
+    /// Squared Euclidean norm.
+    fn norm_sq(&self) -> f64;
+
+    /// A scaled copy `coef · x` as a sparse vector, optionally embedded
+    /// into a larger space of dimension `out_dim` at index offset
+    /// `offset` (used for per-class blocks of multiclass gradients).
+    ///
+    /// # Panics
+    /// Panics when `offset + dim() > out_dim`.
+    fn scaled_sparse(&self, coef: f64, out_dim: usize, offset: usize) -> SparseVec;
+}
+
+/// Dense feature row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseVec(pub Vec<f64>);
+
+impl DenseVec {
+    /// Wrap a dense vector.
+    pub fn new(values: Vec<f64>) -> Self {
+        DenseVec(values)
+    }
+
+    /// Borrow the raw values.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl FeatureVec for DenseVec {
+    const IS_SPARSE: bool = false;
+
+    #[inline]
+    fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn dot(&self, w: &[f64]) -> f64 {
+        blinkml_linalg_dot(&self.0, w)
+    }
+
+    #[inline]
+    fn add_scaled_into(&self, coef: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.0.len());
+        for (o, &v) in out.iter_mut().zip(&self.0) {
+            *o += coef * v;
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    fn to_dense(&self) -> Vec<f64> {
+        self.0.clone()
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.0.iter().map(|v| v * v).sum()
+    }
+
+    fn scaled_sparse(&self, coef: f64, out_dim: usize, offset: usize) -> SparseVec {
+        assert!(offset + self.0.len() <= out_dim, "scaled_sparse out of range");
+        let indices: Vec<u32> = (0..self.0.len()).map(|i| (offset + i) as u32).collect();
+        let values: Vec<f64> = self.0.iter().map(|v| coef * v).collect();
+        SparseVec::new(out_dim, indices, values)
+    }
+}
+
+/// Four-way unrolled dot product (local copy to avoid a linalg dependency
+/// for one function; kept in sync with `blinkml_linalg::vector::dot`).
+#[inline]
+fn blinkml_linalg_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Sparse feature row: sorted `(index, value)` pairs plus the ambient
+/// dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Build from parallel index/value arrays.
+    ///
+    /// Indices must be strictly increasing and below `dim`.
+    ///
+    /// # Panics
+    /// Panics on unsorted/duplicate/out-of-range indices or mismatched
+    /// array lengths.
+    pub fn new(dim: usize, indices: Vec<u32>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), values.len(), "sparse: length mismatch");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "sparse: indices must be strictly increasing");
+        }
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dim, "sparse: index {last} out of range");
+        }
+        SparseVec {
+            dim,
+            indices,
+            values,
+        }
+    }
+
+    /// Build from possibly unsorted pairs, sorting and summing duplicates.
+    pub fn from_pairs(dim: usize, mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("nonempty") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        SparseVec::new(dim, indices, values)
+    }
+
+    /// The stored index array.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The stored value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FeatureVec for SparseVec {
+    const IS_SPARSE: bool = true;
+
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    #[inline]
+    fn dot(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.dim);
+        let mut s = 0.0;
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            s += v * w[i as usize];
+        }
+        s
+    }
+
+    #[inline]
+    fn add_scaled_into(&self, coef: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dim);
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] += coef * v;
+        }
+    }
+
+    fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.dim);
+        match self.indices.binary_search(&(i as u32)) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    fn scaled_sparse(&self, coef: f64, out_dim: usize, offset: usize) -> SparseVec {
+        assert!(offset + self.dim <= out_dim, "scaled_sparse out of range");
+        let indices: Vec<u32> = self.indices.iter().map(|&i| i + offset as u32).collect();
+        let values: Vec<f64> = self.values.iter().map(|v| coef * v).collect();
+        SparseVec::new(out_dim, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_example() -> SparseVec {
+        SparseVec::new(8, vec![1, 3, 6], vec![2.0, -1.0, 0.5])
+    }
+
+    #[test]
+    fn dense_dot_and_accumulate() {
+        let x = DenseVec::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(x.dot(&[1.0, 0.0, -1.0]), -2.0);
+        let mut out = vec![0.0; 3];
+        x.add_scaled_into(2.0, &mut out);
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+        assert_eq!(x.dim(), 3);
+        assert_eq!(x.nnz(), 3);
+        assert_eq!(x.get(1), 2.0);
+        assert_eq!(x.norm_sq(), 14.0);
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense() {
+        let s = sparse_example();
+        let d = DenseVec::new(s.to_dense());
+        let w: Vec<f64> = (0..8).map(|i| (i as f64) * 0.25 - 1.0).collect();
+        assert!((s.dot(&w) - d.dot(&w)).abs() < 1e-15);
+        assert_eq!(s.norm_sq(), d.norm_sq());
+    }
+
+    #[test]
+    fn sparse_accumulate_matches_dense() {
+        let s = sparse_example();
+        let d = DenseVec::new(s.to_dense());
+        let mut out_s = vec![1.0; 8];
+        let mut out_d = vec![1.0; 8];
+        s.add_scaled_into(-0.5, &mut out_s);
+        d.add_scaled_into(-0.5, &mut out_d);
+        assert_eq!(out_s, out_d);
+    }
+
+    #[test]
+    fn sparse_get_hits_and_misses() {
+        let s = sparse_example();
+        assert_eq!(s.get(1), 2.0);
+        assert_eq!(s.get(3), -1.0);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.get(7), 0.0);
+    }
+
+    #[test]
+    fn sparse_to_dense_layout() {
+        let s = sparse_example();
+        assert_eq!(
+            s.to_dense(),
+            vec![0.0, 2.0, 0.0, -1.0, 0.0, 0.0, 0.5, 0.0]
+        );
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let s = SparseVec::from_pairs(5, vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.values(), &[2.0, 1.5]);
+    }
+
+    #[test]
+    fn empty_sparse_vector() {
+        let s = SparseVec::new(4, vec![], vec![]);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.dot(&[1.0; 4]), 0.0);
+        assert_eq!(s.to_dense(), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn sparse_rejects_unsorted() {
+        SparseVec::new(4, vec![2, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sparse_rejects_out_of_range() {
+        SparseVec::new(4, vec![4], vec![1.0]);
+    }
+}

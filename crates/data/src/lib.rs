@@ -1,0 +1,31 @@
+//! Dataset substrate for BlinkML.
+//!
+//! The paper evaluates on six real datasets (Gas, Power, Criteo, HIGGS,
+//! MNIST, Yelp) hosted on a Spark cluster. This crate provides the
+//! equivalent substrate for the reproduction:
+//!
+//! * [`features`] — the [`FeatureVec`] abstraction with dense
+//!   ([`DenseVec`]) and sparse ([`SparseVec`]) implementations, so one
+//!   model implementation serves both the 28-feature HIGGS regime and the
+//!   100K-feature Criteo regime,
+//! * [`dataset`] — in-memory labelled datasets with deterministic
+//!   uniform sampling and train/holdout/test splits (the paper's sampling
+//!   abstraction),
+//! * [`generators`] — deterministic synthetic generators mirroring each
+//!   of the paper's datasets (see DESIGN.md §3 for the substitution
+//!   rationale),
+//! * [`io`] — LIBSVM and CSV loaders for users with the real datasets,
+//! * [`parallel`] — a deterministic scoped-thread chunk map used for the
+//!   embarrassingly parallel hot loops (per-example gradients, holdout
+//!   predictions); the single-machine substitute for the paper's Spark
+//!   executors.
+
+pub mod dataset;
+pub mod features;
+pub mod generators;
+pub mod io;
+pub mod parallel;
+
+pub use dataset::{Dataset, Example, Split};
+pub use features::{DenseVec, FeatureVec, SparseVec};
+pub use parallel::par_ranges;

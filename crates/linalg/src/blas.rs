@@ -1,0 +1,256 @@
+//! Level-2/3 kernels: matrix-vector and matrix-matrix products.
+
+use crate::matrix::Matrix;
+use crate::vector::dot;
+use crate::{LinalgError, Result};
+
+/// `y = A x` (allocating). `A: m x n`, `x: n`, returns `m`.
+pub fn gemv(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
+    if a.cols() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemv",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![0.0; a.rows()];
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi = dot(a.row(i), x);
+    }
+    Ok(y)
+}
+
+/// `y = Aᵀ x` without forming the transpose. `A: m x n`, `x: m`, returns `n`.
+pub fn gemv_t(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemv_t",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![0.0; a.cols()];
+    // Accumulate row-by-row so A is read contiguously.
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = a.row(i);
+        for (yj, &aij) in y.iter_mut().zip(row) {
+            *yj += xi * aij;
+        }
+    }
+    Ok(y)
+}
+
+/// `C = A B`. Uses the cache-friendly i-k-j loop order.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        // Split borrow: write into C's row i while reading B's rows.
+        let crow = c.row_mut(i);
+        for (p, &aip) in arow.iter().enumerate().take(k) {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (cij, &bpj) in crow.iter_mut().zip(brow).take(n) {
+                *cij += aip * bpj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = Aᵀ B` without forming `Aᵀ`.
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm_tn",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for p in 0..k {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for (i, &api) in arow.iter().enumerate().take(m) {
+            if api == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for (cij, &bpj) in crow.iter_mut().zip(brow).take(n) {
+                *cij += api * bpj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A Bᵀ` without forming `Bᵀ`.
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm_nt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, n) = (a.rows(), b.rows());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cij) in crow.iter_mut().enumerate().take(n) {
+            *cij = dot(arow, b.row(j));
+        }
+    }
+    Ok(c)
+}
+
+/// Symmetric rank-k update `C = Aᵀ A` (`A: n x d`, `C: d x d`).
+///
+/// Only the upper triangle is computed and then mirrored; this is the
+/// kernel behind Gram/covariance matrices (`J = Q'ᵀQ'`).
+pub fn syrk_t(a: &Matrix) -> Matrix {
+    let d = a.cols();
+    let mut c = Matrix::zeros(d, d);
+    for p in 0..a.rows() {
+        let row = a.row(p);
+        for i in 0..d {
+            let ri = row[i];
+            if ri == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for (j, &rj) in row.iter().enumerate().skip(i) {
+                crow[j] += ri * rj;
+            }
+        }
+    }
+    // Mirror upper to lower.
+    for i in 0..d {
+        for j in (i + 1)..d {
+            c[(j, i)] = c[(i, j)];
+        }
+    }
+    c
+}
+
+/// Symmetric Gram matrix of rows, `G = A Aᵀ` (`A: n x d`, `G: n x n`).
+pub fn syrk_n(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut g = Matrix::zeros(n, n);
+    for i in 0..n {
+        let ri = a.row(i);
+        for j in i..n {
+            let v = dot(ri, a.row(j));
+            g[(i, j)] = v;
+            g[(j, i)] = v;
+        }
+    }
+    g
+}
+
+/// Rank-one update `A += alpha * x yᵀ`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+    assert_eq!(a.rows(), x.len(), "ger: row mismatch");
+    assert_eq!(a.cols(), y.len(), "ger: col mismatch");
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let coeff = alpha * xi;
+        let row = a.row_mut(i);
+        for (aij, &yj) in row.iter_mut().zip(y) {
+            *aij += coeff * yj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Matrix, Matrix) {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        (a, b)
+    }
+
+    #[test]
+    fn gemv_matches_hand_computation() {
+        let (a, _) = small();
+        let y = gemv(&a, &[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose() {
+        let (a, _) = small();
+        let x = [1.0, -2.0];
+        let direct = gemv(&a.transpose(), &x).unwrap();
+        let fused = gemv_t(&a, &x).unwrap();
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn gemm_known_product() {
+        let (a, b) = small();
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_tn_nt_match_explicit_transpose() {
+        let (a, b) = small();
+        let tn = gemm_tn(&a, &a).unwrap();
+        let explicit = gemm(&a.transpose(), &a).unwrap();
+        assert!(tn.max_abs_diff(&explicit) < 1e-12);
+
+        let nt = gemm_nt(&a, &b.transpose()).unwrap();
+        let explicit2 = gemm(&a, &b).unwrap();
+        assert!(nt.max_abs_diff(&explicit2) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let (a, _) = small();
+        let c = syrk_t(&a);
+        let explicit = gemm(&a.transpose(), &a).unwrap();
+        assert!(c.max_abs_diff(&explicit) < 1e-12);
+
+        let g = syrk_n(&a);
+        let explicit_g = gemm(&a, &a.transpose()).unwrap();
+        assert!(g.max_abs_diff(&explicit_g) < 1e-12);
+    }
+
+    #[test]
+    fn ger_rank_one() {
+        let mut a = Matrix::zeros(2, 3);
+        ger(2.0, &[1.0, -1.0], &[1.0, 2.0, 3.0], &mut a);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0, -2.0, -4.0, -6.0]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let (a, b) = small();
+        assert!(gemv(&a, &[1.0]).is_err());
+        assert!(gemv_t(&a, &[1.0]).is_err());
+        assert!(gemm(&a, &a).is_err());
+        assert!(gemm_tn(&a, &b).is_err());
+        assert!(gemm_nt(&a, &a.transpose()).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// Used for solving SPD systems (`H x = g` in ClosedForm statistics) and
+/// as the generic covariance-factor fallback of the multivariate normal
+/// sampler when no structured factor is available.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A x = b` via two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Backward substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Apply the factor: `y = L x`. This is what maps standard-normal draws
+    /// to draws with covariance `A`.
+    pub fn apply_factor(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky apply_factor",
+                lhs: (n, n),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = 0.0;
+            for k in 0..=i {
+                s += self.l[(i, k)] * x[k];
+            }
+            y[i] = s;
+        }
+        Ok(y)
+    }
+
+    /// Inverse of the factored matrix (dense; `O(n³)`).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// `log(det(A)) = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, gemm_nt};
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // A = B Bᵀ + n*I is SPD for any B.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = gemm_nt(&b, &b).unwrap();
+        a.add_diag(n as f64);
+        a
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        let a = spd(6, 42);
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = gemm_nt(ch.factor(), ch.factor()).unwrap();
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_residual_small() {
+        let a = spd(8, 7);
+        let ch = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let x = ch.solve(&b).unwrap();
+        let ax = crate::blas::gemv(&a, &x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9, "residual too large");
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let a = spd(5, 99);
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = gemm(&a, &inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(5)) < 1e-9);
+    }
+
+    #[test]
+    fn apply_factor_matches_gemv() {
+        let a = spd(5, 3);
+        let ch = Cholesky::new(&a).unwrap();
+        let x = [1.0, -2.0, 0.5, 3.0, 0.0];
+        let direct = crate::blas::gemv(ch.factor(), &x).unwrap();
+        let fast = ch.apply_factor(&x).unwrap();
+        for (l, r) in direct.iter().zip(&fast) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - (24.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_bad_length() {
+        let a = spd(3, 1);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+        assert!(ch.apply_factor(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! Symmetric eigendecomposition.
+//!
+//! Householder tridiagonalization followed by the implicit-shift QL
+//! iteration (the classic EISPACK `tred2` / `tql2` pair). This is the
+//! workhorse behind BlinkML's `ObservedFisher` statistics method: the
+//! factored covariance `J = U Σ² Uᵀ` is an eigendecomposition of either
+//! the `d x d` second-moment matrix or the `n x n` Gram matrix, whichever
+//! is smaller.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Maximum QL iterations per eigenvalue before giving up.
+const MAX_QL_ITERATIONS: usize = 50;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a real symmetric matrix.
+///
+/// Eigenvalues are sorted in **descending** order; column `k` of
+/// [`SymmetricEigen::eigenvectors`] is the unit eigenvector for
+/// `eigenvalues[k]`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as columns.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Decompose a symmetric matrix. Only symmetry up to round-off is
+    /// assumed; the strictly lower triangle is read as the mirror of the
+    /// upper one by virtue of the algorithm reading the full matrix after
+    /// an internal symmetrization-free copy.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Ok(SymmetricEigen {
+                eigenvalues: Vec::new(),
+                eigenvectors: Matrix::zeros(0, 0),
+            });
+        }
+        let mut z = a.clone();
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        tred2(&mut z, &mut d, &mut e);
+        tql2(&mut z, &mut d, &mut e)?;
+
+        // Sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("eigenvalue NaN"));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (newcol, &oldcol) in order.iter().enumerate() {
+            for r in 0..n {
+                eigenvectors[(r, newcol)] = z[(r, oldcol)];
+            }
+        }
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Reconstruct `V diag(λ) Vᵀ` (testing / debugging utility).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..n {
+            let lam = self.eigenvalues[k];
+            if lam == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let vik = self.eigenvectors[(i, k)];
+                if vik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += lam * vik * self.eigenvectors[(j, k)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of eigenvalues exceeding `tol * max(|λ|)` — the numerical
+    /// rank of a PSD matrix.
+    pub fn rank(&self, tol: f64) -> usize {
+        let lmax = self
+            .eigenvalues
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        if lmax == 0.0 {
+            return 0;
+        }
+        self.eigenvalues
+            .iter()
+            .filter(|&&v| v.abs() > tol * lmax)
+            .count()
+    }
+}
+
+/// Householder reduction of `z` to tridiagonal form.
+///
+/// On exit `d` holds the diagonal, `e[1..]` the subdiagonal, and `z` the
+/// accumulated orthogonal transformation (EISPACK `tred2`).
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                let mut f_acc = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g_acc = 0.0;
+                    for k in 0..=j {
+                        g_acc += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g_acc += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g_acc / h;
+                    f_acc += e[j] * z[(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let upd = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    // Accumulate the orthogonal transformation.
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let zki = z[(k, i)];
+                    z[(k, j)] -= g * zki;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix with
+/// eigenvector accumulation (EISPACK `tql2`).
+fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find the first small off-diagonal element at or after l.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERATIONS {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "tql2",
+                    max_iterations: MAX_QL_ITERATIONS,
+                });
+            }
+            // Wilkinson-style shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            let mut i = m - 1;
+            loop {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Negligible rotation: deflate and restart this l.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let f2 = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f2;
+                    z[(k, i)] = c * z[(k, i)] - s * f2;
+                }
+                if i == l {
+                    break;
+                }
+                i -= 1;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm_nt, gemm_tn};
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = gemm_nt(&b, &b).unwrap();
+        // Shift to mix positive/negative spectrum.
+        a.add_diag(-(n as f64) * 0.25);
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = eig.eigenvectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v0[0] - v0[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_random() {
+        for seed in [1u64, 2, 3] {
+            let a = random_symmetric(12, seed);
+            let eig = SymmetricEigen::new(&a).unwrap();
+            let rec = eig.reconstruct();
+            assert!(
+                rec.max_abs_diff(&a) < 1e-9,
+                "seed {seed}: reconstruction error {}",
+                rec.max_abs_diff(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(10, 5);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let vtv = gemm_tn(&eig.eigenvectors, &eig.eigenvectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(10)) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_descending() {
+        let a = random_symmetric(15, 8);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(9, 13);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_of_low_rank_matrix() {
+        // Rank-2 PSD matrix in 5 dimensions (columns 1, i, which are
+        // linearly independent).
+        let u = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { i as f64 });
+        let a = gemm_nt(&u, &u).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn handles_identity_and_zero() {
+        let eig = SymmetricEigen::new(&Matrix::identity(4)).unwrap();
+        for v in &eig.eigenvalues {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+        let eig0 = SymmetricEigen::new(&Matrix::zeros(3, 3)).unwrap();
+        for v in &eig0.eigenvalues {
+            assert!(v.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn handles_1x1_and_empty() {
+        let eig = SymmetricEigen::new(&Matrix::from_vec(1, 1, vec![7.0])).unwrap();
+        assert_eq!(eig.eigenvalues, vec![7.0]);
+        let eig0 = SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap();
+        assert!(eig0.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn clustered_eigenvalues_converge() {
+        // Nearly repeated eigenvalues are the classic stress test for QL.
+        let mut a = Matrix::identity(8);
+        a[(0, 1)] = 1e-8;
+        a[(1, 0)] = 1e-8;
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let rec = eig.reconstruct();
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense linear algebra substrate for BlinkML.
+//!
+//! This crate implements, from scratch, every matrix primitive the BlinkML
+//! reproduction needs:
+//!
+//! * a row-major [`Matrix`] type plus BLAS-level-1/2/3 kernels ([`blas`]),
+//! * Cholesky ([`cholesky`]), LU with partial pivoting ([`lu`]) and
+//!   Householder QR ([`qr`]) factorizations,
+//! * a symmetric eigensolver ([`eigen`]) based on Householder
+//!   tridiagonalization followed by the implicit-shift QL iteration,
+//! * a thin SVD ([`svd`]) built on the symmetric eigensolver via the Gram
+//!   matrix of the smaller side, which is exactly the factored form
+//!   BlinkML's `ObservedFisher` statistics method requires.
+//!
+//! Everything operates on `f64`. The implementations favour clarity and
+//! numerical robustness over micro-optimization, but the hot kernels
+//! (`gemm`, `syrk`, `gemv`) use cache-friendly loop orders so the
+//! experiment harness runs at realistic speeds.
+
+pub mod blas;
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use svd::ThinSvd;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,236 @@
+//! LU factorization with partial pivoting.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// Used wherever a general (not necessarily SPD) square system must be
+/// solved — e.g. inverting the numerically estimated Hessian in the
+/// `InverseGradients` statistics method, or `C⁻¹` in the PPCA gradient.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part of `L` (unit diagonal implied)
+    /// and upper part `U` share one matrix.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factor a square matrix. Fails on singular matrices.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut maxval = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > maxval {
+                    maxval = v;
+                    p = i;
+                }
+            }
+            if maxval == 0.0 || !maxval.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                // Swap rows k and p.
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation: y = P b.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Dense inverse (`O(n³)`).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Solve `A X = B` column-by-column for a matrix right-hand side.
+pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_matrix",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let lu = Lu::new(a)?;
+    let mut x = Matrix::zeros(b.rows(), b.cols());
+    for j in 0..b.cols() {
+        let col = b.col(j);
+        let sol = lu.solve(&col)?;
+        for i in 0..b.rows() {
+            x[(i, j)] = sol[i];
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, gemv};
+
+    fn random_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        Matrix::from_fn(n, n, |_, _| next())
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = random_matrix(7, 5);
+        let x_true: Vec<f64> = (0..7).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let b = gemv(&a, &x_true).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (l, r) in x.iter().zip(&x_true) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = random_matrix(6, 11);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = gemm(&a, &inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(6)) < 1e-9);
+    }
+
+    #[test]
+    fn det_of_triangular() {
+        let a = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 0.0, 3.0, 5.0, 0.0, 0.0, 4.0]);
+        let det = Lu::new(&a).unwrap().det();
+        assert!((det - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_with_pivoting() {
+        // Requires a row swap; determinant is -1.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let det = Lu::new(&a).unwrap().det();
+        assert!((det + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_solves_all_columns() {
+        let a = random_matrix(5, 17);
+        let x_true = random_matrix(5, 18);
+        let b = gemm(&a, &x_true).unwrap();
+        let x = solve_matrix(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_vec(3, 3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = vec![1.0, 2.0, 3.0];
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        let back = gemv(&a, &x).unwrap();
+        for (l, r) in back.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Thin QR factorization `A = Q R` of an `m x n` matrix with `m >= n`,
+/// computed with Householder reflections.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factors: the upper triangle holds `R` (except its diagonal);
+    /// the lower trapezoid holds the Householder vectors.
+    qr: Matrix,
+    /// Diagonal of `R`.
+    rdiag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factor an `m x n` matrix with `m >= n`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (requires m >= n)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut rdiag = vec![0.0; n];
+        for k in 0..n {
+            // Norm of the k-th column below (and including) row k.
+            let mut nrm = 0.0f64;
+            for i in k..m {
+                nrm = nrm.hypot(qr[(i, k)]);
+            }
+            if nrm == 0.0 {
+                rdiag[k] = 0.0;
+                continue;
+            }
+            if qr[(k, k)] < 0.0 {
+                nrm = -nrm;
+            }
+            for i in k..m {
+                qr[(i, k)] /= nrm;
+            }
+            qr[(k, k)] += 1.0;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s = -s / qr[(k, k)];
+                for i in k..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] += s * vik;
+                }
+            }
+            rdiag[k] = -nrm;
+        }
+        Ok(Qr { qr, rdiag })
+    }
+
+    /// True if `R` has no (numerically) zero diagonal entries.
+    pub fn is_full_rank(&self) -> bool {
+        self.rdiag.iter().all(|&d| d.abs() > f64::EPSILON)
+    }
+
+    /// The `n x n` upper-triangular factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            r[(i, i)] = self.rdiag[i];
+            for j in (i + 1)..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// The thin orthogonal factor `Q` (`m x n`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for k in (0..n).rev() {
+            q[(k, k)] = 1.0;
+            if self.qr[(k, k)] == 0.0 {
+                continue;
+            }
+            for j in k..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += self.qr[(i, k)] * q[(i, j)];
+                }
+                s = -s / self.qr[(k, k)];
+                for i in k..m {
+                    let vik = self.qr[(i, k)];
+                    q[(i, j)] += s * vik;
+                }
+            }
+        }
+        q
+    }
+
+    /// Least-squares solve: minimize `||A x - b||₂`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        if !self.is_full_rank() {
+            return Err(LinalgError::Singular { pivot: 0 });
+        }
+        let mut y = b.to_vec();
+        // Apply Qᵀ to b.
+        for k in 0..n {
+            if self.qr[(k, k)] == 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s = -s / self.qr[(k, k)];
+            for i in k..m {
+                y[i] += s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = (Qᵀ b)[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / self.rdiag[i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, gemm_tn, gemv};
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        Matrix::from_fn(m, n, |_, _| next())
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = random_matrix(8, 5, 21);
+        let qr = Qr::new(&a).unwrap();
+        let rec = gemm(&qr.q(), &qr.r()).unwrap();
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = random_matrix(10, 4, 33);
+        let q = Qr::new(&a).unwrap().q();
+        let qtq = gemm_tn(&q, &q).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(4)) < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_matrix(6, 6, 9);
+        let r = Qr::new(&a).unwrap().r();
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        let a = random_matrix(9, 4, 77);
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let b = gemv(&a, &x_true).unwrap();
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        for (l, r) in x.iter().zip(&x_true) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        // For an overdetermined inconsistent system, Aᵀ(Ax − b) must vanish.
+        let a = random_matrix(12, 3, 101);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).cos()).collect();
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let ax = gemv(&a, &x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(l, r)| l - r).collect();
+        let at_resid = crate::blas::gemv_t(&a, &resid).unwrap();
+        for v in at_resid {
+            assert!(v.abs() < 1e-10, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_wide_matrices_and_rank_deficiency() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        // Two identical columns: rank deficient.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

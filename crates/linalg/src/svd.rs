@@ -1,0 +1,197 @@
+//! Thin singular value decomposition.
+//!
+//! The SVD is computed through the symmetric eigendecomposition of the
+//! Gram matrix of the *smaller* side — `AᵀA` when the matrix is tall,
+//! `AAᵀ` when it is wide — which is exactly the trick BlinkML's
+//! `ObservedFisher` uses to factor the gradient covariance at
+//! `O(min(n²d, nd²))` cost (paper §3.4). Squaring halves the attainable
+//! relative accuracy of *small* singular values, which is immaterial
+//! here: the downstream quantity is the covariance spectrum, i.e. the
+//! squared singular values themselves.
+
+use crate::blas::{gemm, syrk_n, syrk_t};
+use crate::eigen::SymmetricEigen;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Relative cutoff under which singular values are treated as zero.
+const RANK_TOLERANCE: f64 = 1e-12;
+
+/// Thin SVD `A = U diag(s) Vᵀ` truncated to the numerical rank `r`.
+#[derive(Debug, Clone)]
+pub struct ThinSvd {
+    /// Left singular vectors (`m x r`).
+    pub u: Matrix,
+    /// Singular values, descending (`r`).
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n x r`).
+    pub v: Matrix,
+}
+
+impl ThinSvd {
+    /// Compute the thin SVD of an arbitrary `m x n` matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Ok(ThinSvd {
+                u: Matrix::zeros(m, 0),
+                s: Vec::new(),
+                v: Matrix::zeros(n, 0),
+            });
+        }
+        if n <= m {
+            // Tall: eigendecompose AᵀA = V Λ Vᵀ.
+            let gram = syrk_t(a);
+            let eig = SymmetricEigen::new(&gram)?;
+            let (s, v) = truncate(&eig);
+            // U = A V Σ⁻¹, column by column.
+            let av = gemm(a, &v)?;
+            let mut u = av;
+            for (k, &sk) in s.iter().enumerate() {
+                for i in 0..m {
+                    u[(i, k)] /= sk;
+                }
+            }
+            Ok(ThinSvd { u, s, v })
+        } else {
+            // Wide: eigendecompose AAᵀ = U Λ Uᵀ.
+            let gram = syrk_n(a);
+            let eig = SymmetricEigen::new(&gram)?;
+            let (s, u) = truncate(&eig);
+            // V = Aᵀ U Σ⁻¹.
+            let atu = gemm(&a.transpose(), &u)?;
+            let mut v = atu;
+            for (k, &sk) in s.iter().enumerate() {
+                for i in 0..n {
+                    v[(i, k)] /= sk;
+                }
+            }
+            Ok(ThinSvd { u, s, v })
+        }
+    }
+
+    /// Numerical rank (number of retained singular values).
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Reconstruct `U diag(s) Vᵀ` (testing utility).
+    pub fn reconstruct(&self) -> Matrix {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for k in 0..self.rank() {
+            let sk = self.s[k];
+            for i in 0..m {
+                let coeff = sk * self.u[(i, k)];
+                if coeff == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += coeff * self.v[(j, k)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Keep eigenpairs whose eigenvalue exceeds the rank tolerance, returning
+/// `(sqrt(λ), vectors)`.
+fn truncate(eig: &SymmetricEigen) -> (Vec<f64>, Matrix) {
+    let lmax = eig.eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
+    let cutoff = lmax * RANK_TOLERANCE;
+    let r = eig
+        .eigenvalues
+        .iter()
+        .take_while(|&&l| l > cutoff && l > 0.0)
+        .count();
+    let s: Vec<f64> = eig.eigenvalues[..r].iter().map(|&l| l.sqrt()).collect();
+    let n = eig.dim();
+    let mut vecs = Matrix::zeros(n, r);
+    for k in 0..r {
+        for i in 0..n {
+            vecs[(i, k)] = eig.eigenvectors[(i, k)];
+        }
+    }
+    (s, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemm_tn;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        Matrix::from_fn(m, n, |_, _| next())
+    }
+
+    #[test]
+    fn reconstructs_tall() {
+        let a = random_matrix(10, 4, 3);
+        let svd = ThinSvd::new(&a).unwrap();
+        assert_eq!(svd.rank(), 4);
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn reconstructs_wide() {
+        let a = random_matrix(4, 10, 5);
+        let svd = ThinSvd::new(&a).unwrap();
+        assert_eq!(svd.rank(), 4);
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn singular_values_descending_and_nonnegative() {
+        let a = random_matrix(8, 8, 11);
+        let svd = ThinSvd::new(&a).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.s.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let a = random_matrix(9, 5, 23);
+        let svd = ThinSvd::new(&a).unwrap();
+        let utu = gemm_tn(&svd.u, &svd.u).unwrap();
+        let vtv = gemm_tn(&svd.v, &svd.v).unwrap();
+        assert!(utu.max_abs_diff(&Matrix::identity(5)) < 1e-9);
+        assert!(vtv.max_abs_diff(&Matrix::identity(5)) < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_is_truncated() {
+        // Rank-2 matrix: outer product structure.
+        let b = random_matrix(7, 2, 31);
+        let c = random_matrix(2, 6, 32);
+        let a = gemm(&b, &c).unwrap();
+        let svd = ThinSvd::new(&a).unwrap();
+        assert_eq!(svd.rank(), 2);
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn known_diagonal_singular_values() {
+        let a = Matrix::from_diag(&[3.0, -2.0, 1.0]);
+        let svd = ThinSvd::new(&a).unwrap();
+        assert!((svd.s[0] - 3.0).abs() < 1e-10);
+        assert!((svd.s[1] - 2.0).abs() < 1e-10);
+        assert!((svd.s[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let svd = ThinSvd::new(&Matrix::zeros(0, 3)).unwrap();
+        assert_eq!(svd.rank(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the linear algebra substrate.
+
+use blinkml_linalg::blas::{gemm, gemm_nt, gemm_tn, gemv, gemv_t, syrk_t};
+use blinkml_linalg::{Cholesky, Lu, Matrix, Qr, SymmetricEigen, ThinSvd};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with entries in [-5, 5].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a well-conditioned SPD matrix `B Bᵀ + n·I`.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(move |b| {
+        let mut a = gemm_nt(&b, &b).unwrap();
+        a.add_diag(n as f64 + 1.0);
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(4, 3), b in matrix(3, 5), c in matrix(5, 2)) {
+        let left = gemm(&gemm(&a, &b).unwrap(), &c).unwrap();
+        let right = gemm(&a, &gemm(&b, &c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_product_rule(a in matrix(4, 3), b in matrix(3, 5)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = gemm(&a, &b).unwrap().transpose();
+        let rhs = gemm(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+    }
+
+    #[test]
+    fn fused_kernels_match_explicit(a in matrix(5, 3), b in matrix(5, 4), c in matrix(6, 3)) {
+        let tn = gemm_tn(&a, &b).unwrap();
+        let explicit = gemm(&a.transpose(), &b).unwrap();
+        prop_assert!(tn.max_abs_diff(&explicit) < 1e-10);
+
+        let nt = gemm_nt(&a, &c).unwrap();
+        let explicit2 = gemm(&a, &c.transpose()).unwrap();
+        prop_assert!(nt.max_abs_diff(&explicit2) < 1e-10);
+
+        let gram = syrk_t(&a);
+        let explicit3 = gemm(&a.transpose(), &a).unwrap();
+        prop_assert!(gram.max_abs_diff(&explicit3) < 1e-10);
+    }
+
+    #[test]
+    fn gemv_t_consistent(a in matrix(6, 4), x in proptest::collection::vec(-3.0f64..3.0, 6)) {
+        let fused = gemv_t(&a, &x).unwrap();
+        let explicit = gemv(&a.transpose(), &x).unwrap();
+        for (l, r) in fused.iter().zip(&explicit) {
+            prop_assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_roundtrip(a in spd(5)) {
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = gemm_nt(ch.factor(), ch.factor()).unwrap();
+        prop_assert!(rec.max_abs_diff(&a) / a.max_abs().max(1.0) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solve_residual(a in spd(5), b in proptest::collection::vec(-3.0f64..3.0, 5)) {
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let ax = gemv(&a, &x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn lu_solve_residual(a in spd(4), b in proptest::collection::vec(-3.0f64..3.0, 4)) {
+        // SPD matrices are certainly nonsingular; LU must solve them too.
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        let ax = gemv(&a, &x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn lu_det_matches_eigen_product(a in spd(4)) {
+        let det = Lu::new(&a).unwrap().det();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let prod: f64 = eig.eigenvalues.iter().product();
+        prop_assert!((det - prod).abs() / prod.abs().max(1.0) < 1e-8);
+    }
+
+    #[test]
+    fn qr_reconstruction_and_orthogonality(a in matrix(7, 4)) {
+        let qr = Qr::new(&a).unwrap();
+        let rec = gemm(&qr.q(), &qr.r()).unwrap();
+        prop_assert!(rec.max_abs_diff(&a) < 1e-9);
+        let qtq = gemm_tn(&qr.q(), &qr.q()).unwrap();
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(4)) < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstruction(a0 in matrix(6, 6)) {
+        // Symmetrize an arbitrary matrix, then verify the decomposition.
+        let mut a = a0.clone();
+        a.add_scaled(1.0, &a0.transpose());
+        a.scale(0.5);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        prop_assert!(eig.reconstruct().max_abs_diff(&a) < 1e-8);
+        // Eigenvalues sorted descending.
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn spd_eigenvalues_nonnegative(a in spd(5)) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for &l in &eig.eigenvalues {
+            prop_assert!(l > 0.0);
+        }
+    }
+
+    #[test]
+    fn svd_reconstruction(a in matrix(6, 4)) {
+        let svd = ThinSvd::new(&a).unwrap();
+        prop_assert!(svd.reconstruct().max_abs_diff(&a) < 1e-7);
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in matrix(5, 7)) {
+        // ||A||_F² = Σ sᵢ².
+        let svd = ThinSvd::new(&a).unwrap();
+        let fro2 = a.frobenius_norm().powi(2);
+        let ssum: f64 = svd.s.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - ssum).abs() / fro2.max(1.0) < 1e-9);
+    }
+}

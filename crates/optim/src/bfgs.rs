@@ -1,0 +1,241 @@
+//! Full-memory BFGS.
+//!
+//! Maintains a dense `d x d` inverse-Hessian estimate, so it is the right
+//! choice only for low-dimensional problems; BlinkML uses it for
+//! `d < 100` (paper §5.1) and switches to [`crate::lbfgs::Lbfgs`] above.
+
+use crate::linesearch::{strong_wolfe, WolfeParams};
+use crate::problem::Objective;
+use crate::result::{OptimError, OptimOptions, OptimResult};
+use blinkml_linalg::blas::{gemv, ger};
+use blinkml_linalg::vector::{dot, norm_inf};
+use blinkml_linalg::Matrix;
+
+/// BFGS solver.
+#[derive(Debug, Clone)]
+pub struct Bfgs {
+    options: OptimOptions,
+    wolfe: WolfeParams,
+}
+
+impl Bfgs {
+    /// Solver with the given options and default Wolfe parameters.
+    pub fn new(options: OptimOptions) -> Self {
+        Bfgs {
+            options,
+            wolfe: WolfeParams::default(),
+        }
+    }
+
+    /// Override the line-search parameters.
+    pub fn with_wolfe(mut self, wolfe: WolfeParams) -> Self {
+        self.wolfe = wolfe;
+        self
+    }
+
+    /// Minimize `objective` from `theta0`.
+    pub fn minimize(
+        &self,
+        objective: &dyn Objective,
+        theta0: &[f64],
+    ) -> Result<OptimResult, OptimError> {
+        let d = objective.dim();
+        if theta0.len() != d {
+            return Err(OptimError::DimensionMismatch {
+                expected: d,
+                got: theta0.len(),
+            });
+        }
+        let mut theta = theta0.to_vec();
+        let (mut value, mut grad) = objective.value_grad(&theta);
+        if !value.is_finite() {
+            return Err(OptimError::NonFiniteObjective);
+        }
+        let mut function_evals = 1usize;
+        let mut h = Matrix::identity(d);
+        let mut first_update_done = false;
+
+        for iteration in 0..self.options.max_iterations {
+            let gnorm = norm_inf(&grad);
+            if gnorm <= self.options.gradient_tolerance {
+                return Ok(OptimResult {
+                    theta,
+                    value,
+                    gradient_norm: gnorm,
+                    iterations: iteration,
+                    function_evals,
+                    converged: true,
+                });
+            }
+            // Search direction p = −H g.
+            let mut direction = gemv(&h, &grad).expect("H/g dims");
+            for p in &mut direction {
+                *p = -*p;
+            }
+            let Some(ls) = strong_wolfe(objective, &theta, value, &grad, &direction, &self.wolfe)
+            else {
+                // Near the minimum, objective decreases can underflow f64
+                // resolution and no step passes the Wolfe tests. With a
+                // gradient at round-off scale this is convergence, not
+                // failure (scipy reports the same as "precision loss").
+                if gnorm <= 4.0 * f64::EPSILON.sqrt() * (1.0 + value.abs()) {
+                    return Ok(OptimResult {
+                        theta,
+                        value,
+                        gradient_norm: gnorm,
+                        iterations: iteration,
+                        function_evals,
+                        converged: true,
+                    });
+                }
+                return Err(OptimError::LineSearchFailed { iteration });
+            };
+            function_evals += ls.evals;
+
+            let s: Vec<f64> = direction.iter().map(|p| ls.alpha * p).collect();
+            let y: Vec<f64> = ls
+                .gradient
+                .iter()
+                .zip(&grad)
+                .map(|(gn, go)| gn - go)
+                .collect();
+            let prev_value = value;
+            for (t, si) in theta.iter_mut().zip(&s) {
+                *t += si;
+            }
+            value = ls.value;
+            grad = ls.gradient;
+
+            let sy = dot(&s, &y);
+            let yy = dot(&y, &y);
+            if sy > 1e-10 * yy.sqrt().max(1.0) {
+                if !first_update_done {
+                    // Scale the initial identity to the secant curvature
+                    // (Nocedal & Wright eq. 6.20) before the first update.
+                    let gamma = sy / yy;
+                    h = Matrix::identity(d);
+                    h.scale(gamma);
+                    first_update_done = true;
+                }
+                let rho = 1.0 / sy;
+                let hy = gemv(&h, &y).expect("H/y dims");
+                let coeff = rho * (1.0 + rho * dot(&y, &hy));
+                ger(-rho, &s, &hy, &mut h);
+                ger(-rho, &hy, &s, &mut h);
+                ger(coeff, &s, &s, &mut h);
+            }
+
+            if self.options.value_tolerance > 0.0 {
+                let rel = (prev_value - value).abs() / prev_value.abs().max(1.0);
+                if rel < self.options.value_tolerance {
+                    return Ok(OptimResult {
+                        theta,
+                        value,
+                        gradient_norm: norm_inf(&grad),
+                        iterations: iteration + 1,
+                        function_evals,
+                        converged: true,
+                    });
+                }
+            }
+        }
+        Ok(OptimResult {
+            gradient_norm: norm_inf(&grad),
+            theta,
+            value,
+            iterations: self.options.max_iterations,
+            function_evals,
+            converged: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{QuadraticObjective, Rosenbrock};
+
+    fn spd_quadratic(d: usize) -> (QuadraticObjective, Vec<f64>) {
+        // A = tridiagonal SPD, b = ones; solution solves Aθ = b.
+        let mut a = Matrix::zeros(d, d);
+        for i in 0..d {
+            a[(i, i)] = 2.0 + i as f64 * 0.1;
+            if i + 1 < d {
+                a[(i, i + 1)] = -0.5;
+                a[(i + 1, i)] = -0.5;
+            }
+        }
+        let b = vec![1.0; d];
+        let solution = blinkml_linalg::Lu::new(&a).unwrap().solve(&b).unwrap();
+        (QuadraticObjective::new(a, b), solution)
+    }
+
+    #[test]
+    fn solves_quadratic_exactly() {
+        let (q, solution) = spd_quadratic(8);
+        let res = Bfgs::new(OptimOptions::default())
+            .minimize(&q, &[0.0; 8])
+            .unwrap();
+        assert!(res.converged, "did not converge: {res:?}");
+        for (t, s) in res.theta.iter().zip(&solution) {
+            assert!((t - s).abs() < 1e-5, "{t} vs {s}");
+        }
+    }
+
+    #[test]
+    fn converges_on_rosenbrock() {
+        let res = Bfgs::new(OptimOptions {
+            max_iterations: 500,
+            ..OptimOptions::default()
+        })
+        .minimize(&Rosenbrock, &[-1.2, 1.0])
+        .unwrap();
+        assert!(res.converged, "gradient norm {}", res.gradient_norm);
+        assert!((res.theta[0] - 1.0).abs() < 1e-4);
+        assert!((res.theta[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn already_at_minimum_returns_immediately() {
+        let (q, solution) = spd_quadratic(4);
+        let res = Bfgs::new(OptimOptions::default())
+            .minimize(&q, &solution)
+            .unwrap();
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let res = Bfgs::new(OptimOptions {
+            max_iterations: 2,
+            gradient_tolerance: 1e-16,
+            ..OptimOptions::default()
+        })
+        .minimize(&Rosenbrock, &[-1.2, 1.0])
+        .unwrap();
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 2);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let (q, _) = spd_quadratic(4);
+        assert!(matches!(
+            Bfgs::new(OptimOptions::default()).minimize(&q, &[0.0; 3]),
+            Err(OptimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn value_tolerance_stops_early() {
+        let (q, _) = spd_quadratic(6);
+        let res = Bfgs::new(OptimOptions {
+            value_tolerance: 0.5, // very loose: stop as soon as progress slows
+            ..OptimOptions::default()
+        })
+        .minimize(&q, &[0.0; 6])
+        .unwrap();
+        assert!(res.converged);
+    }
+}

@@ -1,0 +1,48 @@
+//! Optimization substrate for BlinkML.
+//!
+//! The paper trains every model by minimizing the regularized negative
+//! log-likelihood (Equation 1) with BFGS for low-dimensional problems
+//! (`d < 100`) and L-BFGS for high-dimensional ones (§5.1). This crate
+//! implements both from scratch, plus a gradient-descent baseline:
+//!
+//! * [`problem`] — the [`Objective`] trait (joint value+gradient
+//!   evaluation, the natural granularity for log-likelihoods),
+//! * [`linesearch`] — a strong-Wolfe line search (Nocedal & Wright
+//!   Algorithms 3.5/3.6) shared by all solvers,
+//! * [`bfgs`] — full-memory BFGS with a dense inverse-Hessian estimate,
+//! * [`lbfgs`] — limited-memory L-BFGS (two-loop recursion, m = 10),
+//! * [`gd`] — gradient descent with Armijo backtracking,
+//! * [`result`] — convergence bookkeeping ([`OptimResult`]), including
+//!   the iteration counts surfaced in the paper's Figure 8c.
+
+pub mod bfgs;
+pub mod gd;
+pub mod lbfgs;
+pub mod linesearch;
+pub mod problem;
+pub mod result;
+
+pub use bfgs::Bfgs;
+pub use gd::GradientDescent;
+pub use lbfgs::Lbfgs;
+pub use linesearch::{strong_wolfe, LineSearchResult, WolfeParams};
+pub use problem::{Objective, QuadraticObjective};
+pub use result::{OptimError, OptimOptions, OptimResult};
+
+/// Dimension threshold at which BlinkML switches from BFGS to L-BFGS
+/// (paper §5.1).
+pub const BFGS_DIMENSION_LIMIT: usize = 100;
+
+/// Minimize `objective` with the solver the paper would pick for its
+/// dimension: BFGS below [`BFGS_DIMENSION_LIMIT`], L-BFGS at or above it.
+pub fn minimize(
+    objective: &dyn Objective,
+    theta0: &[f64],
+    options: &OptimOptions,
+) -> Result<OptimResult, OptimError> {
+    if objective.dim() < BFGS_DIMENSION_LIMIT {
+        Bfgs::new(options.clone()).minimize(objective, theta0)
+    } else {
+        Lbfgs::new(options.clone()).minimize(objective, theta0)
+    }
+}

@@ -1,0 +1,316 @@
+//! Strong-Wolfe line search (Nocedal & Wright, Algorithms 3.5 / 3.6).
+
+use crate::problem::Objective;
+use blinkml_linalg::vector::dot;
+
+/// Line-search parameters. Defaults follow Nocedal & Wright's
+/// recommendation for quasi-Newton directions (`c2 = 0.9`).
+#[derive(Debug, Clone)]
+pub struct WolfeParams {
+    /// Sufficient-decrease constant (Armijo).
+    pub c1: f64,
+    /// Curvature constant.
+    pub c2: f64,
+    /// Initial trial step.
+    pub initial_step: f64,
+    /// Upper bound on the step.
+    pub max_step: f64,
+    /// Maximum bracketing + zoom evaluations.
+    pub max_evals: usize,
+}
+
+impl Default for WolfeParams {
+    fn default() -> Self {
+        WolfeParams {
+            c1: 1e-4,
+            c2: 0.9,
+            initial_step: 1.0,
+            max_step: 1e4,
+            max_evals: 40,
+        }
+    }
+}
+
+/// Successful line-search outcome.
+#[derive(Debug, Clone)]
+pub struct LineSearchResult {
+    /// Accepted step length.
+    pub alpha: f64,
+    /// Objective at the accepted point.
+    pub value: f64,
+    /// Gradient at the accepted point.
+    pub gradient: Vec<f64>,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+/// State of one trial point on the ray `θ + α p`.
+struct Probe {
+    alpha: f64,
+    value: f64,
+    /// Directional derivative `∇f(θ + αp) · p`.
+    slope: f64,
+    gradient: Vec<f64>,
+}
+
+/// Find a step satisfying the strong Wolfe conditions along descent
+/// direction `direction` from `theta`.
+///
+/// Returns `None` when no acceptable step is found within the evaluation
+/// budget (e.g. for non-descent directions).
+pub fn strong_wolfe(
+    objective: &dyn Objective,
+    theta: &[f64],
+    value0: f64,
+    grad0: &[f64],
+    direction: &[f64],
+    params: &WolfeParams,
+) -> Option<LineSearchResult> {
+    let slope0 = dot(grad0, direction);
+    if slope0 >= 0.0 || !slope0.is_finite() {
+        return None; // Not a descent direction.
+    }
+    let evals = std::cell::Cell::new(0usize);
+    let probe = |alpha: f64| -> Probe {
+        let point: Vec<f64> = theta
+            .iter()
+            .zip(direction)
+            .map(|(t, d)| t + alpha * d)
+            .collect();
+        let (value, gradient) = objective.value_grad(&point);
+        evals.set(evals.get() + 1);
+        let slope = dot(&gradient, direction);
+        Probe {
+            alpha,
+            value,
+            slope,
+            gradient,
+        }
+    };
+
+    // Algorithm 3.5: bracketing phase.
+    let mut prev = Probe {
+        alpha: 0.0,
+        value: value0,
+        slope: slope0,
+        gradient: grad0.to_vec(),
+    };
+    let mut alpha = params.initial_step.min(params.max_step);
+    let mut bracket: Option<(Probe, Probe)> = None;
+    for i in 0.. {
+        if evals.get() >= params.max_evals {
+            return None;
+        }
+        let cur = probe(alpha);
+        if !cur.value.is_finite() {
+            // Step overshot into a non-finite region: bisect downward.
+            alpha = 0.5 * (prev.alpha + alpha);
+            if alpha <= f64::MIN_POSITIVE {
+                return None;
+            }
+            continue;
+        }
+        if cur.value > value0 + params.c1 * cur.alpha * slope0
+            || (i > 0 && cur.value >= prev.value)
+        {
+            bracket = Some((prev, cur));
+            break;
+        }
+        if cur.slope.abs() <= -params.c2 * slope0 {
+            return Some(LineSearchResult {
+                alpha: cur.alpha,
+                value: cur.value,
+                gradient: cur.gradient,
+                evals: evals.get(),
+            });
+        }
+        if cur.slope >= 0.0 {
+            bracket = Some((cur, prev));
+            break;
+        }
+        if cur.alpha >= params.max_step {
+            // Slope still negative at the cap: accept the capped step.
+            return Some(LineSearchResult {
+                alpha: cur.alpha,
+                value: cur.value,
+                gradient: cur.gradient,
+                evals: evals.get(),
+            });
+        }
+        alpha = (2.0 * cur.alpha).min(params.max_step);
+        prev = cur;
+    }
+
+    // Algorithm 3.6: zoom phase. `lo` always has the lower value.
+    let (mut lo, mut hi) = bracket.expect("bracket set before break");
+    while evals.get() < params.max_evals {
+        // Quadratic interpolation with a bisection safeguard.
+        let mut trial = quadratic_interpolate(&lo, &hi);
+        let (lo_a, hi_a) = (lo.alpha.min(hi.alpha), lo.alpha.max(hi.alpha));
+        let width = hi_a - lo_a;
+        if !(trial.is_finite())
+            || trial <= lo_a + 0.1 * width
+            || trial >= hi_a - 0.1 * width
+        {
+            trial = 0.5 * (lo_a + hi_a);
+        }
+        if width < 1e-14 * (1.0 + lo_a) {
+            // Interval collapsed: accept the best point seen so far if it
+            // at least decreases the objective.
+            return if lo.value < value0 && lo.alpha > 0.0 {
+                Some(LineSearchResult {
+                    alpha: lo.alpha,
+                    value: lo.value,
+                    gradient: lo.gradient,
+                    evals: evals.get(),
+                })
+            } else {
+                None
+            };
+        }
+        let cur = probe(trial);
+        if !cur.value.is_finite()
+            || cur.value > value0 + params.c1 * cur.alpha * slope0
+            || cur.value >= lo.value
+        {
+            hi = cur;
+        } else {
+            if cur.slope.abs() <= -params.c2 * slope0 {
+                return Some(LineSearchResult {
+                    alpha: cur.alpha,
+                    value: cur.value,
+                    gradient: cur.gradient,
+                    evals: evals.get(),
+                });
+            }
+            if cur.slope * (hi.alpha - lo.alpha) >= 0.0 {
+                hi = replace_probe(&lo);
+            }
+            lo = cur;
+        }
+    }
+    // Budget exhausted: fall back to the best decreasing point.
+    if lo.value < value0 && lo.alpha > 0.0 {
+        Some(LineSearchResult {
+            alpha: lo.alpha,
+            value: lo.value,
+            gradient: lo.gradient,
+            evals: evals.get(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Minimizer of the quadratic through `(lo.alpha, lo.value, lo.slope)`
+/// and `(hi.alpha, hi.value)`.
+fn quadratic_interpolate(lo: &Probe, hi: &Probe) -> f64 {
+    let da = hi.alpha - lo.alpha;
+    let denom = 2.0 * (hi.value - lo.value - lo.slope * da);
+    if denom.abs() < f64::MIN_POSITIVE {
+        return f64::NAN;
+    }
+    lo.alpha - lo.slope * da * da / denom
+}
+
+/// Clone a probe (gradients included).
+fn replace_probe(p: &Probe) -> Probe {
+    Probe {
+        alpha: p.alpha,
+        value: p.value,
+        slope: p.slope,
+        gradient: p.gradient.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{QuadraticObjective, Rosenbrock};
+    use blinkml_linalg::Matrix;
+
+    fn quadratic_1d() -> QuadraticObjective {
+        // f(x) = ½·2x² − 4x, minimum at x = 2.
+        QuadraticObjective::new(Matrix::from_vec(1, 1, vec![2.0]), vec![4.0])
+    }
+
+    #[test]
+    fn satisfies_wolfe_conditions_on_quadratic() {
+        let q = quadratic_1d();
+        let theta = [0.0];
+        let (v0, g0) = q.value_grad(&theta);
+        let dir = [-g0[0]]; // steepest descent
+        let params = WolfeParams::default();
+        let res = strong_wolfe(&q, &theta, v0, &g0, &dir, &params).expect("search succeeds");
+        let slope0 = g0[0] * dir[0];
+        // Sufficient decrease.
+        assert!(res.value <= v0 + params.c1 * res.alpha * slope0 + 1e-12);
+        // Curvature.
+        let slope_new = res.gradient[0] * dir[0];
+        assert!(slope_new.abs() <= -params.c2 * slope0 + 1e-12);
+    }
+
+    #[test]
+    fn exact_step_on_quadratic_with_unit_direction() {
+        // Along steepest descent from 0, the 1-D minimizer of
+        // ½·2x² − 4x starting at x=0 with p = 4 is at α = 0.5 (x = 2).
+        let q = quadratic_1d();
+        let (v0, g0) = q.value_grad(&[0.0]);
+        let dir = [-g0[0]];
+        let res =
+            strong_wolfe(&q, &[0.0], v0, &g0, &dir, &WolfeParams::default()).unwrap();
+        let x_new = 0.0 + res.alpha * dir[0];
+        // Strong Wolfe with c2=0.9 is loose, but the step must land in a
+        // broad neighborhood of the minimizer and reduce the value.
+        assert!(res.value < v0);
+        assert!(x_new > 0.5 && x_new < 4.0, "x_new = {x_new}");
+    }
+
+    #[test]
+    fn rejects_ascent_directions() {
+        let q = quadratic_1d();
+        let (v0, g0) = q.value_grad(&[0.0]);
+        let dir = [g0[0]]; // ascent
+        assert!(strong_wolfe(&q, &[0.0], v0, &g0, &dir, &WolfeParams::default()).is_none());
+    }
+
+    #[test]
+    fn works_on_rosenbrock_steepest_descent() {
+        let r = Rosenbrock;
+        let theta = [-1.2, 1.0];
+        let (v0, g0) = r.value_grad(&theta);
+        let dir: Vec<f64> = g0.iter().map(|g| -g).collect();
+        let res = strong_wolfe(&r, &theta, v0, &g0, &dir, &WolfeParams::default())
+            .expect("must find a step");
+        assert!(res.value < v0);
+        assert!(res.alpha > 0.0);
+    }
+
+    #[test]
+    fn handles_tiny_initial_step() {
+        let q = quadratic_1d();
+        let (v0, g0) = q.value_grad(&[0.0]);
+        let dir = [-g0[0]];
+        let params = WolfeParams {
+            initial_step: 1e-8,
+            ..WolfeParams::default()
+        };
+        // Bracketing should expand the step toward an acceptable one.
+        let res = strong_wolfe(&q, &[0.0], v0, &g0, &dir, &params).unwrap();
+        assert!(res.value < v0);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let q = quadratic_1d();
+        let (v0, g0) = q.value_grad(&[0.0]);
+        let dir = [-g0[0]];
+        let params = WolfeParams {
+            max_evals: 3,
+            ..WolfeParams::default()
+        };
+        if let Some(res) = strong_wolfe(&q, &[0.0], v0, &g0, &dir, &params) {
+            assert!(res.evals <= 3);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The objective-function abstraction.
+
+use blinkml_linalg::blas::gemv;
+use blinkml_linalg::Matrix;
+
+/// A smooth objective `f : R^d -> R` exposing joint value+gradient
+/// evaluation.
+///
+/// BlinkML objectives are averaged negative log-likelihoods whose value
+/// and gradient share almost all computation (margins, probabilities), so
+/// the joint method is the primitive and the single-quantity accessors
+/// are derived.
+pub trait Objective {
+    /// Dimension of the parameter vector.
+    fn dim(&self) -> usize;
+
+    /// Evaluate `f(θ)` and `∇f(θ)` together.
+    fn value_grad(&self, theta: &[f64]) -> (f64, Vec<f64>);
+
+    /// Evaluate only `f(θ)`.
+    fn value(&self, theta: &[f64]) -> f64 {
+        self.value_grad(theta).0
+    }
+
+    /// Evaluate only `∇f(θ)`.
+    fn gradient(&self, theta: &[f64]) -> Vec<f64> {
+        self.value_grad(theta).1
+    }
+}
+
+/// A convex quadratic `f(θ) = ½ θᵀAθ − bᵀθ` (A symmetric positive
+/// definite), used as the reference problem in solver tests: its unique
+/// minimizer solves `Aθ = b`.
+#[derive(Debug, Clone)]
+pub struct QuadraticObjective {
+    a: Matrix,
+    b: Vec<f64>,
+}
+
+impl QuadraticObjective {
+    /// Build from an SPD matrix and a linear term.
+    ///
+    /// # Panics
+    /// Panics when shapes disagree.
+    pub fn new(a: Matrix, b: Vec<f64>) -> Self {
+        assert!(a.is_square(), "quadratic needs a square matrix");
+        assert_eq!(a.rows(), b.len(), "quadratic shape mismatch");
+        QuadraticObjective { a, b }
+    }
+
+    /// The linear-term vector `b` (the minimizer satisfies `Aθ = b`).
+    pub fn linear_term(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// The quadratic-term matrix `A`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+}
+
+impl Objective for QuadraticObjective {
+    fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    fn value_grad(&self, theta: &[f64]) -> (f64, Vec<f64>) {
+        let a_theta = gemv(&self.a, theta).expect("dimension mismatch");
+        let value = 0.5 * blinkml_linalg::vector::dot(theta, &a_theta)
+            - blinkml_linalg::vector::dot(&self.b, theta);
+        let grad: Vec<f64> = a_theta
+            .iter()
+            .zip(&self.b)
+            .map(|(at, bi)| at - bi)
+            .collect();
+        (value, grad)
+    }
+}
+
+/// The Rosenbrock function in 2D — the standard nonconvex line-search
+/// stress test (minimum at `(1, 1)`).
+#[derive(Debug, Clone, Default)]
+pub struct Rosenbrock;
+
+impl Objective for Rosenbrock {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn value_grad(&self, theta: &[f64]) -> (f64, Vec<f64>) {
+        let (x, y) = (theta[0], theta[1]);
+        let value = (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+        let grad = vec![
+            -2.0 * (1.0 - x) - 400.0 * x * (y - x * x),
+            200.0 * (y - x * x),
+        ];
+        (value, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_is_a_theta_minus_b() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 4.0]);
+        let q = QuadraticObjective::new(a, vec![2.0, 4.0]);
+        // Minimizer is (1, 1) where the gradient vanishes.
+        let (v, g) = q.value_grad(&[1.0, 1.0]);
+        assert!((v + 3.0).abs() < 1e-12); // ½(2+4) − (2+4) = −3
+        assert!(g.iter().all(|x| x.abs() < 1e-12));
+
+        let (_, g2) = q.value_grad(&[0.0, 0.0]);
+        assert_eq!(g2, vec![-2.0, -4.0]);
+    }
+
+    #[test]
+    fn derived_accessors_match_joint() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, 1.0, 1.0, 2.0]);
+        let q = QuadraticObjective::new(a, vec![1.0, -1.0]);
+        let theta = [0.3, -0.7];
+        let (v, g) = q.value_grad(&theta);
+        assert_eq!(q.value(&theta), v);
+        assert_eq!(q.gradient(&theta), g);
+    }
+
+    #[test]
+    fn rosenbrock_minimum() {
+        let r = Rosenbrock;
+        let (v, g) = r.value_grad(&[1.0, 1.0]);
+        assert!(v.abs() < 1e-15);
+        assert!(g[0].abs() < 1e-12 && g[1].abs() < 1e-12);
+        assert!(r.value(&[0.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn rosenbrock_gradient_matches_finite_difference() {
+        let r = Rosenbrock;
+        let theta = [-1.2, 1.0];
+        let g = r.gradient(&theta);
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut plus = theta;
+            let mut minus = theta;
+            plus[i] += eps;
+            minus[i] -= eps;
+            let fd = (r.value(&plus) - r.value(&minus)) / (2.0 * eps);
+            assert!((g[i] - fd).abs() < 1e-3, "coord {i}: {} vs {}", g[i], fd);
+        }
+    }
+}

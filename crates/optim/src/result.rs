@@ -1,0 +1,112 @@
+//! Solver options, results, and errors.
+
+use std::fmt;
+
+/// Options shared by all solvers.
+#[derive(Debug, Clone)]
+pub struct OptimOptions {
+    /// Stop when the gradient infinity norm falls below this value.
+    pub gradient_tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Also stop when the relative objective decrease between iterations
+    /// falls below this value (0 disables the check).
+    pub value_tolerance: f64,
+    /// L-BFGS history length (ignored by other solvers).
+    pub lbfgs_memory: usize,
+}
+
+impl Default for OptimOptions {
+    fn default() -> Self {
+        OptimOptions {
+            gradient_tolerance: 1e-6,
+            max_iterations: 500,
+            value_tolerance: 0.0,
+            lbfgs_memory: 10,
+        }
+    }
+}
+
+/// Outcome of a minimization run.
+#[derive(Debug, Clone)]
+pub struct OptimResult {
+    /// Final parameter vector.
+    pub theta: Vec<f64>,
+    /// Final objective value.
+    pub value: f64,
+    /// Final gradient infinity norm.
+    pub gradient_norm: f64,
+    /// Iterations performed (paper Fig 8c compares these between full and
+    /// approximate training).
+    pub iterations: usize,
+    /// Total objective evaluations, including line-search probes.
+    pub function_evals: usize,
+    /// Whether a tolerance (rather than the iteration cap) stopped the
+    /// run.
+    pub converged: bool,
+}
+
+/// Solver failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// The line search could not find an acceptable step; usually a
+    /// non-descent direction or a non-finite objective.
+    LineSearchFailed {
+        /// Iteration at which the failure occurred.
+        iteration: usize,
+    },
+    /// The objective produced NaN/inf at the starting point.
+    NonFiniteObjective,
+    /// Starting point has the wrong dimension.
+    DimensionMismatch {
+        /// Objective dimension.
+        expected: usize,
+        /// Provided starting-point dimension.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::LineSearchFailed { iteration } => {
+                write!(f, "line search failed at iteration {iteration}")
+            }
+            OptimError::NonFiniteObjective => {
+                write!(f, "objective is not finite at the starting point")
+            }
+            OptimError::DimensionMismatch { expected, got } => {
+                write!(f, "starting point has dimension {got}, objective expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = OptimOptions::default();
+        assert!(o.gradient_tolerance > 0.0);
+        assert!(o.max_iterations > 0);
+        assert!(o.lbfgs_memory > 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(OptimError::LineSearchFailed { iteration: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(OptimError::NonFiniteObjective.to_string().contains("finite"));
+        assert!(OptimError::DimensionMismatch {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains("4"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the optimizers: convergence on random
+//! strongly convex quadratics and line-search invariants.
+
+use blinkml_linalg::blas::gemm_nt;
+use blinkml_linalg::Matrix;
+use blinkml_optim::{
+    strong_wolfe, Bfgs, GradientDescent, Lbfgs, Objective, OptimOptions, QuadraticObjective,
+    WolfeParams,
+};
+use proptest::prelude::*;
+
+/// Random strongly convex quadratic of dimension `d` with its exact
+/// minimizer.
+fn random_quadratic(d: usize) -> impl Strategy<Value = (QuadraticObjective, Vec<f64>)> {
+    (
+        proptest::collection::vec(-1.0f64..1.0, d * d),
+        proptest::collection::vec(-2.0f64..2.0, d),
+    )
+        .prop_map(move |(bdata, lin)| {
+            let b = Matrix::from_vec(d, d, bdata);
+            let mut a = gemm_nt(&b, &b).unwrap();
+            a.add_diag(d as f64 * 0.5 + 0.5);
+            let solution = blinkml_linalg::Lu::new(&a).unwrap().solve(&lin).unwrap();
+            (QuadraticObjective::new(a, lin), solution)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bfgs_finds_quadratic_minimum((q, solution) in random_quadratic(6)) {
+        let res = Bfgs::new(OptimOptions::default())
+            .minimize(&q, &[0.0; 6])
+            .unwrap();
+        prop_assert!(res.converged);
+        for (t, s) in res.theta.iter().zip(&solution) {
+            prop_assert!((t - s).abs() < 1e-4, "{t} vs {s}");
+        }
+    }
+
+    #[test]
+    fn lbfgs_finds_quadratic_minimum((q, solution) in random_quadratic(8)) {
+        let res = Lbfgs::new(OptimOptions::default())
+            .minimize(&q, &[0.0; 8])
+            .unwrap();
+        prop_assert!(res.converged);
+        for (t, s) in res.theta.iter().zip(&solution) {
+            prop_assert!((t - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gd_decreases_objective_monotonically((q, _) in random_quadratic(4)) {
+        // GD's value after optimization must be the quadratic's minimum
+        // or at least below the starting value.
+        let start = vec![1.0; 4];
+        let v0 = q.value(&start);
+        let res = GradientDescent::new(OptimOptions {
+            max_iterations: 5_000,
+            gradient_tolerance: 1e-6,
+            ..OptimOptions::default()
+        })
+        .minimize(&q, &start)
+        .unwrap();
+        prop_assert!(res.value <= v0 + 1e-12);
+    }
+
+    #[test]
+    fn solvers_agree_on_the_minimizer((q, _) in random_quadratic(5)) {
+        let a = Bfgs::new(OptimOptions::default()).minimize(&q, &[0.2; 5]).unwrap();
+        let b = Lbfgs::new(OptimOptions::default()).minimize(&q, &[0.2; 5]).unwrap();
+        for (x, y) in a.theta.iter().zip(&b.theta) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn line_search_satisfies_strong_wolfe(
+        (q, _) in random_quadratic(4),
+        start in proptest::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let (v0, g0) = q.value_grad(&start);
+        let gnorm: f64 = g0.iter().map(|g| g * g).sum::<f64>();
+        prop_assume!(gnorm > 1e-12);
+        let dir: Vec<f64> = g0.iter().map(|g| -g).collect();
+        let params = WolfeParams::default();
+        let res = strong_wolfe(&q, &start, v0, &g0, &dir, &params)
+            .expect("descent direction must yield a step");
+        let slope0: f64 = g0.iter().zip(&dir).map(|(g, d)| g * d).sum();
+        // Armijo.
+        prop_assert!(res.value <= v0 + params.c1 * res.alpha * slope0 + 1e-10);
+        // Curvature.
+        let slope_new: f64 = res.gradient.iter().zip(&dir).map(|(g, d)| g * d).sum();
+        prop_assert!(slope_new.abs() <= -params.c2 * slope0 + 1e-10);
+    }
+
+    #[test]
+    fn iteration_counts_monotone_in_tolerance((q, _) in random_quadratic(6)) {
+        let run = |tol: f64| {
+            Bfgs::new(OptimOptions {
+                gradient_tolerance: tol,
+                ..OptimOptions::default()
+            })
+            .minimize(&q, &[0.0; 6])
+            .unwrap()
+            .iterations
+        };
+        prop_assert!(run(1e-3) <= run(1e-9));
+    }
+}

@@ -1,0 +1,224 @@
+//! Discrete distributions used by the synthetic dataset generators.
+
+use rand::Rng;
+
+/// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+#[inline]
+pub fn sample_bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Categorical draw from unnormalized nonnegative weights.
+///
+/// # Panics
+/// Panics when weights are empty or sum to zero.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "categorical weights must have positive finite sum"
+    );
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Poisson draw. Knuth's product method for small means, normal
+/// approximation (rounded, clamped at zero) for `lambda > 30`.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson mean must be nonnegative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda <= 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let mut sampler = crate::normal::NormalSampler::new();
+        let z = sampler.sample(rng);
+        let v = lambda + lambda.sqrt() * z;
+        v.round().max(0.0) as u64
+    }
+}
+
+/// Zipf-like draw over `0..n`: index `i` has probability proportional to
+/// `1 / (i + shift)^exponent`, sampled by inversion over a precomputed
+/// CDF held by [`ZipfSampler`].
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precompute the CDF for `n` items.
+    ///
+    /// # Panics
+    /// Panics for `n = 0` or a non-positive exponent.
+    pub fn new(n: usize, exponent: f64, shift: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(exponent > 0.0, "zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / (i as f64 + shift).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability mass of item `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// True when there are no items (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = rng_from_seed(1);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| sample_bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = rng_from_seed(2);
+        assert!(!sample_bernoulli(&mut rng, 0.0));
+        assert!(sample_bernoulli(&mut rng, 1.0));
+        assert!(sample_bernoulli(&mut rng, 2.0)); // clamped
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = rng_from_seed(3);
+        let weights = [1.0, 2.0, 7.0];
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_categorical(&mut rng, &weights)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            let expect = weights[i] / 10.0;
+            assert!((freq - expect).abs() < 0.01, "class {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn categorical_rejects_zero_weights() {
+        sample_categorical(&mut rng_from_seed(4), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let mut rng = rng_from_seed(5);
+        let lambda = 4.0;
+        let n = 50_000;
+        let draws: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        let var = draws
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert!((var - lambda).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_branch() {
+        let mut rng = rng_from_seed(6);
+        let lambda = 100.0;
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| sample_poisson(&mut rng, lambda) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut rng = rng_from_seed(7);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = ZipfSampler::new(1000, 1.1, 2.0);
+        let mut rng = rng_from_seed(8);
+        let n = 50_000;
+        let mut head = 0usize;
+        for _ in 0..n {
+            let i = z.sample(&mut rng);
+            assert!(i < 1000);
+            if i < 100 {
+                head += 1;
+            }
+        }
+        // A Zipf(1.1) head of 10% of items should carry well over half
+        // the mass.
+        assert!(head as f64 / n as f64 > 0.5, "head mass {head}");
+    }
+
+    #[test]
+    fn zipf_covers_tail() {
+        let z = ZipfSampler::new(50, 1.0, 1.0);
+        let mut rng = rng_from_seed(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            seen.insert(z.sample(&mut rng));
+        }
+        assert!(seen.len() > 40, "tail coverage {}", seen.len());
+    }
+}

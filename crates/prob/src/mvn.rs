@@ -1,0 +1,202 @@
+//! Multivariate normal sampling through covariance *factors*.
+//!
+//! BlinkML never materializes the `d x d` covariance `H⁻¹JH⁻¹`; it keeps a
+//! factor `L` with `Σ = L Lᵀ` and maps standard normal vectors through it
+//! (paper §4.3, "avoiding direct covariance computation"). The
+//! [`CovarianceFactor`] trait captures exactly that contract, so the core
+//! crate can plug in its implicit ObservedFisher factor while tests use
+//! the dense or diagonal implementations below.
+
+use crate::normal::NormalSampler;
+use blinkml_linalg::{blas, Matrix};
+use rand::Rng;
+
+/// A linear map `L` with `Σ = L Lᵀ` for some covariance `Σ`.
+pub trait CovarianceFactor {
+    /// Dimension of the *input* standard-normal vector.
+    fn input_dim(&self) -> usize;
+
+    /// Dimension of the *output* sample (the covariance dimension).
+    fn output_dim(&self) -> usize;
+
+    /// Compute `L z`.
+    fn apply(&self, z: &[f64]) -> Vec<f64>;
+}
+
+/// Dense factor: an explicit `d x k` matrix `L`.
+#[derive(Debug, Clone)]
+pub struct DenseFactor {
+    l: Matrix,
+}
+
+impl DenseFactor {
+    /// Wrap an explicit factor matrix.
+    pub fn new(l: Matrix) -> Self {
+        DenseFactor { l }
+    }
+
+    /// Borrow the factor matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+impl CovarianceFactor for DenseFactor {
+    fn input_dim(&self) -> usize {
+        self.l.cols()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    fn apply(&self, z: &[f64]) -> Vec<f64> {
+        blas::gemv(&self.l, z).expect("factor/input dimension mismatch")
+    }
+}
+
+/// Diagonal factor: `Σ = diag(scale²)`.
+#[derive(Debug, Clone)]
+pub struct DiagonalFactor {
+    scale: Vec<f64>,
+}
+
+impl DiagonalFactor {
+    /// Factor with per-coordinate standard deviations `scale`.
+    pub fn new(scale: Vec<f64>) -> Self {
+        DiagonalFactor { scale }
+    }
+}
+
+impl CovarianceFactor for DiagonalFactor {
+    fn input_dim(&self) -> usize {
+        self.scale.len()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.scale.len()
+    }
+
+    fn apply(&self, z: &[f64]) -> Vec<f64> {
+        self.scale.iter().zip(z).map(|(s, zi)| s * zi).collect()
+    }
+}
+
+/// Sampler for `N(mean, L Lᵀ)` given any covariance factor.
+pub struct MvnSampler<'a, F: CovarianceFactor> {
+    factor: &'a F,
+    normal: NormalSampler,
+    /// Reusable standard-normal input buffer.
+    z: Vec<f64>,
+}
+
+impl<'a, F: CovarianceFactor> MvnSampler<'a, F> {
+    /// Create a sampler around a factor.
+    pub fn new(factor: &'a F) -> Self {
+        let k = factor.input_dim();
+        MvnSampler {
+            factor,
+            normal: NormalSampler::new(),
+            z: vec![0.0; k],
+        }
+    }
+
+    /// Draw one sample of `N(0, L Lᵀ)`.
+    pub fn sample_centered<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<f64> {
+        for zi in &mut self.z {
+            *zi = self.normal.sample(rng);
+        }
+        self.factor.apply(&self.z)
+    }
+
+    /// Draw one sample of `N(mean, L Lᵀ)`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: &[f64]) -> Vec<f64> {
+        let mut out = self.sample_centered(rng);
+        assert_eq!(out.len(), mean.len(), "mean dimension mismatch");
+        for (o, m) in out.iter_mut().zip(mean) {
+            *o += m;
+        }
+        out
+    }
+
+    /// Draw `count` centered samples (a "pool" in BlinkML's
+    /// sampling-by-scaling scheme: the pool is drawn once from the
+    /// *unscaled* covariance and rescaled per sample size).
+    pub fn sample_pool<R: Rng + ?Sized>(&mut self, rng: &mut R, count: usize) -> Vec<Vec<f64>> {
+        (0..count).map(|_| self.sample_centered(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use blinkml_linalg::Cholesky;
+
+    #[test]
+    fn diagonal_factor_scales_coordinates() {
+        let f = DiagonalFactor::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(f.apply(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(f.input_dim(), 3);
+        assert_eq!(f.output_dim(), 3);
+    }
+
+    #[test]
+    fn dense_factor_empirical_covariance() {
+        // Σ = [[2, 1], [1, 2]]; factor via Cholesky.
+        let sigma = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let l = Cholesky::new(&sigma).unwrap().factor().clone();
+        let f = DenseFactor::new(l);
+        let mut sampler = MvnSampler::new(&f);
+        let mut rng = rng_from_seed(11);
+
+        let n = 100_000;
+        let mut c00 = 0.0;
+        let mut c01 = 0.0;
+        let mut c11 = 0.0;
+        for _ in 0..n {
+            let x = sampler.sample_centered(&mut rng);
+            c00 += x[0] * x[0];
+            c01 += x[0] * x[1];
+            c11 += x[1] * x[1];
+        }
+        let nf = n as f64;
+        assert!((c00 / nf - 2.0).abs() < 0.05, "c00 {}", c00 / nf);
+        assert!((c01 / nf - 1.0).abs() < 0.05, "c01 {}", c01 / nf);
+        assert!((c11 / nf - 2.0).abs() < 0.05, "c11 {}", c11 / nf);
+    }
+
+    #[test]
+    fn sample_adds_mean() {
+        let f = DiagonalFactor::new(vec![0.0, 0.0]);
+        let mut sampler = MvnSampler::new(&f);
+        let mut rng = rng_from_seed(5);
+        let x = sampler.sample(&mut rng, &[3.0, -4.0]);
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn rectangular_factor_maps_low_rank() {
+        // L is 3x1: rank-one covariance in 3 dims.
+        let l = Matrix::from_vec(3, 1, vec![1.0, 2.0, -1.0]);
+        let f = DenseFactor::new(l);
+        assert_eq!(f.input_dim(), 1);
+        assert_eq!(f.output_dim(), 3);
+        let mut sampler = MvnSampler::new(&f);
+        let mut rng = rng_from_seed(17);
+        // Every draw must be proportional to (1, 2, -1).
+        for _ in 0..16 {
+            let x = sampler.sample_centered(&mut rng);
+            assert!((x[1] - 2.0 * x[0]).abs() < 1e-12);
+            assert!((x[2] + x[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pool_is_deterministic_per_seed() {
+        let f = DiagonalFactor::new(vec![1.0, 1.0]);
+        let p1 = MvnSampler::new(&f).sample_pool(&mut rng_from_seed(3), 5);
+        let p2 = MvnSampler::new(&f).sample_pool(&mut rng_from_seed(3), 5);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Empirical quantiles and order statistics.
+
+/// Empirical `level`-quantile of `values` using the conservative
+/// "ceil(level·k)-th order statistic" convention BlinkML's Lemma 2 needs:
+/// the returned value `q` satisfies `(1/k) Σ 1[vᵢ ≤ q] ≥ level`.
+///
+/// `level` is clamped to `[0, 1]`; `level = 1` returns the maximum.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn empirical_quantile(values: &[f64], level: f64) -> f64 {
+    assert!(!values.is_empty(), "empirical_quantile of empty slice");
+    let level = level.clamp(0.0, 1.0);
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let k = sorted.len();
+    // Smallest index i (1-based) with i/k >= level.
+    let idx = ((level * k as f64).ceil() as usize).clamp(1, k);
+    sorted[idx - 1]
+}
+
+/// Fraction of `values` that are `<= threshold`.
+pub fn fraction_at_most(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Mean and the `(lo, hi)` empirical quantiles in one pass — the summary
+/// format of the paper's Table 5 (mean / 5th / 95th percentile).
+pub fn summary(values: &[f64], lo: f64, hi: f64) -> (f64, f64, f64) {
+    assert!(!values.is_empty(), "summary of empty slice");
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    (
+        mean,
+        empirical_quantile(values, lo),
+        empirical_quantile(values, hi),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_singleton() {
+        assert_eq!(empirical_quantile(&[42.0], 0.5), 42.0);
+        assert_eq!(empirical_quantile(&[42.0], 0.0), 42.0);
+        assert_eq!(empirical_quantile(&[42.0], 1.0), 42.0);
+    }
+
+    #[test]
+    fn quantile_order_statistics() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(empirical_quantile(&v, 0.2), 1.0);
+        assert_eq!(empirical_quantile(&v, 0.4), 2.0);
+        assert_eq!(empirical_quantile(&v, 0.5), 3.0); // ceil(2.5)=3rd
+        assert_eq!(empirical_quantile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_guarantee_holds() {
+        // The defining property: fraction at most the quantile >= level.
+        let v: Vec<f64> = (0..37).map(|i| (i as f64 * 1.7) % 13.0).collect();
+        for level in [0.05, 0.33, 0.5, 0.9, 0.95, 1.0] {
+            let q = empirical_quantile(&v, level);
+            assert!(
+                fraction_at_most(&v, q) >= level,
+                "level {level}: got fraction {}",
+                fraction_at_most(&v, q)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_level() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(empirical_quantile(&v, -0.5), 1.0);
+        assert_eq!(empirical_quantile(&v, 1.5), 3.0);
+    }
+
+    #[test]
+    fn fraction_at_most_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction_at_most(&v, 2.5), 0.5);
+        assert_eq!(fraction_at_most(&v, 0.0), 0.0);
+        assert_eq!(fraction_at_most(&v, 10.0), 1.0);
+        assert_eq!(fraction_at_most(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_parts() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (mean, p5, p95) = summary(&v, 0.05, 0.95);
+        assert!((mean - 50.5).abs() < 1e-12);
+        assert_eq!(p5, 5.0);
+        assert_eq!(p95, 95.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        empirical_quantile(&[], 0.5);
+    }
+}

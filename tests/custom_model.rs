@@ -1,0 +1,204 @@
+//! Proof of the MCS extensibility claim: a model class implemented
+//! entirely *outside* the library — exponential regression,
+//! `y ~ Exp(rate = exp(θᵀx))` — gets accuracy estimation, sample-size
+//! search, and the coordinator for free by implementing
+//! `ModelClassSpec`.
+
+use blinkml::core::grads::Grads;
+use blinkml::core::mcs::regression_diff;
+use blinkml::prelude::*;
+use blinkml::linalg::Matrix;
+use blinkml_data::{DenseVec, Example};
+use blinkml_prob::rng_from_seed;
+use rand::Rng;
+
+/// Exponential regression with the log link.
+///
+/// NLL per example: `ℓ(m, y) = y·e^m − m` for rate `λ = e^m`, `m = θᵀx`
+/// (the density is `λ e^{−λy}`, so `−log p = λy − log λ`).
+struct ExponentialRegressionSpec {
+    beta: f64,
+}
+
+const CLAMP: f64 = 30.0;
+
+impl ExponentialRegressionSpec {
+    fn margin(&self, theta: &[f64], x: &DenseVec) -> f64 {
+        use blinkml_data::FeatureVec;
+        x.dot(theta).clamp(-CLAMP, CLAMP)
+    }
+}
+
+impl ModelClassSpec<DenseVec> for ExponentialRegressionSpec {
+    fn name(&self) -> &'static str {
+        "exponential-regression"
+    }
+
+    fn param_dim(&self, data_dim: usize) -> usize {
+        data_dim
+    }
+
+    fn regularization(&self) -> f64 {
+        self.beta
+    }
+
+    fn objective(&self, theta: &[f64], data: &Dataset<DenseVec>) -> (f64, Vec<f64>) {
+        use blinkml_data::FeatureVec;
+        let d = data.dim();
+        let n = data.len().max(1) as f64;
+        let mut value = 0.0;
+        let mut grad = vec![0.0; d];
+        for e in data.iter() {
+            let m = self.margin(theta, &e.x);
+            let rate = m.exp();
+            value += e.y * rate - m;
+            // dℓ/dm = y·e^m − 1.
+            e.x.add_scaled_into(e.y * rate - 1.0, &mut grad);
+        }
+        value /= n;
+        for g in &mut grad {
+            *g /= n;
+        }
+        let norm_sq: f64 = theta.iter().map(|t| t * t).sum();
+        value += 0.5 * self.beta * norm_sq;
+        for (g, t) in grad.iter_mut().zip(theta) {
+            *g += self.beta * t;
+        }
+        (value, grad)
+    }
+
+    fn grads(&self, theta: &[f64], data: &Dataset<DenseVec>) -> Grads {
+        use blinkml_data::FeatureVec;
+        let d = data.dim();
+        let shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
+        let mut m = Matrix::zeros(data.len(), d);
+        for (i, e) in data.iter().enumerate() {
+            let margin = self.margin(theta, &e.x);
+            let row = m.row_mut(i);
+            row.copy_from_slice(&shift);
+            e.x.add_scaled_into(e.y * margin.exp() - 1.0, row);
+        }
+        Grads::Dense(m)
+    }
+
+    fn predict(&self, theta: &[f64], x: &DenseVec) -> f64 {
+        // Predicted mean of Exp(λ) is 1/λ.
+        (-self.margin(theta, x)).exp()
+    }
+
+    fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<DenseVec>) -> f64 {
+        regression_diff(
+            |x: &DenseVec| self.predict(theta_a, x),
+            |x: &DenseVec| self.predict(theta_b, x),
+            holdout,
+        )
+    }
+
+    fn generalization_error(&self, theta: &[f64], data: &Dataset<DenseVec>) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sum_sq: f64 = data
+            .iter()
+            .map(|e| {
+                let p = self.predict(theta, &e.x);
+                (p - e.y) * (p - e.y)
+            })
+            .sum();
+        (sum_sq / data.len() as f64).sqrt()
+    }
+
+    fn num_margin_outputs(&self, _data_dim: usize) -> Option<usize> {
+        Some(1)
+    }
+
+    fn margins(&self, theta: &[f64], x: &DenseVec, out: &mut [f64]) {
+        out[0] = self.margin(theta, x);
+    }
+
+    fn predict_from_margins(&self, scores: &[f64]) -> f64 {
+        (-scores[0].clamp(-CLAMP, CLAMP)).exp()
+    }
+
+    fn diff_is_rms(&self) -> bool {
+        true
+    }
+}
+
+/// Well-specified exponential data with known weights.
+fn exponential_data(n: usize, d: usize, seed: u64) -> (Dataset<DenseVec>, Vec<f64>) {
+    let mut rng = rng_from_seed(seed);
+    let mut sampler = blinkml_prob::NormalSampler::new();
+    let w: Vec<f64> = (0..d).map(|_| 0.4 * sampler.sample(&mut rng)).collect();
+    let examples = (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..d).map(|_| sampler.sample(&mut rng)).collect();
+            let rate: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>().exp();
+            // Inverse-CDF sampling of Exp(rate).
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let y = -u.ln() / rate.clamp(1e-6, 1e6);
+            Example {
+                x: DenseVec::new(x),
+                y,
+            }
+        })
+        .collect();
+    (Dataset::new("exponential", d, examples), w)
+}
+
+#[test]
+fn custom_model_gradient_is_consistent() {
+    let (data, _) = exponential_data(300, 4, 1);
+    let spec = ExponentialRegressionSpec { beta: 1e-3 };
+    let theta = vec![0.1, -0.2, 0.3, 0.05];
+    let (_, grad) = spec.objective(&theta, &data);
+    // Finite differences.
+    let eps = 1e-6;
+    for i in 0..4 {
+        let mut plus = theta.clone();
+        let mut minus = theta.clone();
+        plus[i] += eps;
+        minus[i] -= eps;
+        let fd = (spec.objective(&plus, &data).0 - spec.objective(&minus, &data).0) / (2.0 * eps);
+        assert!((grad[i] - fd).abs() < 1e-5, "coord {i}: {} vs {fd}", grad[i]);
+    }
+    // grads mean equals the objective gradient.
+    let mean = spec.grads(&theta, &data).mean_row();
+    for (g, m) in grad.iter().zip(&mean) {
+        assert!((g - m).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn custom_model_trains_and_recovers_truth() {
+    let (data, w) = exponential_data(20_000, 4, 2);
+    let spec = ExponentialRegressionSpec { beta: 1e-5 };
+    let model = spec.train(&data, None, &Default::default()).unwrap();
+    assert!(model.converged);
+    for (t, wi) in model.parameters().iter().zip(&w) {
+        assert!((t - wi).abs() < 0.05, "{t} vs {wi}");
+    }
+}
+
+#[test]
+fn custom_model_runs_through_the_coordinator() {
+    let (data, _) = exponential_data(30_000, 5, 3);
+    let spec = ExponentialRegressionSpec { beta: 1e-3 };
+    let config = BlinkMlConfig {
+        epsilon: 0.05,
+        delta: 0.05,
+        initial_sample_size: 500,
+        holdout_size: 1_000,
+        num_param_samples: 64,
+        ..BlinkMlConfig::default()
+    };
+    let outcome = Coordinator::new(config).train(&spec, &data, 4).unwrap();
+    assert!(outcome.sample_size >= 500);
+    assert!(outcome.sample_size <= data.len());
+
+    // Validate against a trained full model.
+    let split = data.split(1_000, 0, 5);
+    let full = spec.train(&split.train, None, &Default::default()).unwrap();
+    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    assert!(v <= 0.05 * 2.0, "realized difference {v}");
+}

@@ -1,0 +1,214 @@
+//! End-to-end integration tests: every model class through the full
+//! coordinator pipeline, with guarantees checked against actually
+//! trained full models.
+
+use blinkml::core::models::ppca::align_ppca_parameters;
+use blinkml::prelude::*;
+use blinkml_optim::OptimOptions;
+
+fn config(epsilon: f64, n0: usize, k: usize) -> BlinkMlConfig {
+    BlinkMlConfig {
+        epsilon,
+        delta: 0.05,
+        initial_sample_size: n0,
+        holdout_size: 800,
+        num_param_samples: k,
+        ..BlinkMlConfig::default()
+    }
+}
+
+#[test]
+fn linear_regression_end_to_end() {
+    let data = gas_like(20_000, 1);
+    let split = data.split(800, 0, 2);
+    let spec = LinearRegressionSpec::new(1e-3);
+    let epsilon = 0.05;
+    let outcome = Coordinator::new(config(epsilon, 400, 64))
+        .train_with_holdout(&spec, &split.train, &split.holdout, 3)
+        .expect("blinkml failed");
+    assert!(outcome.sample_size <= split.train.len());
+
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    assert!(v <= epsilon * 1.5, "realized difference {v} vs ε = {epsilon}");
+}
+
+#[test]
+fn logistic_regression_end_to_end_dense() {
+    let data = higgs_like(25_000, 20, 4);
+    let split = data.split(800, 0, 5);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let epsilon = 0.06;
+    let outcome = Coordinator::new(config(epsilon, 400, 64))
+        .train_with_holdout(&spec, &split.train, &split.holdout, 6)
+        .expect("blinkml failed");
+
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    assert!(v <= epsilon * 1.5, "realized difference {v}");
+}
+
+#[test]
+fn logistic_regression_end_to_end_sparse_high_dimensional() {
+    // D = 3 000 features with n₀ = 400 forces the implicit (Gram-side)
+    // ObservedFisher path through the whole pipeline.
+    let data = criteo_like(20_000, 3_000, 7);
+    let split = data.split(800, 0, 8);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let epsilon = 0.08;
+    let outcome = Coordinator::new(config(epsilon, 400, 64))
+        .train_with_holdout(&spec, &split.train, &split.holdout, 9)
+        .expect("blinkml failed");
+
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    assert!(v <= epsilon * 1.5, "realized difference {v}");
+}
+
+#[test]
+fn maxent_end_to_end() {
+    let data = mnist_like(15_000, 10);
+    let split = data.split(700, 0, 11);
+    let spec = MaxEntSpec::new(1e-3, 10);
+    let epsilon = 0.10;
+    let outcome = Coordinator::new(config(epsilon, 400, 48))
+        .train_with_holdout(&spec, &split.train, &split.holdout, 12)
+        .expect("blinkml failed");
+
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    assert!(v <= epsilon * 1.5, "realized difference {v}");
+}
+
+#[test]
+fn poisson_end_to_end() {
+    let (data, _) = blinkml::data::generators::synthetic_poisson(20_000, 8, 13);
+    let split = data.split(800, 0, 14);
+    let spec = PoissonRegressionSpec::new(1e-3);
+    let epsilon = 0.05;
+    let outcome = Coordinator::new(config(epsilon, 400, 64))
+        .train_with_holdout(&spec, &split.train, &split.holdout, 15)
+        .expect("blinkml failed");
+
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    assert!(v <= epsilon * 1.5, "realized rate difference {v}");
+}
+
+#[test]
+fn ppca_end_to_end() {
+    let data = mnist_like(15_000, 16);
+    let split = data.split(500, 0, 17);
+    let spec = PpcaSpec::new(5);
+    let epsilon = 0.02;
+    let outcome = Coordinator::new(config(epsilon, 300, 48))
+        .train_with_holdout(&spec, &split.train, &split.holdout, 18)
+        .expect("blinkml failed");
+
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+    let aligned = align_ppca_parameters(
+        full.parameters(),
+        outcome.model.parameters(),
+        data.dim(),
+        5,
+    );
+    let v = spec.diff(full.parameters(), &aligned, &split.holdout);
+    assert!(v <= epsilon * 1.5, "1 − cosine = {v}");
+}
+
+#[test]
+fn facade_prelude_is_usable() {
+    // The doc-example path: everything needed reachable from the prelude.
+    let dataset = higgs_like(5_000, 10, 42);
+    let config = BlinkMlConfig {
+        epsilon: 0.10,
+        delta: 0.05,
+        initial_sample_size: 500,
+        num_param_samples: 32,
+        ..BlinkMlConfig::default()
+    };
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let outcome = Coordinator::new(config).train(&spec, &dataset, 7).unwrap();
+    assert!(!outcome.model.parameters().is_empty());
+    assert!(outcome.sample_size <= dataset.len());
+}
+
+#[test]
+fn statistics_methods_are_interchangeable_in_coordinator() {
+    let data = higgs_like(15_000, 12, 20);
+    let split = data.split(600, 0, 21);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let mut sizes = Vec::new();
+    for method in [
+        StatisticsMethod::ObservedFisher,
+        StatisticsMethod::ClosedForm,
+        StatisticsMethod::InverseGradients,
+    ] {
+        let mut cfg = config(0.05, 400, 64);
+        cfg.statistics_method = method;
+        let outcome = Coordinator::new(cfg)
+            .train_with_holdout(&spec, &split.train, &split.holdout, 22)
+            .expect("blinkml failed");
+        sizes.push(outcome.sample_size);
+    }
+    // All three methods must agree on the order of magnitude of n.
+    let max = *sizes.iter().max().unwrap() as f64;
+    let min = *sizes.iter().min().unwrap() as f64;
+    assert!(
+        max / min < 4.0,
+        "methods disagree wildly on sample size: {sizes:?}"
+    );
+}
+
+#[test]
+fn tighter_contract_never_uses_smaller_sample() {
+    let data = higgs_like(30_000, 15, 23);
+    let split = data.split(800, 0, 24);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let run = |eps: f64| {
+        Coordinator::new(config(eps, 300, 64))
+            .train_with_holdout(&spec, &split.train, &split.holdout, 25)
+            .expect("blinkml failed")
+            .sample_size
+    };
+    let loose = run(0.20);
+    let medium = run(0.05);
+    let tight = run(0.02);
+    assert!(loose <= medium, "{loose} > {medium}");
+    assert!(medium <= tight, "{medium} > {tight}");
+}
+
+#[test]
+fn baselines_comparable_to_blinkml() {
+    let data = higgs_like(20_000, 10, 26);
+    let split = data.split(800, 0, 27);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let cfg = config(0.05, 400, 48);
+
+    let fixed = FixedRatio::default()
+        .run(&spec, &split.train, &split.holdout, &cfg, 28)
+        .expect("fixed failed");
+    assert_eq!(fixed.sample_size, split.train.len() / 100);
+
+    let inc = IncEstimator { base: 500, ..IncEstimator::default() }
+        .run(&spec, &split.train, &split.holdout, &cfg, 29)
+        .expect("inc failed");
+    assert!(inc.models_trained >= 1);
+
+    let relative = RelativeRatio
+        .run(&spec, &split.train, &split.holdout, &cfg, 30)
+        .expect("relative failed");
+    assert!(relative.sample_size > fixed.sample_size);
+}

@@ -1,0 +1,121 @@
+//! Statistical validation of the probabilistic guarantee — the repo-level
+//! version of the paper's Figure 6: over repeated runs, the fraction of
+//! models violating the contract must stay within the δ budget.
+
+use blinkml::prelude::*;
+use blinkml_optim::OptimOptions;
+
+/// Run `reps` BlinkML trainings against one trained full model and
+/// count contract violations.
+fn violation_count(epsilon: f64, delta: f64, reps: usize) -> (usize, usize) {
+    let data = higgs_like(25_000, 12, 99);
+    let split = data.split(1_000, 0, 98);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+
+    let config = BlinkMlConfig {
+        epsilon,
+        delta,
+        initial_sample_size: 400,
+        holdout_size: 1_000,
+        num_param_samples: 100,
+        ..BlinkMlConfig::default()
+    };
+    let coordinator = Coordinator::new(config);
+    let mut violations = 0usize;
+    for rep in 0..reps {
+        let outcome = coordinator
+            .train_with_holdout(&spec, &split.train, &split.holdout, 1_000 + rep as u64)
+            .expect("blinkml failed");
+        let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+        if v > epsilon {
+            violations += 1;
+        }
+    }
+    (violations, reps)
+}
+
+#[test]
+fn guarantee_holds_at_95_percent_accuracy() {
+    let (violations, reps) = violation_count(0.05, 0.05, 12);
+    // δ = 0.05 over 12 reps: expected ≤ 0.6 violations; allow 2 as
+    // binomial slack so the test is robust yet still catches a broken
+    // estimator (which violates in most runs).
+    assert!(
+        violations <= 2,
+        "{violations}/{reps} contract violations at ε = 0.05"
+    );
+}
+
+#[test]
+fn guarantee_holds_at_90_percent_accuracy() {
+    let (violations, reps) = violation_count(0.10, 0.05, 12);
+    assert!(
+        violations <= 2,
+        "{violations}/{reps} contract violations at ε = 0.10"
+    );
+}
+
+#[test]
+fn lemma1_generalization_bound_holds() {
+    // Lemma 1: full-model generalization error ≤ ε_g + ε − ε_g·ε.
+    let data = higgs_like(25_000, 12, 77);
+    let split = data.split(1_000, 2_000, 76);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let full = spec
+        .train(&split.train, None, &OptimOptions::default())
+        .expect("full training failed");
+    let full_err = spec.generalization_error(full.parameters(), &split.test);
+
+    let config = BlinkMlConfig {
+        epsilon: 0.05,
+        delta: 0.05,
+        initial_sample_size: 500,
+        holdout_size: 1_000,
+        num_param_samples: 100,
+        ..BlinkMlConfig::default()
+    };
+    let mut holds = 0usize;
+    let reps = 8;
+    for rep in 0..reps {
+        let outcome = Coordinator::new(config.clone())
+            .train_with_holdout(&spec, &split.train, &split.holdout, 2_000 + rep as u64)
+            .expect("blinkml failed");
+        let approx_err = spec.generalization_error(outcome.model.parameters(), &split.test);
+        let bound = outcome.full_model_error_bound(approx_err);
+        if full_err <= bound {
+            holds += 1;
+        }
+    }
+    assert!(holds >= reps - 1, "bound held in only {holds}/{reps} runs");
+}
+
+#[test]
+fn initial_epsilon_decreases_with_initial_sample_size() {
+    // More initial data → tighter ε₀ estimates (Theorem 1's α shrinks).
+    let data = higgs_like(40_000, 12, 55);
+    let split = data.split(1_000, 0, 54);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let eps0 = |n0: usize| {
+        let config = BlinkMlConfig {
+            epsilon: 1e-6, // force the estimate to be reported, not met
+            delta: 0.05,
+            initial_sample_size: n0,
+            holdout_size: 1_000,
+            num_param_samples: 64,
+            ..BlinkMlConfig::default()
+        };
+        Coordinator::new(config)
+            .train_with_holdout(&spec, &split.train, &split.holdout, 33)
+            .expect("blinkml failed")
+            .initial_epsilon
+    };
+    let small = eps0(300);
+    let large = eps0(3_000);
+    assert!(
+        large < small,
+        "ε₀ at n₀=3000 ({large}) should beat n₀=300 ({small})"
+    );
+}
