@@ -77,9 +77,12 @@ fn fig7_tables67_baselines(c: &mut Criterion) {
         let mut seed = 0u64;
         bench.iter(|| {
             seed += 1;
-            IncEstimator { base: 500, ..IncEstimator::default() }
-                .run(&spec, &split.train, &split.holdout, &config, seed)
-                .unwrap()
+            IncEstimator {
+                base: 500,
+                ..IncEstimator::default()
+            }
+            .run(&spec, &split.train, &split.holdout, &config, seed)
+            .unwrap()
         })
     });
     g.finish();

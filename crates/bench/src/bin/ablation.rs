@@ -42,20 +42,44 @@ fn margin_cache_ablation(n: usize, d: usize, k: usize, probes: usize, seed: u64)
     println!("# Ablation 1 — margin cache vs generic diff path");
     let mut table = Table::new(
         "Two-stage diff evaluation over k draws",
-        &["Workload", "Margin Path", "Generic Path", "Speedup", "Max |Δv|"],
+        &[
+            "Workload",
+            "Margin Path",
+            "Generic Path",
+            "Speedup",
+            "Max |Δv|",
+        ],
     );
 
     // Logistic on sparse CTR data.
     let data = criteo_like(n.min(30_000), d, seed);
     let split = data.split(1_500, 0, 0xAB1);
     let spec = LogisticRegressionSpec::new(1e-3);
-    run_margin_case("LR, Criteo-like", &spec, &split.train, &split.holdout, k, probes, seed, &mut table);
+    run_margin_case(
+        "LR, Criteo-like",
+        &spec,
+        &split.train,
+        &split.holdout,
+        k,
+        probes,
+        seed,
+        &mut table,
+    );
 
     // Max-entropy on dense images (10 margin outputs per example).
     let data = mnist_like(n.min(20_000), seed + 1);
     let split = data.split(1_500, 0, 0xAB2);
     let spec = MaxEntSpec::new(1e-3, 10);
-    run_margin_case("ME, MNIST-like", &spec, &split.train, &split.holdout, k, probes, seed, &mut table);
+    run_margin_case(
+        "ME, MNIST-like",
+        &spec,
+        &split.train,
+        &split.holdout,
+        k,
+        probes,
+        seed,
+        &mut table,
+    );
     table.print();
 }
 
@@ -71,7 +95,9 @@ fn run_margin_case<F: FeatureVec, S: ModelClassSpec<F>>(
     table: &mut Table,
 ) {
     let sample = train.sample(600, seed);
-    let model = spec.train(&sample, None, &OptimOptions::default()).expect("train");
+    let model = spec
+        .train(&sample, None, &OptimOptions::default())
+        .expect("train");
     let stats = observed_fisher(spec, model.parameters(), &sample).expect("stats");
     let pool_u = draw_pool(&stats, k, seed + 2);
     let pool_w = draw_pool(&stats, k, seed + 3);
@@ -119,7 +145,10 @@ fn run_margin_case<F: FeatureVec, S: ModelClassSpec<F>>(
         label.to_string(),
         format!("{:.3} s", fast_time.as_secs_f64()),
         format!("{:.3} s", slow_time.as_secs_f64()),
-        format!("{:.1}x", slow_time.as_secs_f64() / fast_time.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.1}x",
+            slow_time.as_secs_f64() / fast_time.as_secs_f64().max(1e-9)
+        ),
         format!("{max_dev:.2e}"),
     ]);
     blinkml_bench::report::append_result(
@@ -142,7 +171,9 @@ fn sampling_by_scaling_ablation(n: usize, d: usize, k: usize, seed: u64) {
     let spec = LogisticRegressionSpec::new(1e-3);
     let n0 = 600;
     let sample = split.train.sample(n0, seed + 11);
-    let model = spec.train(&sample, None, &OptimOptions::default()).expect("train");
+    let model = spec
+        .train(&sample, None, &OptimOptions::default())
+        .expect("train");
     let stats = observed_fisher(&spec, model.parameters(), &sample).expect("stats");
     let full_n = split.train.len();
     let epsilon = 0.05;
@@ -150,7 +181,15 @@ fn sampling_by_scaling_ablation(n: usize, d: usize, k: usize, seed: u64) {
     // Shared-pool estimator (the shipped implementation).
     let t = Instant::now();
     let shared = SampleSizeEstimator::new(k).estimate(
-        &spec, model.parameters(), &stats, n0, full_n, &split.holdout, epsilon, 0.05, seed + 12,
+        &spec,
+        model.parameters(),
+        &stats,
+        n0,
+        full_n,
+        &split.holdout,
+        epsilon,
+        0.05,
+        seed + 12,
     );
     let shared_time = t.elapsed();
 

@@ -34,7 +34,14 @@ fn main() {
 
     let mut table = Table::new(
         "Poisson: speedup and guarantee vs requested accuracy",
-        &["Requested", "Median Time", "Ratio", "Sample Size", "Actual Mean", "Actual Min"],
+        &[
+            "Requested",
+            "Median Time",
+            "Ratio",
+            "Sample Size",
+            "Actual Mean",
+            "Actual Min",
+        ],
     );
     for &accuracy in &[0.80, 0.90, 0.95, 0.98, 0.99] {
         let epsilon = 1.0 - accuracy;

@@ -68,14 +68,22 @@ fn main() {
     let k = args.get_usize("k", 100);
     let seed = args.get_u64("seed", 1);
 
-    println!("# Figure 10 — hyperparameter optimization (N={n}, d={d}, budget={budget_s}s per approach)");
+    println!(
+        "# Figure 10 — hyperparameter optimization (N={n}, d={d}, budget={budget_s}s per approach)"
+    );
     let data = higgs_like(n, d, seed);
     let split = data.split(2_000, 3_000, 0xF10);
     let cands = candidates(d, 4_000, seed + 5);
 
     let mut table = Table::new(
         "Random search within equal time budgets",
-        &["Approach", "Models", "Best Test Acc", "Time to Best", "First Model At"],
+        &[
+            "Approach",
+            "Models",
+            "Best Test Acc",
+            "Time to Best",
+            "First Model At",
+        ],
     );
     for (approach, is_blinkml) in [("Full training", false), ("BlinkML 95%", true)] {
         let start = Instant::now();

@@ -38,7 +38,9 @@ fn main() {
         .collect();
     let epsilon = 1.0 - accuracy;
 
-    println!("# Figure 11 — model complexity vs estimated sample size (N={n}, accuracy={accuracy})");
+    println!(
+        "# Figure 11 — model complexity vs estimated sample size (N={n}, accuracy={accuracy})"
+    );
 
     // 11a: regularization sweep at a fixed moderate dimension.
     let fixed_d = 2_000;

@@ -18,7 +18,9 @@ fn main() {
     let seed = args.get_u64("seed", 1);
     let filter = args.get_str("combo", "");
 
-    println!("# Figure 5 / Table 4 — training time savings (scale={scale}, reps={reps}, n0={n0}, k={k})");
+    println!(
+        "# Figure 5 / Table 4 — training time savings (scale={scale}, reps={reps}, n0={n0}, k={k})"
+    );
     for id in ComboId::paper_combos() {
         if !filter.is_empty() && !id.label().contains(&filter) {
             continue;
@@ -36,14 +38,26 @@ fn main() {
 
         let mut table = Table::new(
             format!("{} — speedup vs requested accuracy", id.label()),
-            &["Requested Acc", "Training Time", "Ratio to Full", "Speedup", "Sample Size"],
+            &[
+                "Requested Acc",
+                "Training Time",
+                "Ratio to Full",
+                "Speedup",
+                "Sample Size",
+            ],
         );
         for &accuracy in id.accuracy_sweep() {
             let epsilon = 1.0 - accuracy;
             let mut times: Vec<f64> = Vec::with_capacity(reps);
             let mut sizes: Vec<usize> = Vec::with_capacity(reps);
             for rep in 0..reps {
-                let run = combo.run_blinkml(epsilon, 0.05, id.effective_n0(n0), k, seed + 17 * rep as u64);
+                let run = combo.run_blinkml(
+                    epsilon,
+                    0.05,
+                    id.effective_n0(n0),
+                    k,
+                    seed + 17 * rep as u64,
+                );
                 times.push(run.elapsed.as_secs_f64());
                 sizes.push(run.sample_size);
             }

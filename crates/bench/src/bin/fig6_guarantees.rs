@@ -31,14 +31,25 @@ fn main() {
         combo.train_full();
         let mut table = Table::new(
             format!("{} — requested vs actual accuracy", id.label()),
-            &["Requested", "Actual Mean", "5th Pct", "95th Pct", "Violations"],
+            &[
+                "Requested",
+                "Actual Mean",
+                "5th Pct",
+                "95th Pct",
+                "Violations",
+            ],
         );
         for &accuracy in id.accuracy_sweep() {
             let epsilon = 1.0 - accuracy;
             let actuals: Vec<f64> = (0..reps)
                 .map(|rep| {
-                    let run =
-                        combo.run_blinkml(epsilon, 0.05, id.effective_n0(n0), k, seed + 31 * rep as u64);
+                    let run = combo.run_blinkml(
+                        epsilon,
+                        0.05,
+                        id.effective_n0(n0),
+                        k,
+                        seed + 31 * rep as u64,
+                    );
                     combo.actual_accuracy(&run.theta)
                 })
                 .collect();
@@ -47,10 +58,7 @@ fn main() {
             // δ = 0.05; report the realized violation count rather than
             // a pass/fail on the min (which flags ~1/3 of cells even
             // under perfect calibration at small rep counts).
-            let violations = actuals
-                .iter()
-                .filter(|&&a| a < accuracy - 1e-9)
-                .count();
+            let violations = actuals.iter().filter(|&&a| a < accuracy - 1e-9).count();
             table.row(&[
                 format!("{:.2}%", accuracy * 100.0),
                 format!("{:.2}%", mean * 100.0),

@@ -27,11 +27,24 @@ fn main() {
         combo.train_full();
         let mut acc_table = Table::new(
             format!("{} — actual accuracy by policy (Table 6)", id.label()),
-            &["Requested", "FixedRatio", "RelativeRatio", "IncEstimator", "BlinkML"],
+            &[
+                "Requested",
+                "FixedRatio",
+                "RelativeRatio",
+                "IncEstimator",
+                "BlinkML",
+            ],
         );
         let mut time_table = Table::new(
             format!("{} — runtime by policy (Table 7)", id.label()),
-            &["Requested", "FixedRatio", "RelativeRatio", "IncEstimator", "BlinkML", "BlinkML pure training"],
+            &[
+                "Requested",
+                "FixedRatio",
+                "RelativeRatio",
+                "IncEstimator",
+                "BlinkML",
+                "BlinkML pure training",
+            ],
         );
         for &accuracy in &accuracies {
             let epsilon = 1.0 - accuracy;
@@ -48,8 +61,7 @@ fn main() {
                 let run = combo.run_blinkml(epsilon, 0.05, n0, k, rep_seed);
                 acc[3] += combo.actual_accuracy(&run.theta);
                 time[3] += run.elapsed.as_secs_f64();
-                pure_training +=
-                    (run.initial_training + run.final_training).as_secs_f64();
+                pure_training += (run.initial_training + run.final_training).as_secs_f64();
             }
             let r = reps as f64;
             acc_table.row(&[

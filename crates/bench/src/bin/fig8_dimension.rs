@@ -30,10 +30,20 @@ fn main() {
         .collect();
     let epsilon = 1.0 - accuracy;
 
-    println!("# Figure 8 / Tables 8-9 — feature-dimension sweep (N={n}, n0={n0}, accuracy={accuracy})");
+    println!(
+        "# Figure 8 / Tables 8-9 — feature-dimension sweep (N={n}, n0={n0}, accuracy={accuracy})"
+    );
     let mut overhead = Table::new(
         "Runtime breakdown (Table 8)",
-        &["Features", "Initial Train", "Statistics", "Size Search", "Final Train", "Full Train", "Ratio"],
+        &[
+            "Features",
+            "Initial Train",
+            "Statistics",
+            "Size Search",
+            "Final Train",
+            "Full Train",
+            "Ratio",
+        ],
     );
     let mut gen_err = Table::new(
         "Generalization error (Table 9, left)",

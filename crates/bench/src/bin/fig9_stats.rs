@@ -49,7 +49,12 @@ fn variance_ratio_study(n: usize, sizes: &[usize], trainings: usize, seed: u64) 
 
     let mut table = Table::new(
         "Est. var / actual var (ratio near 1 is best)",
-        &["Sample Size", "ClosedForm", "InverseGradients", "ObservedFisher"],
+        &[
+            "Sample Size",
+            "ClosedForm",
+            "InverseGradients",
+            "ObservedFisher",
+        ],
     );
     for &size in sizes {
         // Actual: empirical variance of each coordinate over repeated
@@ -177,14 +182,36 @@ fn method_comparison_study(seed: u64) {
     println!("\n# Figure 9b — InverseGradients vs ObservedFisher");
     let mut table = Table::new(
         "Method comparison (runtime / avg Frobenius error)",
-        &["Workload", "IG Runtime", "IG Accuracy", "OF Runtime", "OF Accuracy"],
+        &[
+            "Workload",
+            "IG Runtime",
+            "IG Accuracy",
+            "OF Runtime",
+            "OF Accuracy",
+        ],
     );
     let higgs = higgs_like(40_000, 28, seed);
     let lr = LogisticRegressionSpec::new(1e-3);
-    compare_methods("LR, HIGGS-like", &lr, &higgs, 5_000, true, &mut table, seed + 10);
+    compare_methods(
+        "LR, HIGGS-like",
+        &lr,
+        &higgs,
+        5_000,
+        true,
+        &mut table,
+        seed + 10,
+    );
 
     let mnist = mnist_like(20_000, seed);
     let me = MaxEntSpec::new(1e-3, 10);
-    compare_methods("ME, MNIST-like", &me, &mnist, 1_000, false, &mut table, seed + 20);
+    compare_methods(
+        "ME, MNIST-like",
+        &me,
+        &mnist,
+        1_000,
+        false,
+        &mut table,
+        seed + 20,
+    );
     table.print();
 }

@@ -167,7 +167,13 @@ impl ComboId {
             // real HIGGS features have. Recorded in EXPERIMENTS.md.
             ComboId::PpcaHiggs => Box::new(TypedCombo::new(
                 *self,
-                blinkml_data::generators::low_rank_gaussian(n(150_000), 28, PPCA_FACTORS, 0.3, seed),
+                blinkml_data::generators::low_rank_gaussian(
+                    n(150_000),
+                    28,
+                    PPCA_FACTORS,
+                    0.3,
+                    seed,
+                ),
                 PpcaSpec::new(PPCA_FACTORS),
                 Some(PPCA_FACTORS),
             )),

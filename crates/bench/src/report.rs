@@ -90,7 +90,11 @@ pub fn append_result(experiment: &str, json: &serde_json::Value) {
         return; // result capture is best-effort
     }
     let path = dir.join(format!("{experiment}.jsonl"));
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
         let _ = writeln!(f, "{json}");
     }
 }

@@ -95,16 +95,7 @@ mod tests {
         let model = spec.train(&data, None, &OptimOptions::default()).unwrap();
         let stats = observed_fisher(&spec, model.parameters(), &data).unwrap();
         let est = ModelAccuracyEstimator::new(16);
-        let eps = est.estimate(
-            &spec,
-            model.parameters(),
-            &stats,
-            500,
-            500,
-            &data,
-            0.05,
-            7,
-        );
+        let eps = est.estimate(&spec, model.parameters(), &stats, 500, 500, &data, 0.05, 7);
         assert_eq!(eps, 0.0);
     }
 

@@ -158,19 +158,18 @@ impl SampleSizePolicy for IncEstimator {
         let t = Instant::now();
         let full_n = train.len();
         let accuracy = ModelAccuracyEstimator::new(config.num_param_samples);
-        let mut models_trained = 0usize;
         let mut warm: Option<Vec<f64>> = None;
+        // `k` doubles as the trained-model count: one model per round.
         for k in 1.. {
             let n = (self.base * k * k).min(full_n);
             let sample = train.sample(n, split_seed(seed, k as u64));
             let model = spec.train(&sample, warm.as_deref(), &config.optim)?;
-            models_trained += 1;
             if n == full_n {
                 // Reached the full data: exact by construction.
                 return Ok(BaselineOutcome {
                     sample_size: n,
                     elapsed: t.elapsed(),
-                    models_trained,
+                    models_trained: k,
                     model,
                 });
             }
@@ -202,7 +201,7 @@ impl SampleSizePolicy for IncEstimator {
                 return Ok(BaselineOutcome {
                     sample_size: n,
                     elapsed: t.elapsed(),
-                    models_trained,
+                    models_trained: k,
                     model,
                 });
             }
@@ -264,7 +263,10 @@ mod tests {
     fn inc_estimator_stops_when_contract_met() {
         let (train, holdout, spec, mut config) = setup();
         config.epsilon = 0.10;
-        let inc = IncEstimator { base: 500, ..IncEstimator::default() };
+        let inc = IncEstimator {
+            base: 500,
+            ..IncEstimator::default()
+        };
         let out = inc.run(&spec, &train, &holdout, &config, 7).unwrap();
         assert!(out.models_trained >= 1);
         assert!(out.sample_size <= train.len());
@@ -277,7 +279,10 @@ mod tests {
     fn inc_estimator_reaches_full_data_for_impossible_contract() {
         let (train, holdout, spec, mut config) = setup();
         config.epsilon = 1e-9; // effectively unattainable from a sample
-        let inc = IncEstimator { base: 2_000, ..IncEstimator::default() };
+        let inc = IncEstimator {
+            base: 2_000,
+            ..IncEstimator::default()
+        };
         let out = inc.run(&spec, &train, &holdout, &config, 8).unwrap();
         assert_eq!(out.sample_size, train.len());
         assert!(out.models_trained > 1);

@@ -93,7 +93,9 @@ impl BlinkMlConfig {
             ));
         }
         if self.holdout_size == 0 {
-            return Err(CoreError::InvalidConfig("holdout_size must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "holdout_size must be positive".into(),
+            ));
         }
         if self.num_param_samples < 2 {
             return Err(CoreError::InvalidConfig(
@@ -133,8 +135,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_epsilon_and_delta() {
-        let mut c = BlinkMlConfig::default();
-        c.epsilon = 0.0;
+        let mut c = BlinkMlConfig {
+            epsilon: 0.0,
+            ..BlinkMlConfig::default()
+        };
         assert!(c.validate().is_err());
         c.epsilon = 1.0;
         assert!(c.validate().is_err());
@@ -145,14 +149,20 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_sizes() {
-        let mut c = BlinkMlConfig::default();
-        c.initial_sample_size = 0;
+        let mut c = BlinkMlConfig {
+            initial_sample_size: 0,
+            ..BlinkMlConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = BlinkMlConfig::default();
-        c.holdout_size = 0;
+        c = BlinkMlConfig {
+            holdout_size: 0,
+            ..BlinkMlConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = BlinkMlConfig::default();
-        c.num_param_samples = 1;
+        c = BlinkMlConfig {
+            num_param_samples: 1,
+            ..BlinkMlConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -160,6 +170,9 @@ mod tests {
     fn method_names() {
         assert_eq!(StatisticsMethod::ObservedFisher.name(), "ObservedFisher");
         assert_eq!(StatisticsMethod::ClosedForm.name(), "ClosedForm");
-        assert_eq!(StatisticsMethod::InverseGradients.name(), "InverseGradients");
+        assert_eq!(
+            StatisticsMethod::InverseGradients.name(),
+            "InverseGradients"
+        );
     }
 }

@@ -150,8 +150,7 @@ impl Coordinator {
 
         // Phase 2: statistics of m₀.
         let t = Instant::now();
-        let stats =
-            compute_statistics(self.config.statistics_method, spec, m0.parameters(), &d0)?;
+        let stats = compute_statistics(self.config.statistics_method, spec, m0.parameters(), &d0)?;
         phases.statistics = t.elapsed();
 
         // Phase 3a: accuracy of m₀.
@@ -204,12 +203,8 @@ impl Coordinator {
 
         let estimated_epsilon = if self.config.estimate_final_accuracy && est.n < full_n {
             let t = Instant::now();
-            let stats_n = compute_statistics(
-                self.config.statistics_method,
-                spec,
-                mn.parameters(),
-                &dn,
-            )?;
+            let stats_n =
+                compute_statistics(self.config.statistics_method, spec, mn.parameters(), &dn)?;
             let eps = accuracy.estimate(
                 spec,
                 mn.parameters(),
@@ -302,11 +297,7 @@ mod tests {
         let full = spec
             .train(&split.train, None, &OptimOptions::default())
             .unwrap();
-        let v = spec.diff(
-            out.model.parameters(),
-            full.parameters(),
-            &split.holdout,
-        );
+        let v = spec.diff(out.model.parameters(), full.parameters(), &split.holdout);
         assert!(v <= epsilon * 1.5, "realized difference {v}");
     }
 

@@ -122,11 +122,7 @@ impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> DiffEngine<'a, F, S> {
             }
             Mode::Generic { base, pool_u, .. } => {
                 let u = &pool_u[i];
-                let other: Vec<f64> = base
-                    .iter()
-                    .zip(u)
-                    .map(|(b, ui)| b + scale * ui)
-                    .collect();
+                let other: Vec<f64> = base.iter().zip(u).map(|(b, ui)| b + scale * ui).collect();
                 self.spec.diff(base, &other, self.holdout)
             }
         }
@@ -161,11 +157,7 @@ impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> DiffEngine<'a, F, S> {
             } => {
                 let u = &pool_u[i];
                 let w = &pool_w[i];
-                let theta_n: Vec<f64> = base
-                    .iter()
-                    .zip(u)
-                    .map(|(b, ui)| b + scale1 * ui)
-                    .collect();
+                let theta_n: Vec<f64> = base.iter().zip(u).map(|(b, ui)| b + scale1 * ui).collect();
                 let theta_big: Vec<f64> = theta_n
                     .iter()
                     .zip(w)
@@ -231,12 +223,12 @@ mod tests {
             vec![-0.3, 0.2, 0.0, 0.05, -0.1],
         ];
         let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
-        for i in 0..2 {
+        for (i, pool_i) in pool.iter().enumerate() {
             for scale in [0.0, 0.1, 1.0] {
                 let fast = engine.diff_one_stage(i, scale);
                 let other: Vec<f64> = base
                     .iter()
-                    .zip(&pool[i])
+                    .zip(pool_i)
                     .map(|(b, u)| b + scale * u)
                     .collect();
                 let slow = spec.diff(&base, &other, &holdout);

@@ -76,7 +76,9 @@ mod tests {
             method: "ClosedForm",
         };
         assert!(e.to_string().contains("maxent"));
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         assert!(CoreError::InvalidData("y".into()).to_string().contains("y"));
     }
 

@@ -1,8 +1,8 @@
 //! Per-example gradient matrices in factored-friendly form.
 //!
-//! The paper's `grads` MCS method returns the list `ψ_i = q(θ; x_i, y_i)
-//! + r(θ)` for every training example (§2.2). ObservedFisher needs three
-//! operations on this list (§3.4, §4.3):
+//! The paper's `grads` MCS method returns the list
+//! `ψ_i = q(θ; x_i, y_i) + r(θ)` for every training example (§2.2).
+//! ObservedFisher needs three operations on this list (§3.4, §4.3):
 //!
 //! 1. the `D x D` second moment `J = (1/n) Σ ψ ψᵀ` (when `D ≤ n`),
 //! 2. the `n x n` Gram matrix `G_{ij} = ψ_i·ψ_j / n` (when `D > n`),
@@ -92,11 +92,9 @@ impl Grads {
                 let mut g = Matrix::zeros(n, n);
                 for i in 0..n {
                     for j in i..n {
-                        let v = (sparse_dot(&rows[i], &rows[j])
-                            + s_dot_c[i]
-                            + s_dot_c[j]
-                            + c_dot_c)
-                            * scale;
+                        let v =
+                            (sparse_dot(&rows[i], &rows[j]) + s_dot_c[i] + s_dot_c[j] + c_dot_c)
+                                * scale;
                         g[(i, j)] = v;
                         g[(j, i)] = v;
                     }
@@ -194,11 +192,7 @@ mod tests {
     use super::*;
 
     fn dense_example() -> Grads {
-        Grads::Dense(Matrix::from_vec(
-            3,
-            2,
-            vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0],
-        ))
+        Grads::Dense(Matrix::from_vec(3, 2, vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0]))
     }
 
     fn sparse_example() -> Grads {

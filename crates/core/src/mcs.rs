@@ -143,7 +143,9 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
         options: &OptimOptions,
     ) -> Result<TrainedModel, CoreError> {
         if data.is_empty() {
-            return Err(CoreError::InvalidData("cannot train on an empty dataset".into()));
+            return Err(CoreError::InvalidData(
+                "cannot train on an empty dataset".into(),
+            ));
         }
         let dim = self.param_dim(data.dim());
         let theta0: Vec<f64> = match warm_start {

@@ -47,7 +47,9 @@ impl LinearRegressionSpec {
 
     /// The estimated noise variance `σ² = e^u`.
     pub fn noise_variance(&self, theta: &[f64]) -> f64 {
-        theta[theta.len() - 1].clamp(-LOG_VAR_CLAMP, LOG_VAR_CLAMP).exp()
+        theta[theta.len() - 1]
+            .clamp(-LOG_VAR_CLAMP, LOG_VAR_CLAMP)
+            .exp()
     }
 }
 

@@ -166,11 +166,13 @@ mod tests {
         let spec = LogisticRegressionSpec::new(1e-3);
         let opts = OptimOptions::default();
         let cold = spec.train(&data, None, &opts).unwrap();
-        let warm = spec
-            .train(&data, Some(cold.parameters()), &opts)
-            .unwrap();
+        let warm = spec.train(&data, Some(cold.parameters()), &opts).unwrap();
         assert!(warm.iterations <= cold.iterations);
-        assert!(warm.iterations <= 2, "warm start from the optimum: {}", warm.iterations);
+        assert!(
+            warm.iterations <= 2,
+            "warm start from the optimum: {}",
+            warm.iterations
+        );
     }
 
     #[test]

@@ -206,7 +206,9 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
             )));
         }
         if data.len() < 2 {
-            return Err(CoreError::InvalidData("PPCA needs at least 2 examples".into()));
+            return Err(CoreError::InvalidData(
+                "PPCA needs at least 2 examples".into(),
+            ));
         }
         let s = Self::second_moment(data);
         let eig = SymmetricEigen::new(&s)?;
@@ -252,10 +254,7 @@ pub fn align_ppca_parameters(reference: &[f64], other: &[f64], d: usize, q: usiz
         let r = col(reference, j);
         let mut best = None;
         let mut best_cos = -1.0;
-        for c in 0..q {
-            if used[c] {
-                continue;
-            }
+        for (c, _) in used.iter().enumerate().filter(|(_, &u)| !u) {
             let o = col(other, c);
             let cos = blinkml_linalg::vector::cosine_similarity(&r, &o).abs();
             if cos > best_cos {
@@ -379,10 +378,8 @@ mod tests {
         let data = low_rank_gaussian(1_000, 8, 3, 0.2, 6);
         let sp = spec();
         let opts = OptimOptions::default();
-        let m1 =
-            <PpcaSpec as ModelClassSpec<DenseVec>>::train(&sp, &data, None, &opts).unwrap();
-        let m2 =
-            <PpcaSpec as ModelClassSpec<DenseVec>>::train(&sp, &data, None, &opts).unwrap();
+        let m1 = <PpcaSpec as ModelClassSpec<DenseVec>>::train(&sp, &data, None, &opts).unwrap();
+        let m2 = <PpcaSpec as ModelClassSpec<DenseVec>>::train(&sp, &data, None, &opts).unwrap();
         let v = <PpcaSpec as ModelClassSpec<DenseVec>>::diff(
             &sp,
             m1.parameters(),

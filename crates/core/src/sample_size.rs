@@ -144,10 +144,26 @@ mod tests {
         let (train, holdout, spec, theta0, stats, n0) = setup_logistic();
         let sse = SampleSizeEstimator::new(64);
         let loose = sse.estimate(
-            &spec, &theta0, &stats, n0, train.len(), &holdout, 0.20, 0.05, 7,
+            &spec,
+            &theta0,
+            &stats,
+            n0,
+            train.len(),
+            &holdout,
+            0.20,
+            0.05,
+            7,
         );
         let tight = sse.estimate(
-            &spec, &theta0, &stats, n0, train.len(), &holdout, 0.02, 0.05, 7,
+            &spec,
+            &theta0,
+            &stats,
+            n0,
+            train.len(),
+            &holdout,
+            0.02,
+            0.05,
+            7,
         );
         assert!(
             tight.n > loose.n,
@@ -165,7 +181,15 @@ mod tests {
         let sse = SampleSizeEstimator::new(32);
         // ε close to 1 is satisfied by any classifier pair.
         let est = sse.estimate(
-            &spec, &theta0, &stats, n0, train.len(), &holdout, 0.95, 0.05, 9,
+            &spec,
+            &theta0,
+            &stats,
+            n0,
+            train.len(),
+            &holdout,
+            0.95,
+            0.05,
+            9,
         );
         assert_eq!(est.n, n0);
         assert_eq!(est.probes, 1);
@@ -176,7 +200,15 @@ mod tests {
         let (train, holdout, spec, theta0, stats, n0) = setup_logistic();
         let sse = SampleSizeEstimator::new(32);
         let est = sse.estimate(
-            &spec, &theta0, &stats, n0, train.len(), &holdout, 0.05, 0.05, 11,
+            &spec,
+            &theta0,
+            &stats,
+            n0,
+            train.len(),
+            &holdout,
+            0.05,
+            0.05,
+            11,
         );
         // Binary search over ~29.5K values: about 15–16 probes plus the
         // initial check.
@@ -234,7 +266,11 @@ mod tests {
             0.05,
             8,
         );
-        assert!(est.n > n0, "ε=0.05 should need more than n0={n0}, got {}", est.n);
+        assert!(
+            est.n > n0,
+            "ε=0.05 should need more than n0={n0}, got {}",
+            est.n
+        );
 
         let full_model = spec.train(&split.train, None, &opts).unwrap();
         let dn = split.train.sample(est.n, 9);

@@ -44,13 +44,9 @@ fn reloaded_model_predicts_identically() {
 fn ppca_model_roundtrips() {
     let data = low_rank_gaussian(1_000, 6, 2, 0.2, 3);
     let spec = PpcaSpec::new(2);
-    let model = <PpcaSpec as ModelClassSpec<DenseVec>>::train(
-        &spec,
-        &data,
-        None,
-        &OptimOptions::default(),
-    )
-    .unwrap();
+    let model =
+        <PpcaSpec as ModelClassSpec<DenseVec>>::train(&spec, &data, None, &OptimOptions::default())
+            .unwrap();
     let back = roundtrip(&model);
     assert_eq!(model.parameters(), back.parameters());
 }

@@ -102,10 +102,7 @@ impl<F: FeatureVec> Dataset<F> {
 
     /// Clone the examples at the given indices into a new dataset.
     pub fn subset(&self, indices: &[usize]) -> Dataset<F> {
-        let examples = indices
-            .iter()
-            .map(|&i| self.examples[i].clone())
-            .collect();
+        let examples = indices.iter().map(|&i| self.examples[i].clone()).collect();
         Dataset {
             name: self.name.clone(),
             dim: self.dim,

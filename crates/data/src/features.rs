@@ -107,7 +107,10 @@ impl FeatureVec for DenseVec {
     }
 
     fn scaled_sparse(&self, coef: f64, out_dim: usize, offset: usize) -> SparseVec {
-        assert!(offset + self.0.len() <= out_dim, "scaled_sparse out of range");
+        assert!(
+            offset + self.0.len() <= out_dim,
+            "scaled_sparse out of range"
+        );
         let indices: Vec<u32> = (0..self.0.len()).map(|i| (offset + i) as u32).collect();
         let values: Vec<f64> = self.0.iter().map(|v| coef * v).collect();
         SparseVec::new(out_dim, indices, values)
@@ -298,10 +301,7 @@ mod tests {
     #[test]
     fn sparse_to_dense_layout() {
         let s = sparse_example();
-        assert_eq!(
-            s.to_dense(),
-            vec![0.0, 2.0, 0.0, -1.0, 0.0, 0.0, 0.5, 0.0]
-        );
+        assert_eq!(s.to_dense(), vec![0.0, 2.0, 0.0, -1.0, 0.0, 0.0, 0.5, 0.0]);
     }
 
     #[test]

@@ -522,7 +522,7 @@ pub fn low_rank_gaussian(
 }
 
 /// Variance of coordinate `i` of the [`low_rank_gaussian`] /
-/// [`regression_like`] factor models (testing hook).
+/// `regression_like` factor models (testing hook).
 pub fn factor_model_coord_variance(d: usize, k: usize, noise_std: f64, seed: u64, i: usize) -> f64 {
     FactorModel::new(d, k, noise_std, split_seed(seed, 0)).coord_variance(i)
 }
@@ -579,8 +579,7 @@ mod tests {
     fn criteo_like_is_sparse_and_imbalanced() {
         let d = criteo_like(5_000, 5_000, 4);
         assert_eq!(d.dim(), 5_000);
-        let avg_nnz: f64 =
-            d.iter().map(|e| e.x.nnz() as f64).sum::<f64>() / d.len() as f64;
+        let avg_nnz: f64 = d.iter().map(|e| e.x.nnz() as f64).sum::<f64>() / d.len() as f64;
         assert!(
             (20.0..60.0).contains(&avg_nnz),
             "avg nnz {avg_nnz} out of CTR range"
@@ -722,11 +721,8 @@ mod tests {
         let mut var_sum = 0.0;
         for j in 0..12 {
             let mean: f64 = d.iter().map(|e| e.x.get(j)).sum::<f64>() / d.len() as f64;
-            let var: f64 = d
-                .iter()
-                .map(|e| (e.x.get(j) - mean).powi(2))
-                .sum::<f64>()
-                / d.len() as f64;
+            let var: f64 =
+                d.iter().map(|e| (e.x.get(j) - mean).powi(2)).sum::<f64>() / d.len() as f64;
             var_sum += var;
         }
         assert!(var_sum > 12.0 * 0.05 * 0.05, "variance {var_sum} too small");

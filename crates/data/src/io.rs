@@ -142,7 +142,10 @@ pub fn read_csv<R: Read>(reader: R, label_column: usize) -> Result<Dataset<Dense
         if label_column >= cells.len() {
             return Err(parse_err(
                 lineno,
-                format!("label column {label_column} out of range ({} cells)", cells.len()),
+                format!(
+                    "label column {label_column} out of range ({} cells)",
+                    cells.len()
+                ),
             ));
         }
         let mut y = 0.0;

@@ -49,10 +49,7 @@ where
         .collect();
 
     std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| scope.spawn(|| f(r)))
-            .collect();
+        let handles: Vec<_> = ranges.into_iter().map(|r| scope.spawn(|| f(r))).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))

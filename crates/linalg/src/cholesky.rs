@@ -96,12 +96,12 @@ impl Cholesky {
             });
         }
         let mut y = vec![0.0; n];
-        for i in 0..n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut s = 0.0;
-            for k in 0..=i {
-                s += self.l[(i, k)] * x[k];
+            for (k, &xk) in x[..=i].iter().enumerate() {
+                s += self.l[(i, k)] * xk;
             }
-            y[i] = s;
+            *yi = s;
         }
         Ok(y)
     }

@@ -94,10 +94,7 @@ impl SymmetricEigen {
     /// Number of eigenvalues exceeding `tol * max(|λ|)` — the numerical
     /// rank of a PSD matrix.
     pub fn rank(&self, tol: f64) -> usize {
-        let lmax = self
-            .eigenvalues
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let lmax = self.eigenvalues.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         if lmax == 0.0 {
             return 0;
         }

@@ -157,7 +157,9 @@ mod tests {
     use crate::blas::{gemm, gemv};
 
     fn random_matrix(n: usize, seed: u64) -> Matrix {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;

@@ -151,8 +151,8 @@ impl Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
             let src = self.row(i);
-            for j in 0..self.cols {
-                t.data[j * self.rows + i] = src[j];
+            for (j, &v) in src.iter().enumerate() {
+                t.data[j * self.rows + i] = v;
             }
         }
         t
@@ -160,7 +160,9 @@ impl Matrix {
 
     /// The main diagonal.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Trace (sum of diagonal entries). Requires a square matrix.

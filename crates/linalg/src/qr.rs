@@ -123,20 +123,20 @@ impl Qr {
                 continue;
             }
             let mut s = 0.0;
-            for i in k..m {
-                s += self.qr[(i, k)] * y[i];
+            for (i, &yi) in y.iter().enumerate().skip(k) {
+                s += self.qr[(i, k)] * yi;
             }
             s = -s / self.qr[(k, k)];
-            for i in k..m {
-                y[i] += s * self.qr[(i, k)];
+            for (i, yi) in y.iter_mut().enumerate().skip(k) {
+                *yi += s * self.qr[(i, k)];
             }
         }
         // Back-substitute R x = (Qᵀ b)[..n].
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.qr[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.qr[(i, j)] * xj;
             }
             x[i] = s / self.rdiag[i];
         }

@@ -71,11 +71,7 @@ impl GradientDescent {
             let mut accepted = false;
             // Backtrack until Armijo sufficient decrease holds.
             for attempt in 0..60 {
-                let trial: Vec<f64> = theta
-                    .iter()
-                    .zip(&grad)
-                    .map(|(t, g)| t - step * g)
-                    .collect();
+                let trial: Vec<f64> = theta.iter().zip(&grad).map(|(t, g)| t - step * g).collect();
                 let (v_new, g_new) = objective.value_grad(&trial);
                 function_evals += 1;
                 if v_new.is_finite() && v_new <= value - self.c1 * step * g_sq {
@@ -150,7 +146,9 @@ mod tests {
         let easy_res = GradientDescent::new(opts.clone())
             .minimize(&easy, &[0.0, 0.0])
             .unwrap();
-        let hard_res = GradientDescent::new(opts).minimize(&hard, &[0.0, 0.0]).unwrap();
+        let hard_res = GradientDescent::new(opts)
+            .minimize(&hard, &[0.0, 0.0])
+            .unwrap();
         assert!(easy_res.converged && hard_res.converged);
         assert!(hard_res.iterations > easy_res.iterations);
     }

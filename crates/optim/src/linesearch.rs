@@ -110,8 +110,7 @@ pub fn strong_wolfe(
             }
             continue;
         }
-        if cur.value > value0 + params.c1 * cur.alpha * slope0
-            || (i > 0 && cur.value >= prev.value)
+        if cur.value > value0 + params.c1 * cur.alpha * slope0 || (i > 0 && cur.value >= prev.value)
         {
             bracket = Some((prev, cur));
             break;
@@ -148,10 +147,7 @@ pub fn strong_wolfe(
         let mut trial = quadratic_interpolate(&lo, &hi);
         let (lo_a, hi_a) = (lo.alpha.min(hi.alpha), lo.alpha.max(hi.alpha));
         let width = hi_a - lo_a;
-        if !(trial.is_finite())
-            || trial <= lo_a + 0.1 * width
-            || trial >= hi_a - 0.1 * width
-        {
+        if !(trial.is_finite()) || trial <= lo_a + 0.1 * width || trial >= hi_a - 0.1 * width {
             trial = 0.5 * (lo_a + hi_a);
         }
         if width < 1e-14 * (1.0 + lo_a) {
@@ -257,8 +253,7 @@ mod tests {
         let q = quadratic_1d();
         let (v0, g0) = q.value_grad(&[0.0]);
         let dir = [-g0[0]];
-        let res =
-            strong_wolfe(&q, &[0.0], v0, &g0, &dir, &WolfeParams::default()).unwrap();
+        let res = strong_wolfe(&q, &[0.0], v0, &g0, &dir, &WolfeParams::default()).unwrap();
         let x_new = 0.0 + res.alpha * dir[0];
         // Strong Wolfe with c2=0.9 is loose, but the step must land in a
         // broad neighborhood of the minimizer and reduce the value.

@@ -76,7 +76,10 @@ impl fmt::Display for OptimError {
                 write!(f, "objective is not finite at the starting point")
             }
             OptimError::DimensionMismatch { expected, got } => {
-                write!(f, "starting point has dimension {got}, objective expects {expected}")
+                write!(
+                    f,
+                    "starting point has dimension {got}, objective expects {expected}"
+                )
             }
         }
     }
@@ -101,7 +104,9 @@ mod tests {
         assert!(OptimError::LineSearchFailed { iteration: 3 }
             .to_string()
             .contains("3"));
-        assert!(OptimError::NonFiniteObjective.to_string().contains("finite"));
+        assert!(OptimError::NonFiniteObjective
+            .to_string()
+            .contains("finite"));
         assert!(OptimError::DimensionMismatch {
             expected: 4,
             got: 2

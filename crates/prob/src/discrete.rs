@@ -149,7 +149,10 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let freq = c as f64 / n as f64;
             let expect = weights[i] / 10.0;
-            assert!((freq - expect).abs() < 0.01, "class {i}: {freq} vs {expect}");
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "class {i}: {freq} vs {expect}"
+            );
         }
     }
 

@@ -167,8 +167,7 @@ mod tests {
         let mut buf = vec![0.0; 100_000];
         s.fill_scaled(&mut rng, 5.0, 2.0, &mut buf);
         let mean: f64 = buf.iter().sum::<f64>() / buf.len() as f64;
-        let var: f64 =
-            buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / buf.len() as f64;
+        let var: f64 = buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / buf.len() as f64;
         assert!((mean - 5.0).abs() < 0.05);
         assert!((var - 4.0).abs() < 0.1);
     }

@@ -14,7 +14,10 @@ fn main() {
     let split = data.split(2_000, 3_000, 9);
     let betas = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0, 5.0];
 
-    println!("searching {} regularization candidates with BlinkML@95%\n", betas.len());
+    println!(
+        "searching {} regularization candidates with BlinkML@95%\n",
+        betas.len()
+    );
     let start = Instant::now();
     let mut best: Option<(f64, f64)> = None; // (beta, accuracy)
     for (i, &beta) in betas.iter().enumerate() {
@@ -27,8 +30,7 @@ fn main() {
         let outcome = Coordinator::new(config)
             .train_with_holdout(&spec, &split.train, &split.holdout, 100 + i as u64)
             .expect("training failed");
-        let test_acc =
-            1.0 - spec.generalization_error(outcome.model.parameters(), &split.test);
+        let test_acc = 1.0 - spec.generalization_error(outcome.model.parameters(), &split.test);
         println!(
             "β = {beta:>8.0e}: test accuracy {:.2}% (n = {}, {:.0} ms)",
             test_acc * 100.0,

@@ -24,7 +24,10 @@ fn main() {
         "planning from one model trained on {n0} of {} rows:\n",
         split.train.len()
     );
-    println!("{:>12} {:>14} {:>10}", "accuracy", "est. sample n", "% of N");
+    println!(
+        "{:>12} {:>14} {:>10}",
+        "accuracy", "est. sample n", "% of N"
+    );
     let sse = SampleSizeEstimator::new(100);
     for accuracy in [0.80, 0.90, 0.95, 0.98, 0.99, 0.995] {
         let est = sse.estimate(

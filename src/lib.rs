@@ -45,6 +45,11 @@
 //! * [`core`] — the BlinkML system itself: model-class specifications,
 //!   statistics computation, the accuracy estimator, the sample-size
 //!   estimator, and the coordinator.
+//!
+//! See `docs/ARCHITECTURE.md` for the paper-section → module map and
+//! `docs/REPRODUCING.md` for the experiment suite.
+
+#![warn(missing_docs)]
 
 pub use blinkml_core as core;
 pub use blinkml_data as data;

@@ -6,8 +6,8 @@
 
 use blinkml::core::grads::Grads;
 use blinkml::core::mcs::regression_diff;
-use blinkml::prelude::*;
 use blinkml::linalg::Matrix;
+use blinkml::prelude::*;
 use blinkml_data::{DenseVec, Example};
 use blinkml_prob::rng_from_seed;
 use rand::Rng;
@@ -160,7 +160,11 @@ fn custom_model_gradient_is_consistent() {
         plus[i] += eps;
         minus[i] -= eps;
         let fd = (spec.objective(&plus, &data).0 - spec.objective(&minus, &data).0) / (2.0 * eps);
-        assert!((grad[i] - fd).abs() < 1e-5, "coord {i}: {} vs {fd}", grad[i]);
+        assert!(
+            (grad[i] - fd).abs() < 1e-5,
+            "coord {i}: {} vs {fd}",
+            grad[i]
+        );
     }
     // grads mean equals the objective gradient.
     let mean = spec.grads(&theta, &data).mean_row();
@@ -199,6 +203,10 @@ fn custom_model_runs_through_the_coordinator() {
     // Validate against a trained full model.
     let split = data.split(1_000, 0, 5);
     let full = spec.train(&split.train, None, &Default::default()).unwrap();
-    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    let v = spec.diff(
+        outcome.model.parameters(),
+        full.parameters(),
+        &split.holdout,
+    );
     assert!(v <= 0.05 * 2.0, "realized difference {v}");
 }

@@ -31,8 +31,15 @@ fn linear_regression_end_to_end() {
     let full = spec
         .train(&split.train, None, &OptimOptions::default())
         .expect("full training failed");
-    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
-    assert!(v <= epsilon * 1.5, "realized difference {v} vs ε = {epsilon}");
+    let v = spec.diff(
+        outcome.model.parameters(),
+        full.parameters(),
+        &split.holdout,
+    );
+    assert!(
+        v <= epsilon * 1.5,
+        "realized difference {v} vs ε = {epsilon}"
+    );
 }
 
 #[test]
@@ -48,7 +55,11 @@ fn logistic_regression_end_to_end_dense() {
     let full = spec
         .train(&split.train, None, &OptimOptions::default())
         .expect("full training failed");
-    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    let v = spec.diff(
+        outcome.model.parameters(),
+        full.parameters(),
+        &split.holdout,
+    );
     assert!(v <= epsilon * 1.5, "realized difference {v}");
 }
 
@@ -67,7 +78,11 @@ fn logistic_regression_end_to_end_sparse_high_dimensional() {
     let full = spec
         .train(&split.train, None, &OptimOptions::default())
         .expect("full training failed");
-    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    let v = spec.diff(
+        outcome.model.parameters(),
+        full.parameters(),
+        &split.holdout,
+    );
     assert!(v <= epsilon * 1.5, "realized difference {v}");
 }
 
@@ -84,7 +99,11 @@ fn maxent_end_to_end() {
     let full = spec
         .train(&split.train, None, &OptimOptions::default())
         .expect("full training failed");
-    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    let v = spec.diff(
+        outcome.model.parameters(),
+        full.parameters(),
+        &split.holdout,
+    );
     assert!(v <= epsilon * 1.5, "realized difference {v}");
 }
 
@@ -101,7 +120,11 @@ fn poisson_end_to_end() {
     let full = spec
         .train(&split.train, None, &OptimOptions::default())
         .expect("full training failed");
-    let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+    let v = spec.diff(
+        outcome.model.parameters(),
+        full.parameters(),
+        &split.holdout,
+    );
     assert!(v <= epsilon * 1.5, "realized rate difference {v}");
 }
 
@@ -118,12 +141,8 @@ fn ppca_end_to_end() {
     let full = spec
         .train(&split.train, None, &OptimOptions::default())
         .expect("full training failed");
-    let aligned = align_ppca_parameters(
-        full.parameters(),
-        outcome.model.parameters(),
-        data.dim(),
-        5,
-    );
+    let aligned =
+        align_ppca_parameters(full.parameters(), outcome.model.parameters(), data.dim(), 5);
     let v = spec.diff(full.parameters(), &aligned, &split.holdout);
     assert!(v <= epsilon * 1.5, "1 − cosine = {v}");
 }
@@ -202,9 +221,12 @@ fn baselines_comparable_to_blinkml() {
         .expect("fixed failed");
     assert_eq!(fixed.sample_size, split.train.len() / 100);
 
-    let inc = IncEstimator { base: 500, ..IncEstimator::default() }
-        .run(&spec, &split.train, &split.holdout, &cfg, 29)
-        .expect("inc failed");
+    let inc = IncEstimator {
+        base: 500,
+        ..IncEstimator::default()
+    }
+    .run(&spec, &split.train, &split.holdout, &cfg, 29)
+    .expect("inc failed");
     assert!(inc.models_trained >= 1);
 
     let relative = RelativeRatio

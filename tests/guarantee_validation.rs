@@ -29,7 +29,11 @@ fn violation_count(epsilon: f64, delta: f64, reps: usize) -> (usize, usize) {
         let outcome = coordinator
             .train_with_holdout(&spec, &split.train, &split.holdout, 1_000 + rep as u64)
             .expect("blinkml failed");
-        let v = spec.diff(outcome.model.parameters(), full.parameters(), &split.holdout);
+        let v = spec.diff(
+            outcome.model.parameters(),
+            full.parameters(),
+            &split.holdout,
+        );
         if v > epsilon {
             violations += 1;
         }

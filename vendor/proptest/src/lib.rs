@@ -1,0 +1,431 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API that the BlinkML property
+//! tests use: the [`proptest!`] macro over functions with `pat in
+//! strategy` arguments, range and collection strategies, tuple
+//! composition, [`Strategy::prop_map`], and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Differences from upstream, chosen for an offline, reproducible test
+//! suite:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   assertion message; re-running is fully deterministic.
+//! * **Deterministic seeding.** Each `(test name, case index)` pair maps
+//!   to a fixed RNG seed, so failures reproduce across runs and
+//!   machines with no `PROPTEST_*` environment handling.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for one test case: seeded from an FNV-1a hash
+    /// of the test name mixed with the case index.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration (`cases` = number of random cases per test).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker message used by `prop_assume!` to skip a case.
+#[doc(hidden)]
+pub const ASSUME_REJECTED: &str = "__proptest_stub_assume_rejected__";
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// A size specification for collection strategies: a fixed length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// A `Vec` of values from `element`, with a length drawn from
+    /// `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeMap` with keys from `key`, values from `value`, and an
+    /// entry count drawn from `size` (duplicates collapse, matching
+    /// upstream's at-most-`size` behaviour).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+// Re-exported so `use proptest::prelude::*` call sites can name the
+// map type if they ever need to.
+pub use collection::{BTreeMapStrategy, VecStrategy};
+
+/// What `prop_assert!`-style macros return through the case closure.
+pub type TestCaseResult = Result<(), String>;
+
+/// Run one property across `config.cases` deterministic cases.
+///
+/// Called by the [`proptest!`] macro; panics (like a failed test) on
+/// the first failing case, reporting the case index.
+#[doc(hidden)]
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case_fn: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    for case in 0..u64::from(config.cases) {
+        let mut rng = TestRng::for_case(test_name, case);
+        match case_fn(&mut rng) {
+            Ok(()) => {}
+            Err(msg) if msg == ASSUME_REJECTED => {}
+            Err(msg) => panic!(
+                "property `{test_name}` failed at case {case}/{}: {msg}",
+                config.cases
+            ),
+        }
+    }
+}
+
+/// Define deterministic property tests (offline `proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (@tests ($config:expr)) => {};
+    (@tests ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &config, |rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: {l:?}, right: {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: {l:?}, right: {r:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::ASSUME_REJECTED.to_string());
+        }
+    };
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn shifted(by: f64) -> impl Strategy<Value = f64> {
+        (0.0f64..1.0).prop_map(move |x| x + by)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..3.0, n in 1usize..50) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..50).contains(&n));
+        }
+
+        #[test]
+        fn vec_has_requested_len(v in crate::collection::vec(0u32..9, 7usize)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|&x| x < 9));
+        }
+
+        #[test]
+        fn map_and_tuples_compose((a, b) in (shifted(10.0), 0u64..5)) {
+            prop_assert!((10.0..11.0).contains(&a), "a = {a}");
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn btree_map_bounded(m in crate::collection::btree_map(0u32..16, -1.0f64..1.0, 0usize..10)) {
+            prop_assert!(m.len() < 10);
+            prop_assume!(!m.is_empty());
+            prop_assert!(m.keys().all(|&k| k < 16));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for pass in 0..2 {
+            let sink: &mut Vec<f64> = if pass == 0 { &mut first } else { &mut second };
+            let strat = 0.0f64..1.0;
+            crate::run_cases("det", &ProptestConfig::with_cases(8), |rng| {
+                sink.push(Strategy::generate(&strat, rng));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}

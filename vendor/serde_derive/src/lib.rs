@@ -1,0 +1,225 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports the struct shapes the BlinkML workspace serializes: structs
+//! with named fields, tuple structs, and newtype structs. No generics,
+//! enums, or field attributes — the derive fails loudly on anything it
+//! does not understand, so unsupported shapes are caught at compile
+//! time rather than corrupting data.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are
+//! unavailable offline): the item token stream is walked by hand and
+//! the impls are emitted as formatted source strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the struct being derived.
+enum StructShape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — number of unnamed fields.
+    Tuple(usize),
+}
+
+/// Parse `struct <Name> { .. }` / `struct <Name>(..);` out of a derive
+/// input token stream, skipping attributes and visibility modifiers.
+fn parse_struct(input: TokenStream) -> Result<(String, StructShape), String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(..)`).
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                Some(TokenTree::Group(_)) => {}
+                _ => return Err("malformed attribute".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                _ => return Err("expected struct name".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(format!(
+                    "this offline serde derive only supports structs, found `{id}`"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token `{other}`")),
+            None => return Err("expected a struct definition".into()),
+        }
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, StructShape::Named(named_fields(g.stream())?)))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok((name, StructShape::Tuple(tuple_arity(g.stream()))))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "this offline serde derive does not support generic struct `{name}`"
+        )),
+        _ => Err(format!("unsupported struct body for `{name}`")),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let field = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token `{other}` in fields")),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        // Skip the type, tracking `<`/`>` depth so commas inside
+        // generic arguments are not taken as field separators.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => {
+                    fields.push(field);
+                    return Ok(fields);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+        fields.push(field);
+    }
+}
+
+/// Number of fields in a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (value-model flavour) for a plain struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match shape {
+        StructShape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        StructShape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        StructShape::Tuple(n) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` (value-model flavour) for a plain struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match shape {
+        StructShape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(entries, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_object().ok_or_else(|| \
+                 format!(\"expected object for {name}, found {{v:?}}\"))?; \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        StructShape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        StructShape::Tuple(n) => {
+            let inits: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 format!(\"expected array for {name}, found {{v:?}}\"))?; \
+                 if items.len() != {n} {{ \
+                 return Err(format!(\"expected {n} elements for {name}, found {{}}\", items.len())); \
+                 }} \
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::std::string::String> {{ {body} }} }}"
+    )
+    .parse()
+    .unwrap()
+}

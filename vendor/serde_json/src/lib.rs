@@ -1,0 +1,341 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the subset the BlinkML workspace uses: [`to_string`],
+//! [`from_str`], the [`Value`] tree (re-exported from the `serde`
+//! stand-in, where the serialization traits produce it directly), and a
+//! flat-object [`json!`] macro for the experiment binaries' result
+//! capture.
+//!
+//! Numbers round-trip exactly: integers keep their sign class and
+//! floats are printed with Rust's shortest-round-trip formatting, so
+//! `from_str::<T>(&to_string(&x))` reproduces `x` bit-for-bit.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialization / parse error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as single-line JSON text.
+///
+/// # Errors
+/// This stand-in's value model is total, so the call currently never
+/// fails; the `Result` mirrors the upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parse JSON text into any deserializable type.
+///
+/// # Errors
+/// Fails on malformed JSON, trailing input, or a shape mismatch with
+/// `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::from_value(&value).map_err(Error)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error("unexpected end of input".into())),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            // Non-standard float tokens emitted by Display for
+            // non-finite values.
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'i') if self.eat_keyword("inf") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error(format!(
+                "unexpected character `{}` at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self.pos < self.bytes.len()
+                && self.bytes[self.pos] != b'"'
+                && self.bytes[self.pos] != b'\\'
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error(format!("invalid utf-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("invalid \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{other:?}`")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+            // Accept `-inf` from the non-finite Display encoding.
+            if self.eat_keyword("inf") {
+                return Ok(Value::Float(f64::NEG_INFINITY));
+            }
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error(format!("invalid number: {e}")))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("invalid float `{text}`: {e}")))
+        } else if negative {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error(format!("invalid integer `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error(format!("invalid integer `{text}`: {e}")))
+        }
+    }
+}
+
+/// Build a [`Value`] from a flat JSON object / array / scalar literal.
+///
+/// Supports the shapes used by the experiment binaries: an object with
+/// string-literal keys and serializable expression values, an array of
+/// expressions, or a single expression. (Nested object literals are not
+/// supported — pass a nested `json!` call as the value expression.)
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for x in [0.0f64, -1.5, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{s}");
+        }
+        let s = to_string(&usize::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn vectors_and_strings_roundtrip() {
+        let v = vec![1.25f64, -0.5, 3.0];
+        let back: Vec<f64> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+        let s = "quote \" backslash \\ newline \n done".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let n = 42usize;
+        let v = json!({ "name": "fig5", "n": n, "ratio": 0.5 });
+        let text = v.to_string();
+        assert_eq!(text, r#"{"name":"fig5","n":42,"ratio":0.5}"#);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
