@@ -1,0 +1,121 @@
+//! Pipeline benchmarks: sequential vs. batched/parallel estimator paths.
+//!
+//! Measures the pairs behind `results/BENCH_pipeline.json` (see the
+//! `pipeline_baseline` binary, which records the same pairs to JSON):
+//!
+//! * blocked parallel GEMM vs. the sequential kernel,
+//! * parallel `second_moment` (syrk) vs. the sequential pass,
+//! * GEMM-based `DiffEngine` construction vs. per-example scoring,
+//! * the end-to-end sample-size probe loop over a pooled engine.
+//!
+//! Set `BLINKML_BENCH_SMOKE=1` for a quick CI-sized run.
+
+use blinkml_bench::seqref::{bench_matrix, bench_pool, second_moment_seq, NoBatch};
+use blinkml_core::diff_engine::DiffEngine;
+use blinkml_core::grads::Grads;
+use blinkml_core::models::LinearRegressionSpec;
+use blinkml_data::generators::synthetic_linear;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Benchmark sizes: (holdout, features, pool draws, gemm dim).
+fn sizes() -> (usize, usize, usize, usize) {
+    if std::env::var_os("BLINKML_BENCH_SMOKE").is_some() {
+        (4_000, 16, 16, 64)
+    } else {
+        (50_000, 100, 128, 256)
+    }
+}
+
+fn gemm_kernels(c: &mut Criterion) {
+    let (_, _, _, dim) = sizes();
+    let mut g = c.benchmark_group("pipeline_gemm");
+    g.sample_size(10);
+    let a = bench_matrix(dim, dim, 1);
+    let b = bench_matrix(dim, dim, 2);
+    g.bench_function(format!("gemm_seq_{dim}"), |bench| {
+        bench.iter(|| blinkml_linalg::blas::gemm(black_box(&a), black_box(&b)).unwrap())
+    });
+    g.bench_function(format!("gemm_par_{dim}"), |bench| {
+        bench.iter(|| blinkml_linalg::blas::par_gemm(black_box(&a), black_box(&b)).unwrap())
+    });
+    g.finish();
+}
+
+fn second_moment(c: &mut Criterion) {
+    let (h, d, _, _) = sizes();
+    let mut g = c.benchmark_group("pipeline_second_moment");
+    g.sample_size(10);
+    let m = bench_matrix(h, d, 3);
+    g.bench_function(format!("seq_{h}x{d}"), |bench| {
+        bench.iter(|| second_moment_seq(black_box(&m)))
+    });
+    let grads = Grads::Dense(m.clone());
+    g.bench_function(format!("par_{h}x{d}"), |bench| {
+        bench.iter(|| black_box(&grads).second_moment())
+    });
+    g.finish();
+}
+
+fn diff_engine_build(c: &mut Criterion) {
+    let (h, d, pool_k, _) = sizes();
+    let mut g = c.benchmark_group("pipeline_diff_engine");
+    g.sample_size(10);
+    let (holdout, _) = synthetic_linear(h, d, 0.3, 4);
+    let base = bench_pool(1, d + 1, 5).pop().unwrap();
+    let pool = bench_pool(pool_k, d + 1, 6);
+    let spec = LinearRegressionSpec::new(1e-3);
+    let seq_spec = NoBatch(LinearRegressionSpec::new(1e-3));
+    g.bench_function(format!("build_per_example_h{h}_d{d}_k{pool_k}"), |bench| {
+        bench.iter(|| DiffEngine::new(black_box(&seq_spec), &holdout, &base, &pool, &pool))
+    });
+    g.bench_function(format!("build_gemm_h{h}_d{d}_k{pool_k}"), |bench| {
+        bench.iter(|| DiffEngine::new(black_box(&spec), &holdout, &base, &pool, &pool))
+    });
+    g.finish();
+}
+
+fn probe_loop(c: &mut Criterion) {
+    let (h, d, pool_k, _) = sizes();
+    let mut g = c.benchmark_group("pipeline_probe");
+    g.sample_size(10);
+    let (holdout, _) = synthetic_linear(h, d, 0.3, 7);
+    let base = bench_pool(1, d + 1, 8).pop().unwrap();
+    let pool = bench_pool(pool_k, d + 1, 9);
+    let spec = LinearRegressionSpec::new(1e-3);
+    let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+    // One binary-search probe of the Sample Size Estimator: sequential
+    // loop vs the estimator's actual draw-parallel path.
+    g.bench_function(format!("sse_probe_seq_k{pool_k}_h{h}"), |bench| {
+        bench.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..pool_k {
+                if engine.diff_two_stage(black_box(i), 0.02, 0.01) <= 0.05 {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function(format!("sse_probe_par_k{pool_k}_h{h}"), |bench| {
+        bench.iter(|| {
+            blinkml_data::parallel::par_ranges_with(pool_k, 1, |range| {
+                range
+                    .filter(|&i| engine.diff_two_stage(black_box(i), 0.02, 0.01) <= 0.05)
+                    .count()
+            })
+            .into_iter()
+            .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    gemm_kernels,
+    second_moment,
+    diff_engine_build,
+    probe_loop
+);
+criterion_main!(benches);

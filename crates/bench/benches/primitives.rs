@@ -7,20 +7,12 @@ use blinkml_core::models::{LinearRegressionSpec, LogisticRegressionSpec, MaxEntS
 use blinkml_core::stats::{closed_form, inverse_gradients, observed_fisher};
 use blinkml_core::ModelClassSpec;
 use blinkml_data::generators::{mnist_like, power_like, synthetic_logistic};
-use blinkml_linalg::{blas, Matrix, SymmetricEigen, ThinSvd};
+use blinkml_linalg::{blas, SymmetricEigen, ThinSvd};
 use blinkml_optim::OptimOptions;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
-    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(99);
-    Matrix::from_fn(m, n, |_, _| {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-    })
-}
+use blinkml_linalg::testing::xorshift_matrix as random_matrix;
 
 fn linalg_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("linalg");

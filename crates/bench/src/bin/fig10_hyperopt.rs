@@ -109,6 +109,7 @@ fn main() {
                     statistics_method: StatisticsMethod::ObservedFisher,
                     optim: OptimOptions::default(),
                     estimate_final_accuracy: false,
+                    exec: Default::default(),
                 };
                 Coordinator::new(config)
                     .train_with_holdout(&spec, &train, &holdout, seed + evaluated as u64)

@@ -74,6 +74,7 @@ fn main() {
             statistics_method: StatisticsMethod::ObservedFisher,
             optim: OptimOptions::default(),
             estimate_final_accuracy: false,
+            exec: Default::default(),
         };
         let t = Instant::now();
         let outcome = Coordinator::new(config)

@@ -1,0 +1,183 @@
+//! Record the estimator-pipeline perf baseline to
+//! `results/BENCH_pipeline.json`.
+//!
+//! Times each sequential/batched pair of the compute spine (blocked
+//! GEMM, parallel second moment, GEMM-based `DiffEngine` construction,
+//! and the end-to-end sample-size probe loop) and writes one JSON
+//! document with the before/after medians, so future PRs have a perf
+//! trajectory to compare against.
+//!
+//! Usage:
+//! `cargo run --release -p blinkml-bench --bin pipeline_baseline -- \
+//!  [mode=full|smoke] [holdout=50000] [dim=100] [pool=128] [reps=5] [seed=1]`
+//!
+//! `mode=smoke` shrinks the shapes and prints the table without writing
+//! the JSON (the CI smoke job uses it).
+
+use blinkml_bench::seqref::{bench_matrix, bench_pool, second_moment_seq, NoBatch};
+use blinkml_bench::{fmt_duration, BenchArgs, Table};
+use blinkml_core::diff_engine::DiffEngine;
+use blinkml_core::grads::Grads;
+use blinkml_core::models::LinearRegressionSpec;
+use blinkml_data::generators::synthetic_linear;
+use blinkml_linalg::blas;
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Median wall-clock time of `reps` calls.
+fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+struct Pair {
+    name: &'static str,
+    shape: String,
+    seq: Duration,
+    batched: Duration,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.seq.as_secs_f64() / self.batched.as_secs_f64().max(1e-12)
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse(&["mode", "holdout", "dim", "pool", "reps", "seed"]);
+    let mode = args.get_str("mode", "full");
+    let smoke = mode == "smoke";
+    assert!(
+        smoke || mode == "full",
+        "mode must be 'full' or 'smoke', got '{mode}'"
+    );
+    let (def_h, def_d, def_pool) = if smoke {
+        (4_000, 16, 16)
+    } else {
+        (50_000, 100, 128)
+    };
+    let h = args.get_usize("holdout", def_h);
+    let d = args.get_usize("dim", def_d);
+    let pool_k = args.get_usize("pool", def_pool);
+    let reps = args.get_usize("reps", if smoke { 2 } else { 5 });
+    let seed = args.get_u64("seed", 1);
+    let gemm_dim = if smoke { 64 } else { 256 };
+
+    let mut pairs = Vec::new();
+
+    // 1. Blocked parallel GEMM vs the sequential kernel.
+    let a = bench_matrix(gemm_dim, gemm_dim, seed);
+    let b = bench_matrix(gemm_dim, gemm_dim, seed + 1);
+    pairs.push(Pair {
+        name: "gemm",
+        shape: format!("{gemm_dim}x{gemm_dim} * {gemm_dim}x{gemm_dim}"),
+        seq: median_time(reps, || blas::gemm(&a, &b).unwrap()),
+        batched: median_time(reps, || blas::par_gemm(&a, &b).unwrap()),
+    });
+
+    // 2. Parallel second moment vs the sequential syrk pass.
+    let m = bench_matrix(h, d, seed + 2);
+    let grads = Grads::Dense(m.clone());
+    pairs.push(Pair {
+        name: "second_moment",
+        shape: format!("{h}x{d}"),
+        seq: median_time(reps, || second_moment_seq(&m)),
+        batched: median_time(reps, || grads.second_moment()),
+    });
+
+    // 3. DiffEngine construction: per-example scoring vs one fused GEMM.
+    let (holdout, _) = synthetic_linear(h, d, 0.3, seed + 3);
+    let base = bench_pool(1, d + 1, seed + 4).pop().expect("one vector");
+    let pool = bench_pool(pool_k, d + 1, seed + 5);
+    let spec = LinearRegressionSpec::new(1e-3);
+    let seq_spec = NoBatch(LinearRegressionSpec::new(1e-3));
+    pairs.push(Pair {
+        name: "diff_engine_build",
+        shape: format!("holdout={h} D={d} pool={pool_k}"),
+        seq: median_time(reps, || {
+            DiffEngine::new(&seq_spec, &holdout, &base, &pool, &pool)
+        }),
+        batched: median_time(reps, || {
+            DiffEngine::new(&spec, &holdout, &base, &pool, &pool)
+        }),
+    });
+
+    // 4. End-to-end probe loop (one Sample Size Estimator probe):
+    // plain sequential loop vs the estimator's actual draw-parallel
+    // path (`par_ranges_with` with the per-draw chunk size, as in
+    // sample_size.rs). Equal on one core; the gap is the thread-level
+    // win on multicore machines.
+    let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+    pairs.push(Pair {
+        name: "sse_probe",
+        shape: format!("k={pool_k} holdout={h}"),
+        seq: median_time(reps, || {
+            (0..pool_k)
+                .filter(|&i| engine.diff_two_stage(i, 0.02, 0.01) <= 0.05)
+                .count()
+        }),
+        batched: median_time(reps, || {
+            blinkml_data::parallel::par_ranges_with(pool_k, 1, |range| {
+                range
+                    .filter(|&i| engine.diff_two_stage(i, 0.02, 0.01) <= 0.05)
+                    .count()
+            })
+            .into_iter()
+            .sum::<usize>()
+        }),
+    });
+
+    let mut table = Table::new(
+        format!("Estimator pipeline: sequential vs batched (reps={reps})"),
+        &["kernel", "shape", "sequential", "batched", "speedup"],
+    );
+    for p in &pairs {
+        table.row(&[
+            p.name.to_string(),
+            p.shape.clone(),
+            fmt_duration(p.seq),
+            fmt_duration(p.batched),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+    table.print();
+
+    if smoke {
+        println!("\nsmoke mode: skipping results/BENCH_pipeline.json");
+        return;
+    }
+
+    let entries: Vec<Value> = pairs
+        .iter()
+        .map(|p| {
+            json!({
+                "kernel": p.name,
+                "shape": p.shape.clone(),
+                "sequential_ms": p.seq.as_secs_f64() * 1e3,
+                "batched_ms": p.batched.as_secs_f64() * 1e3,
+                "speedup": p.speedup(),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "bench": "pipeline",
+        "reps": reps,
+        "seed": seed,
+        "threads": blinkml_data::parallel::max_threads(),
+        "chunk_size": blinkml_data::parallel::CHUNK_SIZE,
+        "pairs": Value::Array(entries),
+    });
+    let dir = blinkml_bench::report::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_pipeline.json");
+    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    println!("\nwrote {}", path.display());
+}

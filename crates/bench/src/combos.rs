@@ -287,6 +287,7 @@ impl<F: FeatureVec, S: ModelClassSpec<F>> TypedCombo<F, S> {
             statistics_method: StatisticsMethod::ObservedFisher,
             optim: OptimOptions::default(),
             estimate_final_accuracy: false,
+            exec: Default::default(),
         }
     }
 }

@@ -9,6 +9,7 @@
 pub mod args;
 pub mod combos;
 pub mod report;
+pub mod seqref;
 
 pub use args::BenchArgs;
 pub use combos::{ComboId, ComboRun};

@@ -1,0 +1,70 @@
+//! Sequential reference paths for before/after pipeline benchmarks.
+//!
+//! The estimator hot paths went batched and parallel; these helpers keep
+//! the *old* sequential behaviour reachable so `benches/pipeline.rs` and
+//! the `pipeline_baseline` binary can measure the speedup honestly
+//! instead of against a reimplementation from memory.
+
+use blinkml_linalg::{blas, Matrix};
+
+/// Re-export of the shared sequential-reference wrapper: hides
+/// `ModelClassSpec::margin_weights`, forcing `DiffEngine` onto the
+/// per-example margins path — the pre-batching construction behaviour.
+pub use blinkml_core::testing::NoBatch;
+
+/// The pre-refactor dense second moment: one sequential `syrk_t` pass
+/// (what `Grads::second_moment` did before routing through the parallel
+/// kernels).
+pub fn second_moment_seq(m: &Matrix) -> Matrix {
+    let n = m.rows().max(1) as f64;
+    let mut j = blas::syrk_t(m);
+    j.scale(1.0 / n);
+    j
+}
+
+/// Deterministic pseudo-random matrix shared by the pipeline benches
+/// (the workspace-wide generator from `blinkml_linalg::testing`).
+pub fn bench_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    blinkml_linalg::testing::xorshift_matrix(rows, cols, seed)
+}
+
+/// Deterministic pseudo-random parameter pool (`count` vectors of length
+/// `dim`) for the diff-engine benches.
+pub fn bench_pool(count: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|p| bench_matrix(1, dim, seed.wrapping_add(p as u64).wrapping_mul(7919)).into_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkml_core::diff_engine::DiffEngine;
+    use blinkml_core::grads::Grads;
+    use blinkml_core::models::LinearRegressionSpec;
+    use blinkml_data::generators::synthetic_linear;
+
+    #[test]
+    fn no_batch_engine_matches_batched_engine() {
+        let (holdout, _) = synthetic_linear(300, 5, 0.3, 1);
+        let spec = LinearRegressionSpec::new(1e-3);
+        let base = bench_pool(1, 6, 3).pop().unwrap();
+        let pool = bench_pool(4, 6, 4);
+        let batched = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        let wrapped = NoBatch(LinearRegressionSpec::new(1e-3));
+        let seq = DiffEngine::new(&wrapped, &holdout, &base, &pool, &pool);
+        for i in 0..4 {
+            let a = batched.diff_two_stage(i, 0.4, 0.2);
+            let b = seq.diff_two_stage(i, 0.4, 0.2);
+            assert!((a - b).abs() < 1e-12, "draw {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sequential_second_moment_matches_parallel() {
+        let m = bench_matrix(500, 8, 2);
+        let seq = second_moment_seq(&m);
+        let par = Grads::Dense(m).second_moment();
+        assert!(seq.max_abs_diff(&par) < 1e-12);
+    }
+}

@@ -11,8 +11,15 @@
 use crate::diff_engine::{draw_pool, DiffEngine};
 use crate::mcs::ModelClassSpec;
 use crate::stats::ModelStatistics;
+use blinkml_data::parallel::par_ranges_with;
 use blinkml_data::{Dataset, FeatureVec};
 use blinkml_prob::{conservative_level, empirical_quantile};
+
+/// Chunk size for parallel loops over Monte Carlo draws: one draw scores
+/// the whole holdout set, so each draw is its own unit of work. Draw
+/// results are independent (no cross-draw reduction), so this affects
+/// scheduling only, never values.
+pub(crate) const DRAW_CHUNK: usize = 1;
 
 /// The accuracy estimator; `num_samples` is the Monte Carlo draw count
 /// `k` (paper default 100).
@@ -56,9 +63,16 @@ impl ModelAccuracyEstimator {
         let pool = draw_pool(stats, self.num_samples, seed);
         let engine = DiffEngine::new(spec, holdout, theta_n, &pool, &[]);
         let scale = alpha.sqrt();
-        let diffs: Vec<f64> = (0..self.num_samples)
-            .map(|i| engine.diff_one_stage(i, scale))
-            .collect();
+        // Parallel over draws: each diff is independent, so the collected
+        // vector is identical to the sequential loop for any thread count.
+        let diffs: Vec<f64> = par_ranges_with(self.num_samples, DRAW_CHUNK, |range| {
+            range
+                .map(|i| engine.diff_one_stage(i, scale))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let level = conservative_level(delta, self.num_samples);
         empirical_quantile(&diffs, level)
     }

@@ -28,6 +28,38 @@ impl StatisticsMethod {
     }
 }
 
+/// Execution-layer configuration: how the deterministic parallel kernels
+/// (see `blinkml_data::parallel`) schedule their fixed-size chunks.
+///
+/// Chunk boundaries derive from a fixed constant, never from the thread
+/// count, so this knob changes wall-clock time only — estimator outputs
+/// are bit-identical for any setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecConfig {
+    /// Cap on worker threads; `None` uses all available cores (capped at
+    /// 16). `Some(1)` forces fully sequential execution.
+    pub max_threads: Option<usize>,
+}
+
+impl ExecConfig {
+    /// Sequential execution (one worker thread).
+    pub fn sequential() -> Self {
+        ExecConfig {
+            max_threads: Some(1),
+        }
+    }
+
+    /// Install this configuration into the **process-wide** execution
+    /// layer. The budget persists after the installing run finishes —
+    /// it is a global knob, not a per-coordinator scope — so the last
+    /// `apply` (equivalently, the last started coordinator run) wins.
+    /// By the determinism contract this can only change wall-clock
+    /// time, never results.
+    pub fn apply(&self) {
+        blinkml_data::parallel::set_max_threads(self.max_threads);
+    }
+}
+
 /// Full BlinkML configuration.
 ///
 /// The *approximation contract* is `(epsilon, delta)`: the returned model
@@ -55,6 +87,11 @@ pub struct BlinkMlConfig {
     /// statistics pass; off by default, matching the paper's workflow
     /// where the sample-size estimate itself carries the guarantee).
     pub estimate_final_accuracy: bool,
+    /// Execution-layer knobs (thread budget); applied by the coordinator
+    /// at the start of every training run. Note the budget is a
+    /// process-wide setting (see [`ExecConfig::apply`]): it stays in
+    /// effect after the run, and concurrent coordinators share it.
+    pub exec: ExecConfig,
 }
 
 impl Default for BlinkMlConfig {
@@ -68,6 +105,7 @@ impl Default for BlinkMlConfig {
             statistics_method: StatisticsMethod::ObservedFisher,
             optim: OptimOptions::default(),
             estimate_final_accuracy: false,
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -100,6 +138,11 @@ impl BlinkMlConfig {
         if self.num_param_samples < 2 {
             return Err(CoreError::InvalidConfig(
                 "num_param_samples must be at least 2".into(),
+            ));
+        }
+        if self.exec.max_threads == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "exec.max_threads must be at least 1 (use None for auto)".into(),
             ));
         }
         Ok(())
@@ -164,6 +207,22 @@ mod tests {
             ..BlinkMlConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_thread_budget() {
+        let c = BlinkMlConfig {
+            exec: ExecConfig {
+                max_threads: Some(0),
+            },
+            ..BlinkMlConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = BlinkMlConfig {
+            exec: ExecConfig::sequential(),
+            ..BlinkMlConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -118,6 +118,9 @@ impl Coordinator {
         seed: u64,
     ) -> Result<TrainingOutcome, CoreError> {
         self.config.validate()?;
+        // Install the thread budget for every parallel kernel downstream.
+        // Deterministic chunking means this never changes results.
+        self.config.exec.apply();
         if train.is_empty() {
             return Err(CoreError::InvalidData("empty training pool".into()));
         }
@@ -255,6 +258,7 @@ mod tests {
             statistics_method: StatisticsMethod::ObservedFisher,
             optim: OptimOptions::default(),
             estimate_final_accuracy: false,
+            exec: Default::default(),
         }
     }
 
@@ -347,6 +351,29 @@ mod tests {
         let a = c.train(&spec, &data, 7).unwrap();
         let b = c.train(&spec, &data, 7).unwrap();
         assert_eq!(a.sample_size, b.sample_size);
+        assert_eq!(a.model.parameters(), b.model.parameters());
+    }
+
+    #[test]
+    fn outputs_identical_across_thread_budgets() {
+        // The execution layer's determinism contract, end to end: a tight
+        // contract (forcing the sample-size search and second training)
+        // must produce bit-identical results sequentially and with a
+        // multi-thread budget.
+        use crate::config::ExecConfig;
+        let (data, _) = synthetic_logistic(12_000, 4, 2.0, 8);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let mut cfg = config(0.02, 300);
+        cfg.exec = ExecConfig::sequential();
+        let a = Coordinator::new(cfg.clone())
+            .train(&spec, &data, 9)
+            .unwrap();
+        cfg.exec = ExecConfig {
+            max_threads: Some(4),
+        };
+        let b = Coordinator::new(cfg).train(&spec, &data, 9).unwrap();
+        assert_eq!(a.sample_size, b.sample_size);
+        assert_eq!(a.initial_epsilon, b.initial_epsilon);
         assert_eq!(a.model.parameters(), b.model.parameters());
     }
 }

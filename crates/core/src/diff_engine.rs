@@ -9,12 +9,20 @@
 //! practical companion of the paper's sampling-by-scaling optimization
 //! (§4.3): the same unscaled pool serves every `n`.
 //!
-//! Models without margins (PPCA) fall back to materializing parameter
-//! vectors and calling the spec's own `diff`.
+//! Construction itself is batched: when the spec exposes
+//! [`ModelClassSpec::margin_weights`], all score matrices are built with
+//! **one fused GEMM** — the holdout design matrix times the stacked
+//! weight blocks `[W(θ_base) | W(u₁) | … | W(w_k)]` — streamed in
+//! parallel chunks of holdout rows instead of `(1 + 2k)` separate
+//! per-example scoring passes. Specs with margins but no weight matrix
+//! keep the per-example path; models without margins (PPCA) fall back to
+//! materializing parameter vectors and calling the spec's own `diff`.
 
 use crate::mcs::ModelClassSpec;
 use crate::stats::ModelStatistics;
+use blinkml_data::parallel::par_ranges;
 use blinkml_data::{Dataset, FeatureVec};
+use blinkml_linalg::Matrix;
 use blinkml_prob::{rng_from_seed, MvnSampler};
 
 /// Precomputed state for repeated difference evaluations over pooled
@@ -43,6 +51,65 @@ enum Mode<'a> {
     },
 }
 
+/// One fused GEMM over the holdout set: compute `S = X · W_all` (`X` the
+/// `h × d` holdout design matrix, `W_all` the horizontally stacked
+/// `d × (P·outputs)` weight blocks of `P` parameter vectors) in parallel
+/// chunks of holdout rows, and return the `P` flattened
+/// `h × outputs` score matrices.
+///
+/// The design matrix is never materialized: each chunk streams its
+/// examples through [`FeatureVec::add_scaled_rows_into`], which is the
+/// GEMM row kernel for dense rows and the sparse-times-dense product for
+/// sparse ones. Chunk boundaries are fixed (see `blinkml_data::parallel`)
+/// and each output row is written by exactly one chunk, so results are
+/// bit-identical for any thread count.
+fn batched_scores<F: FeatureVec>(
+    holdout: &Dataset<F>,
+    w_all: &Matrix,
+    outputs: usize,
+) -> Vec<Vec<f64>> {
+    let h = holdout.len();
+    let cols = w_all.cols();
+    let num_params = cols / outputs;
+    let table = w_all.as_slice();
+    // Each chunk computes its interleaved score rows (cache-friendly for
+    // the GEMM row kernel), then un-interleaves *locally* into
+    // per-parameter segments, so the full-size interleaved intermediate
+    // never exists — peak memory stays ~one copy of the scores plus one
+    // chunk, instead of two full copies.
+    let chunked: Vec<Vec<Vec<f64>>> = par_ranges(h, |range| {
+        let len = range.len();
+        let mut block = vec![0.0; len * cols];
+        for (local, j) in range.enumerate() {
+            holdout.get(j).x.add_scaled_rows_into(
+                table,
+                cols,
+                &mut block[local * cols..(local + 1) * cols],
+            );
+        }
+        let mut segments: Vec<Vec<f64>> = (0..num_params)
+            .map(|_| Vec::with_capacity(len * outputs))
+            .collect();
+        for srow in block.chunks_exact(cols) {
+            for (p, segment) in segments.iter_mut().enumerate() {
+                segment.extend_from_slice(&srow[p * outputs..(p + 1) * outputs]);
+            }
+        }
+        segments
+    });
+    // Concatenate the per-chunk segments in chunk order, freeing each
+    // chunk as it is consumed.
+    let mut scores: Vec<Vec<f64>> = (0..num_params)
+        .map(|_| Vec::with_capacity(h * outputs))
+        .collect();
+    for segments in chunked {
+        for (score, segment) in scores.iter_mut().zip(segments) {
+            score.extend_from_slice(&segment);
+        }
+    }
+    scores
+}
+
 /// Draw a pool of `count` centered parameter-perturbation vectors from
 /// the model statistics (unscaled: covariance `H⁻¹JH⁻¹`).
 pub fn draw_pool(stats: &ModelStatistics, count: usize, seed: u64) -> Vec<Vec<f64>> {
@@ -64,19 +131,46 @@ impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> DiffEngine<'a, F, S> {
     ) -> Self {
         let mode = match spec.num_margin_outputs(holdout.dim()) {
             Some(outputs) => {
-                let score = |theta: &[f64]| -> Vec<f64> {
-                    let mut m = vec![0.0; holdout.len() * outputs];
-                    for (i, e) in holdout.iter().enumerate() {
-                        spec.margins(theta, &e.x, &mut m[i * outputs..(i + 1) * outputs]);
+                let stacked: Vec<&[f64]> = std::iter::once(theta_base)
+                    .chain(pool_u.iter().map(Vec::as_slice))
+                    .chain(pool_w.iter().map(Vec::as_slice))
+                    .collect();
+                let weights: Option<Vec<Matrix>> = stacked
+                    .iter()
+                    .map(|t| spec.margin_weights(t, holdout.dim()))
+                    .collect();
+                let mut scores = match weights {
+                    // Batched fast path: one fused GEMM for every score
+                    // matrix at once.
+                    Some(blocks) => {
+                        batched_scores(holdout, &Matrix::hstack(&blocks), outputs).into_iter()
                     }
-                    m
+                    // Margin specs without a weight matrix: per-example
+                    // scoring, one pass per stacked parameter vector.
+                    None => {
+                        let score = |theta: &[f64]| -> Vec<f64> {
+                            let mut m = vec![0.0; holdout.len() * outputs];
+                            for (i, e) in holdout.iter().enumerate() {
+                                spec.margins(theta, &e.x, &mut m[i * outputs..(i + 1) * outputs]);
+                            }
+                            m
+                        };
+                        stacked
+                            .iter()
+                            .map(|t| score(t))
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                    }
                 };
+                let base = scores.next().expect("stacked always contains θ_base");
+                let pool_u_scores: Vec<Vec<f64>> = scores.by_ref().take(pool_u.len()).collect();
+                let pool_w_scores: Vec<Vec<f64>> = scores.collect();
                 Mode::Margins {
                     outputs,
                     rms: spec.diff_is_rms(),
-                    base: score(theta_base),
-                    pool_u: pool_u.iter().map(|u| score(u)).collect(),
-                    pool_w: pool_w.iter().map(|w| score(w)).collect(),
+                    base,
+                    pool_u: pool_u_scores,
+                    pool_w: pool_w_scores,
                 }
             }
             None => Mode::Generic {

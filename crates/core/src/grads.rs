@@ -13,8 +13,9 @@
 //! is shared by all rows; [`Grads::Sparse`] keeps that structure so the
 //! three operations stay `O(nnz)` instead of `O(n·D)`.
 
+use blinkml_data::parallel::{par_map_reduce_matrix, par_ranges, par_sum_vecs};
 use blinkml_data::{FeatureVec, SparseVec};
-use blinkml_linalg::blas::syrk_t;
+use blinkml_linalg::blas::{ger, par_symmetric, par_syrk_n, par_syrk_t};
 use blinkml_linalg::vector::dot;
 use blinkml_linalg::Matrix;
 
@@ -49,7 +50,8 @@ impl Grads {
         }
     }
 
-    /// Second moment `J = (1/n) Σ ψ ψᵀ` as a dense `D x D` matrix.
+    /// Second moment `J = (1/n) Σ ψ ψᵀ` as a dense `D x D` matrix,
+    /// accumulated through the deterministic parallel kernels.
     ///
     /// Only sensible when `D` is small; the coordinator picks the Gram
     /// path otherwise.
@@ -57,73 +59,81 @@ impl Grads {
         let n = self.num_rows().max(1) as f64;
         match self {
             Grads::Dense(m) => {
-                let mut j = syrk_t(m);
+                let mut j = par_syrk_t(m);
                 j.scale(1.0 / n);
                 j
             }
             Grads::Sparse { rows, shift } => {
+                // With ψ_i = s_i + c (c = shift shared by all rows):
+                // Σ ψψᵀ = Σ s_i s_iᵀ + t cᵀ + c tᵀ + n·c cᵀ, t = Σ s_i.
+                // The sparse outer products cost O(nnz²) per row instead
+                // of the O(D²) dense rank-one update per row.
                 let d = shift.len();
-                let mut j = Matrix::zeros(d, d);
-                let mut dense_row = vec![0.0; d];
-                for row in rows {
-                    dense_row.copy_from_slice(shift);
-                    row.add_scaled_into(1.0, &mut dense_row);
-                    blinkml_linalg::blas::ger(1.0 / n, &dense_row, &dense_row, &mut j);
-                }
+                let mut j = par_map_reduce_matrix(rows.len(), d, d, |range| {
+                    let mut acc = Matrix::zeros(d, d);
+                    for row in &rows[range] {
+                        let (idx, val) = (row.indices(), row.values());
+                        for (p, &ip) in idx.iter().enumerate() {
+                            let vp = val[p];
+                            if vp == 0.0 {
+                                continue;
+                            }
+                            let arow = acc.row_mut(ip as usize);
+                            for (q, &iq) in idx.iter().enumerate() {
+                                arow[iq as usize] += vp * val[q];
+                            }
+                        }
+                    }
+                    acc
+                });
+                let t = par_sum_vecs(rows.len(), d, |i, acc| rows[i].add_scaled_into(1.0, acc));
+                ger(1.0, &t, shift, &mut j);
+                ger(1.0, shift, &t, &mut j);
+                ger(rows.len() as f64, shift, shift, &mut j);
+                j.scale(1.0 / n);
                 j
             }
         }
     }
 
-    /// Gram matrix `G_{ij} = ψ_i·ψ_j / n` as a dense `n x n` matrix.
+    /// Gram matrix `G_{ij} = ψ_i·ψ_j / n` as a dense `n x n` matrix,
+    /// computed row-chunk-parallel.
     pub fn gram(&self) -> Matrix {
         let n = self.num_rows();
         let scale = 1.0 / n.max(1) as f64;
         match self {
             Grads::Dense(m) => {
-                let mut g = blinkml_linalg::blas::syrk_n(m);
+                let mut g = par_syrk_n(m);
                 g.scale(scale);
                 g
             }
             Grads::Sparse { rows, shift } => {
                 // ψ_i·ψ_j = s_i·s_j + s_i·c + s_j·c + c·c with c = shift.
                 let c_dot_c = dot(shift, shift);
-                let s_dot_c: Vec<f64> = rows.iter().map(|r| r.dot(shift)).collect();
-                let mut g = Matrix::zeros(n, n);
-                for i in 0..n {
-                    for j in i..n {
-                        let v =
-                            (sparse_dot(&rows[i], &rows[j]) + s_dot_c[i] + s_dot_c[j] + c_dot_c)
-                                * scale;
-                        g[(i, j)] = v;
-                        g[(j, i)] = v;
-                    }
-                }
-                g
+                let s_dot_c: Vec<f64> = par_ranges(n, |range| {
+                    range.map(|i| rows[i].dot(shift)).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                par_symmetric(n, |i, j| {
+                    (sparse_dot(&rows[i], &rows[j]) + s_dot_c[i] + s_dot_c[j] + c_dot_c) * scale
+                })
             }
         }
     }
 
     /// `Q'ᵀ w = (1/√n) Σ w_i ψ_i` — the transposed application used by
-    /// the implicit covariance factor.
+    /// the implicit covariance factor. The dense path is the `gemv_t`
+    /// BLAS kernel.
     pub fn t_apply(&self, w: &[f64]) -> Vec<f64> {
         let n = self.num_rows();
         assert_eq!(w.len(), n, "t_apply: weight length mismatch");
         let inv_sqrt_n = 1.0 / (n.max(1) as f64).sqrt();
-        let mut out = vec![0.0; self.dim()];
-        match self {
-            Grads::Dense(m) => {
-                for (i, &wi) in w.iter().enumerate() {
-                    if wi == 0.0 {
-                        continue;
-                    }
-                    let row = m.row(i);
-                    for (o, &v) in out.iter_mut().zip(row) {
-                        *o += wi * v;
-                    }
-                }
-            }
+        let mut out = match self {
+            Grads::Dense(m) => blinkml_linalg::blas::gemv_t(m, w).expect("checked length"),
             Grads::Sparse { rows, shift } => {
+                let mut out = vec![0.0; self.dim()];
                 let w_sum: f64 = w.iter().sum();
                 for (row, &wi) in rows.iter().zip(w) {
                     if wi != 0.0 {
@@ -133,8 +143,9 @@ impl Grads {
                 for (o, &c) in out.iter_mut().zip(shift) {
                     *o += w_sum * c;
                 }
+                out
             }
-        }
+        };
         for o in &mut out {
             *o *= inv_sqrt_n;
         }
@@ -155,13 +166,30 @@ impl Grads {
 
     /// Mean row `(1/n) Σ ψ_i` — equals the full objective gradient at the
     /// trained parameter, hence ≈ 0 at an optimum (useful invariant).
+    /// Accumulates the rows directly (same ascending-row order as a
+    /// unit-weight `t_apply`, without allocating the weight vector).
     pub fn mean_row(&self) -> Vec<f64> {
         let n = self.num_rows().max(1) as f64;
-        let mut out = self.t_apply(&vec![1.0; self.num_rows()]);
-        // t_apply already divides by √n; adjust to 1/n.
-        let fix = 1.0 / n.sqrt();
+        let mut out = vec![0.0; self.dim()];
+        match self {
+            Grads::Dense(m) => {
+                for i in 0..m.rows() {
+                    for (o, &v) in out.iter_mut().zip(m.row(i)) {
+                        *o += v;
+                    }
+                }
+            }
+            Grads::Sparse { rows, shift } => {
+                for row in rows {
+                    row.add_scaled_into(1.0, &mut out);
+                }
+                for (o, &c) in out.iter_mut().zip(shift) {
+                    *o += rows.len() as f64 * c;
+                }
+            }
+        }
         for o in &mut out {
-            *o *= fix;
+            *o /= n;
         }
         out
     }

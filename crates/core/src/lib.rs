@@ -34,9 +34,11 @@ pub mod mcs;
 pub mod models;
 pub mod sample_size;
 pub mod stats;
+#[doc(hidden)]
+pub mod testing;
 
 pub use accuracy::ModelAccuracyEstimator;
-pub use config::{BlinkMlConfig, StatisticsMethod};
+pub use config::{BlinkMlConfig, ExecConfig, StatisticsMethod};
 pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
 pub use mcs::{ModelClassSpec, TrainedModel};

@@ -120,6 +120,21 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
         unreachable!("margins() called on a model without margin support");
     }
 
+    /// The margin weight matrix `W(θ)` (`data_dim × outputs`, with
+    /// `outputs` = [`Self::num_margin_outputs`]) such that the margin
+    /// vector of example `x` is `xᵀ W(θ)`. The mapping `θ ↦ W(θ)` must be
+    /// linear (for GLMs it is a slice, for max-entropy a reshape), so it
+    /// applies to parameter-perturbation vectors as well as parameters.
+    ///
+    /// Returning `Some` lets `DiffEngine` build the holdout score
+    /// matrices of an entire parameter pool with one blocked GEMM instead
+    /// of per-example [`Self::margins`] calls — the batched fast path
+    /// behind the estimators. `None` (the default) falls back to
+    /// per-example scoring.
+    fn margin_weights(&self, _theta: &[f64], _data_dim: usize) -> Option<Matrix> {
+        None
+    }
+
     /// Prediction as a function of the margin scores (paired with
     /// [`Self::margins`]).
     fn predict_from_margins(&self, _scores: &[f64]) -> f64 {

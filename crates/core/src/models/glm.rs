@@ -9,7 +9,7 @@
 
 use crate::grads::Grads;
 use crate::mcs::{classification_diff, regression_diff, ModelClassSpec};
-use blinkml_data::parallel::{par_accumulate, par_ranges};
+use blinkml_data::parallel::{par_ranges, par_sum_vecs};
 use blinkml_data::{Dataset, FeatureVec};
 use blinkml_linalg::Matrix;
 use std::marker::PhantomData;
@@ -79,7 +79,7 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
         let n = data.len().max(1) as f64;
         // Accumulate [Σℓ, Σℓ'·x] in one parallel pass; slot 0 is the
         // loss, slots 1..=d the gradient.
-        let acc = par_accumulate(data.len(), d + 1, |i, acc| {
+        let acc = par_sum_vecs(data.len(), d + 1, |i, acc| {
             let e = data.get(i);
             let m = e.x.dot(theta);
             acc[0] += Fam::loss(m, e.y);
@@ -188,6 +188,11 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
 
     fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
         out[0] = x.dot(theta);
+    }
+
+    fn margin_weights(&self, theta: &[f64], data_dim: usize) -> Option<Matrix> {
+        debug_assert_eq!(theta.len(), data_dim);
+        Some(Matrix::from_vec(data_dim, 1, theta.to_vec()))
     }
 
     fn predict_from_margins(&self, scores: &[f64]) -> f64 {

@@ -15,7 +15,7 @@
 
 use crate::grads::Grads;
 use crate::mcs::{regression_diff, ModelClassSpec};
-use blinkml_data::parallel::par_accumulate;
+use blinkml_data::parallel::par_sum_vecs;
 use blinkml_data::{Dataset, FeatureVec};
 use blinkml_linalg::blas::ger;
 use blinkml_linalg::Matrix;
@@ -73,7 +73,7 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
         let inv_s = (-u).exp();
         let w = &theta[..d];
         // Slot 0: Σ residual²; slots 1..=d: Σ residual·x.
-        let acc = par_accumulate(data.len(), d + 1, |i, acc| {
+        let acc = par_sum_vecs(data.len(), d + 1, |i, acc| {
             let e = data.get(i);
             let r = e.x.dot(w) - e.y;
             acc[0] += r * r;
@@ -187,6 +187,11 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
 
     fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
         out[0] = x.dot(self.weights(theta));
+    }
+
+    fn margin_weights(&self, theta: &[f64], data_dim: usize) -> Option<Matrix> {
+        // Predictions ignore the trailing ln σ² parameter.
+        Some(Matrix::from_vec(data_dim, 1, theta[..data_dim].to_vec()))
     }
 
     fn predict_from_margins(&self, scores: &[f64]) -> f64 {

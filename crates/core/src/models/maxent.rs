@@ -2,7 +2,7 @@
 
 use crate::grads::Grads;
 use crate::mcs::{classification_diff, ModelClassSpec};
-use blinkml_data::parallel::{par_accumulate, par_ranges};
+use blinkml_data::parallel::{par_ranges, par_sum_vecs};
 use blinkml_data::{Dataset, FeatureVec, SparseVec};
 use blinkml_linalg::Matrix;
 
@@ -92,7 +92,7 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
         let dim = k_classes * d;
         let n = data.len().max(1) as f64;
         // Slot 0: Σ loss; slots 1..: Σ gradient.
-        let acc = par_accumulate(data.len(), dim + 1, |i, acc| {
+        let acc = par_sum_vecs(data.len(), dim + 1, |i, acc| {
             let e = data.get(i);
             let label = e.y as usize;
             debug_assert!(label < k_classes, "label {label} out of range");
@@ -199,6 +199,14 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
 
     fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
         self.scores(theta, x, out);
+    }
+
+    fn margin_weights(&self, theta: &[f64], data_dim: usize) -> Option<Matrix> {
+        // Class-major θ reshaped to data_dim × K: W[i][k] = θ[k·d + i].
+        debug_assert_eq!(theta.len(), self.num_classes * data_dim);
+        Some(Matrix::from_fn(data_dim, self.num_classes, |i, k| {
+            theta[k * data_dim + i]
+        }))
     }
 
     fn predict_from_margins(&self, scores: &[f64]) -> f64 {

@@ -9,9 +9,11 @@
 //! (sampling by scaling, §4.3), and the minimum `n` is located by binary
 //! search, justified by the monotonicity of Theorem 2.
 
+use crate::accuracy::DRAW_CHUNK;
 use crate::diff_engine::{draw_pool, DiffEngine};
 use crate::mcs::ModelClassSpec;
 use crate::stats::ModelStatistics;
+use blinkml_data::parallel::par_ranges_with;
 use blinkml_data::{Dataset, FeatureVec};
 use blinkml_prob::{conservative_level, split_seed};
 
@@ -75,9 +77,15 @@ impl SampleSizeEstimator {
             probes += 1;
             let a1 = alpha(n0, n).sqrt();
             let a2 = alpha(n, full_n).sqrt();
-            let hits = (0..k)
-                .filter(|&i| engine.diff_two_stage(i, a1, a2) <= epsilon)
-                .count();
+            // Parallel over draws; per-chunk hit counts are integers, so
+            // the sum is exact and thread-count independent.
+            let hits: usize = par_ranges_with(k, DRAW_CHUNK, |range| {
+                range
+                    .filter(|&i| engine.diff_two_stage(i, a1, a2) <= epsilon)
+                    .count()
+            })
+            .into_iter()
+            .sum();
             hits as f64 / k as f64 >= level
         };
 

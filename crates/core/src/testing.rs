@@ -1,0 +1,53 @@
+//! Sequential reference wrappers shared by the workspace's tests and
+//! benchmarks. Not part of the public API (`#[doc(hidden)]` at the
+//! re-export site); semver-exempt.
+
+use crate::grads::Grads;
+use crate::mcs::ModelClassSpec;
+use blinkml_data::{Dataset, FeatureVec};
+
+/// Wrapper that hides [`ModelClassSpec::margin_weights`], forcing
+/// `DiffEngine` onto the per-example margins path — the pre-batching
+/// construction behaviour. Used as the sequential reference in the
+/// core proptests and the pipeline benchmarks.
+pub struct NoBatch<S>(pub S);
+
+impl<F: FeatureVec, S: ModelClassSpec<F>> ModelClassSpec<F> for NoBatch<S> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn param_dim(&self, data_dim: usize) -> usize {
+        self.0.param_dim(data_dim)
+    }
+    fn regularization(&self) -> f64 {
+        self.0.regularization()
+    }
+    fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {
+        self.0.objective(theta, data)
+    }
+    fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
+        self.0.grads(theta, data)
+    }
+    fn predict(&self, theta: &[f64], x: &F) -> f64 {
+        self.0.predict(theta, x)
+    }
+    fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<F>) -> f64 {
+        self.0.diff(theta_a, theta_b, holdout)
+    }
+    fn generalization_error(&self, theta: &[f64], data: &Dataset<F>) -> f64 {
+        self.0.generalization_error(theta, data)
+    }
+    fn num_margin_outputs(&self, data_dim: usize) -> Option<usize> {
+        self.0.num_margin_outputs(data_dim)
+    }
+    fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
+        self.0.margins(theta, x, out)
+    }
+    fn predict_from_margins(&self, scores: &[f64]) -> f64 {
+        self.0.predict_from_margins(scores)
+    }
+    fn diff_is_rms(&self) -> bool {
+        self.0.diff_is_rms()
+    }
+    // margin_weights deliberately left at the default `None`.
+}

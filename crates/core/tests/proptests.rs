@@ -4,12 +4,74 @@
 
 use blinkml_core::accuracy::sampling_alpha;
 use blinkml_core::diff_engine::{draw_pool, DiffEngine};
+use blinkml_core::grads::Grads;
 use blinkml_core::models::{LinearRegressionSpec, LogisticRegressionSpec, MaxEntSpec};
 use blinkml_core::stats::observed_fisher;
+use blinkml_core::testing::NoBatch;
 use blinkml_core::ModelClassSpec;
 use blinkml_data::generators::{synthetic_linear, synthetic_logistic, synthetic_multiclass};
+use blinkml_data::SparseVec;
+use blinkml_linalg::Matrix;
 use blinkml_optim::OptimOptions;
 use proptest::prelude::*;
+
+/// Random sparse gradient rows plus a shared shift, exercising the
+/// sparse second-moment/Gram paths.
+fn sparse_grads(n: usize, d: usize, seed: u64) -> Grads {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let rows = (0..n)
+        .map(|_| {
+            let mut pairs = Vec::new();
+            for i in 0..d {
+                if next() % 3 == 0 {
+                    let v = (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                    pairs.push((i as u32, v));
+                }
+            }
+            SparseVec::from_pairs(d, pairs)
+        })
+        .collect();
+    let shift = (0..d)
+        .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+        .collect();
+    Grads::Sparse { rows, shift }
+}
+
+/// Naive O(n·D²) second moment from materialized rows — the sequential
+/// reference for both layouts.
+fn naive_second_moment(g: &Grads) -> Matrix {
+    let (n, d) = (g.num_rows(), g.dim());
+    let mut j = Matrix::zeros(d, d);
+    for i in 0..n {
+        let row = g.row_dense(i);
+        for a in 0..d {
+            for b in 0..d {
+                j[(a, b)] += row[a] * row[b] / n.max(1) as f64;
+            }
+        }
+    }
+    j
+}
+
+/// Naive Gram matrix from materialized rows.
+fn naive_gram(g: &Grads) -> Matrix {
+    let n = g.num_rows();
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| g.row_dense(i)).collect();
+    Matrix::from_fn(n, n, |i, j| {
+        rows[i]
+            .iter()
+            .zip(&rows[j])
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            / n.max(1) as f64
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -92,6 +154,72 @@ proptest! {
             &spec, model.parameters(), &stats, 1_500, full_n, &split.holdout, 0.05, seed + 3,
         );
         prop_assert!(eps_1500 <= eps_200, "{eps_1500} > {eps_200}");
+    }
+
+    #[test]
+    fn gemm_diff_engine_matches_per_example_linear(
+        h in 1usize..200, d in 1usize..8, k in 1usize..6, seed in 0u64..500,
+    ) {
+        // Batched GEMM construction vs. the per-example margins path,
+        // for random shapes, one- and two-stage forms.
+        let (holdout, _) = synthetic_linear(h, d, 0.4, seed);
+        let spec = LinearRegressionSpec::new(1e-3);
+        let base: Vec<f64> = (0..d + 1).map(|i| ((i * 3 + 1) as f64 * 0.17).sin()).collect();
+        let pool: Vec<Vec<f64>> = (0..k)
+            .map(|p| (0..d + 1).map(|i| ((p * 7 + i) as f64 * 0.29).cos() * 0.3).collect())
+            .collect();
+        let batched = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        let reference = NoBatch(spec.clone());
+        let seq = DiffEngine::new(&reference, &holdout, &base, &pool, &pool);
+        for i in 0..k {
+            let f = batched.diff_one_stage(i, 0.7);
+            let s = seq.diff_one_stage(i, 0.7);
+            prop_assert!((f - s).abs() < 1e-12, "one-stage draw {i}: {f} vs {s}");
+            let f2 = batched.diff_two_stage(i, 0.6, 0.3);
+            let s2 = seq.diff_two_stage(i, 0.6, 0.3);
+            prop_assert!((f2 - s2).abs() < 1e-12, "two-stage draw {i}: {f2} vs {s2}");
+        }
+    }
+
+    #[test]
+    fn gemm_diff_engine_matches_per_example_multiclass(
+        h in 1usize..150, seed in 0u64..200,
+    ) {
+        // Multi-output margins (max-entropy, K = 3).
+        let holdout = synthetic_multiclass(h, 3, 3, seed);
+        let spec = MaxEntSpec::new(1e-3, 3);
+        let base: Vec<f64> = (0..9).map(|i| (i as f64 * 0.23).sin()).collect();
+        let pool: Vec<Vec<f64>> = (0..3)
+            .map(|p| (0..9).map(|i| ((p * 5 + i) as f64 * 0.31).cos() * 0.4).collect())
+            .collect();
+        let batched = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
+        let reference = NoBatch(MaxEntSpec::new(1e-3, 3));
+        let seq = DiffEngine::new(&reference, &holdout, &base, &pool, &pool);
+        for i in 0..3 {
+            prop_assert!(
+                (batched.diff_one_stage(i, 0.9) - seq.diff_one_stage(i, 0.9)).abs() < 1e-12
+            );
+            prop_assert!(
+                (batched.diff_two_stage(i, 0.5, 0.4) - seq.diff_two_stage(i, 0.5, 0.4)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_moments_match_naive_dense(n in 1usize..60, d in 1usize..8, seed in 0u64..1_000) {
+        // Includes D > n shapes (the Gram regime).
+        let g = Grads::Dense(blinkml_linalg::testing::xorshift_matrix(n, d, seed));
+        prop_assert!(g.second_moment().max_abs_diff(&naive_second_moment(&g)) < 1e-12);
+        prop_assert!(g.gram().max_abs_diff(&naive_gram(&g)) < 1e-12);
+    }
+
+    #[test]
+    fn parallel_moments_match_naive_sparse(n in 1usize..40, d in 1usize..30, seed in 0u64..1_000) {
+        // Sparse layout, including the D > n implicit-factor regime.
+        let g = sparse_grads(n, d, seed);
+        prop_assert!(g.second_moment().max_abs_diff(&naive_second_moment(&g)) < 1e-12);
+        prop_assert!(g.gram().max_abs_diff(&naive_gram(&g)) < 1e-12);
     }
 
     #[test]

@@ -42,6 +42,20 @@ pub trait FeatureVec: Clone + Send + Sync + 'static {
     /// Squared Euclidean norm.
     fn norm_sq(&self) -> f64;
 
+    /// `out += xᵀ T` for a row-major table `T` of shape `dim() × width`:
+    /// `out[c] += Σ_i x_i · T[i·width + c]`.
+    ///
+    /// This is the row-combination primitive behind batched margin
+    /// scoring — one fused (sparse- or dense-) GEMM pass computes the
+    /// holdout scores of an entire parameter pool. Implementations skip
+    /// structural zeros, so dense and sparse representations of the same
+    /// logical vector produce bit-identical results.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when `table.len() != dim() * width` or
+    /// `out.len() != width`.
+    fn add_scaled_rows_into(&self, table: &[f64], width: usize, out: &mut [f64]);
+
     /// A scaled copy `coef · x` as a sparse vector, optionally embedded
     /// into a larger space of dimension `out_dim` at index offset
     /// `offset` (used for per-class blocks of multiclass gradients).
@@ -82,7 +96,7 @@ impl FeatureVec for DenseVec {
 
     #[inline]
     fn dot(&self, w: &[f64]) -> f64 {
-        blinkml_linalg_dot(&self.0, w)
+        blinkml_linalg::vector::dot(&self.0, w)
     }
 
     #[inline]
@@ -115,27 +129,19 @@ impl FeatureVec for DenseVec {
         let values: Vec<f64> = self.0.iter().map(|v| coef * v).collect();
         SparseVec::new(out_dim, indices, values)
     }
-}
 
-/// Four-way unrolled dot product (local copy to avoid a linalg dependency
-/// for one function; kept in sync with `blinkml_linalg::vector::dot`).
-#[inline]
-fn blinkml_linalg_dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
+    fn add_scaled_rows_into(&self, table: &[f64], width: usize, out: &mut [f64]) {
+        debug_assert_eq!(table.len(), self.0.len() * width);
+        debug_assert_eq!(out.len(), width);
+        for (i, &v) in self.0.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            for (o, &t) in out.iter_mut().zip(&table[i * width..(i + 1) * width]) {
+                *o += v * t;
+            }
+        }
     }
-    let mut tail = 0.0;
-    for j in chunks * 4..a.len() {
-        tail += a[j] * b[j];
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
 }
 
 /// Sparse feature row: sorted `(index, value)` pairs plus the ambient
@@ -246,6 +252,20 @@ impl FeatureVec for SparseVec {
         let values: Vec<f64> = self.values.iter().map(|v| coef * v).collect();
         SparseVec::new(out_dim, indices, values)
     }
+
+    fn add_scaled_rows_into(&self, table: &[f64], width: usize, out: &mut [f64]) {
+        debug_assert_eq!(table.len(), self.dim * width);
+        debug_assert_eq!(out.len(), width);
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            if v == 0.0 {
+                continue;
+            }
+            let row = &table[i as usize * width..(i as usize + 1) * width];
+            for (o, &t) in out.iter_mut().zip(row) {
+                *o += v * t;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +322,23 @@ mod tests {
     fn sparse_to_dense_layout() {
         let s = sparse_example();
         assert_eq!(s.to_dense(), vec![0.0, 2.0, 0.0, -1.0, 0.0, 0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn add_scaled_rows_into_is_vec_times_matrix() {
+        // x (dim 3) against a 3×2 row-major table: out = xᵀT.
+        let table = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = DenseVec::new(vec![2.0, 0.0, -1.0]);
+        let mut out = vec![0.5, 0.5];
+        x.add_scaled_rows_into(&table, 2, &mut out);
+        assert_eq!(out, vec![0.5 + 2.0 - 5.0, 0.5 + 4.0 - 6.0]);
+
+        // The sparse representation of the same logical vector must
+        // produce the bit-identical result (both skip zeros).
+        let s = SparseVec::new(3, vec![0, 2], vec![2.0, -1.0]);
+        let mut out_s = vec![0.5, 0.5];
+        s.add_scaled_rows_into(&table, 2, &mut out_s);
+        assert_eq!(out, out_s);
     }
 
     #[test]

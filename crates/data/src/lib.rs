@@ -15,10 +15,11 @@
 //!   of the paper's datasets (see DESIGN.md §3 for the substitution
 //!   rationale),
 //! * [`io`] — LIBSVM and CSV loaders for users with the real datasets,
-//! * [`parallel`] — a deterministic scoped-thread chunk map used for the
-//!   embarrassingly parallel hot loops (per-example gradients, holdout
-//!   predictions); the single-machine substitute for the paper's Spark
-//!   executors.
+//! * [`parallel`] — the workspace's deterministic execution facade
+//!   (fixed-chunk parallel maps and reductions, re-exported from
+//!   `blinkml_linalg::exec`) used by every embarrassingly parallel hot
+//!   loop (per-example gradients, holdout scoring, probe loops); the
+//!   single-machine substitute for the paper's Spark executors.
 
 pub mod dataset;
 pub mod features;

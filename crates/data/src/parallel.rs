@@ -1,140 +1,41 @@
-//! Deterministic scoped-thread chunk map.
+//! The workspace's deterministic execution facade.
 //!
-//! The paper ran BlinkML on a Spark cluster; the contribution does not
-//! depend on distribution, only on how many examples each phase touches.
-//! This helper provides the single-machine equivalent: it splits `0..n`
-//! into contiguous chunks, processes each chunk on its own thread, and
-//! returns the per-chunk results **in chunk order**, so reductions are
-//! deterministic for a fixed machine (chunk boundaries depend only on
-//! `n` and the fixed thread count).
+//! Every embarrassingly parallel hot loop in the system — per-example
+//! gradients, objective accumulation, holdout scoring, the estimators'
+//! Monte Carlo probe loops — goes through this module. The engine itself
+//! lives in [`blinkml_linalg::exec`] (the bottom crate of the workspace
+//! DAG, so the blocked GEMM/SYRK kernels can share it); this module
+//! re-exports it at the layer where dataset-shaped code imports it, plus
+//! data-flavoured helpers.
+//!
+//! # Determinism contract
+//!
+//! Chunk boundaries derive from the fixed [`CHUNK_SIZE`] constant —
+//! never from the machine's thread count — and per-chunk results are
+//! reduced in
+//! chunk order. The thread budget ([`set_max_threads`]) therefore affects
+//! wall-clock time only: results are bit-identical across machines,
+//! thread counts, and runs.
 
-use std::ops::Range;
-use std::sync::OnceLock;
-
-/// Number of worker threads used by [`par_ranges`]; fixed at first use so
-/// chunk boundaries never change within a process.
-pub fn thread_count() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16)
-    })
-}
-
-/// Split `0..n` into at most [`thread_count`] contiguous chunks, run `f`
-/// on each chunk (in parallel for large `n`), and return the results in
-/// chunk order.
-///
-/// Falls back to sequential execution for small `n`, where thread spawn
-/// overhead would dominate.
-pub fn par_ranges<R, F>(n: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(Range<usize>) -> R + Sync,
-{
-    const SEQUENTIAL_CUTOFF: usize = 4096;
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = thread_count();
-    if n < SEQUENTIAL_CUTOFF || threads == 1 {
-        return vec![f(0..n)];
-    }
-    let chunk = n.div_ceil(threads);
-    let ranges: Vec<Range<usize>> = (0..threads)
-        .map(|t| (t * chunk).min(n)..((t + 1) * chunk).min(n))
-        .filter(|r| !r.is_empty())
-        .collect();
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges.into_iter().map(|r| scope.spawn(|| f(r))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-}
-
-/// Parallel sum-reduction of per-index `f64` vectors: computes
-/// `Σ_{i in 0..n} f(i)` where each `f(i)` contributes into a shared-shape
-/// accumulator. Chunk partials are added in chunk order, so the result is
-/// deterministic for a fixed machine.
-pub fn par_accumulate<F>(n: usize, dim: usize, f: F) -> Vec<f64>
-where
-    F: Fn(usize, &mut [f64]) + Sync,
-{
-    let partials = par_ranges(n, |range| {
-        let mut acc = vec![0.0; dim];
-        for i in range {
-            f(i, &mut acc);
-        }
-        acc
-    });
-    let mut total = vec![0.0; dim];
-    for p in partials {
-        for (t, v) in total.iter_mut().zip(p) {
-            *t += v;
-        }
-    }
-    total
-}
+pub use blinkml_linalg::exec::{
+    max_threads, par_map_reduce_matrix, par_ranges, par_ranges_with, par_sum_vecs, set_max_threads,
+    CHUNK_SIZE,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn covers_all_indices_exactly_once() {
-        for n in [0usize, 1, 10, 5000, 10_001] {
-            let chunks = par_ranges(n, |r| r.collect::<Vec<usize>>());
-            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
-            assert_eq!(flat, (0..n).collect::<Vec<usize>>(), "n = {n}");
-        }
-    }
-
-    #[test]
-    fn small_inputs_run_in_one_chunk() {
-        let chunks = par_ranges(100, |r| r.len());
-        assert_eq!(chunks, vec![100]);
-    }
-
-    #[test]
-    fn results_preserve_chunk_order() {
-        let n = 50_000;
-        let starts = par_ranges(n, |r| r.start);
-        let mut sorted = starts.clone();
-        sorted.sort_unstable();
-        assert_eq!(starts, sorted, "chunk results must come back in order");
-    }
-
-    #[test]
-    fn par_accumulate_matches_sequential() {
-        let n = 20_000;
-        let dim = 3;
-        let got = par_accumulate(n, dim, |i, acc| {
-            acc[0] += i as f64;
-            acc[1] += 1.0;
-            acc[2] += (i % 7) as f64;
-        });
-        let want0 = (n * (n - 1) / 2) as f64;
-        assert!((got[0] - want0).abs() < 1e-6 * want0);
-        assert_eq!(got[1], n as f64);
-        let want2: f64 = (0..n).map(|i| (i % 7) as f64).sum();
-        assert!((got[2] - want2).abs() < 1e-9 * want2);
+    fn facade_reaches_the_engine() {
+        let chunks = par_ranges(CHUNK_SIZE + 1, |r| r.len());
+        assert_eq!(chunks, vec![CHUNK_SIZE, 1]);
+        assert!(max_threads() >= 1);
     }
 
     #[test]
     fn deterministic_across_calls() {
-        let a = par_accumulate(30_000, 1, |i, acc| acc[0] += (i as f64).sqrt());
-        let b = par_accumulate(30_000, 1, |i, acc| acc[0] += (i as f64).sqrt());
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn thread_count_is_stable() {
-        assert_eq!(thread_count(), thread_count());
-        assert!(thread_count() >= 1);
+        let run = || par_sum_vecs(30_000, 1, |i, acc| acc[0] += (i as f64).sqrt());
+        assert_eq!(run(), run());
     }
 }

@@ -115,15 +115,41 @@ proptest! {
     }
 
     #[test]
-    fn par_accumulate_is_deterministic(n in 1usize..30_000) {
-        let a = blinkml_data::parallel::par_accumulate(n, 2, |i, acc| {
+    fn par_sum_vecs_is_deterministic(n in 1usize..30_000) {
+        let a = blinkml_data::parallel::par_sum_vecs(n, 2, |i, acc| {
             acc[0] += (i as f64).sqrt();
             acc[1] += 1.0;
         });
-        let b = blinkml_data::parallel::par_accumulate(n, 2, |i, acc| {
+        let b = blinkml_data::parallel::par_sum_vecs(n, 2, |i, acc| {
             acc[0] += (i as f64).sqrt();
             acc[1] += 1.0;
         });
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn add_scaled_rows_into_matches_per_coordinate(
+        values in proptest::collection::vec(-3.0f64..3.0, 6),
+        table in proptest::collection::vec(-2.0f64..2.0, 18),
+    ) {
+        // xᵀT through the batched kernel vs. explicit per-coordinate
+        // accumulation, for dense and sparse representations alike.
+        let width = 3;
+        let dense = DenseVec::new(values.clone());
+        let sparse = dense.scaled_sparse(1.0, 6, 0);
+        let mut got_d = vec![0.0; width];
+        dense.add_scaled_rows_into(&table, width, &mut got_d);
+        let mut got_s = vec![0.0; width];
+        sparse.add_scaled_rows_into(&table, width, &mut got_s);
+        let mut want = vec![0.0; width];
+        for (i, &v) in values.iter().enumerate() {
+            for c in 0..width {
+                want[c] += v * table[i * width + c];
+            }
+        }
+        for c in 0..width {
+            prop_assert!((got_d[c] - want[c]).abs() < 1e-12);
+            prop_assert!((got_s[c] - want[c]).abs() < 1e-12);
+        }
     }
 }

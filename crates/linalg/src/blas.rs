@@ -1,8 +1,23 @@
 //! Level-2/3 kernels: matrix-vector and matrix-matrix products.
+//!
+//! Each level-3 kernel comes in two flavours: the plain sequential form
+//! (`gemm`, `syrk_t`, `syrk_n`) and a cache-blocked, chunk-parallel form
+//! (`par_gemm`, `par_syrk_t`, `par_syrk_n`) built on [`crate::exec`].
+//! `par_gemm`/`par_syrk_n` partition *output* rows, so they are
+//! bit-identical to their sequential counterparts for any thread count;
+//! `par_syrk_t` reduces fixed-size row-chunk partials in chunk order, so
+//! its result depends only on [`crate::exec::CHUNK_SIZE`] — never on the
+//! executing machine.
 
+use crate::exec;
 use crate::matrix::Matrix;
 use crate::vector::dot;
 use crate::{LinalgError, Result};
+
+/// Width of the `k` panel in the blocked GEMM inner loops: 256 columns of
+/// `f64` keep the active `B` panel rows inside L1/L2 while preserving the
+/// ascending-`p` accumulation order of the unblocked kernel.
+const GEMM_KC: usize = 256;
 
 /// `y = A x` (allocating). `A: m x n`, `x: n`, returns `m`.
 pub fn gemv(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
@@ -119,14 +134,60 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     Ok(c)
 }
 
-/// Symmetric rank-k update `C = Aᵀ A` (`A: n x d`, `C: d x d`).
+/// `C = A B`, cache-blocked over the `k` dimension and parallel over
+/// chunks of output rows.
 ///
-/// Only the upper triangle is computed and then mirrored; this is the
-/// kernel behind Gram/covariance matrices (`J = Q'ᵀQ'`).
-pub fn syrk_t(a: &Matrix) -> Matrix {
+/// Bit-identical to [`gemm`] for every thread count: each output row is
+/// produced by exactly one chunk, with the same ascending-`p`
+/// accumulation order as the sequential kernel.
+pub fn par_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "par_gemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let blocks = exec::par_ranges(m, |range| {
+        let mut block = vec![0.0; range.len() * n];
+        for p0 in (0..k).step_by(GEMM_KC) {
+            let p1 = (p0 + GEMM_KC).min(k);
+            for (local, i) in range.clone().enumerate() {
+                let apanel = &a.row(i)[p0..p1];
+                let crow = &mut block[local * n..(local + 1) * n];
+                for (off, &aip) in apanel.iter().enumerate() {
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(p0 + off);
+                    for (cij, &bpj) in crow.iter_mut().zip(brow) {
+                        *cij += aip * bpj;
+                    }
+                }
+            }
+        }
+        block
+    });
+    let mut blocks = blocks;
+    let data = if blocks.len() == 1 {
+        blocks.pop().expect("one block")
+    } else {
+        let mut data = Vec::with_capacity(m * n);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        data
+    };
+    Ok(Matrix::from_vec(m, n, data))
+}
+
+/// Accumulate the upper triangle of `Aᵀ A` restricted to the row range
+/// `rows` into `c` — the shared panel kernel behind [`syrk_t`] and
+/// [`par_syrk_t`].
+fn syrk_t_rows(a: &Matrix, rows: std::ops::Range<usize>, c: &mut Matrix) {
     let d = a.cols();
-    let mut c = Matrix::zeros(d, d);
-    for p in 0..a.rows() {
+    for p in rows {
         let row = a.row(p);
         for i in 0..d {
             let ri = row[i];
@@ -139,12 +200,70 @@ pub fn syrk_t(a: &Matrix) -> Matrix {
             }
         }
     }
-    // Mirror upper to lower.
+}
+
+/// Mirror the upper triangle of a square matrix to the lower.
+fn mirror_upper(c: &mut Matrix) {
+    let d = c.rows();
     for i in 0..d {
         for j in (i + 1)..d {
             c[(j, i)] = c[(i, j)];
         }
     }
+}
+
+/// Symmetric rank-k update `C = Aᵀ A` (`A: n x d`, `C: d x d`).
+///
+/// Only the upper triangle is computed and then mirrored; this is the
+/// kernel behind Gram/covariance matrices (`J = Q'ᵀQ'`).
+pub fn syrk_t(a: &Matrix) -> Matrix {
+    let d = a.cols();
+    let mut c = Matrix::zeros(d, d);
+    syrk_t_rows(a, 0..a.rows(), &mut c);
+    mirror_upper(&mut c);
+    c
+}
+
+/// Two-row-unrolled variant of [`syrk_t_rows`]: processing row pairs
+/// halves the passes over the `d × d` accumulator, which is what the
+/// kernel is bound on when `n ≫ d`. Accumulation order (ascending `p`,
+/// pairs fused) is fixed, so results are machine-independent; they
+/// differ from the one-row kernel only in round-off.
+fn syrk_t_rows_unrolled(a: &Matrix, rows: std::ops::Range<usize>, c: &mut Matrix) {
+    let d = a.cols();
+    let mut p = rows.start;
+    while p + 1 < rows.end {
+        let pair = a.rows_slice(p..p + 2);
+        let (r0, r1) = pair.split_at(d);
+        for i in 0..d {
+            let (a0, a1) = (r0[i], r1[i]);
+            if a0 == 0.0 && a1 == 0.0 {
+                continue;
+            }
+            let crow = &mut c.row_mut(i)[i..];
+            for ((cj, &x0), &x1) in crow.iter_mut().zip(&r0[i..]).zip(&r1[i..]) {
+                *cj += a0 * x0 + a1 * x1;
+            }
+        }
+        p += 2;
+    }
+    if p < rows.end {
+        syrk_t_rows(a, p..rows.end, c);
+    }
+}
+
+/// Chunk-parallel [`syrk_t`]: row-chunk partial products (two-row
+/// unrolled panels) are reduced in chunk order, so the result depends
+/// only on the fixed [`exec::CHUNK_SIZE`] — identical across machines
+/// and thread counts, and within `≈ n·ulp` of the sequential kernel.
+pub fn par_syrk_t(a: &Matrix) -> Matrix {
+    let d = a.cols();
+    let mut c = exec::par_map_reduce_matrix(a.rows(), d, d, |range| {
+        let mut partial = Matrix::zeros(d, d);
+        syrk_t_rows_unrolled(a, range, &mut partial);
+        partial
+    });
+    mirror_upper(&mut c);
     c
 }
 
@@ -161,6 +280,42 @@ pub fn syrk_n(a: &Matrix) -> Matrix {
         }
     }
     g
+}
+
+/// Chunk size for row-partitioned symmetric (triangular) kernels. Each
+/// row of a symmetric build carries `O(n)` entries of work, so chunks
+/// far smaller than [`exec::CHUNK_SIZE`] are needed for the `D > n`
+/// Gram regime (where `n` is typically in the hundreds to thousands) to
+/// parallelize at all; round-robin chunk assignment in the execution
+/// layer then also balances the triangular skew. A fixed constant keeps
+/// boundaries machine-independent.
+const SYMMETRIC_CHUNK: usize = 64;
+
+/// Build a symmetric `n × n` matrix from `entry(i, j)` evaluated on the
+/// upper triangle (`j ≥ i`) in parallel row chunks, then mirrored.
+/// Every entry is computed exactly once by one chunk, so the result is
+/// bit-identical for any thread count.
+pub fn par_symmetric(n: usize, entry: impl Fn(usize, usize) -> f64 + Sync) -> Matrix {
+    let tails = exec::par_ranges_with(n, SYMMETRIC_CHUNK, |range| {
+        range
+            .map(|i| (i..n).map(|j| entry(i, j)).collect::<Vec<f64>>())
+            .collect::<Vec<_>>()
+    });
+    let mut m = Matrix::zeros(n, n);
+    for (i, tail) in tails.into_iter().flatten().enumerate() {
+        for (off, v) in tail.into_iter().enumerate() {
+            m[(i, i + off)] = v;
+            m[(i + off, i)] = v;
+        }
+    }
+    m
+}
+
+/// Chunk-parallel [`syrk_n`], partitioned over output rows via
+/// [`par_symmetric`]. Every entry is a single `dot`, so the result is
+/// bit-identical to the sequential kernel for any thread count.
+pub fn par_syrk_n(a: &Matrix) -> Matrix {
+    par_symmetric(a.rows(), |i, j| dot(a.row(i), a.row(j)))
 }
 
 /// Rank-one update `A += alpha * x yᵀ`.
@@ -250,7 +405,47 @@ mod tests {
         assert!(gemv(&a, &[1.0]).is_err());
         assert!(gemv_t(&a, &[1.0]).is_err());
         assert!(gemm(&a, &a).is_err());
+        assert!(par_gemm(&a, &a).is_err());
         assert!(gemm_tn(&a, &b).is_err());
         assert!(gemm_nt(&a, &a.transpose()).is_err());
+    }
+
+    use crate::testing::xorshift_matrix as rand_matrix;
+
+    #[test]
+    fn par_gemm_is_bit_identical_to_gemm() {
+        // Spans the k-blocking boundary (k > GEMM_KC) and a non-multiple
+        // row count.
+        let a = rand_matrix(37, 300, 1);
+        let b = rand_matrix(300, 19, 2);
+        let seq = gemm(&a, &b).unwrap();
+        let par = par_gemm(&a, &b).unwrap();
+        assert_eq!(seq.as_slice(), par.as_slice(), "must match bitwise");
+    }
+
+    #[test]
+    fn par_syrk_t_matches_sequential() {
+        // More rows than one chunk so the in-order reduction is exercised.
+        let a = rand_matrix(2 * exec::CHUNK_SIZE + 33, 7, 3);
+        let seq = syrk_t(&a);
+        let par = par_syrk_t(&a);
+        assert!(seq.max_abs_diff(&par) < 1e-10 * a.rows() as f64);
+    }
+
+    #[test]
+    fn par_syrk_n_is_bit_identical_to_sequential() {
+        let a = rand_matrix(83, 29, 4);
+        let seq = syrk_n(&a);
+        let par = par_syrk_n(&a);
+        assert_eq!(seq.as_slice(), par.as_slice(), "must match bitwise");
+    }
+
+    #[test]
+    fn par_kernels_handle_empty_inputs() {
+        let empty = Matrix::zeros(0, 4);
+        assert_eq!(par_syrk_t(&empty).shape(), (4, 4));
+        assert_eq!(par_syrk_n(&empty).shape(), (0, 0));
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(par_gemm(&empty, &b).unwrap().shape(), (0, 3));
     }
 }

@@ -14,17 +14,23 @@
 //!
 //! Everything operates on `f64`. The implementations favour clarity and
 //! numerical robustness over micro-optimization, but the hot kernels
-//! (`gemm`, `syrk`, `gemv`) use cache-friendly loop orders so the
-//! experiment harness runs at realistic speeds.
+//! (`gemm`, `syrk`, `gemv`) use cache-friendly loop orders, and the
+//! level-3 kernels have cache-blocked, chunk-parallel variants
+//! (`par_gemm`, `par_syrk_t`, `par_syrk_n`) built on the deterministic
+//! execution layer ([`exec`]) so the estimator hot paths scale with
+//! cores without ever changing results.
 
 pub mod blas;
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+pub mod exec;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
 pub mod svd;
+#[doc(hidden)]
+pub mod testing;
 pub mod vector;
 
 pub use cholesky::Cholesky;

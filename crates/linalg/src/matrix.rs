@@ -123,6 +123,46 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Borrow the contiguous row block `r` as one row-major slice of
+    /// `r.len() * cols` values — the zero-copy view behind the chunked
+    /// parallel kernels.
+    #[inline]
+    pub fn rows_slice(&self, r: std::ops::Range<usize>) -> &[f64] {
+        debug_assert!(r.start <= r.end && r.end <= self.rows);
+        &self.data[r.start * self.cols..r.end * self.cols]
+    }
+
+    /// Mutably borrow the contiguous row block `r` as one row-major
+    /// slice.
+    #[inline]
+    pub fn rows_slice_mut(&mut self, r: std::ops::Range<usize>) -> &mut [f64] {
+        debug_assert!(r.start <= r.end && r.end <= self.rows);
+        &mut self.data[r.start * self.cols..r.end * self.cols]
+    }
+
+    /// Horizontal concatenation `[B₀ | B₁ | …]` of equally tall blocks.
+    ///
+    /// # Panics
+    /// Panics on an empty block list or mismatched row counts.
+    pub fn hstack(blocks: &[Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "hstack: no blocks");
+        let rows = blocks[0].rows;
+        for b in blocks {
+            assert_eq!(b.rows, rows, "hstack: row count mismatch");
+        }
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let dst = m.row_mut(i);
+            let mut offset = 0;
+            for b in blocks {
+                dst[offset..offset + b.cols].copy_from_slice(b.row(i));
+                offset += b.cols;
+            }
+        }
+        m
+    }
+
     /// Copy column `j` into a fresh vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols);
@@ -340,6 +380,40 @@ mod tests {
         m.symmetrize();
         assert_eq!(m[(0, 1)], 3.0);
         assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn rows_slice_views_are_contiguous() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.rows_slice(1..3), &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(m.rows_slice(0..0), &[] as &[f64]);
+        let mut m2 = m.clone();
+        m2.rows_slice_mut(2..3).fill(0.0);
+        assert_eq!(m2.row(2), &[0.0, 0.0, 0.0]);
+        assert_eq!(m2.row(3), m.row(3));
+    }
+
+    #[test]
+    fn hstack_concatenates_columns() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 1, vec![5.0, 6.0]);
+        let h = Matrix::hstack(&[a, b]);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.as_slice(), &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn hstack_rejects_ragged_blocks() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 1);
+        let _ = Matrix::hstack(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn hstack_rejects_ragged_even_with_empty_first_block() {
+        let _ = Matrix::hstack(&[Matrix::zeros(0, 2), Matrix::zeros(3, 1)]);
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Deterministic data generators shared by the workspace's tests and
+//! benches. Not part of the public API (`#[doc(hidden)]` at the
+//! re-export site); semver-exempt.
+
+use crate::matrix::Matrix;
+
+/// Deterministic xorshift64 pseudo-random matrix with entries in
+/// `(-0.5, 0.5)` — the one shared generator for kernel-equivalence
+/// tests and pipeline benches (previously copy-pasted per test file).
+pub fn xorshift_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(99);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    })
+}

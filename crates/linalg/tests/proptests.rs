@@ -1,6 +1,8 @@
 //! Property-based tests for the linear algebra substrate.
 
-use blinkml_linalg::blas::{gemm, gemm_nt, gemm_tn, gemv, gemv_t, syrk_t};
+use blinkml_linalg::blas::{
+    gemm, gemm_nt, gemm_tn, gemv, gemv_t, par_gemm, par_syrk_n, par_syrk_t, syrk_n, syrk_t,
+};
 use blinkml_linalg::{Cholesky, Lu, Matrix, Qr, SymmetricEigen, ThinSvd};
 use proptest::prelude::*;
 
@@ -50,6 +52,29 @@ proptest! {
         let gram = syrk_t(&a);
         let explicit3 = gemm(&a.transpose(), &a).unwrap();
         prop_assert!(gram.max_abs_diff(&explicit3) < 1e-10);
+    }
+
+    #[test]
+    fn par_gemm_bit_identical_for_random_shapes(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..u64::MAX,
+    ) {
+        // Parallel ≡ sequential, bitwise: the parallel kernel partitions
+        // output rows without changing per-row accumulation order.
+        let a = blinkml_linalg::testing::xorshift_matrix(m, k, seed);
+        let b = blinkml_linalg::testing::xorshift_matrix(k, n, seed ^ 0xABCD);
+        let seq = gemm(&a, &b).unwrap();
+        let par = par_gemm(&a, &b).unwrap();
+        prop_assert_eq!(seq.as_slice(), par.as_slice());
+    }
+
+    #[test]
+    fn par_syrk_kernels_match_sequential(rows in 1usize..40, cols in 1usize..10, seed in 0u64..1_000) {
+        let a = blinkml_linalg::testing::xorshift_matrix(rows, cols, seed);
+        // Aᵀ A: chunked in-order reduction, ≤ 1e-12 of the sequential sum.
+        prop_assert!(par_syrk_t(&a).max_abs_diff(&syrk_t(&a)) < 1e-12);
+        // A Aᵀ: output-partitioned, bitwise identical.
+        let (par_n, seq_n) = (par_syrk_n(&a), syrk_n(&a));
+        prop_assert_eq!(par_n.as_slice(), seq_n.as_slice());
     }
 
     #[test]
