@@ -4,8 +4,8 @@
 //! Times each sequential/batched pair of the compute spine (blocked
 //! GEMM, parallel second moment, GEMM-based `DiffEngine` construction,
 //! and the end-to-end sample-size probe loop) and writes one JSON
-//! document with the before/after medians, so future PRs have a perf
-//! trajectory to compare against.
+//! document with the before/after interleaved minimum times, so future
+//! PRs have a perf trajectory to compare against.
 //!
 //! Usage:
 //! `cargo run --release -p blinkml-bench --bin pipeline_baseline -- \
@@ -15,28 +15,14 @@
 //! the JSON (the CI smoke job uses it).
 
 use blinkml_bench::seqref::{bench_matrix, bench_pool, second_moment_seq, NoBatch};
-use blinkml_bench::{fmt_duration, BenchArgs, Table};
+use blinkml_bench::{fmt_duration, paired_min_times, BenchArgs, Table};
 use blinkml_core::diff_engine::DiffEngine;
 use blinkml_core::grads::Grads;
 use blinkml_core::models::LinearRegressionSpec;
 use blinkml_data::generators::synthetic_linear;
 use blinkml_linalg::blas;
 use serde_json::{json, Value};
-use std::hint::black_box;
-use std::time::{Duration, Instant};
-
-/// Median wall-clock time of `reps` calls.
-fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
-    let mut samples: Vec<Duration> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            black_box(f());
-            t.elapsed()
-        })
-        .collect();
-    samples.sort();
-    samples[samples.len() / 2]
-}
+use std::time::Duration;
 
 struct Pair {
     name: &'static str,
@@ -76,21 +62,27 @@ fn main() {
     // 1. Blocked parallel GEMM vs the sequential kernel.
     let a = bench_matrix(gemm_dim, gemm_dim, seed);
     let b = bench_matrix(gemm_dim, gemm_dim, seed + 1);
+    let (seq, batched) = paired_min_times(
+        reps,
+        || blas::gemm(&a, &b).unwrap(),
+        || blas::par_gemm(&a, &b).unwrap(),
+    );
     pairs.push(Pair {
         name: "gemm",
         shape: format!("{gemm_dim}x{gemm_dim} * {gemm_dim}x{gemm_dim}"),
-        seq: median_time(reps, || blas::gemm(&a, &b).unwrap()),
-        batched: median_time(reps, || blas::par_gemm(&a, &b).unwrap()),
+        seq,
+        batched,
     });
 
     // 2. Parallel second moment vs the sequential syrk pass.
     let m = bench_matrix(h, d, seed + 2);
     let grads = Grads::Dense(m.clone());
+    let (seq, batched) = paired_min_times(reps, || second_moment_seq(&m), || grads.second_moment());
     pairs.push(Pair {
         name: "second_moment",
         shape: format!("{h}x{d}"),
-        seq: median_time(reps, || second_moment_seq(&m)),
-        batched: median_time(reps, || grads.second_moment()),
+        seq,
+        batched,
     });
 
     // 3. DiffEngine construction: per-example scoring vs one fused GEMM.
@@ -99,15 +91,16 @@ fn main() {
     let pool = bench_pool(pool_k, d + 1, seed + 5);
     let spec = LinearRegressionSpec::new(1e-3);
     let seq_spec = NoBatch(LinearRegressionSpec::new(1e-3));
+    let (seq, batched) = paired_min_times(
+        reps,
+        || DiffEngine::new(&seq_spec, &holdout, &base, &pool, &pool),
+        || DiffEngine::new(&spec, &holdout, &base, &pool, &pool),
+    );
     pairs.push(Pair {
         name: "diff_engine_build",
         shape: format!("holdout={h} D={d} pool={pool_k}"),
-        seq: median_time(reps, || {
-            DiffEngine::new(&seq_spec, &holdout, &base, &pool, &pool)
-        }),
-        batched: median_time(reps, || {
-            DiffEngine::new(&spec, &holdout, &base, &pool, &pool)
-        }),
+        seq,
+        batched,
     });
 
     // 4. End-to-end probe loop (one Sample Size Estimator probe):
@@ -116,15 +109,14 @@ fn main() {
     // sample_size.rs). Equal on one core; the gap is the thread-level
     // win on multicore machines.
     let engine = DiffEngine::new(&spec, &holdout, &base, &pool, &pool);
-    pairs.push(Pair {
-        name: "sse_probe",
-        shape: format!("k={pool_k} holdout={h}"),
-        seq: median_time(reps, || {
+    let (seq, batched) = paired_min_times(
+        reps,
+        || {
             (0..pool_k)
                 .filter(|&i| engine.diff_two_stage(i, 0.02, 0.01) <= 0.05)
                 .count()
-        }),
-        batched: median_time(reps, || {
+        },
+        || {
             blinkml_data::parallel::par_ranges_with(pool_k, 1, |range| {
                 range
                     .filter(|&i| engine.diff_two_stage(i, 0.02, 0.01) <= 0.05)
@@ -132,7 +124,13 @@ fn main() {
             })
             .into_iter()
             .sum::<usize>()
-        }),
+        },
+    );
+    pairs.push(Pair {
+        name: "sse_probe",
+        shape: format!("k={pool_k} holdout={h}"),
+        seq,
+        batched,
     });
 
     let mut table = Table::new(

@@ -13,7 +13,7 @@ pub mod seqref;
 
 pub use args::BenchArgs;
 pub use combos::{ComboId, ComboRun};
-pub use report::{fmt_duration, Table};
+pub use report::{fmt_duration, paired_min_times, Table};
 
 use std::time::{Duration, Instant};
 

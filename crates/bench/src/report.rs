@@ -71,6 +71,47 @@ impl Table {
     }
 }
 
+/// Interleaved minimum wall-clock times of a baseline/candidate pair.
+///
+/// The two arms alternate with the order flipped every rep
+/// (A B, B A, A B, …), so slow drift *and* run-order effects on a
+/// shared host hit both equally, and the per-arm **minimum** is
+/// reported — the robust estimator for deterministic kernels, whose
+/// timing noise is strictly additive. (Separately-batched medians let a
+/// few ms of jitter read as a phantom regression on near-identical
+/// arms.) Shared by the `pipeline_baseline` and `spectral_baseline`
+/// recorders.
+pub fn paired_min_times<A, B>(
+    reps: usize,
+    mut baseline: impl FnMut() -> A,
+    mut candidate: impl FnMut() -> B,
+) -> (Duration, Duration) {
+    use std::time::Instant;
+    let mut best_baseline = Duration::MAX;
+    let mut best_candidate = Duration::MAX;
+    fn time_into(best: &mut Duration, f: &mut dyn FnMut()) {
+        let t = Instant::now();
+        f();
+        *best = (*best).min(t.elapsed());
+    }
+    for rep in 0..reps.max(1) {
+        let mut run_baseline = || {
+            std::hint::black_box(baseline());
+        };
+        let mut run_candidate = || {
+            std::hint::black_box(candidate());
+        };
+        if rep % 2 == 0 {
+            time_into(&mut best_baseline, &mut run_baseline);
+            time_into(&mut best_candidate, &mut run_candidate);
+        } else {
+            time_into(&mut best_candidate, &mut run_candidate);
+            time_into(&mut best_baseline, &mut run_baseline);
+        }
+    }
+    (best_baseline, best_candidate)
+}
+
 /// Human-readable duration (`1.23 s` / `45.6 ms`).
 pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();

@@ -11,7 +11,7 @@ use crate::config::BlinkMlConfig;
 use crate::error::CoreError;
 use crate::mcs::{ModelClassSpec, TrainedModel};
 use crate::sample_size::SampleSizeEstimator;
-use crate::stats::compute_statistics;
+use crate::stats::compute_statistics_spectral;
 use blinkml_data::{Dataset, FeatureVec};
 use blinkml_prob::split_seed;
 use std::time::{Duration, Instant};
@@ -151,9 +151,16 @@ impl Coordinator {
             });
         }
 
-        // Phase 2: statistics of m₀.
+        // Phase 2: statistics of m₀ (through the configured spectral
+        // engine — dense exact or truncated randomized).
         let t = Instant::now();
-        let stats = compute_statistics(self.config.statistics_method, spec, m0.parameters(), &d0)?;
+        let stats = compute_statistics_spectral(
+            self.config.statistics_method,
+            self.config.spectral,
+            spec,
+            m0.parameters(),
+            &d0,
+        )?;
         phases.statistics = t.elapsed();
 
         // Phase 3a: accuracy of m₀.
@@ -206,8 +213,13 @@ impl Coordinator {
 
         let estimated_epsilon = if self.config.estimate_final_accuracy && est.n < full_n {
             let t = Instant::now();
-            let stats_n =
-                compute_statistics(self.config.statistics_method, spec, mn.parameters(), &dn)?;
+            let stats_n = compute_statistics_spectral(
+                self.config.statistics_method,
+                self.config.spectral,
+                spec,
+                mn.parameters(),
+                &dn,
+            )?;
             let eps = accuracy.estimate(
                 spec,
                 mn.parameters(),
@@ -256,6 +268,7 @@ mod tests {
             holdout_size: 800,
             num_param_samples: 64,
             statistics_method: StatisticsMethod::ObservedFisher,
+            spectral: Default::default(),
             optim: OptimOptions::default(),
             estimate_final_accuracy: false,
             exec: Default::default(),

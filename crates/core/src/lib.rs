@@ -38,9 +38,9 @@ pub mod stats;
 pub mod testing;
 
 pub use accuracy::ModelAccuracyEstimator;
-pub use config::{BlinkMlConfig, ExecConfig, StatisticsMethod};
+pub use config::{BlinkMlConfig, ExecConfig, SpectralMethod, StatisticsMethod};
 pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
 pub use mcs::{ModelClassSpec, TrainedModel};
 pub use sample_size::{SampleSizeEstimate, SampleSizeEstimator};
-pub use stats::{compute_statistics, ModelStatistics};
+pub use stats::{compute_statistics, compute_statistics_spectral, ModelStatistics};

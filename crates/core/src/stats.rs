@@ -16,12 +16,19 @@
 //! * **ClosedForm**: analytic `H`; `J = H − βI` by the equality.
 //! * **InverseGradients**: finite-difference `H` from `D` probes of the
 //!   averaged gradient; `J = H − βI`.
+//!
+//! Every method's eigendecomposition runs through a pluggable *spectral
+//! engine* ([`SpectralMethod`]): the exact dense `tred2`/`tql2` solver,
+//! or the truncated randomized solver of `blinkml_linalg::spectral`,
+//! which probes matrix-free [`Grads`] operators with blocked GEMMs and
+//! never materializes the second-moment or Gram matrix at all.
 
-use crate::config::StatisticsMethod;
+use crate::config::{SpectralMethod, StatisticsMethod};
 use crate::error::CoreError;
 use crate::grads::Grads;
 use crate::mcs::ModelClassSpec;
 use blinkml_data::{Dataset, FeatureVec};
+use blinkml_linalg::spectral::{randomized_eigen, DenseSymmetricOp};
 use blinkml_linalg::{blas, Matrix, SymmetricEigen};
 use blinkml_prob::CovarianceFactor;
 
@@ -78,6 +85,11 @@ impl ModelStatistics {
 
     /// Per-coordinate variances `diag(H⁻¹JH⁻¹)` — the quantity compared
     /// against empirical parameter variances in the paper's Fig 9a.
+    ///
+    /// The implicit branch runs **one** blocked `Ψᵀ` pass over the
+    /// gradient rows ([`Grads::t_apply_rows`]) instead of `k` separate
+    /// `t_apply` sweeps; each batched row is bitwise the value the
+    /// per-column sweep produced.
     pub fn marginal_variances(&self) -> Vec<f64> {
         match &self.factor {
             Factor::Explicit(l) => {
@@ -93,14 +105,13 @@ impl ModelStatistics {
                 grads,
                 beta,
             } => {
+                let lt = implicit_factor_rows(v, grads);
                 let mut out = vec![0.0; self.dim];
-                for (k, &lam) in lambda.iter().enumerate() {
-                    let col = v.col(k);
-                    let mut lk = grads.t_apply(&col);
+                for (j, &lam) in lambda.iter().enumerate() {
                     let scale = 1.0 / (lam + beta);
-                    for (o, li) in out.iter_mut().zip(lk.iter_mut()) {
-                        let v = *li * scale;
-                        *o += v * v;
+                    for (o, &lji) in out.iter_mut().zip(lt.row(j)) {
+                        let val = lji * scale;
+                        *o += val * val;
                     }
                 }
                 out
@@ -109,7 +120,9 @@ impl ModelStatistics {
     }
 
     /// Materialize the dense covariance `L Lᵀ` (`O(D²k)`; tests and the
-    /// Fig 9b Frobenius comparison only).
+    /// Fig 9b Frobenius comparison only). The implicit factor is built
+    /// with the same single blocked pass as
+    /// [`ModelStatistics::marginal_variances`].
     pub fn covariance_dense(&self) -> Matrix {
         match &self.factor {
             Factor::Explicit(l) => blas::gemm_nt(l, l).expect("square product"),
@@ -119,20 +132,26 @@ impl ModelStatistics {
                 grads,
                 beta,
             } => {
+                let lt = implicit_factor_rows(v, grads);
                 let k = lambda.len();
                 let mut l = Matrix::zeros(self.dim, k);
                 for (j, &lam) in lambda.iter().enumerate() {
-                    let col = v.col(j);
-                    let lj = grads.t_apply(&col);
                     let scale = 1.0 / (lam + beta);
                     for i in 0..self.dim {
-                        l[(i, j)] = lj[i] * scale;
+                        l[(i, j)] = lt[(j, i)] * scale;
                     }
                 }
                 blas::gemm_nt(&l, &l).expect("square product")
             }
         }
     }
+}
+
+/// The implicit factor, one row per Gram eigenvector: row `j` is
+/// `Ψᵀ v_j / √n` — all columns of `L` (up to their `1/(λ+β)` scaling)
+/// from a single batched pass over the gradient rows.
+fn implicit_factor_rows(v: &Matrix, grads: &Grads) -> Matrix {
+    grads.t_apply_rows(&v.transpose())
 }
 
 impl CovarianceFactor for ModelStatistics {
@@ -164,39 +183,120 @@ impl CovarianceFactor for ModelStatistics {
             }
         }
     }
+
+    fn apply_batch(&self, z: &Matrix) -> Matrix {
+        assert_eq!(z.cols(), self.rank(), "apply_batch: input mismatch");
+        match &self.factor {
+            // Z Lᵀ: every entry is the same dot the per-draw gemv
+            // computes, so the batch is bitwise identical per row.
+            Factor::Explicit(l) => blas::par_gemm_nt(z, l).expect("factor dims"),
+            Factor::Implicit {
+                v,
+                lambda,
+                grads,
+                beta,
+            } => {
+                // Row-wise: scaled = z/(λ+β), w = V·scaled, out = Q'ᵀw —
+                // the per-draw pipeline fused into two blocked kernels
+                // that preserve its accumulation order exactly.
+                let mut scaled = z.clone();
+                for i in 0..scaled.rows() {
+                    for (s, lam) in scaled.row_mut(i).iter_mut().zip(lambda) {
+                        *s /= lam + beta;
+                    }
+                }
+                let w = blas::par_gemm_nt(&scaled, v).expect("factor dims");
+                grads.t_apply_rows(&w)
+            }
+        }
+    }
 }
 
-/// Compute model statistics with the requested method.
+/// Compute model statistics with the requested method and the exact
+/// dense spectral engine.
 pub fn compute_statistics<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     method: StatisticsMethod,
     spec: &S,
     theta: &[f64],
     data: &Dataset<F>,
 ) -> Result<ModelStatistics, CoreError> {
+    compute_statistics_spectral(method, SpectralMethod::Dense, spec, theta, data)
+}
+
+/// Compute model statistics with the requested method and spectral
+/// engine (the knob threaded from `BlinkMlConfig::spectral`).
+pub fn compute_statistics_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    method: StatisticsMethod,
+    spectral: SpectralMethod,
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+) -> Result<ModelStatistics, CoreError> {
     match method {
-        StatisticsMethod::ObservedFisher => observed_fisher(spec, theta, data),
-        StatisticsMethod::ClosedForm => closed_form(spec, theta, data),
-        StatisticsMethod::InverseGradients => inverse_gradients(spec, theta, data),
+        StatisticsMethod::ObservedFisher => observed_fisher_spectral(spec, theta, data, spectral),
+        StatisticsMethod::ClosedForm => closed_form_spectral(spec, theta, data, spectral),
+        StatisticsMethod::InverseGradients => {
+            inverse_gradients_spectral(spec, theta, data, spectral)
+        }
     }
 }
 
-/// ObservedFisher (paper §3.4 Method 3): factor `J` from per-example
-/// gradients without forming any `D × D` matrix when `D > n`.
+/// ObservedFisher (paper §3.4 Method 3) with the exact dense engine.
 pub fn observed_fisher<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     spec: &S,
     theta: &[f64],
     data: &Dataset<F>,
+) -> Result<ModelStatistics, CoreError> {
+    observed_fisher_spectral(spec, theta, data, SpectralMethod::Dense)
+}
+
+/// ObservedFisher (paper §3.4 Method 3): factor `J` from per-example
+/// gradients without forming any `D × D` matrix when `D > n`.
+///
+/// With [`SpectralMethod::Dense`] the second-moment or Gram matrix is
+/// materialized and fully eigendecomposed (`O(min(D,n)³)`). With
+/// [`SpectralMethod::Randomized`] **neither matrix is ever formed**: the
+/// truncated solver probes the matrix-free [`Grads`] operators (two
+/// blocked GEMMs per apply) and resolves only the dominant eigenpairs —
+/// `O(min(D,n)²·r)` — with the rank-truncation tolerance folded into the
+/// eigenvalue cutoff below so the factored covariance only ever *drops*
+/// tail directions the tolerance already bounds.
+pub fn observed_fisher_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    spectral: SpectralMethod,
 ) -> Result<ModelStatistics, CoreError> {
     let grads = spec.grads(theta, data);
     let beta = spec.regularization();
     let n = grads.num_rows();
     let dim = grads.dim();
     if dim <= n {
-        // Small-parameter regime: eigendecompose J directly.
-        let mut j = grads.second_moment();
-        j.symmetrize();
-        let eig = SymmetricEigen::new(&j)?;
-        let l = explicit_factor_from_j(&eig, beta);
+        // Small-parameter regime: eigenpairs of J, explicit factor.
+        let (eigenvalues, eigenvectors) = match spectral {
+            SpectralMethod::Dense => {
+                let mut j = grads.second_moment();
+                j.symmetrize();
+                let eig = SymmetricEigen::new(&j)?;
+                (eig.eigenvalues, eig.eigenvectors)
+            }
+            SpectralMethod::Randomized {
+                rank,
+                oversample,
+                power_iters,
+                tol,
+            } => {
+                let eig = randomized_eigen(
+                    &grads.second_moment_op(),
+                    rank,
+                    oversample,
+                    power_iters,
+                    tol,
+                )?;
+                (eig.eigenvalues, eig.eigenvectors)
+            }
+        };
+        let l = explicit_factor_from_j(&eigenvalues, &eigenvectors, beta, cutoff_tol(spectral));
         Ok(ModelStatistics {
             dim,
             factor: Factor::Explicit(l),
@@ -204,27 +304,40 @@ pub fn observed_fisher<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     } else {
         // High-dimensional regime: the n × n Gram matrix shares J's
         // nonzero spectrum; keep the factor implicit.
-        let mut g = grads.gram();
-        g.symmetrize();
-        let eig = SymmetricEigen::new(&g)?;
-        let lmax = eig.eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
-        let cutoff = lmax * EIGEN_TOLERANCE;
-        let k = eig
-            .eigenvalues
+        let (eigenvalues, eigenvectors) = match spectral {
+            SpectralMethod::Dense => {
+                let mut g = grads.gram();
+                g.symmetrize();
+                let eig = SymmetricEigen::new(&g)?;
+                (eig.eigenvalues, eig.eigenvectors)
+            }
+            SpectralMethod::Randomized {
+                rank,
+                oversample,
+                power_iters,
+                tol,
+            } => {
+                let eig = randomized_eigen(&grads.gram_op(), rank, oversample, power_iters, tol)?;
+                (eig.eigenvalues, eig.eigenvectors)
+            }
+        };
+        let lmax = eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
+        let cutoff = lmax * cutoff_tol(spectral);
+        let k = eigenvalues
             .iter()
             .take_while(|&&l| l > cutoff && l > 0.0)
             .count();
         let mut v = Matrix::zeros(n, k);
         for c in 0..k {
             for r in 0..n {
-                v[(r, c)] = eig.eigenvectors[(r, c)];
+                v[(r, c)] = eigenvectors[(r, c)];
             }
         }
         Ok(ModelStatistics {
             dim,
             factor: Factor::Implicit {
                 v,
-                lambda: eig.eigenvalues[..k].to_vec(),
+                lambda: eigenvalues[..k].to_vec(),
                 grads,
                 beta,
             },
@@ -232,34 +345,61 @@ pub fn observed_fisher<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     }
 }
 
-/// `L = U diag(√λ/(λ+β))` from the eigendecomposition of `J`, truncated
-/// at the relative eigenvalue tolerance.
-fn explicit_factor_from_j(eig: &SymmetricEigen, beta: f64) -> Matrix {
-    let d = eig.dim();
-    let lmax = eig.eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
-    let cutoff = lmax * EIGEN_TOLERANCE;
-    let k = eig
-        .eigenvalues
+/// Relative eigenvalue cutoff for the given spectral engine: the dense
+/// guard, widened to the randomized solver's tail tolerance so the
+/// directions a truncated run drops are exactly the ones its tail bound
+/// covers (keeping the conservative quantile honest).
+fn cutoff_tol(spectral: SpectralMethod) -> f64 {
+    match spectral {
+        SpectralMethod::Dense => EIGEN_TOLERANCE,
+        SpectralMethod::Randomized { tol, .. } => tol.max(EIGEN_TOLERANCE),
+    }
+}
+
+/// `L = U diag(√λ/(λ+β))` from eigenpairs of `J`, truncated at the
+/// relative eigenvalue tolerance `rel_tol`.
+fn explicit_factor_from_j(
+    eigenvalues: &[f64],
+    eigenvectors: &Matrix,
+    beta: f64,
+    rel_tol: f64,
+) -> Matrix {
+    let d = eigenvectors.rows();
+    let lmax = eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
+    let cutoff = lmax * rel_tol;
+    let k = eigenvalues
         .iter()
         .take_while(|&&l| l > cutoff && l > 0.0)
         .count();
     let mut l = Matrix::zeros(d, k);
     for j in 0..k {
-        let lam = eig.eigenvalues[j];
+        let lam = eigenvalues[j];
         let scale = lam.sqrt() / (lam + beta);
         for i in 0..d {
-            l[(i, j)] = scale * eig.eigenvectors[(i, j)];
+            l[(i, j)] = scale * eigenvectors[(i, j)];
         }
     }
     l
 }
 
-/// ClosedForm (paper §3.4 Method 1): analytic `H`, then
-/// `J = H − βI` by the information matrix equality.
+/// ClosedForm (paper §3.4 Method 1) with the exact dense engine.
 pub fn closed_form<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     spec: &S,
     theta: &[f64],
     data: &Dataset<F>,
+) -> Result<ModelStatistics, CoreError> {
+    closed_form_spectral(spec, theta, data, SpectralMethod::Dense)
+}
+
+/// ClosedForm (paper §3.4 Method 1): analytic `H`, then
+/// `J = H − βI` by the information matrix equality. The randomized
+/// engine replaces the `O(D³)` eigendecomposition of `H` with the
+/// truncated solver over the dense operator.
+pub fn closed_form_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    spectral: SpectralMethod,
 ) -> Result<ModelStatistics, CoreError> {
     let h = spec
         .closed_form_hessian(theta, data)
@@ -267,16 +407,26 @@ pub fn closed_form<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
             model: spec.name(),
             method: "ClosedForm",
         })?;
-    statistics_from_hessian(h, spec.regularization())
+    statistics_from_hessian(h, spec.regularization(), spectral)
 }
 
-/// InverseGradients (paper §3.4 Method 2): numeric `H ≈ R P⁻¹` from `D`
-/// finite-difference probes of the averaged gradient `g_n`, then
-/// `J = H − βI`.
+/// InverseGradients (paper §3.4 Method 2) with the exact dense engine.
 pub fn inverse_gradients<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     spec: &S,
     theta: &[f64],
     data: &Dataset<F>,
+) -> Result<ModelStatistics, CoreError> {
+    inverse_gradients_spectral(spec, theta, data, SpectralMethod::Dense)
+}
+
+/// InverseGradients (paper §3.4 Method 2): numeric `H ≈ R P⁻¹` from `D`
+/// finite-difference probes of the averaged gradient `g_n`, then
+/// `J = H − βI`, decomposed by the chosen spectral engine.
+pub fn inverse_gradients_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    spectral: SpectralMethod,
 ) -> Result<ModelStatistics, CoreError> {
     let d = theta.len();
     let (_, g0) = spec.objective(theta, data);
@@ -291,33 +441,72 @@ pub fn inverse_gradients<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
         }
     }
     h.symmetrize();
-    statistics_from_hessian(h, spec.regularization())
+    statistics_from_hessian(h, spec.regularization(), spectral)
 }
 
 /// Shared tail of ClosedForm / InverseGradients: from a dense symmetric
 /// `H`, build the factor of `H⁻¹ J H⁻¹` with `J = H − βI` via the
 /// eigendecomposition `H = V Λ Vᵀ`:
-/// `H⁻¹JH⁻¹ = V diag((λ−β)/λ²) Vᵀ`.
-fn statistics_from_hessian(h: Matrix, beta: f64) -> Result<ModelStatistics, CoreError> {
+/// `H⁻¹JH⁻¹ = V diag((λ−β)/λ²) Vᵀ` — full or truncated per `spectral`.
+fn statistics_from_hessian(
+    h: Matrix,
+    beta: f64,
+    spectral: SpectralMethod,
+) -> Result<ModelStatistics, CoreError> {
     let dim = h.rows();
     let mut h = h;
     h.symmetrize();
+    if let SpectralMethod::Randomized {
+        rank,
+        oversample,
+        power_iters,
+        tol,
+    } = spectral
+    {
+        // Probe the *unshifted* `J = H − βI`, not `H` itself: the β
+        // shift puts a floor of β under every Ritz value of `H`, so the
+        // spectral-tail convergence test could never pass and the
+        // adaptive loop would grow to the full dimension — slower than
+        // the dense solver. `J`'s tail decays to zero, and
+        // `H⁻¹JH⁻¹ = V diag(λ_J/(λ_J+β)²) Vᵀ` only needs `J`'s
+        // eigenpairs anyway (the same factor form as ObservedFisher).
+        let mut j = h;
+        j.add_diag(-beta);
+        let eig = randomized_eigen(
+            &DenseSymmetricOp::new(&j),
+            rank,
+            oversample,
+            power_iters,
+            tol,
+        )?;
+        let l = explicit_factor_from_j(
+            &eig.eigenvalues,
+            &eig.eigenvectors,
+            beta,
+            cutoff_tol(spectral),
+        );
+        return Ok(ModelStatistics {
+            dim,
+            factor: Factor::Explicit(l),
+        });
+    }
     let eig = SymmetricEigen::new(&h)?;
-    let lmax = eig.eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
-    let cutoff = lmax * EIGEN_TOLERANCE;
+    let (eigenvalues, eigenvectors) = (eig.eigenvalues, eig.eigenvectors);
+    let lmax = eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
+    let cutoff = lmax * cutoff_tol(spectral);
     // Keep directions where H is invertible and J = H − βI positive.
-    let cols: Vec<usize> = (0..dim)
+    let cols: Vec<usize> = (0..eigenvalues.len())
         .filter(|&j| {
-            let lam = eig.eigenvalues[j];
+            let lam = eigenvalues[j];
             lam > cutoff && lam - beta > 0.0
         })
         .collect();
     let mut l = Matrix::zeros(dim, cols.len());
     for (c, &j) in cols.iter().enumerate() {
-        let lam = eig.eigenvalues[j];
+        let lam = eigenvalues[j];
         let scale = (lam - beta).sqrt() / lam;
         for i in 0..dim {
-            l[(i, c)] = scale * eig.eigenvectors[(i, j)];
+            l[(i, c)] = scale * eigenvectors[(i, j)];
         }
     }
     Ok(ModelStatistics {
@@ -396,7 +585,7 @@ mod tests {
         let mut j = grads.second_moment();
         j.symmetrize();
         let eig = SymmetricEigen::new(&j).unwrap();
-        let l = explicit_factor_from_j(&eig, 1e-3);
+        let l = explicit_factor_from_j(&eig.eigenvalues, &eig.eigenvectors, 1e-3, EIGEN_TOLERANCE);
         let reference = blas::gemm_nt(&l, &l).unwrap();
         let implicit = of.covariance_dense();
         let denom = reference.max_abs().max(1e-12);

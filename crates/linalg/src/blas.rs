@@ -19,6 +19,14 @@ use crate::{LinalgError, Result};
 /// ascending-`p` accumulation order of the unblocked kernel.
 const GEMM_KC: usize = 256;
 
+/// Multiply-accumulate count below which the output-partitioned parallel
+/// kernels dispatch straight to their sequential counterparts: chunking
+/// and reassembly overhead beats any parallel win on problems this
+/// small. Only kernels that are **bit-identical** to their sequential
+/// forms take this bypass (and the budget-of-one bypass), so dispatch
+/// never changes results.
+const PAR_MIN_FLOPS: usize = 1 << 17;
+
 /// `y = A x` (allocating). `A: m x n`, `x: n`, returns `m`.
 pub fn gemv(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
     if a.cols() != x.len() {
@@ -149,8 +157,20 @@ pub fn par_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let blocks = exec::par_ranges(m, |range| {
-        let mut block = vec![0.0; range.len() * n];
+    // Single-thread / small-problem dispatch: the sequential kernel is
+    // bit-identical (same ascending-p accumulation), so skipping the
+    // chunk/reassemble machinery can only change wall-clock time.
+    if exec::max_threads() == 1 || m.saturating_mul(k).saturating_mul(n) < PAR_MIN_FLOPS {
+        return gemm(a, b);
+    }
+    par_gemm_blocked(a, b)
+}
+
+/// The blocked body of [`par_gemm`], reachable past the dispatch so the
+/// kernel-equivalence tests exercise it even on a one-core budget.
+fn par_gemm_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    Ok(exec::par_rows_matrix(m, n, |range, block| {
         for p0 in (0..k).step_by(GEMM_KC) {
             let p1 = (p0 + GEMM_KC).min(k);
             for (local, i) in range.clone().enumerate() {
@@ -167,19 +187,85 @@ pub fn par_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix> {
                 }
             }
         }
-        block
-    });
-    let mut blocks = blocks;
-    let data = if blocks.len() == 1 {
-        blocks.pop().expect("one block")
-    } else {
-        let mut data = Vec::with_capacity(m * n);
-        for block in blocks {
-            data.extend_from_slice(&block);
+    }))
+}
+
+/// `C = A Bᵀ`, parallel over chunks of output rows.
+///
+/// Every output entry is one [`dot`], exactly as in [`gemm_nt`], so the
+/// result is bit-identical to the sequential kernel for any thread
+/// count — which also makes the single-thread / small-problem dispatch
+/// to [`gemm_nt`] result-neutral. This is the kernel behind batched
+/// covariance-factor application (`Z Lᵀ` for a pool of draws).
+pub fn par_gemm_nt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "par_gemm_nt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    if exec::max_threads() == 1 || m.saturating_mul(k).saturating_mul(n) < PAR_MIN_FLOPS {
+        return gemm_nt(a, b);
+    }
+    par_gemm_nt_chunked(a, b)
+}
+
+/// The chunked body of [`par_gemm_nt`], reachable past the dispatch so
+/// the kernel-equivalence tests exercise it even on a one-core budget.
+fn par_gemm_nt_chunked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let (m, n) = (a.rows(), b.rows());
+    Ok(exec::par_rows_matrix(m, n, |range, block| {
+        for (local, i) in range.enumerate() {
+            let arow = a.row(i);
+            let crow = &mut block[local * n..(local + 1) * n];
+            for (j, cij) in crow.iter_mut().enumerate() {
+                *cij = dot(arow, b.row(j));
+            }
         }
-        data
-    };
-    Ok(Matrix::from_vec(m, n, data))
+    }))
+}
+
+/// `C = Aᵀ B`, reduced over fixed row chunks of the shared `k`
+/// dimension.
+///
+/// Per-chunk partial products are summed **in chunk order**, so the
+/// result depends only on [`exec::CHUNK_SIZE`] — identical across
+/// machines and thread counts, and within round-off of the sequential
+/// [`gemm_tn`] (which it dispatches to whenever a single chunk covers
+/// the reduction). This is the kernel behind the batched gradient
+/// transpose-apply `Ψᵀ W` of the spectral engine.
+pub fn par_gemm_tn(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "par_gemm_tn",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    if k <= exec::CHUNK_SIZE {
+        // One chunk ≡ the sequential reduction order exactly.
+        return gemm_tn(a, b);
+    }
+    Ok(exec::par_map_reduce_matrix(k, m, n, |range| {
+        let mut partial = Matrix::zeros(m, n);
+        for p in range {
+            let arow = a.row(p);
+            let brow = b.row(p);
+            for (i, &api) in arow.iter().enumerate() {
+                if api == 0.0 {
+                    continue;
+                }
+                let crow = partial.row_mut(i);
+                for (cij, &bpj) in crow.iter_mut().zip(brow) {
+                    *cij += api * bpj;
+                }
+            }
+        }
+        partial
+    }))
 }
 
 /// Accumulate the upper triangle of `Aᵀ A` restricted to the row range
@@ -313,8 +399,14 @@ pub fn par_symmetric(n: usize, entry: impl Fn(usize, usize) -> f64 + Sync) -> Ma
 
 /// Chunk-parallel [`syrk_n`], partitioned over output rows via
 /// [`par_symmetric`]. Every entry is a single `dot`, so the result is
-/// bit-identical to the sequential kernel for any thread count.
+/// bit-identical to the sequential kernel for any thread count — and the
+/// single-thread / small-problem dispatch to [`syrk_n`] is
+/// result-neutral.
 pub fn par_syrk_n(a: &Matrix) -> Matrix {
+    let (n, d) = a.shape();
+    if exec::max_threads() == 1 || n.saturating_mul(n).saturating_mul(d) / 2 < PAR_MIN_FLOPS {
+        return syrk_n(a);
+    }
     par_symmetric(a.rows(), |i, j| dot(a.row(i), a.row(j)))
 }
 
@@ -415,12 +507,42 @@ mod tests {
     #[test]
     fn par_gemm_is_bit_identical_to_gemm() {
         // Spans the k-blocking boundary (k > GEMM_KC) and a non-multiple
-        // row count.
+        // row count. The blocked body is exercised directly so the test
+        // holds even when the thread budget dispatches to `gemm`.
         let a = rand_matrix(37, 300, 1);
         let b = rand_matrix(300, 19, 2);
         let seq = gemm(&a, &b).unwrap();
-        let par = par_gemm(&a, &b).unwrap();
+        let par = par_gemm_blocked(&a, &b).unwrap();
         assert_eq!(seq.as_slice(), par.as_slice(), "must match bitwise");
+        let dispatched = par_gemm(&a, &b).unwrap();
+        assert_eq!(seq.as_slice(), dispatched.as_slice(), "dispatch neutral");
+    }
+
+    #[test]
+    fn par_gemm_nt_is_bit_identical_to_gemm_nt() {
+        let a = rand_matrix(41, 23, 5);
+        let b = rand_matrix(17, 23, 6);
+        let seq = gemm_nt(&a, &b).unwrap();
+        let par = par_gemm_nt_chunked(&a, &b).unwrap();
+        assert_eq!(seq.as_slice(), par.as_slice(), "must match bitwise");
+        let dispatched = par_gemm_nt(&a, &b).unwrap();
+        assert_eq!(seq.as_slice(), dispatched.as_slice(), "dispatch neutral");
+    }
+
+    #[test]
+    fn par_gemm_tn_matches_sequential_within_roundoff() {
+        // More rows than one chunk so the in-order reduction runs.
+        let a = rand_matrix(exec::CHUNK_SIZE + 51, 9, 7);
+        let b = rand_matrix(exec::CHUNK_SIZE + 51, 5, 8);
+        let seq = gemm_tn(&a, &b).unwrap();
+        let par = par_gemm_tn(&a, &b).unwrap();
+        assert!(seq.max_abs_diff(&par) < 1e-10 * a.rows() as f64);
+        // Single-chunk inputs take the exact sequential path.
+        let a2 = rand_matrix(30, 4, 9);
+        let b2 = rand_matrix(30, 3, 10);
+        let seq2 = gemm_tn(&a2, &b2).unwrap();
+        let par2 = par_gemm_tn(&a2, &b2).unwrap();
+        assert_eq!(seq2.as_slice(), par2.as_slice(), "single chunk is exact");
     }
 
     #[test]
@@ -438,6 +560,9 @@ mod tests {
         let seq = syrk_n(&a);
         let par = par_syrk_n(&a);
         assert_eq!(seq.as_slice(), par.as_slice(), "must match bitwise");
+        // The chunked body behind the dispatch, exercised directly.
+        let chunked = par_symmetric(a.rows(), |i, j| dot(a.row(i), a.row(j)));
+        assert_eq!(seq.as_slice(), chunked.as_slice(), "must match bitwise");
     }
 
     #[test]

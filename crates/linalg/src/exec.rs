@@ -40,12 +40,22 @@ const DEFAULT_THREAD_CAP: usize = 16;
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// The current worker-thread budget.
+///
+/// The automatic default is computed once and cached:
+/// `available_parallelism` reads cgroup/sysfs state on Linux, which is
+/// far too expensive for a check that now sits on the dispatch path of
+/// every parallel kernel.
 pub fn max_threads() -> usize {
     match MAX_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(DEFAULT_THREAD_CAP),
+        0 => {
+            static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+            *AUTO.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(DEFAULT_THREAD_CAP)
+            })
+        }
         n => n,
     }
 }
@@ -88,6 +98,11 @@ where
         return Vec::new();
     }
     let num_chunks = n.div_ceil(chunk_size);
+    if num_chunks == 1 {
+        // One chunk: nothing to schedule, skip the budget lookup and
+        // collection machinery entirely (the single-thread hot path).
+        return vec![f(0..n)];
+    }
     let chunk_range = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(n);
     let threads = max_threads().min(num_chunks);
     if threads <= 1 {
@@ -120,6 +135,44 @@ where
             .map(|r| r.expect("every chunk produced a result"))
             .collect()
     })
+}
+
+/// Build a `rows × cols` matrix from contiguous row blocks computed in
+/// parallel chunks: `fill(range, block)` writes the rows of `range`
+/// into a zeroed `range.len() * cols` scratch block, and the blocks are
+/// reassembled in chunk order. Each output row is produced by exactly
+/// one chunk, so the result is bit-identical for any thread count —
+/// this is the shared scaffolding behind every row-partitioned kernel
+/// (`par_gemm`, `par_gemm_nt`, the batched gradient applications).
+pub fn par_rows_matrix<F>(rows: usize, cols: usize, fill: F) -> Matrix
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    par_rows_matrix_with(rows, cols, CHUNK_SIZE, fill)
+}
+
+/// [`par_rows_matrix`] with an explicit chunk size, for kernels whose
+/// per-row work is far from one "example" (e.g. one pooled draw applies
+/// a whole covariance factor, so the batched samplers chunk per row).
+pub fn par_rows_matrix_with<F>(rows: usize, cols: usize, chunk_size: usize, fill: F) -> Matrix
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    let mut blocks = par_ranges_with(rows, chunk_size, |range| {
+        let mut block = vec![0.0; range.len() * cols];
+        fill(range, &mut block);
+        block
+    });
+    let data = if blocks.len() == 1 {
+        blocks.pop().expect("one block")
+    } else {
+        let mut data = Vec::with_capacity(rows * cols);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        data
+    };
+    Matrix::from_vec(rows, cols, data)
 }
 
 /// Parallel sum-reduction of per-index `f64` vectors: computes

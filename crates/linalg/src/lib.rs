@@ -8,6 +8,10 @@
 //!   Householder QR ([`qr`]) factorizations,
 //! * a symmetric eigensolver ([`eigen`]) based on Householder
 //!   tridiagonalization followed by the implicit-shift QL iteration,
+//! * a truncated randomized eigensolver ([`spectral`]) over matrix-free
+//!   symmetric operators — Halko-style subspace iteration that resolves
+//!   the dominant `r` eigenpairs in `O(d²·r)` blocked GEMMs instead of
+//!   the full `O(d³)` decomposition,
 //! * a thin SVD ([`svd`]) built on the symmetric eigensolver via the Gram
 //!   matrix of the smaller side, which is exactly the factored form
 //!   BlinkML's `ObservedFisher` statistics method requires.
@@ -28,6 +32,7 @@ pub mod exec;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod spectral;
 pub mod svd;
 #[doc(hidden)]
 pub mod testing;
@@ -39,6 +44,7 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use spectral::{randomized_eigen, DenseSymmetricOp, SymmetricOp, TruncatedEigen};
 pub use svd::ThinSvd;
 
 /// Convenience alias used across the workspace.

@@ -1,8 +1,10 @@
 //! Property-based tests for the linear algebra substrate.
 
 use blinkml_linalg::blas::{
-    gemm, gemm_nt, gemm_tn, gemv, gemv_t, par_gemm, par_syrk_n, par_syrk_t, syrk_n, syrk_t,
+    gemm, gemm_nt, gemm_tn, gemv, gemv_t, par_gemm, par_gemm_nt, par_gemm_tn, par_syrk_n,
+    par_syrk_t, syrk_n, syrk_t,
 };
+use blinkml_linalg::spectral::{randomized_eigen, DenseSymmetricOp};
 use blinkml_linalg::{Cholesky, Lu, Matrix, Qr, SymmetricEigen, ThinSvd};
 use proptest::prelude::*;
 
@@ -164,5 +166,50 @@ proptest! {
         let fro2 = a.frobenius_norm().powi(2);
         let ssum: f64 = svd.s.iter().map(|s| s * s).sum();
         prop_assert!((fro2 - ssum).abs() / fro2.max(1.0) < 1e-9);
+    }
+
+    #[test]
+    fn par_gemm_nt_bit_identical_for_random_shapes(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..u64::MAX,
+    ) {
+        let a = blinkml_linalg::testing::xorshift_matrix(m, k, seed);
+        let b = blinkml_linalg::testing::xorshift_matrix(n, k, seed ^ 0x1234);
+        let seq = gemm_nt(&a, &b).unwrap();
+        let par = par_gemm_nt(&a, &b).unwrap();
+        prop_assert_eq!(seq.as_slice(), par.as_slice());
+    }
+
+    #[test]
+    fn par_gemm_tn_matches_sequential(rows in 1usize..60, m in 1usize..6, n in 1usize..6, seed in 0u64..1_000) {
+        let a = blinkml_linalg::testing::xorshift_matrix(rows, m, seed);
+        let b = blinkml_linalg::testing::xorshift_matrix(rows, n, seed ^ 0x77);
+        let seq = gemm_tn(&a, &b).unwrap();
+        let par = par_gemm_tn(&a, &b).unwrap();
+        prop_assert!(seq.max_abs_diff(&par) < 1e-12);
+    }
+
+    #[test]
+    fn randomized_eigen_matches_dense_on_dominant_pairs(n in 6usize..20, seed in 0u64..1_000) {
+        // PSD with geometric decay planted through a random basis: the
+        // realistic regime for the truncated solver.
+        let g = blinkml_linalg::testing::xorshift_matrix(n, n, seed);
+        let q = Qr::new(&g).unwrap().q();
+        let mut scaled = q.clone();
+        for j in 0..n {
+            let s = 0.6f64.powi(j as i32);
+            for i in 0..n {
+                scaled[(i, j)] *= s;
+            }
+        }
+        let a = gemm_nt(&scaled, &scaled).unwrap();
+        let exact = SymmetricEigen::new(&a).unwrap();
+        let approx = randomized_eigen(&DenseSymmetricOp::new(&a), 5, 4, 2, 1e-9).unwrap();
+        let lmax = exact.eigenvalues[0].max(1e-300);
+        for j in 0..5usize.min(approx.captured()) {
+            prop_assert!(
+                (approx.eigenvalues[j] - exact.eigenvalues[j]).abs() < 1e-7 * lmax,
+                "eigenvalue {}: {} vs {}", j, approx.eigenvalues[j], exact.eigenvalues[j]
+            );
+        }
     }
 }

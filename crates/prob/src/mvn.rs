@@ -21,6 +21,26 @@ pub trait CovarianceFactor {
 
     /// Compute `L z`.
     fn apply(&self, z: &[f64]) -> Vec<f64>;
+
+    /// Apply the factor to a whole batch of inputs at once: row `i` of
+    /// the result is `L zᵢ` for row `i` of `z` (a `count × input_dim`
+    /// block). The default loops [`CovarianceFactor::apply`]; dense and
+    /// implicit-statistics factors override it with one blocked GEMM
+    /// (`Z Lᵀ`), which is what makes drawing a `k`-draw pool one kernel
+    /// call instead of `k` gemv calls.
+    ///
+    /// # Contract
+    /// Overrides must be **bitwise identical** to the per-row loop: the
+    /// batched and per-draw sampling paths are interchangeable
+    /// mid-pipeline, so they must produce the same floats.
+    fn apply_batch(&self, z: &Matrix) -> Matrix {
+        assert_eq!(z.cols(), self.input_dim(), "apply_batch: input mismatch");
+        let mut out = Matrix::zeros(z.rows(), self.output_dim());
+        for i in 0..z.rows() {
+            out.row_mut(i).copy_from_slice(&self.apply(z.row(i)));
+        }
+        out
+    }
 }
 
 /// Dense factor: an explicit `d x k` matrix `L`.
@@ -52,6 +72,13 @@ impl CovarianceFactor for DenseFactor {
 
     fn apply(&self, z: &[f64]) -> Vec<f64> {
         blas::gemv(&self.l, z).expect("factor/input dimension mismatch")
+    }
+
+    fn apply_batch(&self, z: &Matrix) -> Matrix {
+        // One GEMM `Z Lᵀ`: each output entry is the same `dot` the
+        // per-row gemv computes (with commuted, hence bit-identical,
+        // operands), so this override honours the bitwise contract.
+        blas::par_gemm_nt(z, &self.l).expect("factor/input dimension mismatch")
     }
 }
 
@@ -122,7 +149,28 @@ impl<'a, F: CovarianceFactor> MvnSampler<'a, F> {
     /// Draw `count` centered samples (a "pool" in BlinkML's
     /// sampling-by-scaling scheme: the pool is drawn once from the
     /// *unscaled* covariance and rescaled per sample size).
+    ///
+    /// All standard-normal inputs are generated first (in the same RNG
+    /// order as per-draw sampling) and mapped through the factor in one
+    /// [`CovarianceFactor::apply_batch`] call, so the pool costs one
+    /// blocked GEMM instead of `count` gemv calls — with bitwise the
+    /// same result as [`MvnSampler::sample_pool_seq`].
     pub fn sample_pool<R: Rng + ?Sized>(&mut self, rng: &mut R, count: usize) -> Vec<Vec<f64>> {
+        let k = self.factor.input_dim();
+        let mut z = Matrix::zeros(count, k);
+        for i in 0..count {
+            for zi in z.row_mut(i) {
+                *zi = self.normal.sample(rng);
+            }
+        }
+        let out = self.factor.apply_batch(&z);
+        (0..count).map(|i| out.row(i).to_vec()).collect()
+    }
+
+    /// Per-draw reference implementation of [`MvnSampler::sample_pool`]
+    /// (the pre-batching behaviour); kept so tests and benches can pin
+    /// the batched path against it.
+    pub fn sample_pool_seq<R: Rng + ?Sized>(&mut self, rng: &mut R, count: usize) -> Vec<Vec<f64>> {
         (0..count).map(|_| self.sample_centered(rng)).collect()
     }
 }
@@ -198,5 +246,33 @@ mod tests {
         let p1 = MvnSampler::new(&f).sample_pool(&mut rng_from_seed(3), 5);
         let p2 = MvnSampler::new(&f).sample_pool(&mut rng_from_seed(3), 5);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn batched_pool_is_bitwise_identical_to_per_draw() {
+        // The bitwise contract of `apply_batch`, end to end through the
+        // sampler: the dense GEMM override and the default per-row loop
+        // must both reproduce per-draw sampling exactly.
+        let l = Matrix::from_vec(3, 2, vec![1.3, -0.2, 0.4, 2.1, -0.7, 0.05]);
+        let f = DenseFactor::new(l.clone());
+        let batched = MvnSampler::new(&f).sample_pool(&mut rng_from_seed(23), 33);
+        let per_draw = MvnSampler::new(&f).sample_pool_seq(&mut rng_from_seed(23), 33);
+        assert_eq!(batched, per_draw, "dense override must match bitwise");
+
+        let diag = DiagonalFactor::new(vec![0.3, 1.7]);
+        let batched_d = MvnSampler::new(&diag).sample_pool(&mut rng_from_seed(29), 17);
+        let per_draw_d = MvnSampler::new(&diag).sample_pool_seq(&mut rng_from_seed(29), 17);
+        assert_eq!(batched_d, per_draw_d, "default loop must match bitwise");
+    }
+
+    #[test]
+    fn apply_batch_rows_match_apply() {
+        let l = Matrix::from_vec(4, 3, (0..12).map(|i| (i as f64).sin()).collect());
+        let f = DenseFactor::new(l);
+        let z = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) as f64).cos());
+        let out = f.apply_batch(&z);
+        for i in 0..6 {
+            assert_eq!(out.row(i), f.apply(z.row(i)).as_slice(), "row {i}");
+        }
     }
 }
