@@ -11,8 +11,8 @@ use crate::config::BlinkMlConfig;
 use crate::error::CoreError;
 use crate::mcs::{ModelClassSpec, TrainedModel};
 use crate::sample_size::SampleSizeEstimator;
-use crate::stats::compute_statistics_spectral;
-use blinkml_data::{Dataset, FeatureVec};
+use crate::stats::compute_statistics_cached;
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec};
 use blinkml_prob::split_seed;
 use std::time::{Duration, Instant};
 
@@ -131,10 +131,15 @@ impl Coordinator {
         let n0 = self.config.initial_sample_size.min(full_n);
         let mut phases = TrainingPhaseTimes::default();
 
-        // Phase 1: initial model on D₀.
+        // Phase 1: initial model on D₀. The sample is materialized into
+        // a design-matrix view once; training and the statistics phase
+        // share it (the batched engine's cache).
         let t = Instant::now();
         let d0 = train.sample(n0, split_seed(seed, 0));
-        let m0 = spec.train(&d0, None, &self.config.optim)?;
+        let xm0 = spec
+            .batched_training()
+            .then(|| DatasetMatrix::from_dataset(&d0));
+        let m0 = spec.train_with_matrix(&d0, xm0.as_ref(), None, &self.config.optim)?;
         phases.initial_training = t.elapsed();
 
         if n0 == full_n {
@@ -154,12 +159,13 @@ impl Coordinator {
         // Phase 2: statistics of m₀ (through the configured spectral
         // engine — dense exact or truncated randomized).
         let t = Instant::now();
-        let stats = compute_statistics_spectral(
+        let stats = compute_statistics_cached(
             self.config.statistics_method,
             self.config.spectral,
             spec,
             m0.parameters(),
             &d0,
+            xm0.as_ref(),
         )?;
         phases.statistics = t.elapsed();
 
@@ -205,20 +211,27 @@ impl Coordinator {
         );
         phases.sample_size_search = t.elapsed();
 
-        // Phase 4: final model, warm-started from θ₀.
+        // Phase 4: final model, warm-started from θ₀; the final sample's
+        // matrix is likewise built once and reused by the optional
+        // closing statistics pass.
         let t = Instant::now();
         let dn = train.sample(est.n, split_seed(seed, 3));
-        let mn = spec.train(&dn, Some(m0.parameters()), &self.config.optim)?;
+        let xmn = spec
+            .batched_training()
+            .then(|| DatasetMatrix::from_dataset(&dn));
+        let mn =
+            spec.train_with_matrix(&dn, xmn.as_ref(), Some(m0.parameters()), &self.config.optim)?;
         phases.final_training = t.elapsed();
 
         let estimated_epsilon = if self.config.estimate_final_accuracy && est.n < full_n {
             let t = Instant::now();
-            let stats_n = compute_statistics_spectral(
+            let stats_n = compute_statistics_cached(
                 self.config.statistics_method,
                 self.config.spectral,
                 spec,
                 mn.parameters(),
                 &dn,
+                xmn.as_ref(),
             )?;
             let eps = accuracy.estimate(
                 spec,

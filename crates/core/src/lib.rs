@@ -43,4 +43,6 @@ pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
 pub use mcs::{ModelClassSpec, TrainedModel};
 pub use sample_size::{SampleSizeEstimate, SampleSizeEstimator};
-pub use stats::{compute_statistics, compute_statistics_spectral, ModelStatistics};
+pub use stats::{
+    compute_statistics, compute_statistics_cached, compute_statistics_spectral, ModelStatistics,
+};

@@ -10,10 +10,11 @@
 
 use crate::error::CoreError;
 use crate::grads::Grads;
-use blinkml_data::{Dataset, FeatureVec};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
 use blinkml_linalg::Matrix;
 use blinkml_optim::{minimize, Objective, OptimOptions};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// A model trained on a specific sample.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,16 +81,68 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
 
     /// Averaged objective `f_n(θ)` (Equation 2) and its gradient on
     /// `data`.
+    ///
+    /// This per-example walk is the **scalar reference path**: the
+    /// batched engine ([`Self::value_grad_batched`]) must reproduce it
+    /// bit for bit (see the exactness contract in
+    /// `docs/ARCHITECTURE.md`), and the training benchmarks measure
+    /// against it.
     fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>);
+
+    /// Whether this model class implements [`Self::value_grad_batched`].
+    /// When true, the default [`Self::train`] materializes the sample
+    /// into a [`DatasetMatrix`] once and routes every optimizer probe
+    /// through the batched kernels.
+    fn batched_training(&self) -> bool {
+        false
+    }
+
+    /// Batched objective evaluation: `f_n(θ)` returned, `∇f_n(θ)`
+    /// written into `grad`, against a cached design-matrix view. The
+    /// contract is exactness: the value and gradient must equal
+    /// [`Self::objective`] on the dataset `xm` was built from — for the
+    /// built-in model classes they are bit-identical at any thread
+    /// budget. `scratch` persists across calls so line-search probes
+    /// allocate nothing in steady state.
+    ///
+    /// Only called when [`Self::batched_training`] returns true.
+    fn value_grad_batched(
+        &self,
+        _theta: &[f64],
+        _xm: &DatasetMatrix,
+        _scratch: &mut TrainScratch,
+        _grad: &mut [f64],
+    ) -> f64 {
+        unreachable!("value_grad_batched() called on a model without batched training");
+    }
 
     /// The per-example gradient list `ψ_i = q(θ; x_i, y_i) + r(θ)`
     /// (paper's `grads` MCS method).
     fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads;
 
+    /// [`Self::grads`] with an optionally cached design-matrix view of
+    /// `data` (the coordinator reuses the matrix built for training when
+    /// computing the same sample's statistics). The default ignores the
+    /// cache; batched model classes override it.
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, _xm: Option<&DatasetMatrix>) -> Grads {
+        self.grads(theta, data)
+    }
+
     /// Analytic Hessian of `g_n` at `θ` when a closed form exists
     /// (paper §3.4 Method 1); `None` for models without one.
     fn closed_form_hessian(&self, _theta: &[f64], _data: &Dataset<F>) -> Option<Matrix> {
         None
+    }
+
+    /// [`Self::closed_form_hessian`] with an optionally cached
+    /// design-matrix view (same reuse pattern as [`Self::grads_cached`]).
+    fn closed_form_hessian_cached(
+        &self,
+        theta: &[f64],
+        data: &Dataset<F>,
+        _xm: Option<&DatasetMatrix>,
+    ) -> Option<Matrix> {
+        self.closed_form_hessian(theta, data)
     }
 
     /// Predict the output for one feature vector (class index for
@@ -148,12 +201,31 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
     }
 
     /// Train on `data`, optionally warm-starting from a previous
-    /// parameter vector. The default implementation runs the
-    /// dimension-appropriate quasi-Newton solver on [`Self::objective`];
-    /// closed-form models (PPCA) override it.
+    /// parameter vector. The default implementation materializes the
+    /// sample once (when [`Self::batched_training`] is on) and runs the
+    /// dimension-appropriate quasi-Newton solver on the batched
+    /// objective; closed-form models (PPCA) override it.
     fn train(
         &self,
         data: &Dataset<F>,
+        warm_start: Option<&[f64]>,
+        options: &OptimOptions,
+    ) -> Result<TrainedModel, CoreError> {
+        self.train_with_matrix(data, None, warm_start, options)
+    }
+
+    /// [`Self::train`] against an optionally pre-built design-matrix
+    /// view of `data` — the coordinator builds the matrix once per
+    /// sample and reuses it for both training and the subsequent
+    /// statistics phase. Passing `None` builds (or skips) the matrix
+    /// internally.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when `xm` does not match `data`'s shape.
+    fn train_with_matrix(
+        &self,
+        data: &Dataset<F>,
+        xm: Option<&DatasetMatrix>,
         warm_start: Option<&[f64]>,
         options: &OptimOptions,
     ) -> Result<TrainedModel, CoreError> {
@@ -161,6 +233,10 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
             return Err(CoreError::InvalidData(
                 "cannot train on an empty dataset".into(),
             ));
+        }
+        if let Some(m) = xm {
+            debug_assert_eq!(m.len(), data.len(), "cached matrix row mismatch");
+            debug_assert_eq!(m.dim(), data.dim(), "cached matrix dim mismatch");
         }
         let dim = self.param_dim(data.dim());
         let theta0: Vec<f64> = match warm_start {
@@ -175,8 +251,27 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
             }
             None => vec![0.0; dim],
         };
-        let adapter = SpecObjective { spec: self, data };
-        let result = minimize(&adapter, &theta0, options)?;
+        let result = if self.batched_training() {
+            let owned;
+            let matrix = match xm {
+                Some(m) => m,
+                None => {
+                    owned = DatasetMatrix::from_dataset(data);
+                    &owned
+                }
+            };
+            let adapter = BatchedSpecObjective {
+                spec: self,
+                dim,
+                xm: matrix,
+                scratch: RefCell::new(TrainScratch::new()),
+                _marker: std::marker::PhantomData,
+            };
+            minimize(&adapter, &theta0, options)?
+        } else {
+            let adapter = SpecObjective { spec: self, data };
+            minimize(&adapter, &theta0, options)?
+        };
         Ok(TrainedModel {
             theta: result.theta,
             sample_size: data.len(),
@@ -187,7 +282,7 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
     }
 }
 
-/// Adapter exposing an MCS objective to the optimizer.
+/// Adapter exposing the scalar MCS objective to the optimizer.
 struct SpecObjective<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> {
     spec: &'a S,
     data: &'a Dataset<F>,
@@ -200,6 +295,35 @@ impl<F: FeatureVec, S: ModelClassSpec<F> + ?Sized> Objective for SpecObjective<'
 
     fn value_grad(&self, theta: &[f64]) -> (f64, Vec<f64>) {
         self.spec.objective(theta, self.data)
+    }
+}
+
+/// Adapter exposing the batched MCS objective to the optimizer: the
+/// design-matrix view is borrowed for the whole solve and the scratch
+/// buffers persist across probes, so `value_grad_into` allocates
+/// nothing.
+struct BatchedSpecObjective<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> {
+    spec: &'a S,
+    dim: usize,
+    xm: &'a DatasetMatrix<'a>,
+    scratch: RefCell<TrainScratch>,
+    _marker: std::marker::PhantomData<fn() -> F>,
+}
+
+impl<F: FeatureVec, S: ModelClassSpec<F> + ?Sized> Objective for BatchedSpecObjective<'_, F, S> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn value_grad(&self, theta: &[f64]) -> (f64, Vec<f64>) {
+        let mut grad = vec![0.0; self.dim];
+        let value = self.value_grad_into(theta, &mut grad);
+        (value, grad)
+    }
+
+    fn value_grad_into(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        self.spec
+            .value_grad_batched(theta, self.xm, &mut self.scratch.borrow_mut(), grad)
     }
 }
 

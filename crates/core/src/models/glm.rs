@@ -6,11 +6,31 @@
 //! `(1/n) Xᵀ diag(ℓ'') X + βI`. A [`GlmFamily`] supplies the three
 //! scalar functions; [`GlmSpec`] turns any family into a full
 //! [`ModelClassSpec`].
+//!
+//! # Intercept
+//!
+//! [`GlmSpec::with_intercept`] appends an **unpenalized** bias as the
+//! last parameter: margins become `θ_wᵀx + θ_b`, and the regularizer
+//! `(β/2)‖θ_w‖²` covers the weights only. The objective, `grads`, and
+//! the closed-form Hessian all skip the intercept consistently (the
+//! gradient of an unpenalized coordinate must carry no `βθ` shift, or
+//! the ObservedFisher statistics silently disagree with the optimizer).
+//!
+//! # Batched path
+//!
+//! [`ModelClassSpec::value_grad_batched`] evaluates the same objective
+//! against a cached [`DatasetMatrix`]: one fused margin pass
+//! (`m = X·θ_w + θ_b`), one vectorized [`GlmFamily::loss_dloss`] sweep
+//! over the margin block, and one chunk-reduced `Xᵀw` gradient pass.
+//! Every reduction keeps the scalar path's chunk boundaries and
+//! accumulation order, so the batched value and gradient are
+//! **bit-identical** to [`ModelClassSpec::objective`] at any thread
+//! budget.
 
 use crate::grads::Grads;
 use crate::mcs::{classification_diff, regression_diff, ModelClassSpec};
 use blinkml_data::parallel::{par_ranges, par_sum_vecs};
-use blinkml_data::{Dataset, FeatureVec};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, SparseVec, TrainScratch};
 use blinkml_linalg::Matrix;
 use std::marker::PhantomData;
 
@@ -30,6 +50,16 @@ pub trait GlmFamily: Send + Sync + 'static {
     /// `∂ℓ/∂m`.
     fn dloss(m: f64, y: f64) -> f64;
 
+    /// Fused `(ℓ, ∂ℓ/∂m)` evaluation — the batched objective's inner
+    /// kernel. The default calls [`Self::loss`] and [`Self::dloss`]
+    /// separately; families whose loss and derivative share an `exp`
+    /// (logistic, Poisson) override it with a shared-transcendental
+    /// version that must return **bit-identical** values to the
+    /// separate calls.
+    fn loss_dloss(m: f64, y: f64) -> (f64, f64) {
+        (Self::loss(m, y), Self::dloss(m, y))
+    }
+
     /// `∂²ℓ/∂m²` when available in closed form (enables the ClosedForm
     /// statistics method).
     fn d2loss(m: f64, y: f64) -> Option<f64>;
@@ -46,17 +76,55 @@ pub trait GlmFamily: Send + Sync + 'static {
 #[derive(Debug, Clone)]
 pub struct GlmSpec<Fam: GlmFamily> {
     beta: f64,
+    intercept: bool,
     _family: PhantomData<Fam>,
 }
 
 impl<Fam: GlmFamily> GlmSpec<Fam> {
     /// Spec with L2-regularization coefficient `beta` (the paper uses
-    /// `β = 0.001` throughout its experiments).
+    /// `β = 0.001` throughout its experiments) and no intercept.
     pub fn new(beta: f64) -> Self {
         assert!(beta >= 0.0, "regularization must be nonnegative");
         GlmSpec {
             beta,
+            intercept: false,
             _family: PhantomData,
+        }
+    }
+
+    /// Spec with an **unpenalized** intercept appended as the last
+    /// parameter: margins are `θ_wᵀx + θ_b` and the regularizer skips
+    /// `θ_b` in the objective, gradient, `grads`, and Hessian alike.
+    pub fn with_intercept(beta: f64) -> Self {
+        assert!(beta >= 0.0, "regularization must be nonnegative");
+        GlmSpec {
+            beta,
+            intercept: true,
+            _family: PhantomData,
+        }
+    }
+
+    /// Whether this spec carries an intercept parameter.
+    pub fn has_intercept(&self) -> bool {
+        self.intercept
+    }
+
+    /// The margin `θ_wᵀx (+ θ_b)` of one example.
+    fn margin<F: FeatureVec>(&self, theta: &[f64], x: &F) -> f64 {
+        if self.intercept {
+            let d = theta.len() - 1;
+            x.dot(&theta[..d]) + theta[d]
+        } else {
+            x.dot(theta)
+        }
+    }
+
+    /// Number of penalized (weight) parameters for dimension `dim`.
+    fn weight_len(&self, dim: usize) -> usize {
+        if self.intercept {
+            dim - 1
+        } else {
+            dim
         }
     }
 }
@@ -67,7 +135,7 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
     }
 
     fn param_dim(&self, data_dim: usize) -> usize {
-        data_dim
+        data_dim + usize::from(self.intercept)
     }
 
     fn regularization(&self) -> f64 {
@@ -76,37 +144,108 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
 
     fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {
         let d = data.dim();
+        let dim = theta.len();
         let n = data.len().max(1) as f64;
-        // Accumulate [Σℓ, Σℓ'·x] in one parallel pass; slot 0 is the
-        // loss, slots 1..=d the gradient.
-        let acc = par_sum_vecs(data.len(), d + 1, |i, acc| {
+        // Accumulate [Σℓ, Σℓ'·x (, Σℓ')] in one parallel pass; slot 0 is
+        // the loss, slots 1..=d the weight gradient, the last slot (when
+        // an intercept is present) the bias gradient.
+        let acc = par_sum_vecs(data.len(), dim + 1, |i, acc| {
             let e = data.get(i);
-            let m = e.x.dot(theta);
+            let m = self.margin(theta, &e.x);
             acc[0] += Fam::loss(m, e.y);
-            e.x.add_scaled_into(Fam::dloss(m, e.y), &mut acc[1..]);
+            let c = Fam::dloss(m, e.y);
+            e.x.add_scaled_into(c, &mut acc[1..=d]);
+            if self.intercept {
+                acc[1 + d] += c;
+            }
         });
         let mut value = acc[0] / n;
         let mut grad: Vec<f64> = acc[1..].iter().map(|v| v / n).collect();
         if self.beta > 0.0 {
-            let norm_sq: f64 = theta.iter().map(|t| t * t).sum();
+            // The regularizer covers the weights only: the intercept is
+            // skipped here exactly as it is in `grads`' shift.
+            let wlen = self.weight_len(dim);
+            let norm_sq: f64 = theta[..wlen].iter().map(|t| t * t).sum();
             value += 0.5 * self.beta * norm_sq;
-            for (g, t) in grad.iter_mut().zip(theta) {
+            for (g, t) in grad[..wlen].iter_mut().zip(&theta[..wlen]) {
                 *g += self.beta * t;
             }
         }
         (value, grad)
     }
 
+    fn batched_training(&self) -> bool {
+        true
+    }
+
+    fn value_grad_batched(
+        &self,
+        theta: &[f64],
+        xm: &DatasetMatrix,
+        scratch: &mut TrainScratch,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = xm.dim();
+        let dim = theta.len();
+        debug_assert_eq!(dim, d + usize::from(self.intercept));
+        debug_assert_eq!(grad.len(), dim);
+        let n = xm.len().max(1) as f64;
+        let (w, b) = if self.intercept {
+            (&theta[..d], theta[d])
+        } else {
+            (theta, 0.0)
+        };
+        // One fused sweep: chunk margins → loss/derivative (sharing the
+        // family's transcendentals) → chunk gradient partial, with each
+        // chunk's rows reused while cache-hot. Partial sums merge in the
+        // scalar path's par_sum_vecs order, so value and gradient are
+        // bit-identical to `objective`.
+        let labels = xm.labels();
+        let mut dloss_sum = 0.0;
+        let loss = xm.value_grad_fold(w, b, &mut grad[..d], scratch, |start, margins| {
+            let (mut lpart, mut cpart) = (0.0, 0.0);
+            for (local, m) in margins.iter_mut().enumerate() {
+                let (l, c) = Fam::loss_dloss(*m, labels[start + local]);
+                lpart += l;
+                cpart += c;
+                *m = c;
+            }
+            dloss_sum += cpart;
+            lpart
+        });
+        let mut value = loss / n;
+        for g in grad[..d].iter_mut() {
+            *g /= n;
+        }
+        if self.intercept {
+            grad[d] = dloss_sum / n;
+        }
+        if self.beta > 0.0 {
+            let wlen = self.weight_len(dim);
+            let norm_sq: f64 = theta[..wlen].iter().map(|t| t * t).sum();
+            value += 0.5 * self.beta * norm_sq;
+            for (g, t) in grad[..wlen].iter_mut().zip(&theta[..wlen]) {
+                *g += self.beta * t;
+            }
+        }
+        value
+    }
+
     fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
         let d = data.dim();
-        let shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
+        let dim = theta.len();
+        let mut shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
+        if self.intercept {
+            // Unpenalized intercept: no βθ shift on the bias slot.
+            shift[d] = 0.0;
+        }
         if F::IS_SPARSE {
             let rows: Vec<_> = par_ranges(data.len(), |range| {
                 range
                     .map(|i| {
                         let e = data.get(i);
-                        let c = Fam::dloss(e.x.dot(theta), e.y);
-                        e.x.scaled_sparse(c, d, 0)
+                        let c = Fam::dloss(self.margin(theta, &e.x), e.y);
+                        sparse_grad_row(&e.x, c, d, dim, self.intercept)
                     })
                     .collect::<Vec<_>>()
             })
@@ -115,52 +254,164 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
             .collect();
             Grads::Sparse { rows, shift }
         } else {
-            let mut m = Matrix::zeros(data.len(), d);
+            let mut m = Matrix::zeros(data.len(), dim);
             for (i, e) in data.iter().enumerate() {
-                let c = Fam::dloss(e.x.dot(theta), e.y);
+                let c = Fam::dloss(self.margin(theta, &e.x), e.y);
                 let row = m.row_mut(i);
                 row.copy_from_slice(&shift);
-                e.x.add_scaled_into(c, row);
+                e.x.add_scaled_into(c, &mut row[..d]);
+                if self.intercept {
+                    row[d] += c;
+                }
+            }
+            Grads::Dense(m)
+        }
+    }
+
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
+        let Some(xm) = xm else {
+            return self.grads(theta, data);
+        };
+        debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+        let d = xm.dim();
+        let dim = theta.len();
+        let rows_n = xm.len();
+        let (w, b) = if self.intercept {
+            (&theta[..d], theta[d])
+        } else {
+            (theta, 0.0)
+        };
+        // One batched margin pass replaces the per-example dots; the
+        // per-row fill then reads the contiguous block.
+        let mut margins = vec![0.0; rows_n];
+        xm.margins_into(w, b, &mut margins);
+        let labels = xm.labels();
+        let mut shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
+        if self.intercept {
+            shift[d] = 0.0;
+        }
+        if xm.is_sparse() {
+            let rows: Vec<_> = par_ranges(rows_n, |range| {
+                range
+                    .map(|i| {
+                        let c = Fam::dloss(margins[i], labels[i]);
+                        let (idx, val) = xm.sparse_row(i).expect("sparse block");
+                        let mut indices: Vec<u32> = idx.to_vec();
+                        let mut values: Vec<f64> = val.iter().map(|v| c * v).collect();
+                        if self.intercept {
+                            indices.push(d as u32);
+                            values.push(c);
+                        }
+                        SparseVec::new(dim, indices, values)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            Grads::Sparse { rows, shift }
+        } else {
+            let mut m = Matrix::zeros(rows_n, dim);
+            for i in 0..rows_n {
+                let c = Fam::dloss(margins[i], labels[i]);
+                let row = m.row_mut(i);
+                row.copy_from_slice(&shift);
+                let xrow = xm.dense_row(i).expect("dense block");
+                for (rj, &xj) in row[..d].iter_mut().zip(xrow) {
+                    *rj += c * xj;
+                }
+                if self.intercept {
+                    row[d] += c;
+                }
             }
             Grads::Dense(m)
         }
     }
 
     fn closed_form_hessian(&self, theta: &[f64], data: &Dataset<F>) -> Option<Matrix> {
+        self.closed_form_hessian_cached(theta, data, None)
+    }
+
+    fn closed_form_hessian_cached(
+        &self,
+        theta: &[f64],
+        data: &Dataset<F>,
+        xm: Option<&DatasetMatrix>,
+    ) -> Option<Matrix> {
         let d = data.dim();
+        let dim = theta.len();
         let n = data.len().max(1) as f64;
-        let mut h = Matrix::zeros(d, d);
-        let mut xi = vec![0.0; d];
-        for e in data.iter() {
-            let m = e.x.dot(theta);
-            let w = Fam::d2loss(m, e.y)?;
-            if w == 0.0 {
-                continue;
+        // Curvature weights w_i = ℓ''(m_i, y_i)/n; any example without a
+        // closed form disables the method.
+        let mut weights = vec![0.0; data.len()];
+        match xm {
+            Some(xm) => {
+                debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+                let (w, b) = if self.intercept {
+                    (&theta[..d], theta[d])
+                } else {
+                    (theta, 0.0)
+                };
+                let mut margins = vec![0.0; xm.len()];
+                xm.margins_into(w, b, &mut margins);
+                for ((wi, &m), &y) in weights.iter_mut().zip(&margins).zip(xm.labels()) {
+                    *wi = Fam::d2loss(m, y)? / n;
+                }
             }
-            // H += (w/n)·x xᵀ.
-            xi.iter_mut().for_each(|v| *v = 0.0);
-            e.x.add_scaled_into(1.0, &mut xi);
-            blinkml_linalg::blas::ger(w / n, &xi, &xi, &mut h);
+            None => {
+                for (wi, e) in weights.iter_mut().zip(data.iter()) {
+                    *wi = Fam::d2loss(self.margin(theta, &e.x), e.y)? / n;
+                }
+            }
         }
-        h.add_diag(self.beta);
+        // H_ww = Σ wᵢ·xᵢxᵢᵀ through the chunk-reduced Gram kernel (one
+        // symmetric half instead of the dense rank-one updates).
+        let owned;
+        let xm = match xm {
+            Some(m) => m,
+            None => {
+                owned = DatasetMatrix::from_dataset(data);
+                &owned
+            }
+        };
+        let ww = xm.weighted_gram(&weights);
+        let mut h = Matrix::zeros(dim, dim);
+        for a in 0..d {
+            h.row_mut(a)[..d].copy_from_slice(&ww.row(a)[..d]);
+        }
+        if self.intercept {
+            // Border terms of the augmented design [x; 1].
+            let mut border = vec![0.0; d];
+            xm.weighted_sum_into(&weights, &mut border);
+            for (j, &v) in border.iter().enumerate() {
+                h[(j, d)] = v;
+                h[(d, j)] = v;
+            }
+            h[(d, d)] = weights.iter().sum();
+        }
+        // β on the penalized diagonal only — consistent with the
+        // objective and grads skipping the intercept.
+        for i in 0..self.weight_len(dim) {
+            h[(i, i)] += self.beta;
+        }
         Some(h)
     }
 
     fn predict(&self, theta: &[f64], x: &F) -> f64 {
-        Fam::predict(x.dot(theta))
+        Fam::predict(self.margin(theta, x))
     }
 
     fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<F>) -> f64 {
         if Fam::RMS_DIFF {
             regression_diff(
-                |x: &F| Fam::predict(x.dot(theta_a)),
-                |x: &F| Fam::predict(x.dot(theta_b)),
+                |x: &F| Fam::predict(self.margin(theta_a, x)),
+                |x: &F| Fam::predict(self.margin(theta_b, x)),
                 holdout,
             )
         } else {
             classification_diff(
-                |x: &F| Fam::predict(x.dot(theta_a)),
-                |x: &F| Fam::predict(x.dot(theta_b)),
+                |x: &F| Fam::predict(self.margin(theta_a, x)),
+                |x: &F| Fam::predict(self.margin(theta_b, x)),
                 holdout,
             )
         }
@@ -172,7 +423,7 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
         }
         let total: f64 = data
             .iter()
-            .map(|e| Fam::example_error(e.x.dot(theta), e.y))
+            .map(|e| Fam::example_error(self.margin(theta, &e.x), e.y))
             .sum();
         let mean = total / data.len() as f64;
         if Fam::RMS_DIFF {
@@ -187,10 +438,16 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
     }
 
     fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
-        out[0] = x.dot(theta);
+        out[0] = self.margin(theta, x);
     }
 
     fn margin_weights(&self, theta: &[f64], data_dim: usize) -> Option<Matrix> {
+        if self.intercept {
+            // Affine margins (`xᵀw + b`) are outside the pure-linear
+            // pool-GEMM contract; the diff engine falls back to the
+            // per-example margins path, which includes the bias.
+            return None;
+        }
         debug_assert_eq!(theta.len(), data_dim);
         Some(Matrix::from_vec(data_dim, 1, theta.to_vec()))
     }
@@ -202,6 +459,26 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
     fn diff_is_rms(&self) -> bool {
         Fam::RMS_DIFF
     }
+}
+
+/// One sparse `grads` row `c·x` (plus the intercept slot when present)
+/// embedded in dimension `dim`.
+fn sparse_grad_row<F: FeatureVec>(
+    x: &F,
+    c: f64,
+    d: usize,
+    dim: usize,
+    intercept: bool,
+) -> SparseVec {
+    if !intercept {
+        return x.scaled_sparse(c, dim, 0);
+    }
+    let block = x.scaled_sparse(c, d, 0);
+    let mut indices: Vec<u32> = block.indices().to_vec();
+    let mut values: Vec<f64> = block.values().to_vec();
+    indices.push(d as u32);
+    values.push(c);
+    SparseVec::new(dim, indices, values)
 }
 
 #[cfg(test)]
@@ -248,5 +525,129 @@ pub(crate) mod test_support {
         for (g, m) in grad.iter().zip(&mean) {
             assert!((g - m).abs() < tol, "grads mean mismatch: {g} vs {m}");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::logreg::LogisticFamily;
+    use blinkml_data::generators::synthetic_logistic;
+    use blinkml_data::DenseVec;
+    use blinkml_optim::OptimOptions;
+    use test_support::{check_gradient, check_grads_mean};
+
+    type Spec = GlmSpec<LogisticFamily>;
+
+    #[test]
+    fn intercept_extends_param_dim_and_margin() {
+        let spec = Spec::with_intercept(1e-3);
+        assert!(spec.has_intercept());
+        assert_eq!(<Spec as ModelClassSpec<DenseVec>>::param_dim(&spec, 4), 5);
+        let x = DenseVec::new(vec![1.0, 2.0]);
+        let theta = vec![0.5, -1.0, 0.25];
+        // margin = 0.5 − 2.0 + 0.25
+        assert_eq!(spec.margin(&theta, &x), 0.5 - 2.0 + 0.25);
+    }
+
+    #[test]
+    fn intercept_gradient_matches_finite_differences() {
+        let (data, _) = synthetic_logistic(250, 4, 2.0, 11);
+        let spec = Spec::with_intercept(1e-2);
+        let theta = vec![0.3, -0.2, 0.5, 0.1, -0.4];
+        check_gradient(&spec, &theta, &data, 1e-5);
+        check_grads_mean(&spec, &theta, &data, 1e-10);
+    }
+
+    #[test]
+    fn regularizer_skips_the_intercept_consistently() {
+        // The objective's penalty and grads' shift must agree on the
+        // unpenalized bias: both skip it.
+        let (data, _) = synthetic_logistic(100, 3, 2.0, 12);
+        let spec = Spec::with_intercept(0.5);
+        let theta = vec![1.0, -2.0, 0.5, 3.0];
+        let (v_reg, g_reg) = spec.objective(&theta, &data);
+        let free = Spec::with_intercept(0.0);
+        let (v0, g0) = free.objective(&theta, &data);
+        // Value penalty covers the weights only: ½β‖w‖², not the bias.
+        let expect = 0.5 * 0.5 * (1.0 + 4.0 + 0.25);
+        assert!((v_reg - v0 - expect).abs() < 1e-12);
+        // Bias gradient unchanged by β; weight gradients shifted by βθ.
+        assert!((g_reg[3] - g0[3]).abs() < 1e-15);
+        for j in 0..3 {
+            assert!((g_reg[j] - g0[j] - 0.5 * theta[j]).abs() < 1e-12);
+        }
+        // grads' shift agrees: mean row == objective gradient.
+        check_grads_mean(&spec, &theta, &data, 1e-10);
+    }
+
+    #[test]
+    fn intercept_hessian_matches_numeric_jacobian() {
+        let (data, _) = synthetic_logistic(300, 3, 1.5, 13);
+        let spec = Spec::with_intercept(0.01);
+        let theta = vec![0.2, -0.4, 0.6, 0.3];
+        let h = spec.closed_form_hessian(&theta, &data).unwrap();
+        let eps = 1e-6;
+        for i in 0..4 {
+            let mut plus = theta.clone();
+            let mut minus = theta.clone();
+            plus[i] += eps;
+            minus[i] -= eps;
+            let (_, gp) = spec.objective(&plus, &data);
+            let (_, gm) = spec.objective(&minus, &data);
+            for j in 0..4 {
+                let fd = (gp[j] - gm[j]) / (2.0 * eps);
+                assert!(
+                    (h[(j, i)] - fd).abs() < 1e-5,
+                    "H[{j}][{i}]: {} vs {fd}",
+                    h[(j, i)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intercept_improves_fit_on_shifted_data() {
+        // Shift every margin by a constant: without an intercept the
+        // classifier must waste weight mass; with one it recovers.
+        let (base, _) = synthetic_logistic(4_000, 3, 2.0, 14);
+        let shifted = Dataset::new(
+            "shifted",
+            3,
+            base.iter()
+                .map(|e| blinkml_data::Example {
+                    x: e.x.clone(),
+                    y: if e.x.as_slice().iter().sum::<f64>() + 1.5 > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    },
+                })
+                .collect(),
+        );
+        let opts = OptimOptions::default();
+        let plain = Spec::new(1e-3).train(&shifted, None, &opts).unwrap();
+        let with_b = Spec::with_intercept(1e-3)
+            .train(&shifted, None, &opts)
+            .unwrap();
+        let e_plain = Spec::new(1e-3).generalization_error(plain.parameters(), &shifted);
+        let e_b = Spec::with_intercept(1e-3).generalization_error(with_b.parameters(), &shifted);
+        assert!(
+            e_b < e_plain,
+            "intercept should help on shifted labels: {e_b} vs {e_plain}"
+        );
+    }
+
+    #[test]
+    fn margin_weights_disabled_with_intercept() {
+        let spec = Spec::with_intercept(1e-3);
+        assert!(
+            <Spec as ModelClassSpec<DenseVec>>::margin_weights(&spec, &[0.1, 0.2, 0.3], 2)
+                .is_none()
+        );
+        let plain = Spec::new(1e-3);
+        assert!(
+            <Spec as ModelClassSpec<DenseVec>>::margin_weights(&plain, &[0.1, 0.2], 2).is_some()
+        );
     }
 }

@@ -16,7 +16,7 @@
 use crate::grads::Grads;
 use crate::mcs::{regression_diff, ModelClassSpec};
 use blinkml_data::parallel::par_sum_vecs;
-use blinkml_data::{Dataset, FeatureVec};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
 use blinkml_linalg::blas::ger;
 use blinkml_linalg::Matrix;
 
@@ -98,7 +98,60 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
         (value, grad)
     }
 
+    fn batched_training(&self) -> bool {
+        true
+    }
+
+    fn value_grad_batched(
+        &self,
+        theta: &[f64],
+        xm: &DatasetMatrix,
+        scratch: &mut TrainScratch,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = xm.dim();
+        debug_assert_eq!(theta.len(), d + 1);
+        debug_assert_eq!(grad.len(), d + 1);
+        let n = xm.len().max(1) as f64;
+        let u = theta[d].clamp(-LOG_VAR_CLAMP, LOG_VAR_CLAMP);
+        let inv_s = (-u).exp();
+        let w = &theta[..d];
+        // One fused sweep: chunk margins → residuals in place
+        // (rᵢ = mᵢ − yᵢ, the scalar `dot(w) − y` op order) → chunk
+        // gradient partial, merged like par_sum_vecs — bit-identical to
+        // the scalar objective.
+        let labels = xm.labels();
+        let sum_r2 = xm.value_grad_fold(w, 0.0, &mut grad[..d], scratch, |start, margins| {
+            let mut part = 0.0;
+            for (local, m) in margins.iter_mut().enumerate() {
+                let r = *m - labels[start + local];
+                part += r * r;
+                *m = r;
+            }
+            part
+        });
+        // f = (1/n)Σ[r²/(2σ²) + u/2] + (β/2)‖w‖².
+        let mut value = 0.5 * inv_s * sum_r2 / n + 0.5 * u;
+        for g in grad[..d].iter_mut() {
+            *g = inv_s * *g / n;
+        }
+        // ∂f/∂u = ½ − (1/2σ²)·mean(r²).
+        grad[d] = 0.5 - 0.5 * inv_s * sum_r2 / n;
+        if self.beta > 0.0 {
+            let norm_sq: f64 = w.iter().map(|t| t * t).sum();
+            value += 0.5 * self.beta * norm_sq;
+            for (g, t) in grad[..d].iter_mut().zip(w) {
+                *g += self.beta * t;
+            }
+        }
+        value
+    }
+
     fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
+        self.grads_cached(theta, data, None)
+    }
+
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
         let d = data.dim();
         let u = theta[d].clamp(-LOG_VAR_CLAMP, LOG_VAR_CLAMP);
         let inv_s = (-u).exp();
@@ -109,12 +162,34 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
         }
         // ψ_i = [r·x/σ² + βw ; ½ − r²/(2σ²)].
         let mut m = Matrix::zeros(data.len(), d + 1);
-        for (i, e) in data.iter().enumerate() {
-            let r = e.x.dot(w) - e.y;
-            let row = m.row_mut(i);
-            row.copy_from_slice(&shift);
-            e.x.add_scaled_into(inv_s * r, &mut row[..d]);
-            row[d] = 0.5 - 0.5 * inv_s * r * r;
+        match xm.filter(|xm| !xm.is_sparse()) {
+            Some(xm) => {
+                debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+                // Batched margins, then a per-row fill from the view.
+                let mut margins = vec![0.0; xm.len()];
+                xm.margins_into(w, 0.0, &mut margins);
+                let labels = xm.labels();
+                for i in 0..xm.len() {
+                    let r = margins[i] - labels[i];
+                    let c = inv_s * r;
+                    let row = m.row_mut(i);
+                    row.copy_from_slice(&shift);
+                    let xrow = xm.dense_row(i).expect("dense block");
+                    for (rj, &xj) in row[..d].iter_mut().zip(xrow) {
+                        *rj += c * xj;
+                    }
+                    row[d] = 0.5 - 0.5 * inv_s * r * r;
+                }
+            }
+            None => {
+                for (i, e) in data.iter().enumerate() {
+                    let r = e.x.dot(w) - e.y;
+                    let row = m.row_mut(i);
+                    row.copy_from_slice(&shift);
+                    e.x.add_scaled_into(inv_s * r, &mut row[..d]);
+                    row[d] = 0.5 - 0.5 * inv_s * r * r;
+                }
+            }
         }
         Grads::Dense(m)
     }

@@ -43,6 +43,24 @@ impl GlmFamily for LogisticFamily {
     }
 
     #[inline]
+    fn loss_dloss(m: f64, y: f64) -> (f64, f64) {
+        // One shared exponential instead of the two that separate
+        // loss/dloss calls spend. The branches replicate `log1p_exp` and
+        // `sigmoid` exactly (at m = 0 both expressions evaluate the same
+        // exp(0) = 1), so the results are bit-identical to the separate
+        // calls — the batched objective relies on that.
+        if m > 0.0 {
+            let e = (-m).exp();
+            (m + e.ln_1p() - y * m, 1.0 / (1.0 + e) - y)
+        } else if m == 0.0 {
+            (m.exp().ln_1p() - y * m, 0.5 - y)
+        } else {
+            let e = m.exp();
+            (e.ln_1p() - y * m, e / (1.0 + e) - y)
+        }
+    }
+
+    #[inline]
     fn d2loss(m: f64, _y: f64) -> Option<f64> {
         let s = sigmoid(m);
         Some(s * (1.0 - s))

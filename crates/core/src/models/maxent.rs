@@ -2,8 +2,8 @@
 
 use crate::grads::Grads;
 use crate::mcs::{classification_diff, ModelClassSpec};
-use blinkml_data::parallel::{par_ranges, par_sum_vecs};
-use blinkml_data::{Dataset, FeatureVec, SparseVec};
+use blinkml_data::parallel::{par_ranges, par_sum_vecs, CHUNK_SIZE};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, SparseVec, TrainScratch};
 use blinkml_linalg::Matrix;
 
 /// L2-regularized max-entropy classifier over `K` classes — the paper's
@@ -115,6 +115,175 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
             }
         }
         (value, grad)
+    }
+
+    fn batched_training(&self) -> bool {
+        true
+    }
+
+    fn value_grad_batched(
+        &self,
+        theta: &[f64],
+        xm: &DatasetMatrix,
+        scratch: &mut TrainScratch,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = xm.dim();
+        let kc = self.num_classes;
+        let dim = kc * d;
+        debug_assert_eq!(theta.len(), dim);
+        debug_assert_eq!(grad.len(), dim);
+        let rows = xm.len();
+        let n = rows.max(1) as f64;
+        let labels = xm.labels();
+        let mut loss = 0.0;
+        // Fused one-pass sweep for both layouts: each row is visited
+        // once per probe — K score dots, softmax, K coefficient
+        // accumulations — in the scalar path's exact per-row order, with
+        // the chunk partial merged like par_sum_vecs. (Separate
+        // per-class margin + gradient passes would stream the design
+        // view 2K times per probe, a memory-traffic regression on
+        // out-of-cache shapes.)
+        let (gpart, p) = scratch.slot_pair(0, 1, dim, kc);
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut start = 0;
+        while start < rows {
+            let end = (start + CHUNK_SIZE).min(rows);
+            let mut part = 0.0;
+            gpart.iter_mut().for_each(|g| *g = 0.0);
+            for (i, &label_f) in labels.iter().enumerate().take(end).skip(start) {
+                let label = label_f as usize;
+                debug_assert!(label < kc, "label {label} out of range");
+                match xm.sparse_row(i) {
+                    Some((idx, val)) => {
+                        for (k, pk) in p.iter_mut().enumerate() {
+                            let tk = &theta[k * d..(k + 1) * d];
+                            let mut acc = 0.0;
+                            for (&j, &v) in idx.iter().zip(val) {
+                                acc += v * tk[j as usize];
+                            }
+                            *pk = acc;
+                        }
+                        part += log_sum_exp(p) - p[label];
+                        softmax_inplace(p);
+                        for (k, &pk) in p.iter().enumerate() {
+                            let coef = pk - if k == label { 1.0 } else { 0.0 };
+                            let gk = &mut gpart[k * d..(k + 1) * d];
+                            for (&j, &v) in idx.iter().zip(val) {
+                                gk[j as usize] += coef * v;
+                            }
+                        }
+                    }
+                    None => {
+                        let xrow = xm.dense_row(i).expect("dense block");
+                        // Per-class dots keep the scalar `scores` shape
+                        // (FeatureVec::dot is vector::dot), so the
+                        // margins are bit-identical.
+                        for (k, pk) in p.iter_mut().enumerate() {
+                            *pk = blinkml_linalg::vector::dot(xrow, &theta[k * d..(k + 1) * d]);
+                        }
+                        part += log_sum_exp(p) - p[label];
+                        softmax_inplace(p);
+                        for (k, &pk) in p.iter().enumerate() {
+                            let coef = pk - if k == label { 1.0 } else { 0.0 };
+                            let gk = &mut gpart[k * d..(k + 1) * d];
+                            for (gj, &xj) in gk.iter_mut().zip(xrow) {
+                                *gj += coef * xj;
+                            }
+                        }
+                    }
+                }
+            }
+            loss += part;
+            for (g, gp) in grad.iter_mut().zip(gpart.iter()) {
+                *g += gp;
+            }
+            start = end;
+        }
+        let mut value = loss / n;
+        for g in grad.iter_mut() {
+            *g /= n;
+        }
+        if self.beta > 0.0 {
+            let norm_sq: f64 = theta.iter().map(|t| t * t).sum();
+            value += 0.5 * self.beta * norm_sq;
+            for (g, t) in grad.iter_mut().zip(theta) {
+                *g += self.beta * t;
+            }
+        }
+        value
+    }
+
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
+        let Some(xm) = xm else {
+            return self.grads(theta, data);
+        };
+        debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+        let d = xm.dim();
+        let kc = self.num_classes;
+        let dim = kc * d;
+        let rows_n = xm.len();
+        // Batched class margins once, then the per-row softmax fill.
+        let mut mbuf = vec![0.0; kc * rows_n];
+        for k in 0..kc {
+            xm.margins_into(
+                &theta[k * d..(k + 1) * d],
+                0.0,
+                &mut mbuf[k * rows_n..(k + 1) * rows_n],
+            );
+        }
+        let labels = xm.labels();
+        let shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
+        if xm.is_sparse() {
+            let rows: Vec<SparseVec> = par_ranges(rows_n, |range| {
+                let mut p = vec![0.0; kc];
+                range
+                    .map(|i| {
+                        let label = labels[i] as usize;
+                        for (k, pk) in p.iter_mut().enumerate() {
+                            *pk = mbuf[k * rows_n + i];
+                        }
+                        softmax_inplace(&mut p);
+                        let (idx, val) = xm.sparse_row(i).expect("sparse block");
+                        // Per-class blocks are consecutive and internally
+                        // sorted, so concatenation stays strictly sorted.
+                        let mut indices = Vec::new();
+                        let mut values = Vec::new();
+                        for (k, &pk) in p.iter().enumerate() {
+                            let coef = pk - if k == label { 1.0 } else { 0.0 };
+                            let offset = (k * d) as u32;
+                            indices.extend(idx.iter().map(|&i| i + offset));
+                            values.extend(val.iter().map(|v| coef * v));
+                        }
+                        SparseVec::new(dim, indices, values)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            Grads::Sparse { rows, shift }
+        } else {
+            let mut m = Matrix::zeros(rows_n, dim);
+            let mut p = vec![0.0; kc];
+            for i in 0..rows_n {
+                let label = labels[i] as usize;
+                for (k, pk) in p.iter_mut().enumerate() {
+                    *pk = mbuf[k * rows_n + i];
+                }
+                softmax_inplace(&mut p);
+                let row = m.row_mut(i);
+                row.copy_from_slice(&shift);
+                let xrow = xm.dense_row(i).expect("dense block");
+                for (k, &pk) in p.iter().enumerate() {
+                    let coef = pk - if k == label { 1.0 } else { 0.0 };
+                    for (rj, &xj) in row[k * d..(k + 1) * d].iter_mut().zip(xrow) {
+                        *rj += coef * xj;
+                    }
+                }
+            }
+            Grads::Dense(m)
+        }
     }
 
     fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {

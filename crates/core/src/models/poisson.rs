@@ -30,6 +30,15 @@ impl GlmFamily for PoissonFamily {
     }
 
     #[inline]
+    fn loss_dloss(m: f64, y: f64) -> (f64, f64) {
+        // Loss and derivative share the clamped exponential; bit-equal
+        // to the separate calls.
+        let m = m.clamp(-MARGIN_CLAMP, MARGIN_CLAMP);
+        let e = m.exp();
+        (e - y * m, e - y)
+    }
+
+    #[inline]
     fn d2loss(m: f64, _y: f64) -> Option<f64> {
         Some(m.clamp(-MARGIN_CLAMP, MARGIN_CLAMP).exp())
     }

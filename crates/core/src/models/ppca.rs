@@ -16,8 +16,8 @@
 use crate::error::CoreError;
 use crate::grads::Grads;
 use crate::mcs::{ModelClassSpec, TrainedModel};
-use blinkml_data::{Dataset, FeatureVec};
-use blinkml_linalg::{blas, Cholesky, Matrix, SymmetricEigen};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
+use blinkml_linalg::{blas, vector, Cholesky, Matrix, SymmetricEigen};
 use blinkml_optim::OptimOptions;
 
 /// PPCA model-class specification with `q` factors.
@@ -64,18 +64,56 @@ impl PpcaSpec {
         Ok((c, chol))
     }
 
-    /// Uncentered second-moment matrix `S = (1/n) Σ x xᵀ`.
-    fn second_moment<F: FeatureVec>(data: &Dataset<F>) -> Matrix {
-        let d = data.dim();
-        let n = data.len().max(1) as f64;
-        let mut s = Matrix::zeros(d, d);
-        let mut xd = vec![0.0; d];
-        for e in data.iter() {
-            xd.iter_mut().for_each(|v| *v = 0.0);
-            e.x.add_scaled_into(1.0, &mut xd);
-            blas::ger(1.0 / n, &xd, &xd, &mut s);
+    /// Uncentered second-moment matrix `S = (1/n) Σ x xᵀ`, accumulated
+    /// through the chunk-reduced weighted-Gram kernel (half the flops of
+    /// the dense rank-one updates this used to perform per example, and
+    /// contiguous reads from the materialized block).
+    fn second_moment(xm: &DatasetMatrix) -> Matrix {
+        let n = xm.len().max(1) as f64;
+        let w = vec![1.0 / n; xm.len()];
+        xm.weighted_gram(&w)
+    }
+
+    /// Shared factor state of the batched objective/grads passes.
+    fn factors(&self, theta: &[f64], d: usize) -> (Matrix, Matrix, f64, f64) {
+        let (w, sigma2) = self.unpack(theta, d);
+        let (_, chol) = self
+            .covariance(&w, sigma2)
+            .expect("PPCA covariance must be SPD for positive σ²");
+        let c_inv = chol.inverse().expect("inverse after successful Cholesky");
+        let m = blas::gemm(&c_inv, &w).expect("dims");
+        let log_det = chol.log_det();
+        let tr_cinv = c_inv.trace();
+        (c_inv, m, tr_cinv, log_det)
+    }
+
+    /// Fill the column-major `aᵢ = C⁻¹xᵢ` block (`acols[j·n + i]`) with
+    /// one batched margin pass per output row of `C⁻¹` — each entry is
+    /// the same per-row dot the scalar `gemv` performs, so the dense
+    /// path is bit-identical.
+    fn fill_acols(xm: &DatasetMatrix, c_inv: &Matrix, acols: &mut [f64]) {
+        let rows = xm.len();
+        for j in 0..xm.dim() {
+            xm.margins_into(c_inv.row(j), 0.0, &mut acols[j * rows..(j + 1) * rows]);
         }
-        s
+    }
+
+    /// Dense view of row `i` of the block: a borrowed slice for dense
+    /// blocks, a scatter into `buf` for CSR (`0 + v` per stored entry —
+    /// the exact op sequence of the scalar `add_scaled_into(1.0, …)`
+    /// materialization, keeping the sparse path bitwise).
+    fn row_dense<'a>(xm: &'a DatasetMatrix<'_>, i: usize, buf: &'a mut [f64]) -> &'a [f64] {
+        match xm.dense_row(i) {
+            Some(x) => x,
+            None => {
+                buf.iter_mut().for_each(|v| *v = 0.0);
+                let (idx, val) = xm.sparse_row(i).expect("sparse block");
+                for (&j, &v) in idx.iter().zip(val) {
+                    buf[j as usize] += v;
+                }
+                buf
+            }
+        }
     }
 }
 
@@ -167,6 +205,113 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
         Grads::Dense(rows)
     }
 
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
+        // The column-batched aᵢ pass below is bit-identical to the
+        // scalar gemv only over dense blocks; sparse features take the
+        // scalar path (margins over stored entries would reorder the
+        // per-row reduction).
+        let Some(xm) = xm.filter(|xm| !xm.is_sparse()) else {
+            return self.grads(theta, data);
+        };
+        debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+        let d = xm.dim();
+        let q = self.num_factors;
+        let dim = d * q + 1;
+        let n_rows = xm.len();
+        let (c_inv, m, tr_cinv, _) = self.factors(theta, d);
+        // The O(n·d²) bottleneck — aᵢ = C⁻¹xᵢ for every row — as d
+        // batched margin passes over the contiguous block.
+        let mut acols = vec![0.0; d * n_rows];
+        Self::fill_acols(xm, &c_inv, &mut acols);
+        let mut rows = Matrix::zeros(n_rows, dim);
+        let mut a = vec![0.0; d];
+        let mut xbuf = vec![0.0; d];
+        for idx in 0..n_rows {
+            for (j, aj) in a.iter_mut().enumerate() {
+                *aj = acols[j * n_rows + idx];
+            }
+            let xd = Self::row_dense(xm, idx, &mut xbuf);
+            let b = blas::gemv_t(&m, xd).expect("dims");
+            let row = rows.row_mut(idx);
+            for j in 0..q {
+                let bj = b[j];
+                for i in 0..d {
+                    row[j * d + i] = m[(i, j)] - a[i] * bj;
+                }
+            }
+            let a_sq: f64 = a.iter().map(|v| v * v).sum();
+            row[d * q] = 0.5 * (tr_cinv - a_sq);
+        }
+        Grads::Dense(rows)
+    }
+
+    fn batched_training(&self) -> bool {
+        // Training itself is closed-form (see `train_with_matrix`), but
+        // advertising the batched path makes the coordinator materialize
+        // and cache the design matrix for the statistics phase.
+        true
+    }
+
+    fn value_grad_batched(
+        &self,
+        theta: &[f64],
+        xm: &DatasetMatrix,
+        scratch: &mut TrainScratch,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = xm.dim();
+        let q = self.num_factors;
+        debug_assert_eq!(theta.len(), d * q + 1);
+        debug_assert_eq!(grad.len(), d * q + 1);
+        let n_rows = xm.len();
+        let n = n_rows.max(1) as f64;
+        let (c_inv, m, tr_cinv, log_det) = self.factors(theta, d);
+        let const_term = d as f64 * (2.0 * std::f64::consts::PI).ln();
+        // Dense blocks batch the O(n·d²) aᵢ = C⁻¹xᵢ pass into column
+        // sweeps (bit-identical per-row dots); sparse blocks keep the
+        // scalar per-row gemv so the reduction order matches exactly.
+        let acols = if xm.is_sparse() {
+            &mut [][..]
+        } else {
+            &mut scratch.slot(0, d * n_rows)[..]
+        };
+        if !xm.is_sparse() {
+            Self::fill_acols(xm, &c_inv, acols);
+        }
+        let mut value = 0.0;
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut a = vec![0.0; d];
+        let mut xbuf = vec![0.0; d];
+        for idx in 0..n_rows {
+            let xd = Self::row_dense(xm, idx, &mut xbuf);
+            if xm.is_sparse() {
+                a.copy_from_slice(&blas::gemv(&c_inv, xd).expect("dims"));
+            } else {
+                for (j, aj) in a.iter_mut().enumerate() {
+                    *aj = acols[j * n_rows + idx];
+                }
+            }
+            let quad = vector::dot(xd, &a);
+            value += 0.5 * (const_term + log_det + quad);
+            // ∂f_i/∂W = M − a bᵀ with b = Mᵀx.
+            let b = blas::gemv_t(&m, xd).expect("dims");
+            for j in 0..q {
+                let bj = b[j];
+                for i in 0..d {
+                    grad[j * d + i] += m[(i, j)] - a[i] * bj;
+                }
+            }
+            // ∂f_i/∂σ² = ½(tr C⁻¹ − ‖a‖²).
+            let a_sq: f64 = a.iter().map(|v| v * v).sum();
+            grad[d * q] += 0.5 * (tr_cinv - a_sq);
+        }
+        value /= n;
+        for g in grad.iter_mut() {
+            *g /= n;
+        }
+        value
+    }
+
     fn predict(&self, theta: &[f64], x: &F) -> f64 {
         // The "prediction" of PPCA for difference purposes is parameter-
         // based (Appendix C); as a convenience, predict returns the
@@ -192,9 +337,10 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
         self.objective(theta, data).0
     }
 
-    fn train(
+    fn train_with_matrix(
         &self,
         data: &Dataset<F>,
+        xm: Option<&DatasetMatrix>,
         _warm_start: Option<&[f64]>,
         _options: &OptimOptions,
     ) -> Result<TrainedModel, CoreError> {
@@ -210,7 +356,15 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
                 "PPCA needs at least 2 examples".into(),
             ));
         }
-        let s = Self::second_moment(data);
+        let owned;
+        let xm = match xm {
+            Some(m) => m,
+            None => {
+                owned = DatasetMatrix::from_dataset(data);
+                &owned
+            }
+        };
+        let s = Self::second_moment(xm);
         let eig = SymmetricEigen::new(&s)?;
         // σ² = mean of the discarded spectrum, floored for stability.
         let tail: f64 = eig.eigenvalues[q..].iter().sum();

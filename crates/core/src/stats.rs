@@ -27,7 +27,7 @@ use crate::config::{SpectralMethod, StatisticsMethod};
 use crate::error::CoreError;
 use crate::grads::Grads;
 use crate::mcs::ModelClassSpec;
-use blinkml_data::{Dataset, FeatureVec};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
 use blinkml_linalg::spectral::{randomized_eigen, DenseSymmetricOp};
 use blinkml_linalg::{blas, Matrix, SymmetricEigen};
 use blinkml_prob::CovarianceFactor;
@@ -232,11 +232,27 @@ pub fn compute_statistics_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>
     theta: &[f64],
     data: &Dataset<F>,
 ) -> Result<ModelStatistics, CoreError> {
+    compute_statistics_cached(method, spectral, spec, theta, data, None)
+}
+
+/// [`compute_statistics_spectral`] with an optionally cached
+/// design-matrix view of `data`. The coordinator reuses the matrix it
+/// already built for training, so the statistics phase's `grads` /
+/// Hessian / gradient probes run through the batched kernels without a
+/// second materialization.
+pub fn compute_statistics_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    method: StatisticsMethod,
+    spectral: SpectralMethod,
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    xm: Option<&DatasetMatrix>,
+) -> Result<ModelStatistics, CoreError> {
     match method {
-        StatisticsMethod::ObservedFisher => observed_fisher_spectral(spec, theta, data, spectral),
-        StatisticsMethod::ClosedForm => closed_form_spectral(spec, theta, data, spectral),
+        StatisticsMethod::ObservedFisher => observed_fisher_cached(spec, theta, data, spectral, xm),
+        StatisticsMethod::ClosedForm => closed_form_cached(spec, theta, data, spectral, xm),
         StatisticsMethod::InverseGradients => {
-            inverse_gradients_spectral(spec, theta, data, spectral)
+            inverse_gradients_cached(spec, theta, data, spectral, xm)
         }
     }
 }
@@ -267,7 +283,20 @@ pub fn observed_fisher_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     data: &Dataset<F>,
     spectral: SpectralMethod,
 ) -> Result<ModelStatistics, CoreError> {
-    let grads = spec.grads(theta, data);
+    observed_fisher_cached(spec, theta, data, spectral, None)
+}
+
+/// [`observed_fisher_spectral`] with an optionally cached design-matrix
+/// view: the per-example gradient list is built through the batched
+/// margin kernels instead of a fresh example walk.
+pub fn observed_fisher_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    spectral: SpectralMethod,
+    xm: Option<&DatasetMatrix>,
+) -> Result<ModelStatistics, CoreError> {
+    let grads = spec.grads_cached(theta, data, xm);
     let beta = spec.regularization();
     let n = grads.num_rows();
     let dim = grads.dim();
@@ -401,12 +430,24 @@ pub fn closed_form_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     data: &Dataset<F>,
     spectral: SpectralMethod,
 ) -> Result<ModelStatistics, CoreError> {
-    let h = spec
-        .closed_form_hessian(theta, data)
-        .ok_or(CoreError::UnsupportedStatistics {
+    closed_form_cached(spec, theta, data, spectral, None)
+}
+
+/// [`closed_form_spectral`] with an optionally cached design-matrix
+/// view for the batched Hessian accumulation.
+pub fn closed_form_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    spectral: SpectralMethod,
+    xm: Option<&DatasetMatrix>,
+) -> Result<ModelStatistics, CoreError> {
+    let h = spec.closed_form_hessian_cached(theta, data, xm).ok_or(
+        CoreError::UnsupportedStatistics {
             model: spec.name(),
             method: "ClosedForm",
-        })?;
+        },
+    )?;
     statistics_from_hessian(h, spec.regularization(), spectral)
 }
 
@@ -428,16 +469,54 @@ pub fn inverse_gradients_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     data: &Dataset<F>,
     spectral: SpectralMethod,
 ) -> Result<ModelStatistics, CoreError> {
+    inverse_gradients_cached(spec, theta, data, spectral, None)
+}
+
+/// [`inverse_gradients_spectral`] with an optionally cached
+/// design-matrix view. The `D + 1` gradient probes are exactly the
+/// workload the batched objective exists for, so models advertising
+/// [`ModelClassSpec::batched_training`] evaluate them through the
+/// batched kernels (bit-identical gradients, one shared scratch).
+pub fn inverse_gradients_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    spectral: SpectralMethod,
+    xm: Option<&DatasetMatrix>,
+) -> Result<ModelStatistics, CoreError> {
     let d = theta.len();
-    let (_, g0) = spec.objective(theta, data);
     let mut h = Matrix::zeros(d, d);
     let mut probe = theta.to_vec();
-    for i in 0..d {
-        probe[i] += PROBE_EPSILON;
-        let (_, gi) = spec.objective(&probe, data);
-        probe[i] = theta[i];
-        for j in 0..d {
-            h[(j, i)] = (gi[j] - g0[j]) / PROBE_EPSILON;
+    if spec.batched_training() && !data.is_empty() {
+        let owned;
+        let xm = match xm {
+            Some(m) => m,
+            None => {
+                owned = DatasetMatrix::from_dataset(data);
+                &owned
+            }
+        };
+        let mut scratch = TrainScratch::new();
+        let mut g0 = vec![0.0; d];
+        spec.value_grad_batched(theta, xm, &mut scratch, &mut g0);
+        let mut gi = vec![0.0; d];
+        for i in 0..d {
+            probe[i] += PROBE_EPSILON;
+            spec.value_grad_batched(&probe, xm, &mut scratch, &mut gi);
+            probe[i] = theta[i];
+            for j in 0..d {
+                h[(j, i)] = (gi[j] - g0[j]) / PROBE_EPSILON;
+            }
+        }
+    } else {
+        let (_, g0) = spec.objective(theta, data);
+        for i in 0..d {
+            probe[i] += PROBE_EPSILON;
+            let (_, gi) = spec.objective(&probe, data);
+            probe[i] = theta[i];
+            for j in 0..d {
+                h[(j, i)] = (gi[j] - g0[j]) / PROBE_EPSILON;
+            }
         }
     }
     h.symmetrize();

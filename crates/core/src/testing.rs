@@ -6,6 +6,73 @@ use crate::grads::Grads;
 use crate::mcs::ModelClassSpec;
 use blinkml_data::{Dataset, FeatureVec};
 
+/// Wrapper that hides [`ModelClassSpec::batched_training`], forcing
+/// `train()` onto the per-example scalar objective — the pre-batching
+/// training behaviour. Used as the scalar reference by the training
+/// proptests and the `training_baseline` benchmarks.
+///
+/// Only meaningful for **iteratively trained** model classes (the
+/// GLMs, linear regression, max-entropy): `train`/`train_with_matrix`
+/// overrides are deliberately *not* forwarded (forwarding them would
+/// reach the batched engine and defeat the wrapper), so a model whose
+/// training is a closed-form `train_with_matrix` override — PPCA —
+/// would be minimized through its objective instead, which is not a
+/// scalar reference for anything (and panics at the zero start point).
+pub struct ScalarTrain<S>(pub S);
+
+impl<F: FeatureVec, S: ModelClassSpec<F>> ModelClassSpec<F> for ScalarTrain<S> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn param_dim(&self, data_dim: usize) -> usize {
+        self.0.param_dim(data_dim)
+    }
+    fn regularization(&self) -> f64 {
+        self.0.regularization()
+    }
+    fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {
+        self.0.objective(theta, data)
+    }
+    fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
+        self.0.grads(theta, data)
+    }
+    fn closed_form_hessian(
+        &self,
+        theta: &[f64],
+        data: &Dataset<F>,
+    ) -> Option<blinkml_linalg::Matrix> {
+        self.0.closed_form_hessian(theta, data)
+    }
+    fn predict(&self, theta: &[f64], x: &F) -> f64 {
+        self.0.predict(theta, x)
+    }
+    fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<F>) -> f64 {
+        self.0.diff(theta_a, theta_b, holdout)
+    }
+    fn generalization_error(&self, theta: &[f64], data: &Dataset<F>) -> f64 {
+        self.0.generalization_error(theta, data)
+    }
+    fn num_margin_outputs(&self, data_dim: usize) -> Option<usize> {
+        self.0.num_margin_outputs(data_dim)
+    }
+    fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
+        self.0.margins(theta, x, out)
+    }
+    fn margin_weights(&self, theta: &[f64], data_dim: usize) -> Option<blinkml_linalg::Matrix> {
+        self.0.margin_weights(theta, data_dim)
+    }
+    fn predict_from_margins(&self, scores: &[f64]) -> f64 {
+        self.0.predict_from_margins(scores)
+    }
+    fn diff_is_rms(&self) -> bool {
+        self.0.diff_is_rms()
+    }
+    // batched_training / value_grad_batched / grads_cached /
+    // closed_form_hessian_cached / train / train_with_matrix
+    // deliberately left at the scalar defaults — this is the whole
+    // point of the wrapper (see the struct docs for the PPCA caveat).
+}
+
 /// Wrapper that hides [`ModelClassSpec::margin_weights`], forcing
 /// `DiffEngine` onto the per-example margins path — the pre-batching
 /// construction behaviour. Used as the sequential reference in the

@@ -1,0 +1,296 @@
+//! The batched training engine's exactness contract.
+//!
+//! Property tests asserting that `value_grad_batched` reproduces the
+//! per-example scalar `objective` — **bit for bit** for all four model
+//! classes, dense and sparse features alike — plus end-to-end checks:
+//! batched and scalar training produce identical parameters, and the
+//! coordinator's results are bit-identical across thread budgets through
+//! the batched path.
+
+use blinkml_core::models::{
+    LinearRegressionSpec, LogisticRegressionSpec, MaxEntSpec, PoissonRegressionSpec, PpcaSpec,
+};
+use blinkml_core::testing::ScalarTrain;
+use blinkml_core::{BlinkMlConfig, Coordinator, ExecConfig, ModelClassSpec, StatisticsMethod};
+use blinkml_data::generators::{
+    low_rank_gaussian, synthetic_linear, synthetic_logistic, synthetic_multiclass, yelp_like,
+};
+use blinkml_data::parallel::set_max_threads;
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
+use blinkml_optim::OptimOptions;
+use proptest::prelude::*;
+
+/// Assert the batched value/gradient equals the scalar objective at
+/// `theta`, bitwise, for every thread budget in the test set.
+fn assert_batched_equals_scalar<F: FeatureVec, S: ModelClassSpec<F>>(
+    spec: &S,
+    theta: &[f64],
+    data: &Dataset<F>,
+    bitwise: bool,
+) {
+    let (v_ref, g_ref) = spec.objective(theta, data);
+    let xm = DatasetMatrix::from_dataset(data);
+    for budget in [Some(1), Some(4)] {
+        set_max_threads(budget);
+        let mut scratch = TrainScratch::new();
+        let mut grad = vec![f64::NAN; theta.len()];
+        let v = spec.value_grad_batched(theta, &xm, &mut scratch, &mut grad);
+        set_max_threads(None);
+        if bitwise {
+            assert_eq!(v, v_ref, "value (budget {budget:?})");
+            assert_eq!(grad, g_ref, "gradient (budget {budget:?})");
+        } else {
+            let scale = 1.0 + v_ref.abs();
+            assert!((v - v_ref).abs() <= 1e-12 * scale, "value {v} vs {v_ref}");
+            for (i, (a, b)) in grad.iter().zip(&g_ref).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                    "gradient coord {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn logistic_batched_is_bitwise_scalar(seed in 1u64..400, scale in 0.5f64..3.0) {
+        let (data, _) = synthetic_logistic(600, 9, scale, seed);
+        for spec in [LogisticRegressionSpec::new(1e-3), LogisticRegressionSpec::new(0.0)] {
+            let theta: Vec<f64> = (0..9).map(|i| ((i as f64) * 0.37 + scale).sin() * 0.4).collect();
+            assert_batched_equals_scalar(&spec, &theta, &data, true);
+        }
+        // Intercept spec: one extra unpenalized parameter.
+        let spec = LogisticRegressionSpec::with_intercept(1e-2);
+        let theta: Vec<f64> = (0..10).map(|i| ((i as f64) * 0.7).cos() * 0.3).collect();
+        assert_batched_equals_scalar(&spec, &theta, &data, true);
+    }
+
+    #[test]
+    fn poisson_batched_is_bitwise_scalar(seed in 1u64..400) {
+        let (data, _) = blinkml_data::generators::synthetic_poisson(500, 6, seed);
+        let spec = PoissonRegressionSpec::new(1e-3);
+        let theta: Vec<f64> = (0..6).map(|i| (i as f64 * 0.21).sin() * 0.2).collect();
+        assert_batched_equals_scalar(&spec, &theta, &data, true);
+    }
+
+    #[test]
+    fn linreg_batched_is_bitwise_scalar(seed in 1u64..400, noise in 0.1f64..1.0) {
+        let (data, _) = synthetic_linear(700, 8, noise, seed);
+        let spec = LinearRegressionSpec::new(1e-3);
+        let mut theta: Vec<f64> = (0..9).map(|i| (i as f64 * 0.5).cos() * 0.5).collect();
+        theta[8] = -0.3; // u = ln σ²
+        assert_batched_equals_scalar(&spec, &theta, &data, true);
+    }
+
+    #[test]
+    fn maxent_dense_batched_is_bitwise_scalar(seed in 1u64..400) {
+        let data = synthetic_multiclass(400, 5, 3, seed);
+        let spec = MaxEntSpec::new(1e-3, 3);
+        let theta: Vec<f64> = (0..15).map(|i| (i as f64 * 0.31).sin() * 0.4).collect();
+        assert_batched_equals_scalar(&spec, &theta, &data, true);
+    }
+
+    #[test]
+    fn maxent_sparse_batched_is_bitwise_scalar(seed in 1u64..400) {
+        let data = yelp_like(300, 120, seed);
+        let spec = MaxEntSpec::new(1e-3, 5);
+        let theta: Vec<f64> = (0..600).map(|i| ((i * 7) % 13) as f64 * 0.02 - 0.1).collect();
+        assert_batched_equals_scalar(&spec, &theta, &data, true);
+    }
+
+    #[test]
+    fn ppca_batched_matches_scalar(seed in 1u64..400) {
+        // PPCA's batched pass reorders no per-row math (column-batched
+        // aᵢ on dense blocks, scalar per-row gemv on sparse), so it is
+        // bitwise for both layouts.
+        let data = low_rank_gaussian(300, 6, 2, 0.3, seed);
+        let spec = PpcaSpec::new(2);
+        let mut theta: Vec<f64> = (0..13).map(|i| 0.1 + 0.05 * ((i * 5) % 7) as f64).collect();
+        theta[12] = 0.4; // σ²
+        assert_batched_equals_scalar(&spec, &theta, &data, true);
+
+        // Sparse features: drop roughly half the entries per row.
+        let sparse = Dataset::new(
+            "sparse-ppca",
+            6,
+            data.iter()
+                .enumerate()
+                .map(|(i, e)| blinkml_data::Example {
+                    x: blinkml_data::SparseVec::from_pairs(
+                        6,
+                        e.x.as_slice()
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| (i + j) % 2 == 0)
+                            .map(|(j, &v)| (j as u32, v))
+                            .collect(),
+                    ),
+                    y: e.y,
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_batched_equals_scalar(&spec, &theta, &sparse, true);
+    }
+
+    #[test]
+    fn grads_cached_matches_grads(seed in 1u64..300) {
+        // The cached-matrix grads path must reproduce the per-example
+        // grads rows bitwise (dense and sparse).
+        let (dense, _) = synthetic_logistic(300, 7, 2.0, seed);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let theta: Vec<f64> = (0..7).map(|i| (i as f64 * 0.43).sin() * 0.3).collect();
+        let plain = spec.grads(&theta, &dense);
+        let xm = DatasetMatrix::from_dataset(&dense);
+        let cached = spec.grads_cached(&theta, &dense, Some(&xm));
+        for i in 0..dense.len() {
+            prop_assert_eq!(plain.row_dense(i), cached.row_dense(i), "dense row {}", i);
+        }
+
+        let sparse = yelp_like(200, 80, seed);
+        let me = MaxEntSpec::new(1e-3, 5);
+        let mtheta: Vec<f64> = (0..400).map(|i| ((i * 11) % 17) as f64 * 0.01).collect();
+        let mplain = me.grads(&mtheta, &sparse);
+        let sxm = DatasetMatrix::from_dataset(&sparse);
+        let mcached = me.grads_cached(&mtheta, &sparse, Some(&sxm));
+        for i in 0..sparse.len() {
+            prop_assert_eq!(mplain.row_dense(i), mcached.row_dense(i), "sparse row {}", i);
+        }
+    }
+}
+
+#[test]
+fn batched_training_reproduces_scalar_training_bitwise() {
+    // The whole point of the bitwise contract: the optimizer follows the
+    // identical trajectory, so trained parameters are equal — not just
+    // close — and the iteration/convergence bookkeeping matches.
+    let (data, _) = synthetic_logistic(4_000, 12, 2.0, 9);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let scalar_spec = ScalarTrain(LogisticRegressionSpec::new(1e-3));
+    let opts = OptimOptions::default();
+    let batched = spec.train(&data, None, &opts).unwrap();
+    let scalar = scalar_spec.train(&data, None, &opts).unwrap();
+    assert_eq!(batched.parameters(), scalar.parameters());
+    assert_eq!(batched.iterations, scalar.iterations);
+    assert_eq!(batched.objective_value, scalar.objective_value);
+
+    // Same for a model routed to BFGS (dim < 100) and for linreg.
+    let (lin, _) = synthetic_linear(3_000, 6, 0.4, 10);
+    let lspec = LinearRegressionSpec::new(1e-3);
+    let lbatched = lspec.train(&lin, None, &opts).unwrap();
+    let lscalar = ScalarTrain(LinearRegressionSpec::new(1e-3))
+        .train(&lin, None, &opts)
+        .unwrap();
+    assert_eq!(lbatched.parameters(), lscalar.parameters());
+}
+
+#[test]
+fn hessian_cached_matches_uncached() {
+    let (data, _) = synthetic_logistic(500, 6, 1.5, 11);
+    let spec = LogisticRegressionSpec::new(1e-2);
+    let theta: Vec<f64> = (0..6).map(|i| 0.1 * i as f64 - 0.2).collect();
+    let xm = DatasetMatrix::from_dataset(&data);
+    let h_cached = spec
+        .closed_form_hessian_cached(&theta, &data, Some(&xm))
+        .unwrap();
+    let h_plain = spec.closed_form_hessian(&theta, &data).unwrap();
+    assert!(
+        h_cached.max_abs_diff(&h_plain) < 1e-12,
+        "cached vs uncached Hessian diff {}",
+        h_cached.max_abs_diff(&h_plain)
+    );
+}
+
+#[test]
+fn coordinator_is_bit_identical_across_thread_budgets_with_batching() {
+    // End-to-end determinism through the batched engine: a tight
+    // contract (forcing statistics, sample-size search, and the second
+    // training) must give bit-identical outputs at budgets 1 and 4.
+    let (data, _) = synthetic_logistic(12_000, 6, 2.0, 21);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let mut cfg = BlinkMlConfig {
+        epsilon: 0.02,
+        delta: 0.05,
+        initial_sample_size: 400,
+        holdout_size: 800,
+        num_param_samples: 32,
+        statistics_method: StatisticsMethod::ObservedFisher,
+        optim: OptimOptions::default(),
+        estimate_final_accuracy: true,
+        ..BlinkMlConfig::default()
+    };
+    cfg.exec = ExecConfig::sequential();
+    let a = Coordinator::new(cfg.clone())
+        .train(&spec, &data, 3)
+        .unwrap();
+    cfg.exec = ExecConfig {
+        max_threads: Some(4),
+    };
+    let b = Coordinator::new(cfg).train(&spec, &data, 3).unwrap();
+    set_max_threads(None);
+    assert_eq!(a.sample_size, b.sample_size);
+    assert_eq!(a.initial_epsilon, b.initial_epsilon);
+    assert_eq!(a.estimated_epsilon, b.estimated_epsilon);
+    assert_eq!(a.model.parameters(), b.model.parameters());
+}
+
+#[test]
+fn coordinator_chooses_same_n_as_scalar_path() {
+    // The batched engine must not shift the sample-size decision: same
+    // seed, same data, same chosen n and bit-equal parameters against
+    // the scalar-path wrapper.
+    let (data, _) = synthetic_logistic(15_000, 8, 2.0, 5);
+    let cfg = BlinkMlConfig {
+        epsilon: 0.03,
+        delta: 0.05,
+        initial_sample_size: 500,
+        holdout_size: 1_000,
+        num_param_samples: 32,
+        ..BlinkMlConfig::default()
+    };
+    let batched = Coordinator::new(cfg.clone())
+        .train(&LogisticRegressionSpec::new(1e-3), &data, 17)
+        .unwrap();
+    let scalar = Coordinator::new(cfg)
+        .train(&ScalarTrain(LogisticRegressionSpec::new(1e-3)), &data, 17)
+        .unwrap();
+    assert_eq!(
+        batched.sample_size, scalar.sample_size,
+        "chosen n must match"
+    );
+    assert_eq!(batched.model.parameters(), scalar.model.parameters());
+    assert_eq!(batched.initial_epsilon, scalar.initial_epsilon);
+}
+
+#[test]
+fn intercept_spec_trains_through_the_batched_engine() {
+    let (base, _) = synthetic_logistic(3_000, 4, 2.0, 31);
+    let shifted = Dataset::new(
+        "shifted",
+        4,
+        base.iter()
+            .map(|e| blinkml_data::Example {
+                x: e.x.clone(),
+                y: if e.x.as_slice().iter().sum::<f64>() - 1.0 > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                },
+            })
+            .collect::<Vec<_>>(),
+    );
+    let spec = LogisticRegressionSpec::with_intercept(1e-3);
+    let model = spec
+        .train(&shifted, None, &OptimOptions::default())
+        .unwrap();
+    assert!(model.converged);
+    let scalar = ScalarTrain(LogisticRegressionSpec::with_intercept(1e-3))
+        .train(&shifted, None, &OptimOptions::default())
+        .unwrap();
+    assert_eq!(model.parameters(), scalar.parameters());
+    // The fitted intercept should be decisively negative (threshold 1.0).
+    let b = model.parameters()[4];
+    assert!(b < -0.1, "intercept {b}");
+}

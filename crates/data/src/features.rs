@@ -39,6 +39,25 @@ pub trait FeatureVec: Clone + Send + Sync + 'static {
         out
     }
 
+    /// Write the dense representation into `out` (length `dim()`),
+    /// overwriting previous contents. Allocation-free counterpart of
+    /// [`FeatureVec::to_dense`] — the bulk-materialization primitive
+    /// behind `DatasetMatrix`; dense implementations override it with a
+    /// bit-exact memcpy.
+    fn write_dense_into(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dim());
+        out.iter_mut().for_each(|v| *v = 0.0);
+        self.add_scaled_into(1.0, out);
+    }
+
+    /// Borrow the values as one dense slice, when the representation
+    /// stores them that way. `Some` lets `DatasetMatrix` build a
+    /// **zero-copy** view over the dataset (no materialization at all);
+    /// the default `None` falls back to an owned copy.
+    fn dense_slice(&self) -> Option<&[f64]> {
+        None
+    }
+
     /// Squared Euclidean norm.
     fn norm_sq(&self) -> f64;
 
@@ -114,6 +133,14 @@ impl FeatureVec for DenseVec {
 
     fn to_dense(&self) -> Vec<f64> {
         self.0.clone()
+    }
+
+    fn write_dense_into(&self, out: &mut [f64]) {
+        out.copy_from_slice(&self.0);
+    }
+
+    fn dense_slice(&self) -> Option<&[f64]> {
+        Some(&self.0)
     }
 
     fn norm_sq(&self) -> f64 {

@@ -15,6 +15,10 @@
 //!   of the paper's datasets (see DESIGN.md §3 for the substitution
 //!   rationale),
 //! * [`io`] — LIBSVM and CSV loaders for users with the real datasets,
+//! * [`matrix`] — cached design-matrix views ([`DatasetMatrix`]) plus
+//!   reusable training scratch buffers ([`TrainScratch`]), the substrate
+//!   of the batched training engine (contiguous dense blocks, CSR for
+//!   sparse features, bit-exact batched margin/gradient passes),
 //! * [`parallel`] — the workspace's deterministic execution facade
 //!   (fixed-chunk parallel maps and reductions, re-exported from
 //!   `blinkml_linalg::exec`) used by every embarrassingly parallel hot
@@ -25,8 +29,10 @@ pub mod dataset;
 pub mod features;
 pub mod generators;
 pub mod io;
+pub mod matrix;
 pub mod parallel;
 
 pub use dataset::{Dataset, Example, Split};
 pub use features::{DenseVec, FeatureVec, SparseVec};
+pub use matrix::{DatasetMatrix, TrainScratch};
 pub use parallel::par_ranges;

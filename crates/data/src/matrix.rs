@@ -1,0 +1,757 @@
+//! Cached design-matrix views for the batched training engine.
+//!
+//! `ModelClassSpec::objective` historically walked the sample example by
+//! example — a pointer chase through per-row `Vec` allocations repeated
+//! on every optimizer probe. A [`DatasetMatrix`] captures the sample
+//! **once per `train()` call** as a design-matrix view — borrowed
+//! per-row slices for dense features (zero copy), a CSR triple for
+//! sparse ones — plus a label vector, and exposes the batched passes
+//! every model objective is built from:
+//!
+//! * [`DatasetMatrix::margins_into`] — `out = X·w + bias`, the margin
+//!   pass (one fused kernel over the view),
+//! * [`DatasetMatrix::weighted_sum_into`] — `out = Xᵀ·w`, the gradient
+//!   reduction,
+//! * [`DatasetMatrix::value_grad_fold`] — the fused
+//!   margins → loss → gradient sweep behind `value_grad_batched`: each
+//!   fixed-size chunk's rows are streamed once and reused while hot,
+//!   which is where the batched engine's single-thread win comes from,
+//! * [`DatasetMatrix::weighted_gram`] — `Σ wᵢ·xᵢxᵢᵀ`, the closed-form
+//!   Hessian / second-moment accumulation.
+//!
+//! # Exactness and determinism
+//!
+//! Every pass reproduces the per-example scalar path's floating-point
+//! reduction exactly: margins use the per-row [`FeatureVec::dot`] shape
+//! (see `blinkml_linalg::simd`), and the reductions chunk at the fixed
+//! [`CHUNK_SIZE`] with partials merged in chunk order — the same
+//! contract as `parallel::par_sum_vecs`, which is what the scalar
+//! objectives use. Results are therefore bit-identical to the scalar
+//! path for dense and sparse features, at any thread budget.
+
+use crate::dataset::Dataset;
+use crate::features::FeatureVec;
+use crate::parallel::{max_threads, par_fill_slice, par_map_reduce_matrix, par_ranges, CHUNK_SIZE};
+use blinkml_linalg::simd::{
+    rows_dot, rows_dot_gather, rows_weighted_sum, rows_weighted_sum_gather,
+};
+use blinkml_linalg::Matrix;
+
+/// The captured feature block of a [`DatasetMatrix`].
+#[derive(Debug, Clone)]
+enum DesignBlock<'a> {
+    /// Borrowed per-row slices — the zero-copy view over dense feature
+    /// vectors (the rows stay wherever the dataset allocated them; only
+    /// the 8-byte slice table is built).
+    DenseRows(Vec<&'a [f64]>),
+    /// Owned row-major `n × d` block, for dense feature types that
+    /// cannot expose a borrowed slice.
+    DenseOwned(Vec<f64>),
+    /// CSR triple: `indptr` (`n + 1` row offsets), column indices, and
+    /// values — the standard layout for the sparse regime.
+    Csr {
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    },
+}
+
+/// A dataset captured for batched objective/gradient evaluation.
+#[derive(Debug, Clone)]
+pub struct DatasetMatrix<'a> {
+    rows: usize,
+    dim: usize,
+    labels: Vec<f64>,
+    block: DesignBlock<'a>,
+}
+
+impl<'a> DatasetMatrix<'a> {
+    /// Capture `data` once: dense features become a borrowed row-slice
+    /// view (or an owned block when the feature type exposes no slice),
+    /// sparse features a CSR triple. Labels are copied alongside so the
+    /// batched passes never touch the `Example` list again.
+    pub fn from_dataset<F: FeatureVec>(data: &'a Dataset<F>) -> Self {
+        let (rows, dim) = (data.len(), data.dim());
+        let labels: Vec<f64> = data.iter().map(|e| e.y).collect();
+        let block = if F::IS_SPARSE {
+            let mut indptr = Vec::with_capacity(rows + 1);
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            indptr.push(0);
+            for e in data.iter() {
+                // `scaled_sparse(1.0, …)` copies the stored entries
+                // bit-exactly for any sparse representation.
+                let s = e.x.scaled_sparse(1.0, dim, 0);
+                indices.extend_from_slice(s.indices());
+                values.extend_from_slice(s.values());
+                indptr.push(indices.len());
+            }
+            DesignBlock::Csr {
+                indptr,
+                indices,
+                values,
+            }
+        } else if data.iter().all(|e| e.x.dense_slice().is_some()) {
+            DesignBlock::DenseRows(
+                data.iter()
+                    .map(|e| e.x.dense_slice().expect("checked above"))
+                    .collect(),
+            )
+        } else {
+            let mut block = vec![0.0; rows * dim];
+            for (slot, e) in block.chunks_exact_mut(dim.max(1)).zip(data.iter()) {
+                e.x.write_dense_into(slot);
+            }
+            DesignBlock::DenseOwned(block)
+        };
+        DatasetMatrix {
+            rows,
+            dim,
+            labels,
+            block,
+        }
+    }
+
+    /// Number of examples `n`.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the matrix holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The label vector, aligned with the rows.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Whether the block is stored as CSR.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.block, DesignBlock::Csr { .. })
+    }
+
+    /// Dense row `i` as a slice (`None` for CSR blocks).
+    pub fn dense_row(&self, i: usize) -> Option<&[f64]> {
+        match &self.block {
+            DesignBlock::DenseRows(rows) => Some(rows[i]),
+            DesignBlock::DenseOwned(b) => Some(&b[i * self.dim..(i + 1) * self.dim]),
+            DesignBlock::Csr { .. } => None,
+        }
+    }
+
+    /// The stored entries of sparse row `i` (`None` for dense blocks).
+    pub fn sparse_row(&self, i: usize) -> Option<(&[u32], &[f64])> {
+        match &self.block {
+            DesignBlock::DenseRows(_) | DesignBlock::DenseOwned(_) => None,
+            DesignBlock::Csr {
+                indptr,
+                indices,
+                values,
+            } => {
+                let (s, e) = (indptr[i], indptr[i + 1]);
+                Some((&indices[s..e], &values[s..e]))
+            }
+        }
+    }
+
+    /// Margins of the row range `range` written into `out`
+    /// (`out[k] = x_{range.start+k}·w + bias`) — the shared chunk kernel
+    /// behind [`Self::margins_into`] and [`Self::value_grad_fold`].
+    fn margins_range(&self, start: usize, end: usize, w: &[f64], bias: f64, out: &mut [f64]) {
+        let d = self.dim;
+        match &self.block {
+            DesignBlock::DenseRows(rows) => {
+                rows_dot_gather(&rows[start..end], d, w, bias, out);
+            }
+            DesignBlock::DenseOwned(x) => {
+                rows_dot(&x[start * d..end * d], d, w, bias, out);
+            }
+            DesignBlock::Csr {
+                indptr,
+                indices,
+                values,
+            } => {
+                for (local, i) in (start..end).enumerate() {
+                    let (s, e) = (indptr[i], indptr[i + 1]);
+                    let mut acc = 0.0;
+                    for (&idx, &v) in indices[s..e].iter().zip(&values[s..e]) {
+                        acc += v * w[idx as usize];
+                    }
+                    out[local] = acc + bias;
+                }
+            }
+        }
+    }
+
+    /// `out += Σ_{i in range} w[i - start]·x_i`, in ascending row order —
+    /// the shared chunk kernel behind [`Self::weighted_sum_into`] and
+    /// [`Self::value_grad_fold`].
+    fn weighted_sum_range(&self, start: usize, end: usize, w: &[f64], out: &mut [f64]) {
+        let d = self.dim;
+        match &self.block {
+            DesignBlock::DenseRows(rows) => {
+                rows_weighted_sum_gather(&rows[start..end], d, w, out);
+            }
+            DesignBlock::DenseOwned(x) => {
+                rows_weighted_sum(&x[start * d..end * d], d, w, out);
+            }
+            DesignBlock::Csr {
+                indptr,
+                indices,
+                values,
+            } => {
+                for (local, i) in (start..end).enumerate() {
+                    let wi = w[local];
+                    let (s, e) = (indptr[i], indptr[i + 1]);
+                    for (&idx, &v) in indices[s..e].iter().zip(&values[s..e]) {
+                        out[idx as usize] += wi * v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Margin pass `out[i] = xᵢ·w + bias`.
+    ///
+    /// Bit-identical to the per-example `e.x.dot(w) + bias` loop: the
+    /// dense paths keep each row's 4-lane dot shape, the sparse path
+    /// accumulates stored entries in index order — exactly what
+    /// [`FeatureVec::dot`] does. Output rows are partitioned across
+    /// threads, so the budget never changes a single bit.
+    ///
+    /// # Panics
+    /// Panics when `w.len() != dim()` or `out.len() != len()`.
+    pub fn margins_into(&self, w: &[f64], bias: f64, out: &mut [f64]) {
+        assert_eq!(w.len(), self.dim, "margins_into: weight length mismatch");
+        assert_eq!(out.len(), self.rows, "margins_into: output length mismatch");
+        par_fill_slice(out, CHUNK_SIZE, |range, chunk| {
+            self.margins_range(range.start, range.end, w, bias, chunk);
+        });
+    }
+
+    /// Gradient reduction `out = Xᵀ·w = Σᵢ w[i]·xᵢ` (overwriting `out`).
+    ///
+    /// Chunked at [`CHUNK_SIZE`] with partials merged in chunk order —
+    /// the same reduction the scalar objectives perform through
+    /// `par_sum_vecs`, so the result matches the per-example
+    /// `add_scaled_into` accumulation bit for bit at any thread budget.
+    ///
+    /// # Panics
+    /// Panics when `w.len() != len()` or `out.len() != dim()`.
+    pub fn weighted_sum_into(&self, w: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            w.len(),
+            self.rows,
+            "weighted_sum_into: weight length mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.dim,
+            "weighted_sum_into: output length mismatch"
+        );
+        let d = self.dim;
+        let partials = par_ranges(self.rows, |range| {
+            let mut acc = vec![0.0; d];
+            self.weighted_sum_range(range.start, range.end, &w[range], &mut acc);
+            acc
+        });
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for p in partials {
+            for (o, v) in out.iter_mut().zip(p) {
+                *o += v;
+            }
+        }
+    }
+
+    /// The fused objective sweep: for each fixed [`CHUNK_SIZE`] chunk,
+    /// compute the margins `xᵢ·w + bias`, hand them to `chunk_fn`
+    /// (which returns the chunk's loss partial and overwrites the
+    /// margins **in place** with per-row gradient weights), and
+    /// accumulate the chunk's `Σ wᵢ·xᵢ` into `grad` — all while the
+    /// chunk's rows are still cache-hot, so each probe streams the
+    /// design matrix **once** instead of twice. Returns the loss
+    /// partials summed in chunk order.
+    ///
+    /// `chunk_fn(start, margins)` sees the chunk's starting row index
+    /// (for label lookup) and its margin slice. It is always invoked
+    /// sequentially in ascending chunk order, at every thread budget.
+    ///
+    /// Bitwise contract: margins, the loss-partial merge, and the
+    /// gradient reduction all reproduce the scalar objective's
+    /// `par_sum_vecs` accumulation exactly; on multi-thread budgets the
+    /// margin and gradient passes run through the parallel two-pass
+    /// kernels, which preserve the same chunk boundaries and merge
+    /// order, so results never depend on the budget.
+    ///
+    /// # Panics
+    /// Panics when `w.len() != dim()` or `grad.len() != dim()`.
+    pub fn value_grad_fold<Fm>(
+        &self,
+        w: &[f64],
+        bias: f64,
+        grad: &mut [f64],
+        scratch: &mut TrainScratch,
+        mut chunk_fn: Fm,
+    ) -> f64
+    where
+        Fm: FnMut(usize, &mut [f64]) -> f64,
+    {
+        assert_eq!(w.len(), self.dim, "value_grad_fold: weight length mismatch");
+        assert_eq!(
+            grad.len(),
+            self.dim,
+            "value_grad_fold: gradient length mismatch"
+        );
+        let rows = self.rows;
+        if max_threads() > 1 && rows > CHUNK_SIZE {
+            // Parallel two-pass form: full margin buffer, parallel
+            // margins and gradient kernels, chunk_fn applied chunk by
+            // chunk in order. Bit-identical to the fused form below.
+            let margins = scratch.fold_full(rows);
+            self.margins_into(w, bias, margins);
+            let mut total = 0.0;
+            let mut start = 0;
+            while start < rows {
+                let end = (start + CHUNK_SIZE).min(rows);
+                total += chunk_fn(start, &mut margins[start..end]);
+                start = end;
+            }
+            self.weighted_sum_into(margins, grad);
+            return total;
+        }
+        // Fused single-thread form: chunk margins → chunk_fn → chunk
+        // gradient partial, with the chunk's rows reused while hot.
+        let (chunk_buf, partial) = scratch.fold_buffers(CHUNK_SIZE.min(rows.max(1)), self.dim);
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut total = 0.0;
+        let mut start = 0;
+        while start < rows {
+            let end = (start + CHUNK_SIZE).min(rows);
+            let mchunk = &mut chunk_buf[..end - start];
+            self.margins_range(start, end, w, bias, mchunk);
+            total += chunk_fn(start, mchunk);
+            partial.iter_mut().for_each(|v| *v = 0.0);
+            self.weighted_sum_range(start, end, mchunk, partial);
+            for (g, p) in grad.iter_mut().zip(partial.iter()) {
+                *g += p;
+            }
+            start = end;
+        }
+        total
+    }
+
+    /// Weighted Gram accumulation `Σᵢ w[i]·xᵢxᵢᵀ` (`d × d`), the kernel
+    /// behind closed-form Hessians and the PPCA second moment. Rows with
+    /// zero weight are skipped; the upper triangle is accumulated
+    /// chunk-reduced in chunk order and mirrored, so results are
+    /// machine- and thread-count-independent.
+    ///
+    /// # Panics
+    /// Panics when `w.len() != len()`.
+    pub fn weighted_gram(&self, w: &[f64]) -> Matrix {
+        assert_eq!(w.len(), self.rows, "weighted_gram: weight length mismatch");
+        let d = self.dim;
+        let mut g = par_map_reduce_matrix(self.rows, d, d, |range| {
+            let mut acc = Matrix::zeros(d, d);
+            match &self.block {
+                DesignBlock::DenseRows(_) | DesignBlock::DenseOwned(_) => {
+                    for i in range {
+                        let wi = w[i];
+                        if wi == 0.0 {
+                            continue;
+                        }
+                        let row = self.dense_row(i).expect("dense block");
+                        for (a, &xa) in row.iter().enumerate() {
+                            let coeff = wi * xa;
+                            if coeff == 0.0 {
+                                continue;
+                            }
+                            let arow = acc.row_mut(a);
+                            for (b, &xb) in row.iter().enumerate().skip(a) {
+                                arow[b] += coeff * xb;
+                            }
+                        }
+                    }
+                }
+                DesignBlock::Csr { .. } => {
+                    for i in range {
+                        let wi = w[i];
+                        if wi == 0.0 {
+                            continue;
+                        }
+                        let (idx, val) = self.sparse_row(i).expect("sparse block");
+                        for (p, &ip) in idx.iter().enumerate() {
+                            let coeff = wi * val[p];
+                            if coeff == 0.0 {
+                                continue;
+                            }
+                            let arow = acc.row_mut(ip as usize);
+                            for (q, &iq) in idx.iter().enumerate().skip(p) {
+                                arow[iq as usize] += coeff * val[q];
+                            }
+                        }
+                    }
+                }
+            }
+            acc
+        });
+        // Mirror the accumulated upper triangle.
+        for a in 0..d {
+            for b in (a + 1)..d {
+                g[(b, a)] = g[(a, b)];
+            }
+        }
+        g
+    }
+}
+
+/// Reusable buffer pool threaded through batched objective evaluation,
+/// so optimizer line-search probes allocate nothing in steady state.
+///
+/// Model classes use numbered [`TrainScratch::slot`]s for their own
+/// buffers; [`DatasetMatrix::value_grad_fold`] keeps its private chunk
+/// and partial buffers here as well.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    slots: Vec<Vec<f64>>,
+    fold_chunk: Vec<f64>,
+    fold_partial: Vec<f64>,
+    fold_margins: Vec<f64>,
+}
+
+impl TrainScratch {
+    /// Empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        TrainScratch::default()
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if self.slots.len() <= idx {
+            self.slots.resize_with(idx + 1, Vec::new);
+        }
+    }
+
+    /// Borrow slot `idx`, zero-filled at length `len`. The underlying
+    /// allocation is retained across calls, so repeated borrows at the
+    /// same length never reallocate.
+    pub fn slot(&mut self, idx: usize, len: usize) -> &mut Vec<f64> {
+        self.ensure(idx);
+        let buf = &mut self.slots[idx];
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Borrow two distinct slots at once (zero-filled), for passes that
+    /// need e.g. a margin buffer and a weight buffer simultaneously.
+    ///
+    /// # Panics
+    /// Panics when `a == b`.
+    pub fn slot_pair(
+        &mut self,
+        a: usize,
+        b: usize,
+        len_a: usize,
+        len_b: usize,
+    ) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        assert_ne!(a, b, "slot_pair: slots must differ");
+        self.ensure(a.max(b));
+        let (lo, hi, swap) = if a < b { (a, b, false) } else { (b, a, true) };
+        let (head, tail) = self.slots.split_at_mut(hi);
+        let first = &mut head[lo];
+        let second = &mut tail[0];
+        let (la, lb) = if swap { (len_b, len_a) } else { (len_a, len_b) };
+        first.clear();
+        first.resize(la, 0.0);
+        second.clear();
+        second.resize(lb, 0.0);
+        if swap {
+            (second, first)
+        } else {
+            (first, second)
+        }
+    }
+
+    /// The fold's chunk margin buffer and gradient partial, sized.
+    fn fold_buffers(&mut self, chunk_len: usize, dim: usize) -> (&mut [f64], &mut [f64]) {
+        self.fold_chunk.clear();
+        self.fold_chunk.resize(chunk_len, 0.0);
+        self.fold_partial.clear();
+        self.fold_partial.resize(dim, 0.0);
+        (&mut self.fold_chunk, &mut self.fold_partial)
+    }
+
+    /// The fold's full-length margin buffer (multi-thread path).
+    fn fold_full(&mut self, len: usize) -> &mut [f64] {
+        self.fold_margins.clear();
+        self.fold_margins.resize(len, 0.0);
+        &mut self.fold_margins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Example;
+    use crate::features::{DenseVec, SparseVec};
+    use crate::generators::{synthetic_linear, yelp_like};
+    use crate::parallel::set_max_threads;
+
+    fn dense_pair() -> (Dataset<DenseVec>, Vec<f64>) {
+        let (data, _) = synthetic_linear(300, 7, 0.4, 1);
+        let w: Vec<f64> = (0..7).map(|i| 0.3 * i as f64 - 0.9).collect();
+        (data, w)
+    }
+
+    #[test]
+    fn shape_and_labels_match_the_dataset() {
+        let (data, _) = dense_pair();
+        let xm = DatasetMatrix::from_dataset(&data);
+        assert_eq!(xm.len(), data.len());
+        assert_eq!(xm.dim(), data.dim());
+        assert!(!xm.is_sparse());
+        assert!(!xm.is_empty());
+        for (i, e) in data.iter().enumerate() {
+            assert_eq!(xm.labels()[i], e.y);
+            assert_eq!(xm.dense_row(i).unwrap(), e.x.as_slice());
+        }
+        let sdata = yelp_like(150, 60, 2);
+        let sxm = DatasetMatrix::from_dataset(&sdata);
+        assert!(sxm.is_sparse());
+        assert_eq!(sxm.len(), sdata.len());
+        assert!(sxm.dense_row(0).is_none());
+        assert!(sxm.sparse_row(0).is_some());
+    }
+
+    #[test]
+    fn dense_margins_are_bitwise_per_example_dots() {
+        let (data, w) = dense_pair();
+        let xm = DatasetMatrix::from_dataset(&data);
+        let mut out = vec![0.0; data.len()];
+        for bias in [0.0, 1.25] {
+            xm.margins_into(&w, bias, &mut out);
+            for (i, e) in data.iter().enumerate() {
+                assert_eq!(out[i], e.x.dot(&w) + bias, "row {i} bias {bias}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_margins_are_bitwise_per_example_dots() {
+        let data = yelp_like(200, 50, 2);
+        let xm = DatasetMatrix::from_dataset(&data);
+        let w: Vec<f64> = (0..50).map(|i| ((i * 13) % 7) as f64 * 0.1 - 0.2).collect();
+        let mut out = vec![0.0; data.len()];
+        xm.margins_into(&w, -0.5, &mut out);
+        for (i, e) in data.iter().enumerate() {
+            assert_eq!(out[i], e.x.dot(&w) + -0.5, "row {i}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_matches_par_sum_vecs_reduction() {
+        // The scalar objectives reduce through par_sum_vecs; the batched
+        // gradient must reproduce those bits exactly.
+        let (data, _) = dense_pair();
+        let xm = DatasetMatrix::from_dataset(&data);
+        let w: Vec<f64> = (0..data.len()).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut got = vec![1.0; data.dim()];
+        xm.weighted_sum_into(&w, &mut got);
+        let expect = crate::parallel::par_sum_vecs(data.len(), data.dim(), |i, acc| {
+            data.get(i).x.add_scaled_into(w[i], acc)
+        });
+        assert_eq!(got, expect);
+
+        let sdata = yelp_like(200, 50, 2);
+        let sxm = DatasetMatrix::from_dataset(&sdata);
+        let sw: Vec<f64> = (0..sdata.len()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut sgot = vec![1.0; sdata.dim()];
+        sxm.weighted_sum_into(&sw, &mut sgot);
+        let sexpect = crate::parallel::par_sum_vecs(sdata.len(), sdata.dim(), |i, acc| {
+            sdata.get(i).x.add_scaled_into(sw[i], acc)
+        });
+        assert_eq!(sgot, sexpect);
+    }
+
+    #[test]
+    fn fold_matches_two_pass_form_bitwise() {
+        // One synthetic "objective": weights = 2·margin + label, loss =
+        // Σ margin. The fused fold must equal margins_into +
+        // weighted_sum_into exactly, sequentially and at thread budgets.
+        let (data, w) = dense_pair();
+        let xm = DatasetMatrix::from_dataset(&data);
+        let n = data.len();
+        let mut margins = vec![0.0; n];
+        xm.margins_into(&w, 0.25, &mut margins);
+        let loss_expect: f64 = {
+            let mut total = 0.0;
+            let mut start = 0;
+            while start < n {
+                let end = (start + CHUNK_SIZE).min(n);
+                let mut part = 0.0;
+                for m in &margins[start..end] {
+                    part += m;
+                }
+                total += part;
+                start = end;
+            }
+            total
+        };
+        let weights: Vec<f64> = margins
+            .iter()
+            .zip(xm.labels())
+            .map(|(m, y)| 2.0 * m + y)
+            .collect();
+        let mut grad_expect = vec![0.0; data.dim()];
+        xm.weighted_sum_into(&weights, &mut grad_expect);
+
+        let labels = xm.labels().to_vec();
+        let run = |budget: Option<usize>| {
+            set_max_threads(budget);
+            let mut scratch = TrainScratch::new();
+            let mut grad = vec![f64::NAN; data.dim()];
+            let loss = xm.value_grad_fold(&w, 0.25, &mut grad, &mut scratch, |start, ms| {
+                let mut part = 0.0;
+                for (local, m) in ms.iter_mut().enumerate() {
+                    part += *m;
+                    *m = 2.0 * *m + labels[start + local];
+                }
+                part
+            });
+            set_max_threads(None);
+            (loss, grad)
+        };
+        for budget in [Some(1), Some(4)] {
+            let (loss, grad) = run(budget);
+            assert_eq!(loss, loss_expect, "budget {budget:?}");
+            assert_eq!(grad, grad_expect, "budget {budget:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_gram_matches_naive_outer_products() {
+        let (data, _) = dense_pair();
+        let xm = DatasetMatrix::from_dataset(&data);
+        let w: Vec<f64> = (0..data.len())
+            .map(|i| 0.5 + (i % 5) as f64 * 0.1)
+            .collect();
+        let g = xm.weighted_gram(&w);
+        let d = data.dim();
+        let mut naive = Matrix::zeros(d, d);
+        for (i, e) in data.iter().enumerate() {
+            let xd = e.x.to_dense();
+            for a in 0..d {
+                for b in 0..d {
+                    naive[(a, b)] += w[i] * xd[a] * xd[b];
+                }
+            }
+        }
+        assert!(
+            g.max_abs_diff(&naive) < 1e-9,
+            "diff {}",
+            g.max_abs_diff(&naive)
+        );
+
+        let sdata = yelp_like(150, 60, 2);
+        let sxm = DatasetMatrix::from_dataset(&sdata);
+        let sw: Vec<f64> = (0..sdata.len()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let sg = sxm.weighted_gram(&sw);
+        let sd = sdata.dim();
+        let mut snaive = Matrix::zeros(sd, sd);
+        for (i, e) in sdata.iter().enumerate() {
+            let xd = e.x.to_dense();
+            for a in 0..sd {
+                for b in 0..sd {
+                    snaive[(a, b)] += sw[i] * xd[a] * xd[b];
+                }
+            }
+        }
+        assert!(sg.max_abs_diff(&snaive) < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_materializes() {
+        let data = Dataset::<DenseVec>::new("empty", 3, vec![]);
+        let xm = DatasetMatrix::from_dataset(&data);
+        assert!(xm.is_empty());
+        let mut out: Vec<f64> = vec![];
+        xm.margins_into(&[0.0; 3], 0.0, &mut out);
+        let mut g = vec![0.0; 3];
+        xm.weighted_sum_into(&[], &mut g);
+        assert_eq!(g, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn dense_view_borrows_the_example_rows() {
+        let examples = vec![
+            Example {
+                x: DenseVec::new(vec![1.0, 2.0]),
+                y: 0.0,
+            },
+            Example {
+                x: DenseVec::new(vec![3.0, 4.0]),
+                y: 1.0,
+            },
+        ];
+        let data = Dataset::new("toy", 2, examples);
+        let xm = DatasetMatrix::from_dataset(&data);
+        // Zero copy: the view's row pointers alias the dataset's buffers.
+        assert_eq!(
+            xm.dense_row(0).unwrap().as_ptr(),
+            data.get(0).x.as_slice().as_ptr()
+        );
+        assert_eq!(xm.dense_row(1).unwrap(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn sparse_rows_match_the_examples() {
+        let examples = vec![
+            Example {
+                x: SparseVec::new(4, vec![1, 3], vec![2.0, -1.0]),
+                y: 0.0,
+            },
+            Example {
+                x: SparseVec::new(4, vec![0], vec![5.0]),
+                y: 1.0,
+            },
+        ];
+        let data = Dataset::new("toy", 4, examples);
+        let xm = DatasetMatrix::from_dataset(&data);
+        assert_eq!(
+            xm.sparse_row(0).unwrap(),
+            (&[1u32, 3][..], &[2.0, -1.0][..])
+        );
+        assert_eq!(xm.sparse_row(1).unwrap(), (&[0u32][..], &[5.0][..]));
+    }
+
+    #[test]
+    fn scratch_slots_are_zeroed_and_reused() {
+        let mut s = TrainScratch::new();
+        {
+            let b = s.slot(0, 4);
+            b[2] = 9.0;
+        }
+        let ptr = s.slot(0, 4).as_ptr();
+        assert_eq!(s.slot(0, 4).as_slice(), &[0.0; 4]);
+        assert_eq!(s.slot(0, 4).as_ptr(), ptr, "no realloc at stable size");
+        let (a, b) = s.slot_pair(1, 2, 3, 5);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 5);
+        let (b2, a2) = s.slot_pair(2, 1, 5, 3);
+        assert_eq!(b2.len(), 5);
+        assert_eq!(a2.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots must differ")]
+    fn scratch_rejects_aliased_pair() {
+        TrainScratch::new().slot_pair(1, 1, 2, 2);
+    }
+}

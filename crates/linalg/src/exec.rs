@@ -175,6 +175,55 @@ where
     Matrix::from_vec(rows, cols, data)
 }
 
+/// Fill a mutable slice by contiguous chunks computed in parallel:
+/// `fill(range, chunk)` writes the elements of `range` into the
+/// corresponding sub-slice of `out`. Each element is written by exactly
+/// one chunk, so the result is bit-identical for any thread count (the
+/// same output-partitioning argument as [`par_rows_matrix`]) — and the
+/// single-chunk / one-thread path runs in place with zero allocation,
+/// which is what lets optimizer probes reuse their scratch buffers.
+///
+/// # Panics
+/// Panics if `chunk_size` is 0.
+pub fn par_fill_slice<F>(out: &mut [f64], chunk_size: usize, fill: F)
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    assert!(chunk_size > 0, "par_fill_slice: chunk_size must be > 0");
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let num_chunks = n.div_ceil(chunk_size);
+    let threads = max_threads().min(num_chunks);
+    if threads <= 1 {
+        for c in 0..num_chunks {
+            let range = c * chunk_size..((c + 1) * chunk_size).min(n);
+            let (start, end) = (range.start, range.end);
+            fill(range, &mut out[start..end]);
+        }
+        return;
+    }
+    // Hand each worker its own round-robin set of disjoint chunks; the
+    // chunk boundaries (and therefore every written value) depend only
+    // on `chunk_size` and `n`, never on the budget.
+    let mut per_worker: Vec<Vec<(usize, &mut [f64])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (c, chunk) in out.chunks_mut(chunk_size).enumerate() {
+        per_worker[c % threads].push((c, chunk));
+    }
+    std::thread::scope(|scope| {
+        let fill = &fill;
+        for work in per_worker {
+            scope.spawn(move || {
+                for (c, chunk) in work {
+                    let start = c * chunk_size;
+                    fill(start..start + chunk.len(), chunk);
+                }
+            });
+        }
+    });
+}
+
 /// Parallel sum-reduction of per-index `f64` vectors: computes
 /// `Σ_{i in 0..n} f(i)` where each `f(i)` contributes into a shared-shape
 /// accumulator of length `dim`. Chunk partials are added in chunk order,
@@ -305,6 +354,30 @@ mod tests {
         }
         set_max_threads(None);
         assert_eq!(run(), sequential);
+    }
+
+    #[test]
+    fn par_fill_slice_writes_every_index_once() {
+        let _g = budget_lock();
+        let n = 2 * CHUNK_SIZE + 123;
+        let fill = |r: Range<usize>, chunk: &mut [f64]| {
+            for (local, i) in r.enumerate() {
+                chunk[local] = (i as f64).sqrt();
+            }
+        };
+        set_max_threads(Some(1));
+        let mut seq = vec![0.0; n];
+        par_fill_slice(&mut seq, CHUNK_SIZE, fill);
+        for (i, &v) in seq.iter().enumerate() {
+            assert_eq!(v, (i as f64).sqrt(), "index {i}");
+        }
+        for t in [2, 5] {
+            set_max_threads(Some(t));
+            let mut par = vec![0.0; n];
+            par_fill_slice(&mut par, CHUNK_SIZE, fill);
+            assert_eq!(par, seq, "threads = {t}");
+        }
+        set_max_threads(None);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod exec;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod simd;
 pub mod spectral;
 pub mod svd;
 #[doc(hidden)]

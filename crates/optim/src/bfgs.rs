@@ -4,7 +4,7 @@
 //! choice only for low-dimensional problems; BlinkML uses it for
 //! `d < 100` (paper §5.1) and switches to [`crate::lbfgs::Lbfgs`] above.
 
-use crate::linesearch::{strong_wolfe, WolfeParams};
+use crate::linesearch::{strong_wolfe_buffered, LineSearchScratch, WolfeParams};
 use crate::problem::Objective;
 use crate::result::{OptimError, OptimOptions, OptimResult};
 use blinkml_linalg::blas::{gemv, ger};
@@ -47,13 +47,15 @@ impl Bfgs {
             });
         }
         let mut theta = theta0.to_vec();
-        let (mut value, mut grad) = objective.value_grad(&theta);
+        let mut grad = vec![0.0; d];
+        let mut value = objective.value_grad_into(&theta, &mut grad);
         if !value.is_finite() {
             return Err(OptimError::NonFiniteObjective);
         }
         let mut function_evals = 1usize;
         let mut h = Matrix::identity(d);
         let mut first_update_done = false;
+        let mut scratch = LineSearchScratch::new();
 
         for iteration in 0..self.options.max_iterations {
             let gnorm = norm_inf(&grad);
@@ -72,8 +74,19 @@ impl Bfgs {
             for p in &mut direction {
                 *p = -*p;
             }
-            let Some(ls) = strong_wolfe(objective, &theta, value, &grad, &direction, &self.wolfe)
-            else {
+            let outcome = strong_wolfe_buffered(
+                objective,
+                &theta,
+                value,
+                &grad,
+                &direction,
+                &self.wolfe,
+                &mut scratch,
+            );
+            // Probe evaluations are charged whether or not the search
+            // succeeded — the same accounting as L-BFGS and plain GD.
+            function_evals += outcome.evals;
+            let Some(ls) = outcome.result else {
                 // Near the minimum, objective decreases can underflow f64
                 // resolution and no step passes the Wolfe tests. With a
                 // gradient at round-off scale this is convergence, not
@@ -90,7 +103,6 @@ impl Bfgs {
                 }
                 return Err(OptimError::LineSearchFailed { iteration });
             };
-            function_evals += ls.evals;
 
             let s: Vec<f64> = direction.iter().map(|p| ls.alpha * p).collect();
             let y: Vec<f64> = ls
@@ -104,7 +116,7 @@ impl Bfgs {
                 *t += si;
             }
             value = ls.value;
-            grad = ls.gradient;
+            scratch.recycle(std::mem::replace(&mut grad, ls.gradient));
 
             let sy = dot(&s, &y);
             let yy = dot(&y, &y);

@@ -3,7 +3,7 @@
 //! Stores only the last `m` curvature pairs, making the per-iteration
 //! cost `O(m d)` — BlinkML's solver for `d >= 100` (paper §5.1).
 
-use crate::linesearch::{strong_wolfe, WolfeParams};
+use crate::linesearch::{strong_wolfe_buffered, LineSearchScratch, WolfeParams};
 use crate::problem::Objective;
 use crate::result::{OptimError, OptimOptions, OptimResult};
 use blinkml_linalg::vector::{dot, norm_inf};
@@ -52,13 +52,23 @@ impl Lbfgs {
             });
         }
         let mut theta = theta0.to_vec();
-        let (mut value, mut grad) = objective.value_grad(&theta);
+        let mut grad = vec![0.0; d];
+        let mut value = objective.value_grad_into(&theta, &mut grad);
         if !value.is_finite() {
             return Err(OptimError::NonFiniteObjective);
         }
         let mut function_evals = 1usize;
         let memory = self.options.lbfgs_memory.max(1);
         let mut pairs: VecDeque<Pair> = VecDeque::with_capacity(memory);
+        // Per-iteration work buffers: the search direction, the two-loop
+        // alpha stack, the candidate curvature pair, and the line-search
+        // probe pool are all reused across iterations, so a converged
+        // solve allocates nothing after its first few iterations.
+        let mut scratch = LineSearchScratch::new();
+        let mut direction: Vec<f64> = Vec::with_capacity(d);
+        let mut alphas: Vec<f64> = Vec::with_capacity(memory);
+        let mut s_work = vec![0.0; d];
+        let mut y_work = vec![0.0; d];
 
         for iteration in 0..self.options.max_iterations {
             let gnorm = norm_inf(&grad);
@@ -72,9 +82,20 @@ impl Lbfgs {
                     converged: true,
                 });
             }
-            let direction = two_loop_direction(&grad, &pairs);
-            let Some(ls) = strong_wolfe(objective, &theta, value, &grad, &direction, &self.wolfe)
-            else {
+            two_loop_direction_into(&grad, &pairs, &mut direction, &mut alphas);
+            let outcome = strong_wolfe_buffered(
+                objective,
+                &theta,
+                value,
+                &grad,
+                &direction,
+                &self.wolfe,
+                &mut scratch,
+            );
+            // Probe evaluations are charged whether or not the search
+            // succeeded — the same accounting as BFGS and plain GD.
+            function_evals += outcome.evals;
+            let Some(ls) = outcome.result else {
                 // Same precision-loss handling as BFGS: a failed line
                 // search with a round-off-scale gradient is convergence.
                 if gnorm <= 4.0 * f64::EPSILON.sqrt() * (1.0 + value.abs()) {
@@ -89,32 +110,36 @@ impl Lbfgs {
                 }
                 return Err(OptimError::LineSearchFailed { iteration });
             };
-            function_evals += ls.evals;
 
-            let s: Vec<f64> = direction.iter().map(|p| ls.alpha * p).collect();
-            let y: Vec<f64> = ls
-                .gradient
-                .iter()
-                .zip(&grad)
-                .map(|(gn, go)| gn - go)
-                .collect();
+            for (sw, p) in s_work.iter_mut().zip(&direction) {
+                *sw = ls.alpha * p;
+            }
+            for ((yw, gn), go) in y_work.iter_mut().zip(&ls.gradient).zip(&grad) {
+                *yw = gn - go;
+            }
             let prev_value = value;
-            for (t, si) in theta.iter_mut().zip(&s) {
+            for (t, si) in theta.iter_mut().zip(&s_work) {
                 *t += si;
             }
             value = ls.value;
-            grad = ls.gradient;
+            scratch.recycle(std::mem::replace(&mut grad, ls.gradient));
 
-            let sy = dot(&s, &y);
-            if sy > 1e-10 * dot(&y, &y).sqrt().max(1.0) {
-                if pairs.len() == memory {
-                    pairs.pop_front();
-                }
-                pairs.push_back(Pair {
-                    rho: 1.0 / sy,
-                    s,
-                    y,
-                });
+            let sy = dot(&s_work, &y_work);
+            if sy > 1e-10 * dot(&y_work, &y_work).sqrt().max(1.0) {
+                // Recycle the evicted pair's buffers for the new pair.
+                let mut pair = if pairs.len() == memory {
+                    pairs.pop_front().expect("memory > 0")
+                } else {
+                    Pair {
+                        s: vec![0.0; d],
+                        y: vec![0.0; d],
+                        rho: 0.0,
+                    }
+                };
+                pair.s.copy_from_slice(&s_work);
+                pair.y.copy_from_slice(&y_work);
+                pair.rho = 1.0 / sy;
+                pairs.push_back(pair);
             }
 
             if self.options.value_tolerance > 0.0 {
@@ -142,13 +167,20 @@ impl Lbfgs {
     }
 }
 
-/// Nocedal's two-loop recursion: returns `−H_k ∇f` where `H_k` is the
-/// implicit L-BFGS inverse-Hessian estimate.
-fn two_loop_direction(grad: &[f64], pairs: &VecDeque<Pair>) -> Vec<f64> {
-    let mut q = grad.to_vec();
-    let mut alphas = Vec::with_capacity(pairs.len());
+/// Nocedal's two-loop recursion, writing `−H_k ∇f` (with `H_k` the
+/// implicit L-BFGS inverse-Hessian estimate) into the reused `q` and
+/// `alphas` buffers.
+fn two_loop_direction_into(
+    grad: &[f64],
+    pairs: &VecDeque<Pair>,
+    q: &mut Vec<f64>,
+    alphas: &mut Vec<f64>,
+) {
+    q.clear();
+    q.extend_from_slice(grad);
+    alphas.clear();
     for pair in pairs.iter().rev() {
-        let alpha = pair.rho * dot(&pair.s, &q);
+        let alpha = pair.rho * dot(&pair.s, q);
         for (qi, yi) in q.iter_mut().zip(&pair.y) {
             *qi -= alpha * yi;
         }
@@ -157,21 +189,20 @@ fn two_loop_direction(grad: &[f64], pairs: &VecDeque<Pair>) -> Vec<f64> {
     // Initial Hessian scaling γ = sᵀy / yᵀy from the newest pair.
     if let Some(newest) = pairs.back() {
         let gamma = dot(&newest.s, &newest.y) / dot(&newest.y, &newest.y);
-        for qi in &mut q {
+        for qi in q.iter_mut() {
             *qi *= gamma;
         }
     }
     for (pair, alpha) in pairs.iter().zip(alphas.iter().rev()) {
-        let beta = pair.rho * dot(&pair.y, &q);
+        let beta = pair.rho * dot(&pair.y, q);
         let coeff = alpha - beta;
         for (qi, si) in q.iter_mut().zip(&pair.s) {
             *qi += coeff * si;
         }
     }
-    for qi in &mut q {
+    for qi in q.iter_mut() {
         *qi = -*qi;
     }
-    q
 }
 
 #[cfg(test)]
@@ -249,7 +280,9 @@ mod tests {
     #[test]
     fn two_loop_with_no_pairs_is_steepest_descent() {
         let grad = vec![1.0, -2.0, 3.0];
-        let dir = two_loop_direction(&grad, &VecDeque::new());
+        let mut dir = Vec::new();
+        let mut alphas = Vec::new();
+        two_loop_direction_into(&grad, &VecDeque::new(), &mut dir, &mut alphas);
         assert_eq!(dir, vec![-1.0, 2.0, -3.0]);
     }
 

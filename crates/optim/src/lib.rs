@@ -25,7 +25,10 @@ pub mod result;
 pub use bfgs::Bfgs;
 pub use gd::GradientDescent;
 pub use lbfgs::Lbfgs;
-pub use linesearch::{strong_wolfe, LineSearchResult, WolfeParams};
+pub use linesearch::{
+    strong_wolfe, strong_wolfe_buffered, LineSearchResult, LineSearchScratch, SearchOutcome,
+    WolfeParams,
+};
 pub use problem::{Objective, QuadraticObjective};
 pub use result::{OptimError, OptimOptions, OptimResult};
 

@@ -1,4 +1,13 @@
 //! Strong-Wolfe line search (Nocedal & Wright, Algorithms 3.5 / 3.6).
+//!
+//! The search is exposed twice: [`strong_wolfe`] is the original
+//! allocating convenience form, and [`strong_wolfe_buffered`] is the
+//! solvers' form — probe points and gradients live in a caller-owned
+//! [`LineSearchScratch`] pool, so a converged solver performs **zero
+//! steady-state allocation** per probe, and the number of objective
+//! evaluations is reported even when no acceptable step exists (the
+//! callers charge failed searches to `function_evals` too, keeping the
+//! accounting consistent across solvers).
 
 use crate::problem::Objective;
 use blinkml_linalg::vector::dot;
@@ -38,10 +47,53 @@ pub struct LineSearchResult {
     pub alpha: f64,
     /// Objective at the accepted point.
     pub value: f64,
-    /// Gradient at the accepted point.
+    /// Gradient at the accepted point. Taken from the scratch pool;
+    /// callers return their previous gradient buffer via
+    /// [`LineSearchScratch::recycle`] to keep the pool closed.
     pub gradient: Vec<f64>,
     /// Number of objective evaluations consumed.
     pub evals: usize,
+}
+
+/// Outcome of a buffered search: the accepted step (if any) plus the
+/// evaluation count, which is reported **even on failure** so solvers
+/// account probe work consistently.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// The accepted step, or `None` when no acceptable step was found.
+    pub result: Option<LineSearchResult>,
+    /// Objective evaluations consumed, success or not.
+    pub evals: usize,
+}
+
+/// Reusable probe buffers for [`strong_wolfe_buffered`]. One scratch is
+/// owned per solver run; after the first few iterations every probe
+/// draws its point and gradient buffers from here instead of the
+/// allocator.
+#[derive(Debug, Default)]
+pub struct LineSearchScratch {
+    point: Vec<f64>,
+    free: Vec<Vec<f64>>,
+}
+
+impl LineSearchScratch {
+    /// Empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        LineSearchScratch::default()
+    }
+
+    /// Return a gradient buffer (e.g. a [`LineSearchResult::gradient`]
+    /// that has been swapped out) to the pool.
+    pub fn recycle(&mut self, buf: Vec<f64>) {
+        self.free.push(buf);
+    }
+
+    fn take(&mut self, dim: usize) -> Vec<f64> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(dim, 0.0);
+        buf
+    }
 }
 
 /// State of one trial point on the ray `θ + α p`.
@@ -53,7 +105,8 @@ struct Probe {
     gradient: Vec<f64>,
 }
 
-/// Find a step satisfying the strong Wolfe conditions along descent
+/// Allocating convenience wrapper around [`strong_wolfe_buffered`]:
+/// finds a step satisfying the strong Wolfe conditions along descent
 /// direction `direction` from `theta`.
 ///
 /// Returns `None` when no acceptable step is found within the evaluation
@@ -66,18 +119,48 @@ pub fn strong_wolfe(
     direction: &[f64],
     params: &WolfeParams,
 ) -> Option<LineSearchResult> {
+    let mut scratch = LineSearchScratch::new();
+    strong_wolfe_buffered(
+        objective,
+        theta,
+        value0,
+        grad0,
+        direction,
+        params,
+        &mut scratch,
+    )
+    .result
+}
+
+/// Find a strong-Wolfe step with caller-owned probe buffers, reporting
+/// the evaluation count even on failure. Identical floating-point
+/// behaviour to [`strong_wolfe`] — only the buffer lifecycle differs.
+#[allow(clippy::too_many_arguments)]
+pub fn strong_wolfe_buffered(
+    objective: &dyn Objective,
+    theta: &[f64],
+    value0: f64,
+    grad0: &[f64],
+    direction: &[f64],
+    params: &WolfeParams,
+    scratch: &mut LineSearchScratch,
+) -> SearchOutcome {
     let slope0 = dot(grad0, direction);
     if slope0 >= 0.0 || !slope0.is_finite() {
-        return None; // Not a descent direction.
+        return SearchOutcome {
+            result: None,
+            evals: 0,
+        }; // Not a descent direction.
     }
+    let dim = theta.len();
     let evals = std::cell::Cell::new(0usize);
-    let probe = |alpha: f64| -> Probe {
-        let point: Vec<f64> = theta
-            .iter()
-            .zip(direction)
-            .map(|(t, d)| t + alpha * d)
-            .collect();
-        let (value, gradient) = objective.value_grad(&point);
+    let probe = |alpha: f64, scratch: &mut LineSearchScratch| -> Probe {
+        let mut point = std::mem::take(&mut scratch.point);
+        point.clear();
+        point.extend(theta.iter().zip(direction).map(|(t, d)| t + alpha * d));
+        let mut gradient = scratch.take(dim);
+        let value = objective.value_grad_into(&point, &mut gradient);
+        scratch.point = point;
         evals.set(evals.get() + 1);
         let slope = dot(&gradient, direction);
         Probe {
@@ -93,20 +176,33 @@ pub fn strong_wolfe(
         alpha: 0.0,
         value: value0,
         slope: slope0,
-        gradient: grad0.to_vec(),
+        gradient: {
+            let mut g = scratch.take(dim);
+            g.copy_from_slice(grad0);
+            g
+        },
     };
     let mut alpha = params.initial_step.min(params.max_step);
     let mut bracket: Option<(Probe, Probe)> = None;
     for i in 0.. {
         if evals.get() >= params.max_evals {
-            return None;
+            scratch.recycle(prev.gradient);
+            return SearchOutcome {
+                result: None,
+                evals: evals.get(),
+            };
         }
-        let cur = probe(alpha);
+        let cur = probe(alpha, scratch);
         if !cur.value.is_finite() {
             // Step overshot into a non-finite region: bisect downward.
             alpha = 0.5 * (prev.alpha + alpha);
+            scratch.recycle(cur.gradient);
             if alpha <= f64::MIN_POSITIVE {
-                return None;
+                scratch.recycle(prev.gradient);
+                return SearchOutcome {
+                    result: None,
+                    evals: evals.get(),
+                };
             }
             continue;
         }
@@ -116,12 +212,16 @@ pub fn strong_wolfe(
             break;
         }
         if cur.slope.abs() <= -params.c2 * slope0 {
-            return Some(LineSearchResult {
-                alpha: cur.alpha,
-                value: cur.value,
-                gradient: cur.gradient,
+            scratch.recycle(prev.gradient);
+            return SearchOutcome {
+                result: Some(LineSearchResult {
+                    alpha: cur.alpha,
+                    value: cur.value,
+                    gradient: cur.gradient,
+                    evals: evals.get(),
+                }),
                 evals: evals.get(),
-            });
+            };
         }
         if cur.slope >= 0.0 {
             bracket = Some((cur, prev));
@@ -129,15 +229,19 @@ pub fn strong_wolfe(
         }
         if cur.alpha >= params.max_step {
             // Slope still negative at the cap: accept the capped step.
-            return Some(LineSearchResult {
-                alpha: cur.alpha,
-                value: cur.value,
-                gradient: cur.gradient,
+            scratch.recycle(prev.gradient);
+            return SearchOutcome {
+                result: Some(LineSearchResult {
+                    alpha: cur.alpha,
+                    value: cur.value,
+                    gradient: cur.gradient,
+                    evals: evals.get(),
+                }),
                 evals: evals.get(),
-            });
+            };
         }
         alpha = (2.0 * cur.alpha).min(params.max_step);
-        prev = cur;
+        scratch.recycle(std::mem::replace(&mut prev, cur).gradient);
     }
 
     // Algorithm 3.6: zoom phase. `lo` always has the lower value.
@@ -153,48 +257,73 @@ pub fn strong_wolfe(
         if width < 1e-14 * (1.0 + lo_a) {
             // Interval collapsed: accept the best point seen so far if it
             // at least decreases the objective.
+            scratch.recycle(hi.gradient);
             return if lo.value < value0 && lo.alpha > 0.0 {
-                Some(LineSearchResult {
-                    alpha: lo.alpha,
-                    value: lo.value,
-                    gradient: lo.gradient,
+                SearchOutcome {
+                    result: Some(LineSearchResult {
+                        alpha: lo.alpha,
+                        value: lo.value,
+                        gradient: lo.gradient,
+                        evals: evals.get(),
+                    }),
                     evals: evals.get(),
-                })
+                }
             } else {
-                None
+                scratch.recycle(lo.gradient);
+                SearchOutcome {
+                    result: None,
+                    evals: evals.get(),
+                }
             };
         }
-        let cur = probe(trial);
+        let cur = probe(trial, scratch);
         if !cur.value.is_finite()
             || cur.value > value0 + params.c1 * cur.alpha * slope0
             || cur.value >= lo.value
         {
-            hi = cur;
+            scratch.recycle(std::mem::replace(&mut hi, cur).gradient);
         } else {
             if cur.slope.abs() <= -params.c2 * slope0 {
-                return Some(LineSearchResult {
-                    alpha: cur.alpha,
-                    value: cur.value,
-                    gradient: cur.gradient,
+                scratch.recycle(lo.gradient);
+                scratch.recycle(hi.gradient);
+                return SearchOutcome {
+                    result: Some(LineSearchResult {
+                        alpha: cur.alpha,
+                        value: cur.value,
+                        gradient: cur.gradient,
+                        evals: evals.get(),
+                    }),
                     evals: evals.get(),
-                });
+                };
             }
             if cur.slope * (hi.alpha - lo.alpha) >= 0.0 {
-                hi = replace_probe(&lo);
+                // hi takes lo's state (gradient copied into hi's buffer).
+                hi.alpha = lo.alpha;
+                hi.value = lo.value;
+                hi.slope = lo.slope;
+                hi.gradient.copy_from_slice(&lo.gradient);
             }
-            lo = cur;
+            scratch.recycle(std::mem::replace(&mut lo, cur).gradient);
         }
     }
     // Budget exhausted: fall back to the best decreasing point.
+    scratch.recycle(hi.gradient);
     if lo.value < value0 && lo.alpha > 0.0 {
-        Some(LineSearchResult {
-            alpha: lo.alpha,
-            value: lo.value,
-            gradient: lo.gradient,
+        SearchOutcome {
+            result: Some(LineSearchResult {
+                alpha: lo.alpha,
+                value: lo.value,
+                gradient: lo.gradient,
+                evals: evals.get(),
+            }),
             evals: evals.get(),
-        })
+        }
     } else {
-        None
+        scratch.recycle(lo.gradient);
+        SearchOutcome {
+            result: None,
+            evals: evals.get(),
+        }
     }
 }
 
@@ -207,16 +336,6 @@ fn quadratic_interpolate(lo: &Probe, hi: &Probe) -> f64 {
         return f64::NAN;
     }
     lo.alpha - lo.slope * da * da / denom
-}
-
-/// Clone a probe (gradients included).
-fn replace_probe(p: &Probe) -> Probe {
-    Probe {
-        alpha: p.alpha,
-        value: p.value,
-        slope: p.slope,
-        gradient: p.gradient.clone(),
-    }
 }
 
 #[cfg(test)]
@@ -307,5 +426,65 @@ mod tests {
         if let Some(res) = strong_wolfe(&q, &[0.0], v0, &g0, &dir, &params) {
             assert!(res.evals <= 3);
         }
+    }
+
+    #[test]
+    fn buffered_search_matches_allocating_search() {
+        let r = Rosenbrock;
+        let theta = [-1.2, 1.0];
+        let (v0, g0) = r.value_grad(&theta);
+        let dir: Vec<f64> = g0.iter().map(|g| -g).collect();
+        let params = WolfeParams::default();
+        let plain = strong_wolfe(&r, &theta, v0, &g0, &dir, &params).unwrap();
+        let mut scratch = LineSearchScratch::new();
+        let out = strong_wolfe_buffered(&r, &theta, v0, &g0, &dir, &params, &mut scratch);
+        let buffered = out.result.unwrap();
+        assert_eq!(plain.alpha, buffered.alpha);
+        assert_eq!(plain.value, buffered.value);
+        assert_eq!(plain.gradient, buffered.gradient);
+        assert_eq!(plain.evals, buffered.evals);
+        assert_eq!(out.evals, buffered.evals);
+    }
+
+    #[test]
+    fn failed_search_still_reports_evals() {
+        // A descent direction on a quadratic with an absurdly small
+        // budget: the search fails but the probes must be charged.
+        let q = quadratic_1d();
+        let (v0, g0) = q.value_grad(&[0.0]);
+        let dir = [-g0[0]];
+        let params = WolfeParams {
+            max_evals: 1,
+            c2: 1e-12, // make the curvature condition nearly unsatisfiable
+            ..WolfeParams::default()
+        };
+        let mut scratch = LineSearchScratch::new();
+        let out = strong_wolfe_buffered(&q, &[0.0], v0, &g0, &dir, &params, &mut scratch);
+        if out.result.is_none() {
+            assert!(out.evals >= 1, "failed search must report its probes");
+        }
+    }
+
+    #[test]
+    fn scratch_pool_stays_closed() {
+        // Repeated searches through one scratch must not grow the pool
+        // beyond the peak number of live probes.
+        let r = Rosenbrock;
+        let mut scratch = LineSearchScratch::new();
+        let params = WolfeParams::default();
+        for step in 0..5 {
+            let theta = [-1.2 + 0.1 * step as f64, 1.0];
+            let (v0, g0) = r.value_grad(&theta);
+            let dir: Vec<f64> = g0.iter().map(|g| -g).collect();
+            let out = strong_wolfe_buffered(&r, &theta, v0, &g0, &dir, &params, &mut scratch);
+            if let Some(res) = out.result {
+                scratch.recycle(res.gradient);
+            }
+        }
+        assert!(
+            scratch.free.len() <= 4,
+            "pool grew to {} buffers",
+            scratch.free.len()
+        );
     }
 }

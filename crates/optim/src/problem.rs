@@ -17,6 +17,20 @@ pub trait Objective {
     /// Evaluate `f(θ)` and `∇f(θ)` together.
     fn value_grad(&self, theta: &[f64]) -> (f64, Vec<f64>);
 
+    /// Evaluate `f(θ)` and write `∇f(θ)` into `grad`, returning the
+    /// value. This is the solvers' primitive: implementations that can
+    /// fill a caller-owned buffer (the batched training objectives)
+    /// override it so line-search probes allocate nothing; the default
+    /// simply copies out of [`Objective::value_grad`].
+    ///
+    /// # Panics
+    /// Implementations may panic when `grad.len() != dim()`.
+    fn value_grad_into(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let (value, g) = self.value_grad(theta);
+        grad.copy_from_slice(&g);
+        value
+    }
+
     /// Evaluate only `f(θ)`.
     fn value(&self, theta: &[f64]) -> f64 {
         self.value_grad(theta).0
