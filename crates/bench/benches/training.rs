@@ -66,7 +66,12 @@ fn single_eval(c: &mut Criterion) {
     let mut grad = vec![0.0; d];
     g.bench_function(format!("value_grad_batched_n{n}_d{d}"), |bench| {
         bench.iter(|| {
-            as_dense(&spec).value_grad_batched(black_box(&theta), &xm, &mut scratch, &mut grad)
+            as_dense(&spec).value_grad_batched(
+                black_box(&theta),
+                &xm.view(),
+                &mut scratch,
+                &mut grad,
+            )
         })
     });
     g.finish();
@@ -85,7 +90,7 @@ fn grads_pass(c: &mut Criterion) {
     });
     let xm = DatasetMatrix::from_dataset(&data);
     g.bench_function(format!("grads_cached_n{n}_d{d}"), |bench| {
-        bench.iter(|| as_dense(&spec).grads_cached(black_box(&theta), &data, Some(&xm)))
+        bench.iter(|| as_dense(&spec).grads_cached(black_box(&theta), &data, Some(&xm.view())))
     });
     g.finish();
 }

@@ -1,0 +1,389 @@
+//! Record the zero-copy sampling-layer baseline to
+//! `results/BENCH_sampling.json`.
+//!
+//! Installs the counting global allocator and measures, for the
+//! acceptance shape (dense logistic, N=200k / D=100, tight ε so the
+//! final sample is a large fraction of N):
+//!
+//! * **bytes allocated per coordinator phase** — pool-matrix build,
+//!   pilot sample/train, statistics, final sample/train — for the
+//!   zero-copy index-view path against the materialized (example
+//!   cloning) path,
+//! * **end-to-end coordinator** wall-clock and allocation totals for
+//!   both [`SamplingMode`]s, as an interleaved order-alternating pair
+//!   (shared `paired_min_times` methodology),
+//! * the **sampling-layer micro pair** — drawing and capturing the
+//!   final sample (index view + gather vs clone + matrix rebuild) —
+//!   the phase the zero-copy layer eliminates.
+//!
+//! Outcomes are bit-identical between the modes by construction; the
+//! recorder asserts it (θ, ε₀, chosen n) and the smoke mode gates:
+//! view-path allocations **strictly below** the materialized path, and
+//! sampling-layer wall-clock at ≥ 1.0×.
+//!
+//! Usage:
+//! `cargo run --release -p blinkml-bench --bin sampling_baseline -- \
+//!  [mode=full|smoke] [n=200000] [dim=100] [epsilon=0.01] [n0=2000] \
+//!  [holdout=2000] [reps=5] [seed=1]`
+
+use blinkml_bench::alloc::{fmt_bytes, measure, AllocStats, CountingAllocator};
+use blinkml_bench::{fmt_duration, paired_min_times, BenchArgs, Table};
+use blinkml_core::models::LogisticRegressionSpec;
+use blinkml_core::{
+    compute_statistics_cached, BlinkMlConfig, Coordinator, ModelClassSpec, SamplingMode,
+};
+use blinkml_data::generators::synthetic_logistic;
+use blinkml_data::{DatasetMatrix, DenseVec};
+use blinkml_optim::OptimOptions;
+use blinkml_prob::split_seed;
+use serde_json::json;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Per-phase allocation byte counts for one sampling path.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseAllocs {
+    pool_matrix: u64,
+    pilot_sample: u64,
+    pilot_train: u64,
+    statistics: u64,
+    final_sample: u64,
+    final_train: u64,
+}
+
+impl PhaseAllocs {
+    fn total(&self) -> u64 {
+        self.pool_matrix
+            + self.pilot_sample
+            + self.pilot_train
+            + self.statistics
+            + self.final_sample
+            + self.final_train
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse(&[
+        "mode", "n", "dim", "epsilon", "n0", "holdout", "reps", "seed",
+    ]);
+    let mode = args.get_str("mode", "full");
+    let smoke = mode == "smoke";
+    assert!(
+        smoke || mode == "full",
+        "mode must be 'full' or 'smoke', got '{mode}'"
+    );
+    let (def_n, def_d, def_n0, def_hold, def_reps) = if smoke {
+        (20_000, 50, 500, 800, 3)
+    } else {
+        (200_000, 100, 2_000, 2_000, 5)
+    };
+    let n = args.get_usize("n", def_n);
+    let dim = args.get_usize("dim", def_d);
+    let epsilon = args.get_f64("epsilon", if smoke { 0.02 } else { 0.01 });
+    let n0 = args.get_usize("n0", def_n0);
+    let holdout = args.get_usize("holdout", def_hold);
+    let reps = args.get_usize("reps", def_reps);
+    let seed = args.get_u64("seed", 1);
+
+    let (data, _) = synthetic_logistic(n, dim, 2.0, seed);
+    let split = data.split(holdout, 0, split_seed(seed, 100));
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let specd: &dyn ModelClassSpec<DenseVec> = &spec;
+    let opts = OptimOptions::default();
+    let config = |sampling: SamplingMode| BlinkMlConfig {
+        epsilon,
+        delta: 0.05,
+        initial_sample_size: n0,
+        holdout_size: holdout,
+        num_param_samples: 32,
+        sampling,
+        ..BlinkMlConfig::default()
+    };
+
+    // --- End-to-end coordinator: exactness + alloc totals + times. ---
+    let run = |sampling: SamplingMode| {
+        Coordinator::new(config(sampling))
+            .train_with_holdout(&spec, &split.train, &split.holdout, seed)
+            .expect("coordinator run")
+    };
+    let (out_view, alloc_view_run) = measure(|| run(SamplingMode::ZeroCopy));
+    let (out_mat, alloc_mat_run) = measure(|| run(SamplingMode::Materialize));
+    assert_eq!(
+        out_view.sample_size, out_mat.sample_size,
+        "zero-copy sampling changed the chosen n"
+    );
+    assert_eq!(
+        out_view.initial_epsilon, out_mat.initial_epsilon,
+        "zero-copy sampling changed ε₀"
+    );
+    assert_eq!(
+        out_view.model.parameters(),
+        out_mat.model.parameters(),
+        "zero-copy sampling changed θ"
+    );
+    assert!(
+        !out_view.used_initial_model,
+        "ε = {epsilon} should force a final training (n = {} of N = {})",
+        out_view.sample_size, out_view.full_data_size
+    );
+    let n_final = out_view.sample_size;
+
+    let (t_mat, t_view) = paired_min_times(
+        reps,
+        || run(SamplingMode::Materialize),
+        || run(SamplingMode::ZeroCopy),
+    );
+
+    // --- Per-phase allocation breakdown (deterministic, one pass). ---
+    let cfg = config(SamplingMode::ZeroCopy);
+    let mut view_phases = PhaseAllocs::default();
+    let mut mat_phases = PhaseAllocs::default();
+
+    // Zero-copy path: one pool matrix, index-view samples.
+    let (pool, a) = measure(|| DatasetMatrix::from_dataset(&split.train));
+    view_phases.pool_matrix = a.bytes;
+    let (idx0, a) = measure(|| split.train.sample_view(n0, split_seed(seed, 0)));
+    view_phases.pilot_sample = a.bytes;
+    // The capture (gathered view or packed block, by footprint — the
+    // coordinator's policy) is charged to the training phase, and the
+    // statistics phase reuses it, exactly like `fit_sample` does.
+    let ((m0_view, cap0), a) = measure(|| {
+        let capture = pool.capture_sample(idx0.indices());
+        let model = specd
+            .train_with_matrix(&split.train, Some(&capture.view()), None, &opts)
+            .expect("pilot train (view)");
+        (model, capture)
+    });
+    view_phases.pilot_train = a.bytes;
+    let (_stats, a) = measure(|| {
+        compute_statistics_cached(
+            cfg.statistics_method,
+            cfg.spectral,
+            specd,
+            m0_view.parameters(),
+            &split.train,
+            Some(&cap0.view()),
+        )
+        .expect("statistics (view)")
+    });
+    view_phases.statistics = a.bytes;
+    let (idxn, a) = measure(|| split.train.sample_view(n_final, split_seed(seed, 3)));
+    view_phases.final_sample = a.bytes;
+    let (mn_view, a) = measure(|| {
+        let capture = pool.capture_sample(idxn.indices());
+        specd
+            .train_with_matrix(
+                &split.train,
+                Some(&capture.view()),
+                Some(m0_view.parameters()),
+                &opts,
+            )
+            .expect("final train (view)")
+    });
+    view_phases.final_train = a.bytes;
+
+    // Materialized path: per-sample clones and matrix rebuilds. Like
+    // the view replay above (and the real `fit_sample`), the sample's
+    // matrix is built once inside the training phase and shared with
+    // the statistics phase.
+    let (d0, a) = measure(|| split.train.sample(n0, split_seed(seed, 0)));
+    mat_phases.pilot_sample = a.bytes;
+    let ((m0_mat, xm0), a) = measure(|| {
+        let xm = DatasetMatrix::from_dataset(&d0);
+        let model = specd
+            .train_with_matrix(&d0, Some(&xm.view()), None, &opts)
+            .expect("pilot train (materialized)");
+        (model, xm)
+    });
+    mat_phases.pilot_train = a.bytes;
+    let (_stats, a) = measure(|| {
+        compute_statistics_cached(
+            cfg.statistics_method,
+            cfg.spectral,
+            specd,
+            m0_mat.parameters(),
+            &d0,
+            Some(&xm0.view()),
+        )
+        .expect("statistics (materialized)")
+    });
+    mat_phases.statistics = a.bytes;
+    let (dn, a) = measure(|| split.train.sample(n_final, split_seed(seed, 3)));
+    mat_phases.final_sample = a.bytes;
+    let (mn_mat, a) = measure(|| {
+        let xm = DatasetMatrix::from_dataset(&dn);
+        specd
+            .train_with_matrix(&dn, Some(&xm.view()), Some(m0_mat.parameters()), &opts)
+            .expect("final train (materialized)")
+    });
+    mat_phases.final_train = a.bytes;
+    assert_eq!(
+        mn_view.parameters(),
+        mn_mat.parameters(),
+        "phase replay drifted between paths"
+    );
+
+    // --- Sampling-layer micro pair: draw + capture the final sample. ---
+    let (t_capture_mat, t_capture_view) = paired_min_times(
+        reps.max(5),
+        || {
+            let s = split.train.sample(n_final, split_seed(seed, 3));
+            let xm = DatasetMatrix::from_dataset(&s);
+            black_box(xm.len())
+        },
+        || {
+            let v = split.train.sample_view(n_final, split_seed(seed, 3));
+            let capture = pool.capture_sample(v.indices());
+            black_box(capture.view().len())
+        },
+    );
+
+    // --- Report. ---
+    let mut table = Table::new(
+        format!(
+            "Alloc bytes per coordinator phase (n0={n0}, final n={n_final}, N={})",
+            split.train.len()
+        ),
+        &["phase", "zero-copy", "materialized"],
+    );
+    let rows: [(&str, u64, u64); 7] = [
+        (
+            "pool matrix",
+            view_phases.pool_matrix,
+            mat_phases.pool_matrix,
+        ),
+        (
+            "pilot sample",
+            view_phases.pilot_sample,
+            mat_phases.pilot_sample,
+        ),
+        (
+            "pilot train",
+            view_phases.pilot_train,
+            mat_phases.pilot_train,
+        ),
+        ("statistics", view_phases.statistics, mat_phases.statistics),
+        (
+            "final sample",
+            view_phases.final_sample,
+            mat_phases.final_sample,
+        ),
+        (
+            "final train",
+            view_phases.final_train,
+            mat_phases.final_train,
+        ),
+        ("total", view_phases.total(), mat_phases.total()),
+    ];
+    for (label, v, m) in rows {
+        table.row(&[label.to_string(), fmt_bytes(v), fmt_bytes(m)]);
+    }
+    table.print();
+    let sampling_speedup = t_capture_mat.as_secs_f64() / t_capture_view.as_secs_f64().max(1e-12);
+    let coordinator_speedup = t_mat.as_secs_f64() / t_view.as_secs_f64().max(1e-12);
+    println!(
+        "\nsample capture (draw + design-matrix view) at n={n_final}: materialized {} vs \
+         zero-copy {} ({sampling_speedup:.1}x)",
+        fmt_duration(t_capture_mat),
+        fmt_duration(t_capture_view),
+    );
+    println!(
+        "end-to-end coordinator: materialized {} vs zero-copy {} ({coordinator_speedup:.2}x); \
+         alloc {} vs {} ({:.2}x less)",
+        fmt_duration(t_mat),
+        fmt_duration(t_view),
+        fmt_bytes(alloc_mat_run.bytes),
+        fmt_bytes(alloc_view_run.bytes),
+        alloc_mat_run.bytes as f64 / alloc_view_run.bytes.max(1) as f64,
+    );
+
+    // Deterministic gate: the zero-copy path must allocate strictly
+    // fewer bytes than the materialized path, end to end and in the
+    // sampling phases themselves.
+    assert!(
+        alloc_view_run.bytes < alloc_mat_run.bytes,
+        "zero-copy coordinator allocated {} >= materialized {}",
+        fmt_bytes(alloc_view_run.bytes),
+        fmt_bytes(alloc_mat_run.bytes),
+    );
+    assert!(
+        view_phases.pilot_sample + view_phases.final_sample
+            < mat_phases.pilot_sample + mat_phases.final_sample,
+        "index-view samples must allocate less than example clones"
+    );
+
+    if smoke {
+        // Wall-clock gate on the phase the layer eliminates: drawing +
+        // capturing a sample. The zero-copy side does O(n) index work
+        // against the materialized side's O(n·d) clone, so ≥ 1.0x holds
+        // with margin even on a noisy shared runner.
+        assert!(
+            sampling_speedup >= 1.0,
+            "smoke gate: zero-copy sample capture slower than materialized \
+             ({sampling_speedup:.2}x < 1.0x)"
+        );
+        println!("\nsmoke mode: skipping results/BENCH_sampling.json");
+        return;
+    }
+
+    let phase_json = |p: &PhaseAllocs| {
+        json!({
+            "pool_matrix_bytes": p.pool_matrix,
+            "pilot_sample_bytes": p.pilot_sample,
+            "pilot_train_bytes": p.pilot_train,
+            "statistics_bytes": p.statistics,
+            "final_sample_bytes": p.final_sample,
+            "final_train_bytes": p.final_train,
+            "total_bytes": p.total(),
+        })
+    };
+    let alloc_json = |a: &AllocStats| json!({ "bytes": a.bytes, "calls": a.calls });
+    let shape = json!({
+        "n": n,
+        "dim": dim,
+        "epsilon": epsilon,
+        "n0": n0,
+        "holdout": holdout,
+    });
+    let phases = json!({
+        "zero_copy": phase_json(&view_phases),
+        "materialized": phase_json(&mat_phases),
+    });
+    let coordinator = json!({
+        "zero_copy_ms": t_view.as_secs_f64() * 1e3,
+        "materialized_ms": t_mat.as_secs_f64() * 1e3,
+        "speedup": coordinator_speedup,
+        "zero_copy_alloc": alloc_json(&alloc_view_run),
+        "materialized_alloc": alloc_json(&alloc_mat_run),
+        "alloc_reduction": alloc_mat_run.bytes as f64 / alloc_view_run.bytes.max(1) as f64,
+    });
+    let sample_capture = json!({
+        "zero_copy_ms": t_capture_view.as_secs_f64() * 1e3,
+        "materialized_ms": t_capture_mat.as_secs_f64() * 1e3,
+        "speedup": sampling_speedup,
+    });
+    let exactness = json!({
+        "theta_bit_equal": true,
+        "epsilon0_bit_equal": true,
+        "chosen_n_equal": true,
+    });
+    let doc = json!({
+        "bench": "sampling",
+        "reps": reps,
+        "seed": seed,
+        "threads": blinkml_data::parallel::max_threads(),
+        "shape": shape,
+        "chosen_n": n_final,
+        "phases": phases,
+        "coordinator": coordinator,
+        "sample_capture": sample_capture,
+        "exactness": exactness,
+    });
+    let dir = blinkml_bench::report::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_sampling.json");
+    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    println!("\nwrote {}", path.display());
+}

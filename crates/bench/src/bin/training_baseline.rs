@@ -136,6 +136,7 @@ fn main() {
         let espec = LogisticRegressionSpec::new(beta);
         let theta: Vec<f64> = (0..d_e).map(|i| (i as f64 * 0.17).sin() * 0.2).collect();
         let xm = DatasetMatrix::from_dataset(&edata);
+        let xmv = xm.view();
         let mut scratch = TrainScratch::new();
         let mut gbuf = vec![0.0; d_e];
         let (ts, tb) = paired_min_times(
@@ -149,7 +150,7 @@ fn main() {
                 <LogisticRegressionSpec as ModelClassSpec<blinkml_data::DenseVec>>::value_grad_batched(
                     &espec,
                     &theta,
-                    &xm,
+                    &xmv,
                     &mut scratch,
                     &mut gbuf,
                 )

@@ -6,6 +6,7 @@
 //! timing helpers, fixed-width table printing, and JSON result capture
 //! for EXPERIMENTS.md.
 
+pub mod alloc;
 pub mod args;
 pub mod combos;
 pub mod report;

@@ -8,7 +8,7 @@
 //! returns the conservative Lemma-2 quantile so that
 //! `Pr[v(m_n) ≤ ε] ≥ 1 − δ`.
 
-use crate::diff_engine::{draw_pool, DiffEngine};
+use crate::diff_engine::{draw_pool, HoldoutScorer};
 use crate::mcs::ModelClassSpec;
 use crate::stats::ModelStatistics;
 use blinkml_data::parallel::par_ranges_with;
@@ -56,12 +56,29 @@ impl ModelAccuracyEstimator {
         delta: f64,
         seed: u64,
     ) -> f64 {
+        let scorer = HoldoutScorer::new(spec, holdout, theta_n);
+        self.estimate_scored(&scorer, stats, n, full_n, delta, seed)
+    }
+
+    /// [`ModelAccuracyEstimator::estimate`] against a pre-built
+    /// [`HoldoutScorer`], so the base score matrix is shared with the
+    /// sample-size search instead of being rebuilt (bit-identical
+    /// result).
+    pub fn estimate_scored<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+        &self,
+        scorer: &HoldoutScorer<'_, F, S>,
+        stats: &ModelStatistics,
+        n: usize,
+        full_n: usize,
+        delta: f64,
+        seed: u64,
+    ) -> f64 {
         let alpha = sampling_alpha(n, full_n);
         if alpha == 0.0 {
             return 0.0; // n = N: the approximate model IS the full model.
         }
         let pool = draw_pool(stats, self.num_samples, seed);
-        let engine = DiffEngine::new(spec, holdout, theta_n, &pool, &[]);
+        let engine = scorer.engine(&pool, &[]);
         let scale = alpha.sqrt();
         // Parallel over draws: each diff is independent, so the collected
         // vector is identical to the sequential loop for any thread count.

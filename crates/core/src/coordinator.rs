@@ -7,12 +7,13 @@
 //! two approximate models are ever trained.
 
 use crate::accuracy::ModelAccuracyEstimator;
-use crate::config::BlinkMlConfig;
+use crate::config::{BlinkMlConfig, SamplingMode};
+use crate::diff_engine::HoldoutScorer;
 use crate::error::CoreError;
 use crate::mcs::{ModelClassSpec, TrainedModel};
 use crate::sample_size::SampleSizeEstimator;
-use crate::stats::compute_statistics_cached;
-use blinkml_data::{Dataset, DatasetMatrix, FeatureVec};
+use crate::stats::{compute_statistics_cached, ModelStatistics};
+use blinkml_data::{CaptureScratch, Dataset, DatasetMatrix, FeatureVec};
 use blinkml_prob::split_seed;
 use std::time::{Duration, Instant};
 
@@ -110,6 +111,13 @@ impl Coordinator {
     }
 
     /// Train against an explicit training pool and holdout set.
+    ///
+    /// In the default [`SamplingMode::ZeroCopy`] mode, batched model
+    /// classes get their samples as index views gathered from **one**
+    /// pool-resident design matrix built here — drawing the initial and
+    /// final samples clones no example and rebuilds no matrix, and
+    /// outcomes are bit-identical to [`SamplingMode::Materialize`] by
+    /// the gathered-view exactness contract.
     pub fn train_with_holdout<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
         &self,
         spec: &S,
@@ -121,30 +129,220 @@ impl Coordinator {
         // Install the thread budget for every parallel kernel downstream.
         // Deterministic chunking means this never changes results.
         self.config.exec.apply();
-        if train.is_empty() {
-            return Err(CoreError::InvalidData("empty training pool".into()));
-        }
-        if holdout.is_empty() {
-            return Err(CoreError::InvalidData("empty holdout set".into()));
-        }
-        let full_n = train.len();
-        let n0 = self.config.initial_sample_size.min(full_n);
-        let mut phases = TrainingPhaseTimes::default();
+        let pool = build_pool(spec, train, &self.config);
+        let mut cap_scratch = CaptureScratch::new();
+        run_train(
+            &self.config,
+            spec,
+            train,
+            holdout,
+            pool.as_ref(),
+            &mut cap_scratch,
+            seed,
+            None,
+            false,
+        )
+        .map(|(outcome, _)| outcome)
+    }
+}
 
-        // Phase 1: initial model on D₀. The sample is materialized into
-        // a design-matrix view once; training and the statistics phase
-        // share it (the batched engine's cache).
-        let t = Instant::now();
-        let d0 = train.sample(n0, split_seed(seed, 0));
-        let xm0 = spec
-            .batched_training()
-            .then(|| DatasetMatrix::from_dataset(&d0));
-        let m0 = spec.train_with_matrix(&d0, xm0.as_ref(), None, &self.config.optim)?;
-        phases.initial_training = t.elapsed();
+/// The pool-resident design matrix for the zero-copy sampling mode:
+/// built once per run (or once per [`crate::session::Session`]) and
+/// gathered into index views for every sample. `None` when the spec has
+/// no batched engine or materialized sampling was requested.
+pub(crate) fn build_pool<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    train: &'a Dataset<F>,
+    config: &BlinkMlConfig,
+) -> Option<DatasetMatrix<'a>> {
+    (config.sampling == SamplingMode::ZeroCopy && spec.batched_training() && !train.is_empty())
+        .then(|| DatasetMatrix::from_dataset(train))
+}
 
-        if n0 == full_n {
-            // The "initial sample" is the whole dataset: exact model.
-            return Ok(TrainingOutcome {
+/// The ε-independent artifacts of the pilot phase — the initial model
+/// and its statistics — cached by [`crate::session::Session`] across
+/// repeated `train()` calls with different contracts.
+#[derive(Debug, Clone)]
+pub(crate) struct PilotState {
+    /// The initial model `m₀` trained on `n₀` examples.
+    pub(crate) model: TrainedModel,
+    /// Its statistics (`None` when `n₀ = N`: the run returns the exact
+    /// model before any statistics are computed).
+    pub(crate) stats: Option<ModelStatistics>,
+    /// The pilot sample size the artifacts were computed at.
+    pub(crate) n0: usize,
+}
+
+/// One sample fit: draw the deterministic sample for `(n, sample_seed)`,
+/// train on it (warm-started when given), and optionally compute its
+/// statistics — reusing one design-matrix view for both. With a pool
+/// matrix the sample is a gathered index view (zero example clones);
+/// without one it is materialized exactly as the historical path did.
+struct SampleFit {
+    model: TrainedModel,
+    stats: Option<ModelStatistics>,
+    train_time: Duration,
+    stats_time: Duration,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fit_sample<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    config: &BlinkMlConfig,
+    spec: &S,
+    train: &Dataset<F>,
+    pool: Option<&DatasetMatrix<'_>>,
+    cap_scratch: &mut CaptureScratch,
+    n: usize,
+    sample_seed: u64,
+    warm_start: Option<&[f64]>,
+    with_stats: bool,
+) -> Result<SampleFit, CoreError> {
+    let t = Instant::now();
+    match pool {
+        Some(pm) => {
+            // Zero-copy path: the sample is an index list. Training and
+            // statistics share one capture — a gathered view straight
+            // into the pool matrix while the sample is cache-resident,
+            // or a packed contiguous block above the pack threshold
+            // (one bulk copy instead of latency-bound random gathers on
+            // every optimizer probe; never per-example clones). Both
+            // forms are bit-identical.
+            let sample = train.sample_view(n, sample_seed);
+            let capture = pm.capture_sample_with(sample.indices(), cap_scratch);
+            let view = capture.view();
+            let model = spec.train_with_matrix(train, Some(&view), warm_start, &config.optim)?;
+            let train_time = t.elapsed();
+            let t = Instant::now();
+            let stats = with_stats
+                .then(|| {
+                    compute_statistics_cached(
+                        config.statistics_method,
+                        config.spectral,
+                        spec,
+                        model.parameters(),
+                        train,
+                        Some(&view),
+                    )
+                })
+                .transpose()?;
+            let stats_time = t.elapsed();
+            // Give a packed capture's buffers back so the next capture
+            // (the final sample, or the next session query) rewrites
+            // warm pages instead of faulting in fresh ones.
+            capture.recycle(cap_scratch);
+            Ok(SampleFit {
+                model,
+                stats,
+                train_time,
+                stats_time,
+            })
+        }
+        None => {
+            // Materialized path (scalar-path specs, or
+            // `SamplingMode::Materialize`): clone the sample, build its
+            // matrix once, share it between training and statistics.
+            let sample = train.sample(n, sample_seed);
+            let xm = spec
+                .batched_training()
+                .then(|| DatasetMatrix::from_dataset(&sample));
+            let xmv = xm.as_ref().map(|m| m.view());
+            let model = spec.train_with_matrix(&sample, xmv.as_ref(), warm_start, &config.optim)?;
+            let train_time = t.elapsed();
+            let t = Instant::now();
+            let stats = with_stats
+                .then(|| {
+                    compute_statistics_cached(
+                        config.statistics_method,
+                        config.spectral,
+                        spec,
+                        model.parameters(),
+                        &sample,
+                        xmv.as_ref(),
+                    )
+                })
+                .transpose()?;
+            Ok(SampleFit {
+                model,
+                stats,
+                train_time,
+                stats_time: t.elapsed(),
+            })
+        }
+    }
+}
+
+/// The coordinator workflow (paper §2.3), shared by
+/// [`Coordinator::train_with_holdout`] and
+/// [`crate::session::Session::train`]: pilot (train `m₀`, statistics),
+/// accuracy estimate, sample-size search, final training — with the
+/// holdout `DiffEngine` base scores built **once** and shared between
+/// the ε₀ estimate and the search, and samples served from the pool
+/// matrix when one is given.
+///
+/// `pilot` short-circuits the pilot phase with cached artifacts (the
+/// Session amortization); `want_pilot` asks for the artifacts back so
+/// the caller can cache them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    config: &BlinkMlConfig,
+    spec: &S,
+    train: &Dataset<F>,
+    holdout: &Dataset<F>,
+    pool: Option<&DatasetMatrix<'_>>,
+    cap_scratch: &mut CaptureScratch,
+    seed: u64,
+    pilot: Option<&PilotState>,
+    want_pilot: bool,
+) -> Result<(TrainingOutcome, Option<PilotState>), CoreError> {
+    if train.is_empty() {
+        return Err(CoreError::InvalidData("empty training pool".into()));
+    }
+    if holdout.is_empty() {
+        return Err(CoreError::InvalidData("empty holdout set".into()));
+    }
+    let full_n = train.len();
+    let n0 = config.initial_sample_size.min(full_n);
+    let mut phases = TrainingPhaseTimes::default();
+
+    // Phases 1 + 2: the pilot — initial model on D₀ plus its statistics
+    // (skipped when n₀ = N), one shared sample view for both. A cached
+    // pilot (Session) skips the work entirely; the artifacts are
+    // ε-independent, so reuse is exact.
+    let (m0, stats0) = match pilot {
+        Some(p) => {
+            debug_assert_eq!(p.n0, n0, "cached pilot has a different n0");
+            (p.model.clone(), p.stats.clone())
+        }
+        None => {
+            let fit = fit_sample(
+                config,
+                spec,
+                train,
+                pool,
+                cap_scratch,
+                n0,
+                split_seed(seed, 0),
+                None,
+                n0 < full_n,
+            )?;
+            phases.initial_training = fit.train_time;
+            phases.statistics = fit.stats_time;
+            (fit.model, fit.stats)
+        }
+    };
+    let pilot_state = |model: &TrainedModel, stats: &Option<ModelStatistics>| {
+        want_pilot.then(|| PilotState {
+            model: model.clone(),
+            stats: stats.clone(),
+            n0,
+        })
+    };
+
+    if n0 == full_n {
+        // The "initial sample" is the whole dataset: exact model.
+        let cached = pilot_state(&m0, &stats0);
+        return Ok((
+            TrainingOutcome {
                 sample_size: n0,
                 full_data_size: full_n,
                 initial_epsilon: 0.0,
@@ -153,38 +351,30 @@ impl Coordinator {
                 phases,
                 search_probes: 0,
                 model: m0,
-            });
-        }
+            },
+            cached,
+        ));
+    }
+    let stats = stats0.as_ref().expect("statistics computed when n0 < N");
 
-        // Phase 2: statistics of m₀ (through the configured spectral
-        // engine — dense exact or truncated randomized).
-        let t = Instant::now();
-        let stats = compute_statistics_cached(
-            self.config.statistics_method,
-            self.config.spectral,
-            spec,
-            m0.parameters(),
-            &d0,
-            xm0.as_ref(),
-        )?;
-        phases.statistics = t.elapsed();
-
-        // Phase 3a: accuracy of m₀.
-        let t = Instant::now();
-        let accuracy = ModelAccuracyEstimator::new(self.config.num_param_samples);
-        let eps0 = accuracy.estimate(
-            spec,
-            m0.parameters(),
-            &stats,
-            n0,
-            full_n,
-            holdout,
-            self.config.delta,
-            split_seed(seed, 1),
-        );
-        if eps0 <= self.config.epsilon {
-            phases.sample_size_search = t.elapsed();
-            return Ok(TrainingOutcome {
+    // Phase 3a: accuracy of m₀. The holdout scorer (θ₀ score matrix) is
+    // built once and shared with the sample-size search below.
+    let t = Instant::now();
+    let scorer = HoldoutScorer::new(spec, holdout, m0.parameters());
+    let accuracy = ModelAccuracyEstimator::new(config.num_param_samples);
+    let eps0 = accuracy.estimate_scored(
+        &scorer,
+        stats,
+        n0,
+        full_n,
+        config.delta,
+        split_seed(seed, 1),
+    );
+    if eps0 <= config.epsilon {
+        phases.sample_size_search = t.elapsed();
+        let cached = pilot_state(&m0, &stats0);
+        return Ok((
+            TrainingOutcome {
                 sample_size: n0,
                 full_data_size: full_n,
                 initial_epsilon: eps0,
@@ -193,65 +383,65 @@ impl Coordinator {
                 phases,
                 search_probes: 0,
                 model: m0,
-            });
-        }
+            },
+            cached,
+        ));
+    }
 
-        // Phase 3b: minimum sample size (no extra training).
-        let sse = SampleSizeEstimator::new(self.config.num_param_samples);
-        let est = sse.estimate(
-            spec,
-            m0.parameters(),
-            &stats,
-            n0,
-            full_n,
-            holdout,
-            self.config.epsilon,
-            self.config.delta,
-            split_seed(seed, 2),
-        );
-        phases.sample_size_search = t.elapsed();
+    // Phase 3b: minimum sample size (no extra training), sharing the
+    // scorer's base scores.
+    let sse = SampleSizeEstimator::new(config.num_param_samples);
+    let est = sse.estimate_scored(
+        &scorer,
+        stats,
+        n0,
+        full_n,
+        config.epsilon,
+        config.delta,
+        split_seed(seed, 2),
+    );
+    phases.sample_size_search = t.elapsed();
 
-        // Phase 4: final model, warm-started from θ₀; the final sample's
-        // matrix is likewise built once and reused by the optional
-        // closing statistics pass.
+    // Phase 4: final model, warm-started from θ₀, gathered from the
+    // same pool matrix; the optional closing statistics pass reuses the
+    // final sample's view.
+    let want_final_stats = config.estimate_final_accuracy && est.n < full_n;
+    let fit = fit_sample(
+        config,
+        spec,
+        train,
+        pool,
+        cap_scratch,
+        est.n,
+        split_seed(seed, 3),
+        Some(m0.parameters()),
+        want_final_stats,
+    )?;
+    phases.final_training = fit.train_time;
+
+    let estimated_epsilon = if want_final_stats {
         let t = Instant::now();
-        let dn = train.sample(est.n, split_seed(seed, 3));
-        let xmn = spec
-            .batched_training()
-            .then(|| DatasetMatrix::from_dataset(&dn));
-        let mn =
-            spec.train_with_matrix(&dn, xmn.as_ref(), Some(m0.parameters()), &self.config.optim)?;
-        phases.final_training = t.elapsed();
+        let stats_n = fit.stats.as_ref().expect("final statistics requested");
+        let scorer_n = HoldoutScorer::new(spec, holdout, fit.model.parameters());
+        let eps = accuracy.estimate_scored(
+            &scorer_n,
+            stats_n,
+            est.n,
+            full_n,
+            config.delta,
+            split_seed(seed, 4),
+        );
+        phases.statistics += fit.stats_time + t.elapsed();
+        eps
+    } else if est.n >= full_n {
+        0.0
+    } else {
+        config.epsilon
+    };
 
-        let estimated_epsilon = if self.config.estimate_final_accuracy && est.n < full_n {
-            let t = Instant::now();
-            let stats_n = compute_statistics_cached(
-                self.config.statistics_method,
-                self.config.spectral,
-                spec,
-                mn.parameters(),
-                &dn,
-                xmn.as_ref(),
-            )?;
-            let eps = accuracy.estimate(
-                spec,
-                mn.parameters(),
-                &stats_n,
-                est.n,
-                full_n,
-                holdout,
-                self.config.delta,
-                split_seed(seed, 4),
-            );
-            phases.statistics += t.elapsed();
-            eps
-        } else if est.n >= full_n {
-            0.0
-        } else {
-            self.config.epsilon
-        };
-
-        Ok(TrainingOutcome {
+    let cached = pilot_state(&m0, &stats0);
+    Ok((
+        TrainingOutcome {
             sample_size: est.n,
             full_data_size: full_n,
             initial_epsilon: eps0,
@@ -259,9 +449,10 @@ impl Coordinator {
             used_initial_model: false,
             phases,
             search_probes: est.probes,
-            model: mn,
-        })
-    }
+            model: fit.model,
+        },
+        cached,
+    ))
 }
 
 #[cfg(test)]
@@ -282,6 +473,7 @@ mod tests {
             num_param_samples: 64,
             statistics_method: StatisticsMethod::ObservedFisher,
             spectral: Default::default(),
+            sampling: Default::default(),
             optim: OptimOptions::default(),
             estimate_final_accuracy: false,
             exec: Default::default(),

@@ -10,13 +10,18 @@
 //! (§4.3): the same unscaled pool serves every `n`.
 //!
 //! Construction itself is batched: when the spec exposes
-//! [`ModelClassSpec::margin_weights`], all score matrices are built with
-//! **one fused GEMM** — the holdout design matrix times the stacked
-//! weight blocks `[W(θ_base) | W(u₁) | … | W(w_k)]` — streamed in
-//! parallel chunks of holdout rows instead of `(1 + 2k)` separate
+//! [`ModelClassSpec::margin_weights`], score matrices are built with
+//! fused GEMMs — the holdout design matrix times stacked weight blocks —
+//! streamed in parallel chunks of holdout rows instead of separate
 //! per-example scoring passes. Specs with margins but no weight matrix
 //! keep the per-example path; models without margins (PPCA) fall back to
 //! materializing parameter vectors and calling the spec's own `diff`.
+//!
+//! The **base** score matrix (of `θ_base`) depends on neither the draw
+//! pools nor the contract, so a [`HoldoutScorer`] computes it **once
+//! per coordinator run** and shares it (reference-counted) between the
+//! accuracy estimator's engine and the sample-size estimator's engine —
+//! previously the same spec/θ₀/holdout scores were constructed twice.
 
 use crate::mcs::ModelClassSpec;
 use crate::stats::ModelStatistics;
@@ -24,6 +29,7 @@ use blinkml_data::parallel::par_ranges;
 use blinkml_data::{Dataset, FeatureVec};
 use blinkml_linalg::Matrix;
 use blinkml_prob::{rng_from_seed, MvnSampler};
+use std::sync::Arc;
 
 /// Precomputed state for repeated difference evaluations over pooled
 /// parameter draws.
@@ -35,11 +41,12 @@ pub struct DiffEngine<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> {
 
 enum Mode<'a> {
     /// Margin fast path: flattened `holdout_len × outputs` score
-    /// matrices.
+    /// matrices. The base scores are shared with (and by) the
+    /// [`HoldoutScorer`] that built them.
     Margins {
         outputs: usize,
         rms: bool,
-        base: Vec<f64>,
+        base: Arc<Vec<f64>>,
         pool_u: Vec<Vec<f64>>,
         pool_w: Vec<Vec<f64>>,
     },
@@ -49,6 +56,165 @@ enum Mode<'a> {
         pool_u: &'a [Vec<f64>],
         pool_w: &'a [Vec<f64>],
     },
+}
+
+/// The holdout scores of one base parameter vector, computed once and
+/// shared by every [`DiffEngine`] derived from the scorer.
+struct BaseScores {
+    outputs: usize,
+    rms: bool,
+    /// Whether the spec exposes `margin_weights` (GEMM scoring); pools
+    /// must be scored the same way as the base so diffs compare
+    /// identically-derived score matrices.
+    use_weights: bool,
+    scores: Arc<Vec<f64>>,
+}
+
+/// Per-run holdout scoring state: spec + holdout + base parameters with
+/// the base score matrix built **once**. Both estimators derive their
+/// [`DiffEngine`]s from one scorer ([`HoldoutScorer::engine`]), so the
+/// ε₀ estimate and the sample-size search share the θ₀ scores instead
+/// of each rebuilding them.
+pub struct HoldoutScorer<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> {
+    spec: &'a S,
+    holdout: &'a Dataset<F>,
+    theta_base: &'a [f64],
+    base: Option<BaseScores>,
+}
+
+impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> HoldoutScorer<'a, F, S> {
+    /// Score `theta_base` over the holdout set (one fused GEMM for
+    /// margin-weight specs, one per-example pass for margin-only specs,
+    /// nothing for generic specs).
+    pub fn new(spec: &'a S, holdout: &'a Dataset<F>, theta_base: &'a [f64]) -> Self {
+        let base = spec.num_margin_outputs(holdout.dim()).map(|outputs| {
+            let rms = spec.diff_is_rms();
+            match spec.margin_weights(theta_base, holdout.dim()) {
+                Some(wb) => BaseScores {
+                    outputs,
+                    rms,
+                    use_weights: true,
+                    scores: Arc::new(
+                        batched_scores(holdout, &wb, outputs)
+                            .pop()
+                            .expect("one stacked block"),
+                    ),
+                },
+                None => BaseScores {
+                    outputs,
+                    rms,
+                    use_weights: false,
+                    scores: Arc::new(score_per_example(spec, holdout, theta_base, outputs)),
+                },
+            }
+        });
+        HoldoutScorer {
+            spec,
+            holdout,
+            theta_base,
+            base,
+        }
+    }
+
+    /// Number of linear-score outputs (None for generic specs).
+    pub fn outputs(&self) -> Option<usize> {
+        self.base.as_ref().map(|b| b.outputs)
+    }
+
+    /// Derive an engine for the given perturbation pools, reusing the
+    /// base scores. Pools are scored exactly as [`DiffEngine::new`]
+    /// scores them (same GEMM kernels, same chunking), so engines built
+    /// here are bit-identical to standalone engines.
+    pub fn engine<'b>(&self, pool_u: &'b [Vec<f64>], pool_w: &'b [Vec<f64>]) -> DiffEngine<'b, F, S>
+    where
+        'a: 'b,
+    {
+        let mode = match &self.base {
+            Some(b) => {
+                let dim = self.holdout.dim();
+                let stacked: Vec<&[f64]> = pool_u
+                    .iter()
+                    .chain(pool_w.iter())
+                    .map(Vec::as_slice)
+                    .collect();
+                let weights: Option<Vec<Matrix>> = if b.use_weights {
+                    stacked
+                        .iter()
+                        .map(|t| self.spec.margin_weights(t, dim))
+                        .collect()
+                } else {
+                    None
+                };
+                // `margin_weights` is θ-independent for every built-in
+                // spec, so the base's Some/None decision carries over to
+                // the pools. Should a custom spec ever return mixed
+                // answers, degrade uniformly: score the pools AND the
+                // base per-example (exactly what the pre-scorer engine
+                // did for a mixed stack), never compare GEMM-scored
+                // bases against per-example-scored pools.
+                let per_example_all = b.use_weights && !stacked.is_empty() && weights.is_none();
+                debug_assert!(
+                    !per_example_all,
+                    "margin_weights must be uniform across parameter vectors"
+                );
+                let mut scores = match weights {
+                    Some(blocks) if !blocks.is_empty() => {
+                        batched_scores(self.holdout, &Matrix::hstack(&blocks), b.outputs)
+                            .into_iter()
+                    }
+                    _ => stacked
+                        .iter()
+                        .map(|t| score_per_example(self.spec, self.holdout, t, b.outputs))
+                        .collect::<Vec<_>>()
+                        .into_iter(),
+                };
+                let pool_u_scores: Vec<Vec<f64>> = scores.by_ref().take(pool_u.len()).collect();
+                let pool_w_scores: Vec<Vec<f64>> = scores.collect();
+                let base = if per_example_all {
+                    Arc::new(score_per_example(
+                        self.spec,
+                        self.holdout,
+                        self.theta_base,
+                        b.outputs,
+                    ))
+                } else {
+                    Arc::clone(&b.scores)
+                };
+                Mode::Margins {
+                    outputs: b.outputs,
+                    rms: b.rms,
+                    base,
+                    pool_u: pool_u_scores,
+                    pool_w: pool_w_scores,
+                }
+            }
+            None => Mode::Generic {
+                base: self.theta_base,
+                pool_u,
+                pool_w,
+            },
+        };
+        DiffEngine {
+            spec: self.spec,
+            holdout: self.holdout,
+            mode,
+        }
+    }
+}
+
+/// Per-example margin scoring of one parameter vector (the fallback for
+/// margin specs without a weight matrix).
+fn score_per_example<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    spec: &S,
+    holdout: &Dataset<F>,
+    theta: &[f64],
+    outputs: usize,
+) -> Vec<f64> {
+    let mut m = vec![0.0; holdout.len() * outputs];
+    for (i, e) in holdout.iter().enumerate() {
+        spec.margins(theta, &e.x, &mut m[i * outputs..(i + 1) * outputs]);
+    }
+    m
 }
 
 /// One fused GEMM over the holdout set: compute `S = X · W_all` (`X` the
@@ -122,6 +288,10 @@ impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> DiffEngine<'a, F, S> {
     /// Build an engine for `theta_base` and the given perturbation
     /// pools. `pool_w` may be empty when only one-stage differences are
     /// needed (accuracy estimation).
+    ///
+    /// Equivalent to `HoldoutScorer::new(..).engine(pool_u, pool_w)`;
+    /// use a [`HoldoutScorer`] directly when several engines share one
+    /// base parameter vector, so its scores are computed once.
     pub fn new(
         spec: &'a S,
         holdout: &'a Dataset<F>,
@@ -129,61 +299,7 @@ impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> DiffEngine<'a, F, S> {
         pool_u: &'a [Vec<f64>],
         pool_w: &'a [Vec<f64>],
     ) -> Self {
-        let mode = match spec.num_margin_outputs(holdout.dim()) {
-            Some(outputs) => {
-                let stacked: Vec<&[f64]> = std::iter::once(theta_base)
-                    .chain(pool_u.iter().map(Vec::as_slice))
-                    .chain(pool_w.iter().map(Vec::as_slice))
-                    .collect();
-                let weights: Option<Vec<Matrix>> = stacked
-                    .iter()
-                    .map(|t| spec.margin_weights(t, holdout.dim()))
-                    .collect();
-                let mut scores = match weights {
-                    // Batched fast path: one fused GEMM for every score
-                    // matrix at once.
-                    Some(blocks) => {
-                        batched_scores(holdout, &Matrix::hstack(&blocks), outputs).into_iter()
-                    }
-                    // Margin specs without a weight matrix: per-example
-                    // scoring, one pass per stacked parameter vector.
-                    None => {
-                        let score = |theta: &[f64]| -> Vec<f64> {
-                            let mut m = vec![0.0; holdout.len() * outputs];
-                            for (i, e) in holdout.iter().enumerate() {
-                                spec.margins(theta, &e.x, &mut m[i * outputs..(i + 1) * outputs]);
-                            }
-                            m
-                        };
-                        stacked
-                            .iter()
-                            .map(|t| score(t))
-                            .collect::<Vec<_>>()
-                            .into_iter()
-                    }
-                };
-                let base = scores.next().expect("stacked always contains θ_base");
-                let pool_u_scores: Vec<Vec<f64>> = scores.by_ref().take(pool_u.len()).collect();
-                let pool_w_scores: Vec<Vec<f64>> = scores.collect();
-                Mode::Margins {
-                    outputs,
-                    rms: spec.diff_is_rms(),
-                    base,
-                    pool_u: pool_u_scores,
-                    pool_w: pool_w_scores,
-                }
-            }
-            None => Mode::Generic {
-                base: theta_base,
-                pool_u,
-                pool_w,
-            },
-        };
-        DiffEngine {
-            spec,
-            holdout,
-            mode,
-        }
+        HoldoutScorer::new(spec, holdout, theta_base).engine(pool_u, pool_w)
     }
 
     /// Number of pooled draws available.
@@ -394,6 +510,59 @@ mod tests {
         let v1 = engine.diff_one_stage(0, 0.1);
         let v2 = engine.diff_one_stage(0, 1.0);
         assert!(v2 > v1, "{v2} vs {v1}");
+    }
+
+    #[test]
+    fn scorer_engines_match_standalone_engines_bitwise() {
+        // One scorer serving two engines (the accuracy pool and the
+        // sample-size pools) must produce exactly the diffs of two
+        // independently built engines — the shared-base refactor cannot
+        // move a bit.
+        let (holdout, _) = synthetic_logistic(300, 4, 2.0, 9);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let base = vec![0.6, -0.3, 0.2, 0.1];
+        let pool_a: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 * 0.23).sin()).collect())
+            .collect();
+        let pool_b: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 * 0.41).cos()).collect())
+            .collect();
+        let scorer = HoldoutScorer::new(&spec, &holdout, &base);
+        let shared_one = scorer.engine(&pool_a, &[]);
+        let shared_two = scorer.engine(&pool_a, &pool_b);
+        let standalone_one = DiffEngine::new(&spec, &holdout, &base, &pool_a, &[]);
+        let standalone_two = DiffEngine::new(&spec, &holdout, &base, &pool_a, &pool_b);
+        for i in 0..3 {
+            for scale in [0.0, 0.3, 1.0] {
+                assert_eq!(
+                    shared_one.diff_one_stage(i, scale),
+                    standalone_one.diff_one_stage(i, scale),
+                    "one-stage i={i} scale={scale}"
+                );
+                assert_eq!(
+                    shared_two.diff_two_stage(i, scale, 0.5),
+                    standalone_two.diff_two_stage(i, scale, 0.5),
+                    "two-stage i={i} scale={scale}"
+                );
+            }
+        }
+
+        // Generic mode (PPCA): the scorer precomputes nothing but the
+        // sharing must still be transparent.
+        let g_holdout = low_rank_gaussian(40, 4, 2, 0.2, 5);
+        let g_spec = PpcaSpec::new(2);
+        let g_base: Vec<f64> = (0..9).map(|i| 0.2 + 0.1 * i as f64).collect();
+        let g_pool = vec![vec![0.05; 9], vec![-0.02; 9]];
+        let g_scorer = HoldoutScorer::new(&g_spec, &g_holdout, &g_base);
+        assert!(g_scorer.outputs().is_none());
+        let g_shared = g_scorer.engine(&g_pool, &g_pool);
+        let g_standalone = DiffEngine::new(&g_spec, &g_holdout, &g_base, &g_pool, &g_pool);
+        for i in 0..2 {
+            assert_eq!(
+                g_shared.diff_one_stage(i, 0.7),
+                g_standalone.diff_one_stage(i, 0.7)
+            );
+        }
     }
 
     #[test]

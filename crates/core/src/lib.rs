@@ -20,6 +20,9 @@
 //! * [`accuracy`] — the Model Accuracy Estimator (paper §3),
 //! * [`sample_size`] — the Sample Size Estimator (paper §4),
 //! * [`coordinator`] — the end-to-end workflow (paper §2.3),
+//! * [`session`] — the amortized multi-query Session API (pool-resident
+//!   design matrix + cached pilot statistics across repeated `train()`
+//!   calls — the serving scenario),
 //! * [`baselines`] — FixedRatio / RelativeRatio / IncEstimator from the
 //!   paper's §5.4 evaluation.
 
@@ -33,16 +36,18 @@ pub mod grads;
 pub mod mcs;
 pub mod models;
 pub mod sample_size;
+pub mod session;
 pub mod stats;
 #[doc(hidden)]
 pub mod testing;
 
 pub use accuracy::ModelAccuracyEstimator;
-pub use config::{BlinkMlConfig, ExecConfig, SpectralMethod, StatisticsMethod};
+pub use config::{BlinkMlConfig, ExecConfig, SamplingMode, SpectralMethod, StatisticsMethod};
 pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
 pub use mcs::{ModelClassSpec, TrainedModel};
 pub use sample_size::{SampleSizeEstimate, SampleSizeEstimator};
+pub use session::Session;
 pub use stats::{
     compute_statistics, compute_statistics_cached, compute_statistics_spectral, ModelStatistics,
 };

@@ -10,7 +10,7 @@
 
 use crate::error::CoreError;
 use crate::grads::Grads;
-use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, MatrixView, TrainScratch};
 use blinkml_linalg::Matrix;
 use blinkml_optim::{minimize, Objective, OptimOptions};
 use serde::{Deserialize, Serialize};
@@ -90,26 +90,30 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
     fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>);
 
     /// Whether this model class implements [`Self::value_grad_batched`].
-    /// When true, the default [`Self::train`] materializes the sample
-    /// into a [`DatasetMatrix`] once and routes every optimizer probe
-    /// through the batched kernels.
+    /// When true, the default [`Self::train`] captures the sample as a
+    /// [`MatrixView`] once and routes every optimizer probe through the
+    /// batched kernels, and the coordinator serves samples as zero-copy
+    /// gathered views over one pool-resident [`DatasetMatrix`].
     fn batched_training(&self) -> bool {
         false
     }
 
     /// Batched objective evaluation: `f_n(θ)` returned, `∇f_n(θ)`
-    /// written into `grad`, against a cached design-matrix view. The
+    /// written into `grad`, against a design-matrix view — the full
+    /// matrix of a materialized sample, or a gathered index view over
+    /// the pool matrix (the zero-copy sample representation). The
     /// contract is exactness: the value and gradient must equal
-    /// [`Self::objective`] on the dataset `xm` was built from — for the
-    /// built-in model classes they are bit-identical at any thread
-    /// budget. `scratch` persists across calls so line-search probes
-    /// allocate nothing in steady state.
+    /// [`Self::objective`] on the (conceptually materialized) sample the
+    /// view selects — for the built-in model classes they are
+    /// bit-identical at any thread budget and for both view kinds.
+    /// `scratch` persists across calls so line-search probes allocate
+    /// nothing in steady state.
     ///
     /// Only called when [`Self::batched_training`] returns true.
     fn value_grad_batched(
         &self,
         _theta: &[f64],
-        _xm: &DatasetMatrix,
+        _xm: &MatrixView,
         _scratch: &mut TrainScratch,
         _grad: &mut [f64],
     ) -> f64 {
@@ -121,10 +125,17 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
     fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads;
 
     /// [`Self::grads`] with an optionally cached design-matrix view of
-    /// `data` (the coordinator reuses the matrix built for training when
-    /// computing the same sample's statistics). The default ignores the
-    /// cache; batched model classes override it.
-    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, _xm: Option<&DatasetMatrix>) -> Grads {
+    /// the sample (the coordinator reuses the view served for training
+    /// when computing the same sample's statistics). When the view is a
+    /// *gathered* pool view, `data` is the **pool** the indices point
+    /// into, not the sample. The default ignores the cache — and, for a
+    /// gathered view, falls back to materializing the indexed subset so
+    /// model classes that never override this stay correct; batched
+    /// model classes override it with an allocation-light batched pass.
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&MatrixView>) -> Grads {
+        if let Some(idx) = xm.and_then(|v| v.sample_of()) {
+            return self.grads(theta, &data.subset(idx));
+        }
         self.grads(theta, data)
     }
 
@@ -135,13 +146,17 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
     }
 
     /// [`Self::closed_form_hessian`] with an optionally cached
-    /// design-matrix view (same reuse pattern as [`Self::grads_cached`]).
+    /// design-matrix view (same reuse pattern — and the same
+    /// gathered-view fallback — as [`Self::grads_cached`]).
     fn closed_form_hessian_cached(
         &self,
         theta: &[f64],
         data: &Dataset<F>,
-        _xm: Option<&DatasetMatrix>,
+        xm: Option<&MatrixView>,
     ) -> Option<Matrix> {
+        if let Some(idx) = xm.and_then(|v| v.sample_of()) {
+            return self.closed_form_hessian(theta, &data.subset(idx));
+        }
         self.closed_form_hessian(theta, data)
     }
 
@@ -215,28 +230,35 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
     }
 
     /// [`Self::train`] against an optionally pre-built design-matrix
-    /// view of `data` — the coordinator builds the matrix once per
-    /// sample and reuses it for both training and the subsequent
-    /// statistics phase. Passing `None` builds (or skips) the matrix
-    /// internally.
+    /// view of the sample — either a full view of a materialized
+    /// sample, or a **gathered** view into a pool-resident matrix (the
+    /// coordinator's zero-copy path, where `data` is the pool the view's
+    /// indices select from). The view is reused for both training and
+    /// the subsequent statistics phase. Passing `None` captures (or
+    /// skips) the matrix internally.
     ///
     /// # Panics
-    /// Panics (in debug builds) when `xm` does not match `data`'s shape.
+    /// Panics (in debug builds) when `xm` does not match `data`'s
+    /// feature dimension.
     fn train_with_matrix(
         &self,
         data: &Dataset<F>,
-        xm: Option<&DatasetMatrix>,
+        xm: Option<&MatrixView>,
         warm_start: Option<&[f64]>,
         options: &OptimOptions,
     ) -> Result<TrainedModel, CoreError> {
-        if data.is_empty() {
+        let sample_len = xm.map_or(data.len(), |v| v.len());
+        if sample_len == 0 {
             return Err(CoreError::InvalidData(
                 "cannot train on an empty dataset".into(),
             ));
         }
-        if let Some(m) = xm {
-            debug_assert_eq!(m.len(), data.len(), "cached matrix row mismatch");
-            debug_assert_eq!(m.dim(), data.dim(), "cached matrix dim mismatch");
+        // The view's row count is authoritative: it may select a sample
+        // out of `data` (gathered pool view, or a packed capture passed
+        // with the pool as `data`); only the feature dimension must
+        // agree.
+        if let Some(v) = xm {
+            debug_assert_eq!(v.dim(), data.dim(), "cached matrix dim mismatch");
         }
         let dim = self.param_dim(data.dim());
         let theta0: Vec<f64> = match warm_start {
@@ -253,19 +275,30 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
         };
         let result = if self.batched_training() {
             let owned;
-            let matrix = match xm {
-                Some(m) => m,
+            let view = match xm {
+                Some(v) => *v,
                 None => {
                     owned = DatasetMatrix::from_dataset(data);
-                    &owned
+                    owned.view()
                 }
             };
             let adapter = BatchedSpecObjective {
                 spec: self,
                 dim,
-                xm: matrix,
+                xm: view,
                 scratch: RefCell::new(TrainScratch::new()),
                 _marker: std::marker::PhantomData,
+            };
+            minimize(&adapter, &theta0, options)?
+        } else if let Some(idx) = xm.and_then(|v| v.sample_of()) {
+            // Scalar-path model handed a gathered pool view: materialize
+            // the indexed sample so the per-example objective sees the
+            // sample, not the pool (correctness fallback; the
+            // coordinator only serves gathered views to batched specs).
+            let sample = data.subset(idx);
+            let adapter = SpecObjective {
+                spec: self,
+                data: &sample,
             };
             minimize(&adapter, &theta0, options)?
         } else {
@@ -274,7 +307,7 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
         };
         Ok(TrainedModel {
             theta: result.theta,
-            sample_size: data.len(),
+            sample_size: sample_len,
             iterations: result.iterations,
             converged: result.converged,
             objective_value: result.value,
@@ -299,13 +332,13 @@ impl<F: FeatureVec, S: ModelClassSpec<F> + ?Sized> Objective for SpecObjective<'
 }
 
 /// Adapter exposing the batched MCS objective to the optimizer: the
-/// design-matrix view is borrowed for the whole solve and the scratch
+/// design-matrix view is held for the whole solve and the scratch
 /// buffers persist across probes, so `value_grad_into` allocates
 /// nothing.
 struct BatchedSpecObjective<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> {
     spec: &'a S,
     dim: usize,
-    xm: &'a DatasetMatrix<'a>,
+    xm: MatrixView<'a>,
     scratch: RefCell<TrainScratch>,
     _marker: std::marker::PhantomData<fn() -> F>,
 }
@@ -323,7 +356,7 @@ impl<F: FeatureVec, S: ModelClassSpec<F> + ?Sized> Objective for BatchedSpecObje
 
     fn value_grad_into(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
         self.spec
-            .value_grad_batched(theta, self.xm, &mut self.scratch.borrow_mut(), grad)
+            .value_grad_batched(theta, &self.xm, &mut self.scratch.borrow_mut(), grad)
     }
 }
 

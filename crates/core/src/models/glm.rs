@@ -19,7 +19,8 @@
 //! # Batched path
 //!
 //! [`ModelClassSpec::value_grad_batched`] evaluates the same objective
-//! against a cached [`DatasetMatrix`]: one fused margin pass
+//! against a cached design-matrix view (full or pool-gathered
+//! [`MatrixView`]): one fused margin pass
 //! (`m = X·θ_w + θ_b`), one vectorized [`GlmFamily::loss_dloss`] sweep
 //! over the margin block, and one chunk-reduced `Xᵀw` gradient pass.
 //! Every reduction keeps the scalar path's chunk boundaries and
@@ -30,7 +31,7 @@
 use crate::grads::Grads;
 use crate::mcs::{classification_diff, regression_diff, ModelClassSpec};
 use blinkml_data::parallel::{par_ranges, par_sum_vecs};
-use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, SparseVec, TrainScratch};
+use blinkml_data::{Dataset, FeatureVec, MatrixView, SparseVec, TrainScratch};
 use blinkml_linalg::Matrix;
 use std::marker::PhantomData;
 
@@ -181,7 +182,7 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
     fn value_grad_batched(
         &self,
         theta: &[f64],
-        xm: &DatasetMatrix,
+        xm: &MatrixView,
         scratch: &mut TrainScratch,
         grad: &mut [f64],
     ) -> f64 {
@@ -199,13 +200,12 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
         // family's transcendentals) → chunk gradient partial, with each
         // chunk's rows reused while cache-hot. Partial sums merge in the
         // scalar path's par_sum_vecs order, so value and gradient are
-        // bit-identical to `objective`.
-        let labels = xm.labels();
+        // bit-identical to `objective` on the sample the view selects.
         let mut dloss_sum = 0.0;
         let loss = xm.value_grad_fold(w, b, &mut grad[..d], scratch, |start, margins| {
             let (mut lpart, mut cpart) = (0.0, 0.0);
             for (local, m) in margins.iter_mut().enumerate() {
-                let (l, c) = Fam::loss_dloss(*m, labels[start + local]);
+                let (l, c) = Fam::loss_dloss(*m, xm.label(start + local));
                 lpart += l;
                 cpart += c;
                 *m = c;
@@ -268,11 +268,11 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
         }
     }
 
-    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&MatrixView>) -> Grads {
         let Some(xm) = xm else {
             return self.grads(theta, data);
         };
-        debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+        debug_assert_eq!(xm.dim(), data.dim(), "cached matrix dim mismatch");
         let d = xm.dim();
         let dim = theta.len();
         let rows_n = xm.len();
@@ -285,7 +285,6 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
         // per-row fill then reads the contiguous block.
         let mut margins = vec![0.0; rows_n];
         xm.margins_into(w, b, &mut margins);
-        let labels = xm.labels();
         let mut shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
         if self.intercept {
             shift[d] = 0.0;
@@ -294,7 +293,7 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
             let rows: Vec<_> = par_ranges(rows_n, |range| {
                 range
                     .map(|i| {
-                        let c = Fam::dloss(margins[i], labels[i]);
+                        let c = Fam::dloss(margins[i], xm.label(i));
                         let (idx, val) = xm.sparse_row(i).expect("sparse block");
                         let mut indices: Vec<u32> = idx.to_vec();
                         let mut values: Vec<f64> = val.iter().map(|v| c * v).collect();
@@ -312,8 +311,8 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
             Grads::Sparse { rows, shift }
         } else {
             let mut m = Matrix::zeros(rows_n, dim);
-            for i in 0..rows_n {
-                let c = Fam::dloss(margins[i], labels[i]);
+            for (i, &margin) in margins.iter().enumerate() {
+                let c = Fam::dloss(margin, xm.label(i));
                 let row = m.row_mut(i);
                 row.copy_from_slice(&shift);
                 let xrow = xm.dense_row(i).expect("dense block");
@@ -336,17 +335,18 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
         &self,
         theta: &[f64],
         data: &Dataset<F>,
-        xm: Option<&DatasetMatrix>,
+        xm: Option<&MatrixView>,
     ) -> Option<Matrix> {
         let d = data.dim();
         let dim = theta.len();
-        let n = data.len().max(1) as f64;
+        let rows_n = xm.map_or(data.len(), |v| v.len());
+        let n = rows_n.max(1) as f64;
         // Curvature weights w_i = ℓ''(m_i, y_i)/n; any example without a
         // closed form disables the method.
-        let mut weights = vec![0.0; data.len()];
+        let mut weights = vec![0.0; rows_n];
         match xm {
             Some(xm) => {
-                debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+                debug_assert_eq!(xm.dim(), data.dim(), "cached matrix dim mismatch");
                 let (w, b) = if self.intercept {
                     (&theta[..d], theta[d])
                 } else {
@@ -354,8 +354,8 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
                 };
                 let mut margins = vec![0.0; xm.len()];
                 xm.margins_into(w, b, &mut margins);
-                for ((wi, &m), &y) in weights.iter_mut().zip(&margins).zip(xm.labels()) {
-                    *wi = Fam::d2loss(m, y)? / n;
+                for (i, (wi, &m)) in weights.iter_mut().zip(&margins).enumerate() {
+                    *wi = Fam::d2loss(m, xm.label(i))? / n;
                 }
             }
             None => {
@@ -368,10 +368,10 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
         // symmetric half instead of the dense rank-one updates).
         let owned;
         let xm = match xm {
-            Some(m) => m,
+            Some(v) => *v,
             None => {
-                owned = DatasetMatrix::from_dataset(data);
-                &owned
+                owned = blinkml_data::DatasetMatrix::from_dataset(data);
+                owned.view()
             }
         };
         let ww = xm.weighted_gram(&weights);

@@ -16,7 +16,7 @@
 use crate::grads::Grads;
 use crate::mcs::{regression_diff, ModelClassSpec};
 use blinkml_data::parallel::par_sum_vecs;
-use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
+use blinkml_data::{Dataset, FeatureVec, MatrixView, TrainScratch};
 use blinkml_linalg::blas::ger;
 use blinkml_linalg::Matrix;
 
@@ -105,7 +105,7 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
     fn value_grad_batched(
         &self,
         theta: &[f64],
-        xm: &DatasetMatrix,
+        xm: &MatrixView,
         scratch: &mut TrainScratch,
         grad: &mut [f64],
     ) -> f64 {
@@ -119,12 +119,11 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
         // One fused sweep: chunk margins → residuals in place
         // (rᵢ = mᵢ − yᵢ, the scalar `dot(w) − y` op order) → chunk
         // gradient partial, merged like par_sum_vecs — bit-identical to
-        // the scalar objective.
-        let labels = xm.labels();
+        // the scalar objective on the sample the view selects.
         let sum_r2 = xm.value_grad_fold(w, 0.0, &mut grad[..d], scratch, |start, margins| {
             let mut part = 0.0;
             for (local, m) in margins.iter_mut().enumerate() {
-                let r = *m - labels[start + local];
+                let r = *m - xm.label(start + local);
                 part += r * r;
                 *m = r;
             }
@@ -151,26 +150,25 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
         self.grads_cached(theta, data, None)
     }
 
-    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&MatrixView>) -> Grads {
         let d = data.dim();
         let u = theta[d].clamp(-LOG_VAR_CLAMP, LOG_VAR_CLAMP);
         let inv_s = (-u).exp();
         let w = &theta[..d];
-        let mut shift = vec![0.0; d + 1];
-        for (s, t) in shift[..d].iter_mut().zip(w) {
-            *s = self.beta * t;
-        }
         // ψ_i = [r·x/σ² + βw ; ½ − r²/(2σ²)].
-        let mut m = Matrix::zeros(data.len(), d + 1);
         match xm.filter(|xm| !xm.is_sparse()) {
             Some(xm) => {
-                debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+                debug_assert_eq!(xm.dim(), data.dim(), "cached matrix dim mismatch");
+                let mut shift = vec![0.0; d + 1];
+                for (s, t) in shift[..d].iter_mut().zip(w) {
+                    *s = self.beta * t;
+                }
+                let mut m = Matrix::zeros(xm.len(), d + 1);
                 // Batched margins, then a per-row fill from the view.
                 let mut margins = vec![0.0; xm.len()];
                 xm.margins_into(w, 0.0, &mut margins);
-                let labels = xm.labels();
-                for i in 0..xm.len() {
-                    let r = margins[i] - labels[i];
+                for (i, &margin) in margins.iter().enumerate() {
+                    let r = margin - xm.label(i);
                     let c = inv_s * r;
                     let row = m.row_mut(i);
                     row.copy_from_slice(&shift);
@@ -180,8 +178,25 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
                     }
                     row[d] = 0.5 - 0.5 * inv_s * r * r;
                 }
+                Grads::Dense(m)
             }
             None => {
+                // Sparse views fall back to the per-example walk; a
+                // gathered sparse view materializes its sample first so
+                // the walk sees the sample, not the pool.
+                let owned;
+                let data = match xm.and_then(|v| v.sample_of()) {
+                    Some(idx) => {
+                        owned = data.subset(idx);
+                        &owned
+                    }
+                    None => data,
+                };
+                let mut shift = vec![0.0; d + 1];
+                for (s, t) in shift[..d].iter_mut().zip(w) {
+                    *s = self.beta * t;
+                }
+                let mut m = Matrix::zeros(data.len(), d + 1);
                 for (i, e) in data.iter().enumerate() {
                     let r = e.x.dot(w) - e.y;
                     let row = m.row_mut(i);
@@ -189,9 +204,9 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
                     e.x.add_scaled_into(inv_s * r, &mut row[..d]);
                     row[d] = 0.5 - 0.5 * inv_s * r * r;
                 }
+                Grads::Dense(m)
             }
         }
-        Grads::Dense(m)
     }
 
     fn closed_form_hessian(&self, theta: &[f64], data: &Dataset<F>) -> Option<Matrix> {

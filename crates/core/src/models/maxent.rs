@@ -3,7 +3,7 @@
 use crate::grads::Grads;
 use crate::mcs::{classification_diff, ModelClassSpec};
 use blinkml_data::parallel::{par_ranges, par_sum_vecs, CHUNK_SIZE};
-use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, SparseVec, TrainScratch};
+use blinkml_data::{Dataset, FeatureVec, MatrixView, SparseVec, TrainScratch};
 use blinkml_linalg::Matrix;
 
 /// L2-regularized max-entropy classifier over `K` classes — the paper's
@@ -124,7 +124,7 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
     fn value_grad_batched(
         &self,
         theta: &[f64],
-        xm: &DatasetMatrix,
+        xm: &MatrixView,
         scratch: &mut TrainScratch,
         grad: &mut [f64],
     ) -> f64 {
@@ -135,7 +135,6 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
         debug_assert_eq!(grad.len(), dim);
         let rows = xm.len();
         let n = rows.max(1) as f64;
-        let labels = xm.labels();
         let mut loss = 0.0;
         // Fused one-pass sweep for both layouts: each row is visited
         // once per probe — K score dots, softmax, K coefficient
@@ -151,8 +150,8 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
             let end = (start + CHUNK_SIZE).min(rows);
             let mut part = 0.0;
             gpart.iter_mut().for_each(|g| *g = 0.0);
-            for (i, &label_f) in labels.iter().enumerate().take(end).skip(start) {
-                let label = label_f as usize;
+            for i in start..end {
+                let label = xm.label(i) as usize;
                 debug_assert!(label < kc, "label {label} out of range");
                 match xm.sparse_row(i) {
                     Some((idx, val)) => {
@@ -214,11 +213,11 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
         value
     }
 
-    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&MatrixView>) -> Grads {
         let Some(xm) = xm else {
             return self.grads(theta, data);
         };
-        debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+        debug_assert_eq!(xm.dim(), data.dim(), "cached matrix dim mismatch");
         let d = xm.dim();
         let kc = self.num_classes;
         let dim = kc * d;
@@ -232,14 +231,13 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
                 &mut mbuf[k * rows_n..(k + 1) * rows_n],
             );
         }
-        let labels = xm.labels();
         let shift: Vec<f64> = theta.iter().map(|t| self.beta * t).collect();
         if xm.is_sparse() {
             let rows: Vec<SparseVec> = par_ranges(rows_n, |range| {
                 let mut p = vec![0.0; kc];
                 range
                     .map(|i| {
-                        let label = labels[i] as usize;
+                        let label = xm.label(i) as usize;
                         for (k, pk) in p.iter_mut().enumerate() {
                             *pk = mbuf[k * rows_n + i];
                         }
@@ -267,7 +265,7 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
             let mut m = Matrix::zeros(rows_n, dim);
             let mut p = vec![0.0; kc];
             for i in 0..rows_n {
-                let label = labels[i] as usize;
+                let label = xm.label(i) as usize;
                 for (k, pk) in p.iter_mut().enumerate() {
                     *pk = mbuf[k * rows_n + i];
                 }

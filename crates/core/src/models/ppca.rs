@@ -16,7 +16,7 @@
 use crate::error::CoreError;
 use crate::grads::Grads;
 use crate::mcs::{ModelClassSpec, TrainedModel};
-use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, MatrixView, TrainScratch};
 use blinkml_linalg::{blas, vector, Cholesky, Matrix, SymmetricEigen};
 use blinkml_optim::OptimOptions;
 
@@ -68,7 +68,7 @@ impl PpcaSpec {
     /// through the chunk-reduced weighted-Gram kernel (half the flops of
     /// the dense rank-one updates this used to perform per example, and
     /// contiguous reads from the materialized block).
-    fn second_moment(xm: &DatasetMatrix) -> Matrix {
+    fn second_moment(xm: &MatrixView) -> Matrix {
         let n = xm.len().max(1) as f64;
         let w = vec![1.0 / n; xm.len()];
         xm.weighted_gram(&w)
@@ -91,7 +91,7 @@ impl PpcaSpec {
     /// one batched margin pass per output row of `C⁻¹` — each entry is
     /// the same per-row dot the scalar `gemv` performs, so the dense
     /// path is bit-identical.
-    fn fill_acols(xm: &DatasetMatrix, c_inv: &Matrix, acols: &mut [f64]) {
+    fn fill_acols(xm: &MatrixView, c_inv: &Matrix, acols: &mut [f64]) {
         let rows = xm.len();
         for j in 0..xm.dim() {
             xm.margins_into(c_inv.row(j), 0.0, &mut acols[j * rows..(j + 1) * rows]);
@@ -102,7 +102,7 @@ impl PpcaSpec {
     /// blocks, a scatter into `buf` for CSR (`0 + v` per stored entry —
     /// the exact op sequence of the scalar `add_scaled_into(1.0, …)`
     /// materialization, keeping the sparse path bitwise).
-    fn row_dense<'a>(xm: &'a DatasetMatrix<'_>, i: usize, buf: &'a mut [f64]) -> &'a [f64] {
+    fn row_dense<'a>(xm: &'a MatrixView<'_>, i: usize, buf: &'a mut [f64]) -> &'a [f64] {
         match xm.dense_row(i) {
             Some(x) => x,
             None => {
@@ -205,15 +205,24 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
         Grads::Dense(rows)
     }
 
-    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&DatasetMatrix>) -> Grads {
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&MatrixView>) -> Grads {
         // The column-batched aᵢ pass below is bit-identical to the
         // scalar gemv only over dense blocks; sparse features take the
         // scalar path (margins over stored entries would reorder the
-        // per-row reduction).
+        // per-row reduction), materializing a gathered view's sample
+        // first so the walk sees the sample, not the pool.
         let Some(xm) = xm.filter(|xm| !xm.is_sparse()) else {
+            let owned;
+            let data = match xm.and_then(|v| v.sample_of()) {
+                Some(idx) => {
+                    owned = data.subset(idx);
+                    &owned
+                }
+                None => data,
+            };
             return self.grads(theta, data);
         };
-        debug_assert_eq!(xm.len(), data.len(), "cached matrix row mismatch");
+        debug_assert_eq!(xm.dim(), data.dim(), "cached matrix dim mismatch");
         let d = xm.dim();
         let q = self.num_factors;
         let dim = d * q + 1;
@@ -255,7 +264,7 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
     fn value_grad_batched(
         &self,
         theta: &[f64],
-        xm: &DatasetMatrix,
+        xm: &MatrixView,
         scratch: &mut TrainScratch,
         grad: &mut [f64],
     ) -> f64 {
@@ -340,7 +349,7 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
     fn train_with_matrix(
         &self,
         data: &Dataset<F>,
-        xm: Option<&DatasetMatrix>,
+        xm: Option<&MatrixView>,
         _warm_start: Option<&[f64]>,
         _options: &OptimOptions,
     ) -> Result<TrainedModel, CoreError> {
@@ -351,19 +360,20 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
                 "PPCA needs q < d (got q = {q}, d = {d})"
             )));
         }
-        if data.len() < 2 {
+        let owned;
+        let xm = match xm {
+            Some(v) => *v,
+            None => {
+                owned = DatasetMatrix::from_dataset(data);
+                owned.view()
+            }
+        };
+        let xm = &xm;
+        if xm.len() < 2 {
             return Err(CoreError::InvalidData(
                 "PPCA needs at least 2 examples".into(),
             ));
         }
-        let owned;
-        let xm = match xm {
-            Some(m) => m,
-            None => {
-                owned = DatasetMatrix::from_dataset(data);
-                &owned
-            }
-        };
         let s = Self::second_moment(xm);
         let eig = SymmetricEigen::new(&s)?;
         // σ² = mean of the discarded spectrum, floored for stability.
@@ -385,8 +395,37 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
             }
         }
         theta[d * q] = sigma2;
-        let value = self.objective(&theta, data).0;
-        Ok(TrainedModel::new(theta, data.len(), 0, true, value))
+        let value = self.objective_value_view(&theta, xm);
+        Ok(TrainedModel::new(theta, xm.len(), 0, true, value))
+    }
+}
+
+impl PpcaSpec {
+    /// The averaged negative log-likelihood over the view's rows —
+    /// bit-identical to `objective(θ, sample).0` on the (conceptually
+    /// materialized) sample: the same per-row `a = C⁻¹x`, `xᵀa` ops in
+    /// the same sequential accumulation order, without forming the
+    /// gradient. Used to record the closed-form training's objective
+    /// value without touching the example list.
+    fn objective_value_view(&self, theta: &[f64], xm: &MatrixView) -> f64 {
+        let d = xm.dim();
+        let n = xm.len().max(1) as f64;
+        let (w, sigma2) = self.unpack(theta, d);
+        let (_, chol) = self
+            .covariance(&w, sigma2)
+            .expect("PPCA covariance must be SPD for positive σ²");
+        let c_inv = chol.inverse().expect("inverse after successful Cholesky");
+        let log_det = chol.log_det();
+        let const_term = d as f64 * (2.0 * std::f64::consts::PI).ln();
+        let mut value = 0.0;
+        let mut xbuf = vec![0.0; d];
+        for i in 0..xm.len() {
+            let xd = Self::row_dense(xm, i, &mut xbuf);
+            let a = blas::gemv(&c_inv, xd).expect("dims");
+            let quad = vector::dot(xd, &a);
+            value += 0.5 * (const_term + log_det + quad);
+        }
+        value / n
     }
 }
 

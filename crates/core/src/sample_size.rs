@@ -10,7 +10,7 @@
 //! search, justified by the monotonicity of Theorem 2.
 
 use crate::accuracy::DRAW_CHUNK;
-use crate::diff_engine::{draw_pool, DiffEngine};
+use crate::diff_engine::{draw_pool, HoldoutScorer};
 use crate::mcs::ModelClassSpec;
 use crate::stats::ModelStatistics;
 use blinkml_data::parallel::par_ranges_with;
@@ -63,13 +63,32 @@ impl SampleSizeEstimator {
         delta: f64,
         seed: u64,
     ) -> SampleSizeEstimate {
+        let scorer = HoldoutScorer::new(spec, holdout, theta0);
+        self.estimate_scored(&scorer, stats, n0, full_n, epsilon, delta, seed)
+    }
+
+    /// [`SampleSizeEstimator::estimate`] against a pre-built
+    /// [`HoldoutScorer`], so the base θ₀ score matrix is shared with the
+    /// ε₀ accuracy estimate instead of being rebuilt (bit-identical
+    /// result).
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_scored<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+        &self,
+        scorer: &HoldoutScorer<'_, F, S>,
+        stats: &ModelStatistics,
+        n0: usize,
+        full_n: usize,
+        epsilon: f64,
+        delta: f64,
+        seed: u64,
+    ) -> SampleSizeEstimate {
         assert!(n0 > 0 && n0 <= full_n, "need 0 < n0 <= N");
         let k = self.num_samples;
         // Two independent unscaled pools: u drives θ_n | θ_0, w drives
         // θ_N | θ_n. Fixed across all probes (sampling by scaling).
         let pool_u = draw_pool(stats, k, split_seed(seed, 0));
         let pool_w = draw_pool(stats, k, split_seed(seed, 1));
-        let engine = DiffEngine::new(spec, holdout, theta0, &pool_u, &pool_w);
+        let engine = scorer.engine(&pool_u, &pool_w);
         let level = conservative_level(delta, k);
         let mut probes = 0usize;
 
@@ -116,6 +135,7 @@ fn alpha(a: usize, b: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diff_engine::DiffEngine;
     use crate::models::linreg::LinearRegressionSpec;
     use crate::models::logreg::LogisticRegressionSpec;
     use crate::stats::observed_fisher;

@@ -27,7 +27,7 @@ use crate::config::{SpectralMethod, StatisticsMethod};
 use crate::error::CoreError;
 use crate::grads::Grads;
 use crate::mcs::ModelClassSpec;
-use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, TrainScratch};
+use blinkml_data::{Dataset, DatasetMatrix, FeatureVec, MatrixView, TrainScratch};
 use blinkml_linalg::spectral::{randomized_eigen, DenseSymmetricOp};
 use blinkml_linalg::{blas, Matrix, SymmetricEigen};
 use blinkml_prob::CovarianceFactor;
@@ -236,17 +236,20 @@ pub fn compute_statistics_spectral<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>
 }
 
 /// [`compute_statistics_spectral`] with an optionally cached
-/// design-matrix view of `data`. The coordinator reuses the matrix it
-/// already built for training, so the statistics phase's `grads` /
-/// Hessian / gradient probes run through the batched kernels without a
-/// second materialization.
+/// design-matrix view of the sample. The coordinator reuses the view it
+/// already served for training — a full view of a materialized sample,
+/// or a gathered index view over the pool matrix (in which case `data`
+/// is the pool) — so the statistics phase's `grads` / Hessian /
+/// gradient probes run through the batched kernels without a second
+/// materialization, and on the zero-copy path without any
+/// materialization at all.
 pub fn compute_statistics_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     method: StatisticsMethod,
     spectral: SpectralMethod,
     spec: &S,
     theta: &[f64],
     data: &Dataset<F>,
-    xm: Option<&DatasetMatrix>,
+    xm: Option<&MatrixView>,
 ) -> Result<ModelStatistics, CoreError> {
     match method {
         StatisticsMethod::ObservedFisher => observed_fisher_cached(spec, theta, data, spectral, xm),
@@ -294,7 +297,7 @@ pub fn observed_fisher_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     theta: &[f64],
     data: &Dataset<F>,
     spectral: SpectralMethod,
-    xm: Option<&DatasetMatrix>,
+    xm: Option<&MatrixView>,
 ) -> Result<ModelStatistics, CoreError> {
     let grads = spec.grads_cached(theta, data, xm);
     let beta = spec.regularization();
@@ -440,7 +443,7 @@ pub fn closed_form_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     theta: &[f64],
     data: &Dataset<F>,
     spectral: SpectralMethod,
-    xm: Option<&DatasetMatrix>,
+    xm: Option<&MatrixView>,
 ) -> Result<ModelStatistics, CoreError> {
     let h = spec.closed_form_hessian_cached(theta, data, xm).ok_or(
         CoreError::UnsupportedStatistics {
@@ -482,7 +485,7 @@ pub fn inverse_gradients_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     theta: &[f64],
     data: &Dataset<F>,
     spectral: SpectralMethod,
-    xm: Option<&DatasetMatrix>,
+    xm: Option<&MatrixView>,
 ) -> Result<ModelStatistics, CoreError> {
     let d = theta.len();
     let mut h = Matrix::zeros(d, d);
@@ -490,12 +493,13 @@ pub fn inverse_gradients_cached<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     if spec.batched_training() && !data.is_empty() {
         let owned;
         let xm = match xm {
-            Some(m) => m,
+            Some(v) => *v,
             None => {
                 owned = DatasetMatrix::from_dataset(data);
-                &owned
+                owned.view()
             }
         };
+        let xm = &xm;
         let mut scratch = TrainScratch::new();
         let mut g0 = vec![0.0; d];
         spec.value_grad_batched(theta, xm, &mut scratch, &mut g0);

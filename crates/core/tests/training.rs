@@ -34,7 +34,7 @@ fn assert_batched_equals_scalar<F: FeatureVec, S: ModelClassSpec<F>>(
         set_max_threads(budget);
         let mut scratch = TrainScratch::new();
         let mut grad = vec![f64::NAN; theta.len()];
-        let v = spec.value_grad_batched(theta, &xm, &mut scratch, &mut grad);
+        let v = spec.value_grad_batched(theta, &xm.view(), &mut scratch, &mut grad);
         set_max_threads(None);
         if bitwise {
             assert_eq!(v, v_ref, "value (budget {budget:?})");
@@ -144,7 +144,7 @@ proptest! {
         let theta: Vec<f64> = (0..7).map(|i| (i as f64 * 0.43).sin() * 0.3).collect();
         let plain = spec.grads(&theta, &dense);
         let xm = DatasetMatrix::from_dataset(&dense);
-        let cached = spec.grads_cached(&theta, &dense, Some(&xm));
+        let cached = spec.grads_cached(&theta, &dense, Some(&xm.view()));
         for i in 0..dense.len() {
             prop_assert_eq!(plain.row_dense(i), cached.row_dense(i), "dense row {}", i);
         }
@@ -154,7 +154,7 @@ proptest! {
         let mtheta: Vec<f64> = (0..400).map(|i| ((i * 11) % 17) as f64 * 0.01).collect();
         let mplain = me.grads(&mtheta, &sparse);
         let sxm = DatasetMatrix::from_dataset(&sparse);
-        let mcached = me.grads_cached(&mtheta, &sparse, Some(&sxm));
+        let mcached = me.grads_cached(&mtheta, &sparse, Some(&sxm.view()));
         for i in 0..sparse.len() {
             prop_assert_eq!(mplain.row_dense(i), mcached.row_dense(i), "sparse row {}", i);
         }
@@ -193,7 +193,7 @@ fn hessian_cached_matches_uncached() {
     let theta: Vec<f64> = (0..6).map(|i| 0.1 * i as f64 - 0.2).collect();
     let xm = DatasetMatrix::from_dataset(&data);
     let h_cached = spec
-        .closed_form_hessian_cached(&theta, &data, Some(&xm))
+        .closed_form_hessian_cached(&theta, &data, Some(&xm.view()))
         .unwrap();
     let h_plain = spec.closed_form_hessian(&theta, &data).unwrap();
     assert!(

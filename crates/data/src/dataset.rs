@@ -8,6 +8,7 @@
 use crate::features::FeatureVec;
 use blinkml_prob::rng_from_seed;
 use rand::Rng;
+use std::sync::Arc;
 
 /// One labelled training example.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,9 +21,12 @@ pub struct Example<F> {
 }
 
 /// An in-memory dataset of examples sharing one feature dimension.
+///
+/// The name is reference-counted so derived datasets (`subset`,
+/// `sample`, `split`) share it instead of copying the string data.
 #[derive(Debug, Clone)]
 pub struct Dataset<F> {
-    name: String,
+    name: Arc<str>,
     dim: usize,
     examples: Vec<Example<F>>,
 }
@@ -58,7 +62,7 @@ impl<F: FeatureVec> Dataset<F> {
             );
         }
         Dataset {
-            name: name.into(),
+            name: Arc::from(name.into()),
             dim,
             examples,
         }
@@ -114,14 +118,46 @@ impl<F: FeatureVec> Dataset<F> {
     /// deterministic for a given seed. `n` is clamped to `len()`.
     ///
     /// Uses a partial Fisher–Yates shuffle: `O(N)` memory, `O(n)` swaps.
+    ///
+    /// This **materializes** the drawn examples (one clone each). The
+    /// zero-copy alternative is [`Dataset::sample_view`], which returns
+    /// the same indices as an [`IndexView`] instead.
     pub fn sample(&self, n: usize, seed: u64) -> Dataset<F> {
         let n = n.min(self.len());
         let indices = sample_indices(self.len(), n, seed);
         self.subset(&indices)
     }
 
+    /// Zero-copy form of [`Dataset::sample`]: the same deterministic
+    /// index list for `(n, seed)` — `sample(n, seed)` is exactly
+    /// `sample_view(n, seed).materialize()` — wrapped as an
+    /// [`IndexView`] so no example is cloned. Pair the view with a
+    /// pool-resident design matrix (`DatasetMatrix::gather`) to train
+    /// on the sample without touching the examples at all.
+    pub fn sample_view(&self, n: usize, seed: u64) -> IndexView<'_, F> {
+        let n = n.min(self.len());
+        IndexView {
+            base: self,
+            indices: sample_indices(self.len(), n, seed),
+        }
+    }
+
+    /// An empty dataset sharing this dataset's name and dimension.
+    fn empty_like(&self) -> Dataset<F> {
+        Dataset {
+            name: self.name.clone(),
+            dim: self.dim,
+            examples: Vec::new(),
+        }
+    }
+
     /// Deterministically split off `holdout_size` + `test_size` examples;
     /// the remainder is the training pool. The three parts are disjoint.
+    ///
+    /// Empty partitions (`test_size == 0`, or a degenerate
+    /// `holdout_size == 0`) are built directly instead of running the
+    /// index scan and subset machinery, and the dataset name is shared,
+    /// not copied.
     ///
     /// # Panics
     /// Panics when `holdout_size + test_size >= len()`.
@@ -132,6 +168,14 @@ impl<F: FeatureVec> Dataset<F> {
             self.len()
         );
         let total = holdout_size + test_size;
+        if total == 0 {
+            // Nothing carved out: the pool is the whole dataset.
+            return Split {
+                train: self.clone(),
+                holdout: self.empty_like(),
+                test: self.empty_like(),
+            };
+        }
         let picked = sample_indices(self.len(), total, seed);
         let holdout_idx = &picked[..holdout_size];
         let test_idx = &picked[holdout_size..];
@@ -144,8 +188,16 @@ impl<F: FeatureVec> Dataset<F> {
 
         Split {
             train: self.subset(&train_idx),
-            holdout: self.subset(holdout_idx),
-            test: self.subset(test_idx),
+            holdout: if holdout_size == 0 {
+                self.empty_like()
+            } else {
+                self.subset(holdout_idx)
+            },
+            test: if test_size == 0 {
+                self.empty_like()
+            } else {
+                self.subset(test_idx)
+            },
         }
     }
 
@@ -173,6 +225,78 @@ impl<F: FeatureVec> Dataset<F> {
             .map(|e| e.y as usize)
             .max()
             .map_or(0, |m| m + 1)
+    }
+}
+
+/// A zero-copy sample: an index list into a base dataset.
+///
+/// This is the paper's sampling abstraction without the copy — drawing
+/// a sample costs `O(n)` indices, never a clone of the drawn examples.
+/// The batched training engine consumes it through
+/// `DatasetMatrix::gather`, which turns the index list into a gathered
+/// design-matrix view over the pool-resident matrix.
+#[derive(Debug, Clone)]
+pub struct IndexView<'a, F> {
+    base: &'a Dataset<F>,
+    indices: Vec<usize>,
+}
+
+impl<'a, F: FeatureVec> IndexView<'a, F> {
+    /// Wrap an explicit index list over `base`.
+    ///
+    /// # Panics
+    /// Panics when any index is out of range.
+    pub fn new(base: &'a Dataset<F>, indices: Vec<usize>) -> Self {
+        for &i in &indices {
+            assert!(
+                i < base.len(),
+                "index {i} out of range (N = {})",
+                base.len()
+            );
+        }
+        IndexView { base, indices }
+    }
+
+    /// Number of sampled examples `n`.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the view selects no examples.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Feature dimension `d` (the base dataset's).
+    pub fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    /// The base dataset the indices point into.
+    pub fn base(&self) -> &'a Dataset<F> {
+        self.base
+    }
+
+    /// The sampled pool indices, in draw order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Borrow sampled example `k` (the `indices()[k]`-th pool example).
+    pub fn get(&self, k: usize) -> &'a Example<F> {
+        self.base.get(self.indices[k])
+    }
+
+    /// Iterate over the sampled examples in draw order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Example<F>> + '_ {
+        self.indices.iter().map(move |&i| self.base.get(i))
+    }
+
+    /// Clone the sampled examples into an owned dataset — exactly what
+    /// [`Dataset::sample`] returns for the same indices. The escape
+    /// hatch for consumers that need a materialized `Dataset`.
+    pub fn materialize(&self) -> Dataset<F> {
+        self.base.subset(&self.indices)
     }
 }
 
@@ -318,6 +442,68 @@ mod tests {
             },
         ];
         let _ = Dataset::new("bad", 1, examples);
+    }
+
+    #[test]
+    fn sample_view_matches_sample_exactly() {
+        let d = toy(100);
+        for (n, seed) in [(1, 0), (30, 7), (100, 3), (250, 9)] {
+            let view = d.sample_view(n, seed);
+            let owned = d.sample(n, seed);
+            assert_eq!(view.len(), owned.len());
+            assert_eq!(view.dim(), owned.dim());
+            assert_eq!(view.indices(), &sample_indices(d.len(), n, seed)[..]);
+            for (k, e) in owned.iter().enumerate() {
+                assert_eq!(view.get(k), e, "n={n} seed={seed} row {k}");
+            }
+            let mat = view.materialize();
+            assert_eq!(mat.len(), owned.len());
+            for (a, b) in mat.iter().zip(owned.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn index_view_borrows_without_cloning() {
+        let d = toy(10);
+        let view = d.sample_view(4, 1);
+        assert!(!view.is_empty());
+        assert!(std::ptr::eq(view.base(), &d));
+        // The view's examples are the pool's examples, not copies.
+        for (k, &i) in view.indices().iter().enumerate() {
+            assert!(std::ptr::eq(view.get(k), d.get(i)));
+        }
+        assert_eq!(view.iter().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_view_rejects_out_of_range() {
+        let d = toy(3);
+        let _ = IndexView::new(&d, vec![0, 5]);
+    }
+
+    #[test]
+    fn split_with_zero_test_size_has_empty_test() {
+        let d = toy(50);
+        let s = d.split(10, 0, 3);
+        assert_eq!(s.test.len(), 0);
+        assert_eq!(s.holdout.len(), 10);
+        assert_eq!(s.train.len(), 40);
+        // The partition must match what the index scan would pick.
+        let picked = sample_indices(50, 10, 3);
+        let ys: Vec<f64> = s.holdout.iter().map(|e| e.y).collect();
+        let expect: Vec<f64> = picked.iter().map(|&i| i as f64).collect();
+        assert_eq!(ys, expect);
+    }
+
+    #[test]
+    fn split_shares_the_name_allocation() {
+        let d = toy(20);
+        let s = d.split(4, 2, 1);
+        assert_eq!(s.train.name(), d.name());
+        assert!(std::ptr::eq(s.train.name().as_ptr(), d.name().as_ptr()));
     }
 
     #[test]

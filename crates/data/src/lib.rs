@@ -32,7 +32,9 @@ pub mod io;
 pub mod matrix;
 pub mod parallel;
 
-pub use dataset::{Dataset, Example, Split};
+pub use dataset::{Dataset, Example, IndexView, Split};
 pub use features::{DenseVec, FeatureVec, SparseVec};
-pub use matrix::{DatasetMatrix, TrainScratch};
+pub use matrix::{
+    CaptureScratch, DatasetMatrix, MatrixView, SampleCapture, TrainScratch, PACK_THRESHOLD_BYTES,
+};
 pub use parallel::par_ranges;

@@ -33,9 +33,10 @@ use crate::dataset::Dataset;
 use crate::features::FeatureVec;
 use crate::parallel::{max_threads, par_fill_slice, par_map_reduce_matrix, par_ranges, CHUNK_SIZE};
 use blinkml_linalg::simd::{
-    rows_dot, rows_dot_gather, rows_weighted_sum, rows_weighted_sum_gather,
+    rows_dot, rows_dot_gather, rows_dot_gather_idx, rows_weighted_sum, rows_weighted_sum_gather,
+    rows_weighted_sum_gather_idx,
 };
-use blinkml_linalg::Matrix;
+use blinkml_linalg::{vector, Matrix};
 
 /// The captured feature block of a [`DatasetMatrix`].
 #[derive(Debug, Clone)]
@@ -137,6 +138,38 @@ impl<'a> DatasetMatrix<'a> {
         matches!(self.block, DesignBlock::Csr { .. })
     }
 
+    /// The full-matrix view: every batched pass on a [`MatrixView`] with
+    /// no gather list is bit-identical to (and implemented by) the
+    /// matrix's own passes.
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            matrix: self,
+            indices: None,
+            sample: None,
+        }
+    }
+
+    /// A gathered view selecting rows `indices` (in order, repeats
+    /// allowed): the zero-copy representation of a sample drawn from
+    /// this matrix's dataset. Every pass over the gathered view is
+    /// bit-identical to the same pass over a [`DatasetMatrix`] freshly
+    /// built from `dataset.subset(indices)` — no example is cloned and
+    /// no per-sample matrix is rebuilt.
+    ///
+    /// Out-of-range indices panic inside the passes (debug-asserted
+    /// here).
+    pub fn gather<'m>(&'m self, indices: &'m [usize]) -> MatrixView<'m> {
+        debug_assert!(
+            indices.iter().all(|&i| i < self.rows),
+            "gather: index out of range"
+        );
+        MatrixView {
+            matrix: self,
+            indices: Some(indices),
+            sample: None,
+        }
+    }
+
     /// Dense row `i` as a slice (`None` for CSR blocks).
     pub fn dense_row(&self, i: usize) -> Option<&[f64]> {
         match &self.block {
@@ -218,46 +251,492 @@ impl<'a> DatasetMatrix<'a> {
         }
     }
 
-    /// Margin pass `out[i] = xᵢ·w + bias`.
+    /// Pack the gathered rows into an **owned** matrix: one flat
+    /// row-major block (dense) or one contiguous CSR triple (sparse)
+    /// plus the gathered labels — a single bulk allocation, never a
+    /// per-example clone. Every pass over the packed matrix is
+    /// bit-identical to the same pass over [`DatasetMatrix::gather`]
+    /// (the contiguous kernels share the gathered kernels' reduction
+    /// shape).
     ///
-    /// Bit-identical to the per-example `e.x.dot(w) + bias` loop: the
-    /// dense paths keep each row's 4-lane dot shape, the sparse path
-    /// accumulates stored entries in index order — exactly what
-    /// [`FeatureVec::dot`] does. Output rows are partitioned across
+    /// This trades one `O(sample bytes)` copy for contiguous streaming:
+    /// profitable when the sample outgrows the cache **and** will be
+    /// streamed many times (optimizer probes) — random row gathers from
+    /// a DRAM-resident pool stall on latency that software prefetch
+    /// cannot fully hide. [`DatasetMatrix::capture_sample`] applies
+    /// that policy; single-pass consumers should keep the plain gather.
+    pub fn gather_packed(&self, indices: &[usize]) -> DatasetMatrix<'static> {
+        self.pack_rows(indices, &mut CaptureScratch::new())
+    }
+
+    /// The shared packing body behind [`Self::gather_packed`] and
+    /// [`Self::capture_sample_with`]: gather rows and labels into
+    /// `scratch`'s (possibly recycled) buffers and wrap them as an
+    /// owned matrix.
+    fn pack_rows(&self, indices: &[usize], scratch: &mut CaptureScratch) -> DatasetMatrix<'static> {
+        let d = self.dim;
+        let mut labels = std::mem::take(&mut scratch.labels);
+        labels.clear();
+        labels.extend(indices.iter().map(|&i| self.labels[i]));
+        let block = match &self.block {
+            DesignBlock::DenseRows(rows) => {
+                let mut x = std::mem::take(&mut scratch.dense);
+                x.clear();
+                x.reserve(indices.len() * d);
+                for &i in indices {
+                    x.extend_from_slice(rows[i]);
+                }
+                DesignBlock::DenseOwned(x)
+            }
+            DesignBlock::DenseOwned(xp) => {
+                let mut x = std::mem::take(&mut scratch.dense);
+                x.clear();
+                x.reserve(indices.len() * d);
+                for &i in indices {
+                    x.extend_from_slice(&xp[i * d..(i + 1) * d]);
+                }
+                DesignBlock::DenseOwned(x)
+            }
+            DesignBlock::Csr {
+                indptr,
+                indices: ci,
+                values,
+            } => {
+                let nnz: usize = indices.iter().map(|&i| indptr[i + 1] - indptr[i]).sum();
+                let mut nindptr = std::mem::take(&mut scratch.indptr);
+                let mut nindices = std::mem::take(&mut scratch.sp_indices);
+                let mut nvalues = std::mem::take(&mut scratch.sp_values);
+                nindptr.clear();
+                nindices.clear();
+                nvalues.clear();
+                nindptr.reserve(indices.len() + 1);
+                nindices.reserve(nnz);
+                nvalues.reserve(nnz);
+                nindptr.push(0);
+                for &i in indices {
+                    let (s, e) = (indptr[i], indptr[i + 1]);
+                    nindices.extend_from_slice(&ci[s..e]);
+                    nvalues.extend_from_slice(&values[s..e]);
+                    nindptr.push(nindices.len());
+                }
+                DesignBlock::Csr {
+                    indptr: nindptr,
+                    indices: nindices,
+                    values: nvalues,
+                }
+            }
+        };
+        DatasetMatrix {
+            rows: indices.len(),
+            dim: d,
+            labels,
+            block,
+        }
+    }
+
+    /// Capture the sample `indices` for **repeated** batched passes
+    /// (optimizer probes plus the statistics phase): a zero-copy
+    /// gathered view while the sample's data footprint is
+    /// cache-resident, a packed owned matrix ([`Self::gather_packed`])
+    /// above [`PACK_THRESHOLD_BYTES`]. Both forms are bit-identical;
+    /// only streaming speed differs.
+    pub fn capture_sample<'m>(&'m self, indices: &'m [usize]) -> SampleCapture<'m> {
+        self.capture_sample_with(indices, &mut CaptureScratch::new())
+    }
+
+    /// [`Self::capture_sample`] recycling `scratch`'s buffers for the
+    /// packed form: repeated captures (a coordinator run's pilot and
+    /// final sample, or every query of a multi-query session) rewrite
+    /// warm pages instead of faulting in a fresh block each time. Hand
+    /// the capture back with [`SampleCapture::recycle`] when done.
+    /// Values are fully overwritten, so reuse never changes a bit.
+    pub fn capture_sample_with<'m>(
+        &'m self,
+        indices: &'m [usize],
+        scratch: &mut CaptureScratch,
+    ) -> SampleCapture<'m> {
+        let view = self.gather(indices);
+        if view.data_bytes() <= PACK_THRESHOLD_BYTES {
+            return SampleCapture::Gathered(view);
+        }
+        SampleCapture::Packed {
+            matrix: self.pack_rows(indices, scratch),
+            indices,
+        }
+    }
+
+    /// Margin pass `out[i] = xᵢ·w + bias` over the full matrix — see
+    /// [`MatrixView::margins_into`].
+    pub fn margins_into(&self, w: &[f64], bias: f64, out: &mut [f64]) {
+        self.view().margins_into(w, bias, out);
+    }
+
+    /// Gradient reduction `out = Xᵀ·w` over the full matrix — see
+    /// [`MatrixView::weighted_sum_into`].
+    pub fn weighted_sum_into(&self, w: &[f64], out: &mut [f64]) {
+        self.view().weighted_sum_into(w, out);
+    }
+
+    /// Fused objective sweep over the full matrix — see
+    /// [`MatrixView::value_grad_fold`].
+    pub fn value_grad_fold<Fm>(
+        &self,
+        w: &[f64],
+        bias: f64,
+        grad: &mut [f64],
+        scratch: &mut TrainScratch,
+        chunk_fn: Fm,
+    ) -> f64
+    where
+        Fm: FnMut(usize, &mut [f64]) -> f64,
+    {
+        self.view()
+            .value_grad_fold(w, bias, grad, scratch, chunk_fn)
+    }
+
+    /// Weighted Gram accumulation over the full matrix — see
+    /// [`MatrixView::weighted_gram`].
+    pub fn weighted_gram(&self, w: &[f64]) -> Matrix {
+        self.view().weighted_gram(w)
+    }
+}
+
+/// Data footprint above which [`DatasetMatrix::capture_sample`] packs
+/// the sample into a contiguous owned matrix instead of serving a
+/// gathered view. Measured on DRAM-resident pools, optimizer probes
+/// over randomly-ordered gathered rows run ~2–2.5× slower than over a
+/// contiguous block (row-start latency and dTLB misses that software
+/// prefetch cannot fully hide — prefetches are dropped on dTLB misses),
+/// while the pack itself costs about one extra stream of the sample.
+/// Packing therefore pays for itself within a couple of probes; only
+/// samples small enough for the gather penalty to be immeasurable
+/// (at most a few hundred KB — resident after the first probe) stay as
+/// pure views.
+pub const PACK_THRESHOLD_BYTES: usize = 256 << 10;
+
+/// A sample captured for repeated batched passes — the output of
+/// [`DatasetMatrix::capture_sample`]. Hand its [`SampleCapture::view`]
+/// to training and statistics; both forms obey the same bitwise
+/// contract.
+#[derive(Debug)]
+pub enum SampleCapture<'m> {
+    /// Zero-copy gathered view into the pool matrix (cache-resident
+    /// samples).
+    Gathered(MatrixView<'m>),
+    /// Packed owned matrix (DRAM-resident samples): one bulk copy,
+    /// contiguous probes. The pool indices are kept as the view's
+    /// sample provenance.
+    Packed {
+        /// The packed sample matrix.
+        matrix: DatasetMatrix<'static>,
+        /// The pool indices the rows were packed from.
+        indices: &'m [usize],
+    },
+}
+
+impl SampleCapture<'_> {
+    /// The design-matrix view over the captured sample.
+    pub fn view(&self) -> MatrixView<'_> {
+        match self {
+            SampleCapture::Gathered(v) => *v,
+            SampleCapture::Packed { matrix, indices } => MatrixView {
+                matrix,
+                indices: None,
+                sample: Some(indices),
+            },
+        }
+    }
+
+    /// Whether the capture packed the sample into an owned matrix.
+    pub fn is_packed(&self) -> bool {
+        matches!(self, SampleCapture::Packed { .. })
+    }
+
+    /// Return a packed capture's buffers to `scratch` so the next
+    /// [`DatasetMatrix::capture_sample_with`] rewrites warm pages
+    /// instead of faulting in fresh ones. A no-op for gathered views.
+    pub fn recycle(self, scratch: &mut CaptureScratch) {
+        if let SampleCapture::Packed { matrix: m, .. } = self {
+            scratch.labels = m.labels;
+            match m.block {
+                DesignBlock::DenseOwned(x) => scratch.dense = x,
+                DesignBlock::Csr {
+                    indptr,
+                    indices,
+                    values,
+                } => {
+                    scratch.indptr = indptr;
+                    scratch.sp_indices = indices;
+                    scratch.sp_values = values;
+                }
+                DesignBlock::DenseRows(_) => {}
+            }
+        }
+    }
+}
+
+/// Recyclable buffers behind packed sample captures
+/// ([`DatasetMatrix::capture_sample_with`]): one coordinator run reuses
+/// them between its pilot and final captures, and a multi-query session
+/// keeps one across every `train()` call, so steady-state packing
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct CaptureScratch {
+    dense: Vec<f64>,
+    labels: Vec<f64>,
+    indptr: Vec<usize>,
+    sp_indices: Vec<u32>,
+    sp_values: Vec<f64>,
+}
+
+impl CaptureScratch {
+    /// Empty scratch; buffers grow on first packed capture.
+    pub fn new() -> Self {
+        CaptureScratch::default()
+    }
+}
+
+/// A (possibly gathered) window onto a [`DatasetMatrix`].
+///
+/// A view is the unit every batched pass runs over: either the whole
+/// matrix ([`DatasetMatrix::view`]) or an index-selected sample of its
+/// rows ([`DatasetMatrix::gather`]) — the zero-copy representation of
+/// `Dataset::sample_view`. Views are `Copy` (two pointers); drawing a
+/// sample never clones an example or rebuilds a matrix.
+///
+/// # Exactness and determinism
+///
+/// Every pass over a gathered view is **bit-identical** to the same
+/// pass over a `DatasetMatrix` built from the materialized sample
+/// (`dataset.subset(indices)`): the gathered kernels keep the per-row
+/// 4-lane dot shape (`rows_dot_gather_idx`), accumulate gradient rows
+/// in ascending sample order (`rows_weighted_sum_gather_idx`), and
+/// chunk at the same fixed [`CHUNK_SIZE`] boundaries with the same
+/// merge order — the chunk grid depends only on the *sample* length,
+/// which both representations share. Thread budgets never change a bit
+/// (same contract as the full-matrix passes).
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'m> {
+    matrix: &'m DatasetMatrix<'m>,
+    /// Storage-level gather list: rows are read through these indices.
+    indices: Option<&'m [usize]>,
+    /// Provenance for pre-gathered (packed) storage: the pool indices
+    /// this view's rows were packed from. Lets generic fallbacks
+    /// materialize the right sample even though the storage itself is
+    /// no longer a gather.
+    sample: Option<&'m [usize]>,
+}
+
+impl<'m> MatrixView<'m> {
+    /// Number of rows the view selects (`n` of the sample).
+    pub fn len(&self) -> usize {
+        self.indices.map_or(self.matrix.rows, |idx| idx.len())
+    }
+
+    /// True when the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.matrix.dim
+    }
+
+    /// Whether the underlying block is stored as CSR.
+    pub fn is_sparse(&self) -> bool {
+        self.matrix.is_sparse()
+    }
+
+    /// The gather list, when this view is a gathered sample.
+    pub fn indices(&self) -> Option<&'m [usize]> {
+        self.indices
+    }
+
+    /// Whether this view gathers a row subset (vs the full matrix).
+    pub fn is_gathered(&self) -> bool {
+        self.indices.is_some()
+    }
+
+    /// The pool indices this view *logically* samples, regardless of
+    /// storage: the gather list for gathered views, the packed-from
+    /// list for packed captures, `None` for a plain full matrix.
+    /// Generic fallbacks use this to materialize the right sample when
+    /// a view arrives paired with the pool dataset.
+    pub fn sample_of(&self) -> Option<&'m [usize]> {
+        self.indices.or(self.sample)
+    }
+
+    /// The underlying pool-resident matrix.
+    pub fn matrix(&self) -> &'m DatasetMatrix<'m> {
+        self.matrix
+    }
+
+    /// Bytes of feature data the view's rows span: `len·dim·8` for
+    /// dense blocks, stored entries (12 bytes each) for CSR. The
+    /// footprint [`DatasetMatrix::capture_sample`] compares against
+    /// [`PACK_THRESHOLD_BYTES`].
+    pub fn data_bytes(&self) -> usize {
+        match &self.matrix.block {
+            DesignBlock::DenseRows(_) | DesignBlock::DenseOwned(_) => {
+                self.len() * self.matrix.dim * 8
+            }
+            DesignBlock::Csr { indptr, .. } => {
+                let nnz: usize = match self.indices {
+                    None => indptr[self.matrix.rows],
+                    Some(idx) => idx.iter().map(|&i| indptr[i + 1] - indptr[i]).sum(),
+                };
+                nnz * 12
+            }
+        }
+    }
+
+    /// Pool row index behind view row `k`.
+    #[inline]
+    fn row_index(&self, k: usize) -> usize {
+        match self.indices {
+            None => k,
+            Some(idx) => idx[k],
+        }
+    }
+
+    /// Label of view row `k`.
+    #[inline]
+    pub fn label(&self, k: usize) -> f64 {
+        self.matrix.labels[self.row_index(k)]
+    }
+
+    /// Dense view row `k` as a slice (`None` for CSR blocks).
+    pub fn dense_row(&self, k: usize) -> Option<&'m [f64]> {
+        self.matrix.dense_row(self.row_index(k))
+    }
+
+    /// The stored entries of sparse view row `k` (`None` for dense
+    /// blocks).
+    pub fn sparse_row(&self, k: usize) -> Option<(&'m [u32], &'m [f64])> {
+        self.matrix.sparse_row(self.row_index(k))
+    }
+
+    /// Margins of view rows `start..end` written into `out` — the
+    /// shared chunk kernel. Full views delegate to the matrix kernel;
+    /// gathered views run the index-gather kernels over the pool block.
+    fn margins_range(&self, start: usize, end: usize, w: &[f64], bias: f64, out: &mut [f64]) {
+        let idx = match self.indices {
+            None => return self.matrix.margins_range(start, end, w, bias, out),
+            Some(idx) => &idx[start..end],
+        };
+        let d = self.matrix.dim;
+        match &self.matrix.block {
+            DesignBlock::DenseRows(rows) => {
+                rows_dot_gather_idx(rows, idx, d, w, bias, out);
+            }
+            DesignBlock::DenseOwned(x) => {
+                for (local, &i) in idx.iter().enumerate() {
+                    out[local] = vector::dot(&x[i * d..(i + 1) * d], w) + bias;
+                }
+            }
+            DesignBlock::Csr {
+                indptr,
+                indices,
+                values,
+            } => {
+                for (local, &i) in idx.iter().enumerate() {
+                    let (s, e) = (indptr[i], indptr[i + 1]);
+                    let mut acc = 0.0;
+                    for (&j, &v) in indices[s..e].iter().zip(&values[s..e]) {
+                        acc += v * w[j as usize];
+                    }
+                    out[local] = acc + bias;
+                }
+            }
+        }
+    }
+
+    /// `out += Σ_{k in start..end} w[k - start]·x_{row(k)}`, in
+    /// ascending view-row order — the shared gradient chunk kernel.
+    fn weighted_sum_range(&self, start: usize, end: usize, w: &[f64], out: &mut [f64]) {
+        let idx = match self.indices {
+            None => return self.matrix.weighted_sum_range(start, end, w, out),
+            Some(idx) => &idx[start..end],
+        };
+        let d = self.matrix.dim;
+        match &self.matrix.block {
+            DesignBlock::DenseRows(rows) => {
+                rows_weighted_sum_gather_idx(rows, idx, d, w, out);
+            }
+            DesignBlock::DenseOwned(x) => {
+                for (local, &i) in idx.iter().enumerate() {
+                    let wi = w[local];
+                    for (oj, &xj) in out.iter_mut().zip(&x[i * d..(i + 1) * d]) {
+                        *oj += wi * xj;
+                    }
+                }
+            }
+            DesignBlock::Csr {
+                indptr,
+                indices,
+                values,
+            } => {
+                for (local, &i) in idx.iter().enumerate() {
+                    let wi = w[local];
+                    let (s, e) = (indptr[i], indptr[i + 1]);
+                    for (&j, &v) in indices[s..e].iter().zip(&values[s..e]) {
+                        out[j as usize] += wi * v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Margin pass `out[k] = x_{row(k)}·w + bias`.
+    ///
+    /// Bit-identical to the per-example `e.x.dot(w) + bias` loop over
+    /// the (conceptually materialized) sample: the dense paths keep each
+    /// row's 4-lane dot shape, the sparse path accumulates stored
+    /// entries in index order. Output rows are partitioned across
     /// threads, so the budget never changes a single bit.
     ///
     /// # Panics
     /// Panics when `w.len() != dim()` or `out.len() != len()`.
     pub fn margins_into(&self, w: &[f64], bias: f64, out: &mut [f64]) {
-        assert_eq!(w.len(), self.dim, "margins_into: weight length mismatch");
-        assert_eq!(out.len(), self.rows, "margins_into: output length mismatch");
+        assert_eq!(
+            w.len(),
+            self.matrix.dim,
+            "margins_into: weight length mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.len(),
+            "margins_into: output length mismatch"
+        );
         par_fill_slice(out, CHUNK_SIZE, |range, chunk| {
             self.margins_range(range.start, range.end, w, bias, chunk);
         });
     }
 
-    /// Gradient reduction `out = Xᵀ·w = Σᵢ w[i]·xᵢ` (overwriting `out`).
+    /// Gradient reduction `out = Xᵀ·w = Σₖ w[k]·x_{row(k)}`
+    /// (overwriting `out`).
     ///
-    /// Chunked at [`CHUNK_SIZE`] with partials merged in chunk order —
-    /// the same reduction the scalar objectives perform through
-    /// `par_sum_vecs`, so the result matches the per-example
-    /// `add_scaled_into` accumulation bit for bit at any thread budget.
+    /// Chunked at [`CHUNK_SIZE`] over the view rows with partials
+    /// merged in chunk order — the same reduction the scalar objectives
+    /// perform through `par_sum_vecs` on the materialized sample, so the
+    /// result matches bit for bit at any thread budget.
     ///
     /// # Panics
     /// Panics when `w.len() != len()` or `out.len() != dim()`.
     pub fn weighted_sum_into(&self, w: &[f64], out: &mut [f64]) {
         assert_eq!(
             w.len(),
-            self.rows,
+            self.len(),
             "weighted_sum_into: weight length mismatch"
         );
         assert_eq!(
             out.len(),
-            self.dim,
+            self.matrix.dim,
             "weighted_sum_into: output length mismatch"
         );
-        let d = self.dim;
-        let partials = par_ranges(self.rows, |range| {
+        let d = self.matrix.dim;
+        let partials = par_ranges(self.len(), |range| {
             let mut acc = vec![0.0; d];
             self.weighted_sum_range(range.start, range.end, &w[range], &mut acc);
             acc
@@ -270,25 +749,24 @@ impl<'a> DatasetMatrix<'a> {
         }
     }
 
-    /// The fused objective sweep: for each fixed [`CHUNK_SIZE`] chunk,
-    /// compute the margins `xᵢ·w + bias`, hand them to `chunk_fn`
-    /// (which returns the chunk's loss partial and overwrites the
-    /// margins **in place** with per-row gradient weights), and
-    /// accumulate the chunk's `Σ wᵢ·xᵢ` into `grad` — all while the
-    /// chunk's rows are still cache-hot, so each probe streams the
-    /// design matrix **once** instead of twice. Returns the loss
-    /// partials summed in chunk order.
+    /// The fused objective sweep: for each fixed [`CHUNK_SIZE`] chunk of
+    /// view rows, compute the margins, hand them to `chunk_fn` (which
+    /// returns the chunk's loss partial and overwrites the margins **in
+    /// place** with per-row gradient weights), and accumulate the
+    /// chunk's `Σ wₖ·x_{row(k)}` into `grad` — all while the chunk's
+    /// rows are still cache-hot, so each probe streams the sample
+    /// **once**. Returns the loss partials summed in chunk order.
     ///
-    /// `chunk_fn(start, margins)` sees the chunk's starting row index
-    /// (for label lookup) and its margin slice. It is always invoked
-    /// sequentially in ascending chunk order, at every thread budget.
+    /// `chunk_fn(start, margins)` sees the chunk's starting *view-row*
+    /// index (for [`MatrixView::label`] lookup) and its margin slice; it
+    /// is always invoked sequentially in ascending chunk order, at every
+    /// thread budget.
     ///
     /// Bitwise contract: margins, the loss-partial merge, and the
     /// gradient reduction all reproduce the scalar objective's
-    /// `par_sum_vecs` accumulation exactly; on multi-thread budgets the
-    /// margin and gradient passes run through the parallel two-pass
-    /// kernels, which preserve the same chunk boundaries and merge
-    /// order, so results never depend on the budget.
+    /// `par_sum_vecs` accumulation on the materialized sample exactly;
+    /// multi-thread budgets run the parallel two-pass form, which
+    /// preserves the same chunk boundaries and merge order.
     ///
     /// # Panics
     /// Panics when `w.len() != dim()` or `grad.len() != dim()`.
@@ -303,13 +781,10 @@ impl<'a> DatasetMatrix<'a> {
     where
         Fm: FnMut(usize, &mut [f64]) -> f64,
     {
-        assert_eq!(w.len(), self.dim, "value_grad_fold: weight length mismatch");
-        assert_eq!(
-            grad.len(),
-            self.dim,
-            "value_grad_fold: gradient length mismatch"
-        );
-        let rows = self.rows;
+        let d = self.matrix.dim;
+        assert_eq!(w.len(), d, "value_grad_fold: weight length mismatch");
+        assert_eq!(grad.len(), d, "value_grad_fold: gradient length mismatch");
+        let rows = self.len();
         if max_threads() > 1 && rows > CHUNK_SIZE {
             // Parallel two-pass form: full margin buffer, parallel
             // margins and gradient kernels, chunk_fn applied chunk by
@@ -328,7 +803,7 @@ impl<'a> DatasetMatrix<'a> {
         }
         // Fused single-thread form: chunk margins → chunk_fn → chunk
         // gradient partial, with the chunk's rows reused while hot.
-        let (chunk_buf, partial) = scratch.fold_buffers(CHUNK_SIZE.min(rows.max(1)), self.dim);
+        let (chunk_buf, partial) = scratch.fold_buffers(CHUNK_SIZE.min(rows.max(1)), d);
         grad.iter_mut().for_each(|g| *g = 0.0);
         let mut total = 0.0;
         let mut start = 0;
@@ -347,55 +822,52 @@ impl<'a> DatasetMatrix<'a> {
         total
     }
 
-    /// Weighted Gram accumulation `Σᵢ w[i]·xᵢxᵢᵀ` (`d × d`), the kernel
-    /// behind closed-form Hessians and the PPCA second moment. Rows with
-    /// zero weight are skipped; the upper triangle is accumulated
-    /// chunk-reduced in chunk order and mirrored, so results are
-    /// machine- and thread-count-independent.
+    /// Weighted Gram accumulation `Σₖ w[k]·x_{row(k)}x_{row(k)}ᵀ`
+    /// (`d × d`), the kernel behind closed-form Hessians and the PPCA
+    /// second moment. Rows with zero weight are skipped; the upper
+    /// triangle is accumulated chunk-reduced in chunk order and
+    /// mirrored, so results are machine- and thread-count-independent.
     ///
     /// # Panics
     /// Panics when `w.len() != len()`.
     pub fn weighted_gram(&self, w: &[f64]) -> Matrix {
-        assert_eq!(w.len(), self.rows, "weighted_gram: weight length mismatch");
-        let d = self.dim;
-        let mut g = par_map_reduce_matrix(self.rows, d, d, |range| {
+        assert_eq!(w.len(), self.len(), "weighted_gram: weight length mismatch");
+        let d = self.matrix.dim;
+        let mut g = par_map_reduce_matrix(self.len(), d, d, |range| {
             let mut acc = Matrix::zeros(d, d);
-            match &self.block {
-                DesignBlock::DenseRows(_) | DesignBlock::DenseOwned(_) => {
-                    for i in range {
-                        let wi = w[i];
-                        if wi == 0.0 {
+            if self.is_sparse() {
+                for k in range {
+                    let wk = w[k];
+                    if wk == 0.0 {
+                        continue;
+                    }
+                    let (idx, val) = self.sparse_row(k).expect("sparse block");
+                    for (p, &ip) in idx.iter().enumerate() {
+                        let coeff = wk * val[p];
+                        if coeff == 0.0 {
                             continue;
                         }
-                        let row = self.dense_row(i).expect("dense block");
-                        for (a, &xa) in row.iter().enumerate() {
-                            let coeff = wi * xa;
-                            if coeff == 0.0 {
-                                continue;
-                            }
-                            let arow = acc.row_mut(a);
-                            for (b, &xb) in row.iter().enumerate().skip(a) {
-                                arow[b] += coeff * xb;
-                            }
+                        let arow = acc.row_mut(ip as usize);
+                        for (q, &iq) in idx.iter().enumerate().skip(p) {
+                            arow[iq as usize] += coeff * val[q];
                         }
                     }
                 }
-                DesignBlock::Csr { .. } => {
-                    for i in range {
-                        let wi = w[i];
-                        if wi == 0.0 {
+            } else {
+                for k in range {
+                    let wk = w[k];
+                    if wk == 0.0 {
+                        continue;
+                    }
+                    let row = self.dense_row(k).expect("dense block");
+                    for (a, &xa) in row.iter().enumerate() {
+                        let coeff = wk * xa;
+                        if coeff == 0.0 {
                             continue;
                         }
-                        let (idx, val) = self.sparse_row(i).expect("sparse block");
-                        for (p, &ip) in idx.iter().enumerate() {
-                            let coeff = wi * val[p];
-                            if coeff == 0.0 {
-                                continue;
-                            }
-                            let arow = acc.row_mut(ip as usize);
-                            for (q, &iq) in idx.iter().enumerate().skip(p) {
-                                arow[iq as usize] += coeff * val[q];
-                            }
+                        let arow = acc.row_mut(a);
+                        for (b, &xb) in row.iter().enumerate().skip(a) {
+                            arow[b] += coeff * xb;
                         }
                     }
                 }
@@ -729,6 +1201,215 @@ mod tests {
             (&[1u32, 3][..], &[2.0, -1.0][..])
         );
         assert_eq!(xm.sparse_row(1).unwrap(), (&[0u32][..], &[5.0][..]));
+    }
+
+    /// Gathered-view passes must equal the passes over a matrix built
+    /// from the materialized subset — bit for bit, dense and sparse, at
+    /// thread budgets {1, 4}.
+    #[test]
+    fn gathered_view_is_bitwise_materialized_subset() {
+        let (dense, w) = dense_pair();
+        let sparse = yelp_like(260, 50, 4);
+        let sw: Vec<f64> = (0..50).map(|i| ((i * 5) % 11) as f64 * 0.1 - 0.3).collect();
+        let patterns = |n: usize| -> Vec<Vec<usize>> {
+            vec![
+                (0..n).rev().collect(),
+                (0..n).step_by(3).collect(),
+                (0..n).map(|i| (i * 13 + 1) % n).collect(),
+            ]
+        };
+        for budget in [Some(1), Some(4)] {
+            set_max_threads(budget);
+            // Dense block.
+            let pool = DatasetMatrix::from_dataset(&dense);
+            for idx in patterns(dense.len()) {
+                let view = pool.gather(&idx);
+                let sub = dense.subset(&idx);
+                let mat = DatasetMatrix::from_dataset(&sub);
+                assert_eq!(view.len(), idx.len());
+                assert!(view.is_gathered());
+                let mut a = vec![0.0; idx.len()];
+                let mut b = vec![0.0; idx.len()];
+                view.margins_into(&w, 0.5, &mut a);
+                mat.margins_into(&w, 0.5, &mut b);
+                assert_eq!(a, b, "dense margins budget {budget:?}");
+                let wr: Vec<f64> = (0..idx.len()).map(|i| (i as f64 * 0.19).sin()).collect();
+                let mut ga = vec![0.0; dense.dim()];
+                let mut gb = vec![0.0; dense.dim()];
+                view.weighted_sum_into(&wr, &mut ga);
+                mat.weighted_sum_into(&wr, &mut gb);
+                assert_eq!(ga, gb, "dense wsum budget {budget:?}");
+                let gram_a = view.weighted_gram(&wr);
+                let gram_b = mat.weighted_gram(&wr);
+                assert_eq!(
+                    gram_a.as_slice(),
+                    gram_b.as_slice(),
+                    "dense gram budget {budget:?}"
+                );
+                for (k, &i) in idx.iter().enumerate() {
+                    assert_eq!(view.label(k), dense.get(i).y);
+                    assert_eq!(view.dense_row(k).unwrap(), mat.dense_row(k).unwrap());
+                }
+            }
+            // Sparse (CSR) block.
+            let spool = DatasetMatrix::from_dataset(&sparse);
+            for idx in patterns(sparse.len()) {
+                let view = spool.gather(&idx);
+                let sub = sparse.subset(&idx);
+                let mat = DatasetMatrix::from_dataset(&sub);
+                let mut a = vec![0.0; idx.len()];
+                let mut b = vec![0.0; idx.len()];
+                view.margins_into(&sw, -0.25, &mut a);
+                mat.margins_into(&sw, -0.25, &mut b);
+                assert_eq!(a, b, "sparse margins budget {budget:?}");
+                let wr: Vec<f64> = (0..idx.len()).map(|i| (i as f64 * 0.31).cos()).collect();
+                let mut ga = vec![0.0; sparse.dim()];
+                let mut gb = vec![0.0; sparse.dim()];
+                view.weighted_sum_into(&wr, &mut ga);
+                mat.weighted_sum_into(&wr, &mut gb);
+                assert_eq!(ga, gb, "sparse wsum budget {budget:?}");
+                for k in 0..idx.len() {
+                    assert_eq!(view.sparse_row(k), mat.sparse_row(k));
+                }
+            }
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn gathered_fold_is_bitwise_materialized_fold() {
+        let (data, w) = dense_pair();
+        let pool = DatasetMatrix::from_dataset(&data);
+        let idx: Vec<usize> = (0..data.len()).map(|i| (i * 7 + 2) % data.len()).collect();
+        let sub = data.subset(&idx);
+        let mat = DatasetMatrix::from_dataset(&sub);
+        for budget in [Some(1), Some(4)] {
+            set_max_threads(budget);
+            let view = pool.gather(&idx);
+            let run = |xm_fold: &dyn Fn(&mut TrainScratch, &mut [f64]) -> f64| {
+                let mut scratch = TrainScratch::new();
+                let mut grad = vec![f64::NAN; data.dim()];
+                let loss = xm_fold(&mut scratch, &mut grad);
+                (loss, grad)
+            };
+            let labels_v: Vec<f64> = (0..view.len()).map(|k| view.label(k)).collect();
+            let (lv, gv) = run(&|scratch, grad| {
+                view.value_grad_fold(&w, 0.1, grad, scratch, |start, ms| {
+                    let mut part = 0.0;
+                    for (local, m) in ms.iter_mut().enumerate() {
+                        part += *m;
+                        *m = 1.5 * *m - labels_v[start + local];
+                    }
+                    part
+                })
+            });
+            let labels_m = mat.labels().to_vec();
+            let (lm, gm) = run(&|scratch, grad| {
+                mat.value_grad_fold(&w, 0.1, grad, scratch, |start, ms| {
+                    let mut part = 0.0;
+                    for (local, m) in ms.iter_mut().enumerate() {
+                        part += *m;
+                        *m = 1.5 * *m - labels_m[start + local];
+                    }
+                    part
+                })
+            });
+            assert_eq!(lv, lm, "fold loss budget {budget:?}");
+            assert_eq!(gv, gm, "fold grad budget {budget:?}");
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn packed_gather_is_bitwise_gathered_view() {
+        // gather_packed must be indistinguishable from the gathered
+        // view in every pass — the capture policy can then flip between
+        // them on footprint alone.
+        let (dense, w) = dense_pair();
+        let pool = DatasetMatrix::from_dataset(&dense);
+        let idx: Vec<usize> = (0..dense.len())
+            .map(|i| (i * 11 + 5) % dense.len())
+            .collect();
+        let view = pool.gather(&idx);
+        let packed = pool.gather_packed(&idx);
+        assert_eq!(packed.len(), idx.len());
+        assert_eq!(packed.dim(), dense.dim());
+        let mut a = vec![0.0; idx.len()];
+        let mut b = vec![0.0; idx.len()];
+        view.margins_into(&w, 0.75, &mut a);
+        packed.margins_into(&w, 0.75, &mut b);
+        assert_eq!(a, b, "margins");
+        let wr: Vec<f64> = (0..idx.len()).map(|i| (i as f64 * 0.23).sin()).collect();
+        let mut ga = vec![0.0; dense.dim()];
+        let mut gb = vec![0.0; dense.dim()];
+        view.weighted_sum_into(&wr, &mut ga);
+        packed.weighted_sum_into(&wr, &mut gb);
+        assert_eq!(ga, gb, "weighted sum");
+        assert_eq!(
+            view.weighted_gram(&wr).as_slice(),
+            packed.weighted_gram(&wr).as_slice(),
+            "gram"
+        );
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(packed.labels()[k], dense.get(i).y);
+            assert_eq!(packed.dense_row(k).unwrap(), dense.get(i).x.as_slice());
+        }
+
+        // CSR: the packed triple holds the exact stored entries.
+        let sparse = yelp_like(180, 40, 6);
+        let spool = DatasetMatrix::from_dataset(&sparse);
+        let sidx: Vec<usize> = (0..sparse.len()).rev().collect();
+        let sview = spool.gather(&sidx);
+        let spacked = spool.gather_packed(&sidx);
+        let sw: Vec<f64> = (0..40).map(|i| 0.1 * i as f64 - 1.0).collect();
+        let mut sa = vec![0.0; sidx.len()];
+        let mut sb = vec![0.0; sidx.len()];
+        sview.margins_into(&sw, 0.0, &mut sa);
+        spacked.margins_into(&sw, 0.0, &mut sb);
+        assert_eq!(sa, sb, "sparse margins");
+        for k in 0..sidx.len() {
+            assert_eq!(sview.sparse_row(k), spacked.view().sparse_row(k));
+        }
+    }
+
+    #[test]
+    fn capture_policy_follows_the_footprint() {
+        let (dense, _) = dense_pair(); // 300 × 7 → ~16 KB: gathered.
+        let pool = DatasetMatrix::from_dataset(&dense);
+        let idx: Vec<usize> = (0..dense.len()).collect();
+        let small = pool.capture_sample(&idx);
+        assert!(!small.is_packed());
+        assert_eq!(small.view().len(), idx.len());
+        assert_eq!(
+            pool.view().data_bytes(),
+            dense.len() * dense.dim() * 8,
+            "dense footprint"
+        );
+
+        let sparse = yelp_like(50, 30, 7);
+        let spool = DatasetMatrix::from_dataset(&sparse);
+        let nnz: usize = sparse.iter().map(|e| e.x.nnz()).sum();
+        assert_eq!(spool.view().data_bytes(), nnz * 12, "CSR footprint");
+    }
+
+    #[test]
+    fn full_view_delegates_to_matrix() {
+        let (data, w) = dense_pair();
+        let xm = DatasetMatrix::from_dataset(&data);
+        let view = xm.view();
+        assert!(!view.is_gathered());
+        assert!(view.indices().is_none());
+        assert_eq!(view.len(), xm.len());
+        assert_eq!(view.dim(), xm.dim());
+        assert!(std::ptr::eq(view.matrix(), &xm));
+        let mut a = vec![0.0; data.len()];
+        let mut b = vec![0.0; data.len()];
+        view.margins_into(&w, 1.0, &mut a);
+        xm.margins_into(&w, 1.0, &mut b);
+        assert_eq!(a, b);
+        for (k, e) in data.iter().enumerate() {
+            assert_eq!(view.label(k), e.y);
+        }
     }
 
     #[test]

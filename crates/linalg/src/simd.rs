@@ -125,6 +125,83 @@ pub fn rows_weighted_sum_gather(rows: &[&[f64]], d: usize, w: &[f64], out: &mut 
     }
 }
 
+/// Index-gathered form of [`rows_dot_gather`]: the rows to score are
+/// named by `idx` — `out[k] = dot(rows[idx[k]], w) + bias` — instead of
+/// being pre-gathered into their own slice table. This is the kernel
+/// behind zero-copy sample views: the pool's row table is built once
+/// and every sample is just an index list into it. Same bitwise
+/// contract as [`rows_dot_gather`] (per-row 4-lane reduction, bias
+/// last), with the next block's rows software-prefetched through the
+/// index indirection.
+///
+/// # Panics
+/// Panics when `idx.len() != out.len()` or `w.len() != d`; row bounds
+/// are checked by the slice indexing itself.
+pub fn rows_dot_gather_idx(
+    rows: &[&[f64]],
+    idx: &[usize],
+    d: usize,
+    w: &[f64],
+    bias: f64,
+    out: &mut [f64],
+) {
+    assert_eq!(
+        idx.len(),
+        out.len(),
+        "rows_dot_gather_idx: index count mismatch"
+    );
+    assert_eq!(w.len(), d, "rows_dot_gather_idx: weight length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if d >= 8 && is_x86_feature_detected!("avx") {
+        // SAFETY: AVX presence just checked; row accesses stay bounds-
+        // checked through the safe index loads.
+        unsafe { rows_dot_gather_idx_avx(rows, idx, d, w, bias, out) };
+        return;
+    }
+    for (&i, o) in idx.iter().zip(out.iter_mut()) {
+        debug_assert_eq!(rows[i].len(), d);
+        *o = dot(rows[i], w) + bias;
+    }
+}
+
+/// Index-gathered form of [`rows_weighted_sum_gather`]:
+/// `out[j] += Σ_k w[k]·rows[idx[k]][j]` in ascending `k` order — the
+/// gradient reduction over an index-view sample, bit-identical to
+/// running [`rows_weighted_sum_gather`] over the pre-gathered rows.
+///
+/// # Panics
+/// Panics when `idx.len() != w.len()` or `out.len() != d`.
+pub fn rows_weighted_sum_gather_idx(
+    rows: &[&[f64]],
+    idx: &[usize],
+    d: usize,
+    w: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(
+        idx.len(),
+        w.len(),
+        "rows_weighted_sum_gather_idx: weight length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        d,
+        "rows_weighted_sum_gather_idx: output length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if d >= 8 && is_x86_feature_detected!("avx") {
+        // SAFETY: AVX presence just checked; bounds asserted above.
+        unsafe { rows_weighted_sum_gather_idx_avx(rows, idx, d, w, out) };
+        return;
+    }
+    for (&i, &wi) in idx.iter().zip(w) {
+        debug_assert_eq!(rows[i].len(), d);
+        for (oj, &xj) in out.iter_mut().zip(rows[i]) {
+            *oj += wi * xj;
+        }
+    }
+}
+
 /// Scalar reference for [`rows_dot`]: per-row [`dot`] plus the bias.
 fn rows_dot_fallback(x: &[f64], d: usize, w: &[f64], bias: f64, out: &mut [f64]) {
     for (row, o) in x.chunks_exact(d).zip(out.iter_mut()) {
@@ -373,6 +450,173 @@ unsafe fn rows_weighted_sum_gather_avx(rows: &[&[f64]], d: usize, w: &[f64], out
     }
 }
 
+/// AVX [`rows_dot_gather_idx`]: [`rows_dot_gather_avx`] reading its four
+/// in-flight rows through the index list, prefetching the next block's
+/// indexed rows.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn rows_dot_gather_idx_avx(
+    rows: &[&[f64]],
+    idx: &[usize],
+    d: usize,
+    w: &[f64],
+    bias: f64,
+    out: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = idx.len();
+    let chunks = d / 4;
+    let wp = w.as_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let r0 = rows[idx[i]];
+        let r1 = rows[idx[i + 1]];
+        let r2 = rows[idx[i + 2]];
+        let r3 = rows[idx[i + 3]];
+        debug_assert!(r0.len() == d && r1.len() == d && r2.len() == d && r3.len() == d);
+        let p0 = r0.as_ptr();
+        let p1 = r1.as_ptr();
+        let p2 = r2.as_ptr();
+        let p3 = r3.as_ptr();
+        // Two-stage software pipeline against the random row order of
+        // gathered samples: a volatile touch of each row ~6 blocks out
+        // forces the dTLB walk early (plain `_mm_prefetch` is dropped on
+        // a dTLB miss on common x86 cores, so prefetching a not-yet-
+        // mapped random row does nothing), then full-line prefetches one
+        // block out run with a warm TLB.
+        if i + 28 <= n {
+            for r in 24..28 {
+                let tp = rows[idx[i + r]].as_ptr();
+                let _ = std::ptr::read_volatile(tp);
+            }
+        }
+        if i + 8 <= n {
+            for r in 4..8 {
+                let np = rows[idx[i + r]].as_ptr() as *const i8;
+                let mut off = 0;
+                while off < d * 8 {
+                    _mm_prefetch(np.add(off), _MM_HINT_T0);
+                    off += 64;
+                }
+            }
+        }
+        let mut a0 = _mm256_setzero_pd();
+        let mut a1 = _mm256_setzero_pd();
+        let mut a2 = _mm256_setzero_pd();
+        let mut a3 = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let j = c * 4;
+            let wv = _mm256_loadu_pd(wp.add(j));
+            a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(p0.add(j)), wv));
+            a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(p1.add(j)), wv));
+            a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(p2.add(j)), wv));
+            a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(p3.add(j)), wv));
+        }
+        let mut l0 = [0.0f64; 4];
+        let mut l1 = [0.0f64; 4];
+        let mut l2 = [0.0f64; 4];
+        let mut l3 = [0.0f64; 4];
+        _mm256_storeu_pd(l0.as_mut_ptr(), a0);
+        _mm256_storeu_pd(l1.as_mut_ptr(), a1);
+        _mm256_storeu_pd(l2.as_mut_ptr(), a2);
+        _mm256_storeu_pd(l3.as_mut_ptr(), a3);
+        let (mut e0, mut e1, mut e2, mut e3) = (0.0, 0.0, 0.0, 0.0);
+        for j in chunks * 4..d {
+            let wj = *wp.add(j);
+            e0 += *p0.add(j) * wj;
+            e1 += *p1.add(j) * wj;
+            e2 += *p2.add(j) * wj;
+            e3 += *p3.add(j) * wj;
+        }
+        out[i] = l0[0] + l0[1] + l0[2] + l0[3] + e0 + bias;
+        out[i + 1] = l1[0] + l1[1] + l1[2] + l1[3] + e1 + bias;
+        out[i + 2] = l2[0] + l2[1] + l2[2] + l2[3] + e2 + bias;
+        out[i + 3] = l3[0] + l3[1] + l3[2] + l3[3] + e3 + bias;
+        i += 4;
+    }
+    while i < n {
+        out[i] = dot(rows[idx[i]], w) + bias;
+        i += 1;
+    }
+}
+
+/// AVX [`rows_weighted_sum_gather_idx`]: [`rows_weighted_sum_gather_avx`]
+/// reading its four in-flight rows through the index list, preserving
+/// ascending-`k` accumulation.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn rows_weighted_sum_gather_idx_avx(
+    rows: &[&[f64]],
+    idx: &[usize],
+    d: usize,
+    w: &[f64],
+    out: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = idx.len();
+    let cols4 = d / 4 * 4;
+    let mut i = 0;
+    while i + 4 <= n {
+        let r0 = rows[idx[i]];
+        let r1 = rows[idx[i + 1]];
+        let r2 = rows[idx[i + 2]];
+        let r3 = rows[idx[i + 3]];
+        debug_assert!(r0.len() == d && r1.len() == d && r2.len() == d && r3.len() == d);
+        let p0 = r0.as_ptr();
+        let p1 = r1.as_ptr();
+        let p2 = r2.as_ptr();
+        let p3 = r3.as_ptr();
+        // Same two-stage pipeline as the gathered dot kernel: TLB touch
+        // far ahead, full-line prefetch one block ahead.
+        if i + 28 <= n {
+            for r in 24..28 {
+                let tp = rows[idx[i + r]].as_ptr();
+                let _ = std::ptr::read_volatile(tp);
+            }
+        }
+        if i + 8 <= n {
+            for r in 4..8 {
+                let np = rows[idx[i + r]].as_ptr() as *const i8;
+                let mut off = 0;
+                while off < d * 8 {
+                    _mm_prefetch(np.add(off), _MM_HINT_T0);
+                    off += 64;
+                }
+            }
+        }
+        let w0 = _mm256_set1_pd(w[i]);
+        let w1 = _mm256_set1_pd(w[i + 1]);
+        let w2 = _mm256_set1_pd(w[i + 2]);
+        let w3 = _mm256_set1_pd(w[i + 3]);
+        let op = out.as_mut_ptr();
+        let mut j = 0;
+        while j < cols4 {
+            let mut ov = _mm256_loadu_pd(op.add(j));
+            ov = _mm256_add_pd(ov, _mm256_mul_pd(w0, _mm256_loadu_pd(p0.add(j))));
+            ov = _mm256_add_pd(ov, _mm256_mul_pd(w1, _mm256_loadu_pd(p1.add(j))));
+            ov = _mm256_add_pd(ov, _mm256_mul_pd(w2, _mm256_loadu_pd(p2.add(j))));
+            ov = _mm256_add_pd(ov, _mm256_mul_pd(w3, _mm256_loadu_pd(p3.add(j))));
+            _mm256_storeu_pd(op.add(j), ov);
+            j += 4;
+        }
+        for j in cols4..d {
+            let o = out.get_unchecked_mut(j);
+            *o += w[i] * *p0.add(j);
+            *o += w[i + 1] * *p1.add(j);
+            *o += w[i + 2] * *p2.add(j);
+            *o += w[i + 3] * *p3.add(j);
+        }
+        i += 4;
+    }
+    while i < n {
+        let wi = w[i];
+        for (oj, &xj) in out.iter_mut().zip(rows[idx[i]]) {
+            *oj += wi * xj;
+        }
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +710,60 @@ mod tests {
             rows_weighted_sum_gather(&rows, d, &wr, &mut gg);
             assert_eq!(gc, gg, "wsum n={n} d={d}");
         }
+    }
+
+    #[test]
+    fn idx_kernels_match_pregathered_bitwise() {
+        // Indexing into the pool row table must equal gathering the rows
+        // first — for identity, reversed, strided, and repeated index
+        // lists (samples are permutations, but the kernel contract is
+        // arbitrary indices).
+        for (n, d) in [(1, 1), (9, 5), (13, 100), (50, 8), (21, 33)] {
+            let x = block(n, d, 20);
+            let rows: Vec<&[f64]> = x.chunks_exact(d.max(1)).collect();
+            let w = block(1, d, 21);
+            let patterns: Vec<Vec<usize>> = vec![
+                (0..n).collect(),
+                (0..n).rev().collect(),
+                (0..n).step_by(2).collect(),
+                (0..n).map(|i| (i * 7 + 3) % n).collect(),
+            ];
+            for idx in patterns {
+                let gathered: Vec<&[f64]> = idx.iter().map(|&i| rows[i]).collect();
+                let mut a = vec![0.0; idx.len()];
+                let mut b = vec![0.0; idx.len()];
+                rows_dot_gather(&gathered, d, &w, -0.25, &mut a);
+                rows_dot_gather_idx(&rows, &idx, d, &w, -0.25, &mut b);
+                assert_eq!(a, b, "dot n={n} d={d} idx={idx:?}");
+
+                let wr = block(1, idx.len(), 22);
+                let mut ga = block(1, d, 23);
+                let mut gb = ga.clone();
+                rows_weighted_sum_gather(&gathered, d, &wr, &mut ga);
+                rows_weighted_sum_gather_idx(&rows, &idx, d, &wr, &mut gb);
+                assert_eq!(ga, gb, "wsum n={n} d={d} idx={idx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idx_kernels_accept_empty_index_lists() {
+        let x = block(4, 3, 24);
+        let rows: Vec<&[f64]> = x.chunks_exact(3).collect();
+        let mut out: Vec<f64> = vec![];
+        rows_dot_gather_idx(&rows, &[], 3, &[0.0; 3], 0.0, &mut out);
+        let mut g = vec![1.0, 2.0, 3.0];
+        rows_weighted_sum_gather_idx(&rows, &[], 3, &[], &mut g);
+        assert_eq!(g, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index count mismatch")]
+    fn idx_dot_rejects_bad_shape() {
+        let x = block(2, 3, 25);
+        let rows: Vec<&[f64]> = x.chunks_exact(3).collect();
+        let mut out = vec![0.0; 2];
+        rows_dot_gather_idx(&rows, &[0], 3, &[0.0; 3], 0.0, &mut out);
     }
 
     #[test]

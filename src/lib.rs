@@ -70,8 +70,9 @@ pub mod prelude {
     pub use blinkml_core::models::poisson::PoissonRegressionSpec;
     pub use blinkml_core::models::ppca::PpcaSpec;
     pub use blinkml_core::sample_size::SampleSizeEstimator;
+    pub use blinkml_core::session::Session;
     pub use blinkml_data::generators::{
         criteo_like, gas_like, higgs_like, mnist_like, power_like, yelp_like,
     };
-    pub use blinkml_data::{Dataset, FeatureVec, Split};
+    pub use blinkml_data::{Dataset, FeatureVec, IndexView, MatrixView, Split};
 }
