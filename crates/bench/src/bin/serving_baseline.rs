@@ -1,0 +1,318 @@
+//! Record the multi-tenant serving-layer baseline to
+//! `results/BENCH_serving.json`.
+//!
+//! Drives the [`Server`] with a Zipf-distributed query mix over
+//! `(dataset version, ε, seed)` archetypes — the skew a real serving
+//! deployment sees, where a few (dataset, pilot) combinations absorb
+//! most traffic and the pilot cache earns its keep — and records:
+//!
+//! * **throughput and latency**: queries/second plus p50/p99
+//!   submit-to-completion latency as stamped by the server,
+//! * **cache effectiveness**: pilot trains vs cache hits vs coalesced
+//!   waits under the mix,
+//! * the **cold vs warm pilot pair**: a fresh-key query (leads a pilot
+//!   train + statistics) against the same query repeated (cache hit),
+//!   min-over-reps on both sides.
+//!
+//! Two gates hold in every mode:
+//!
+//! * **bit-identity** — one served response per distinct archetype is
+//!   compared bitwise (θ, ε₀, ε̂, chosen n) against a serial
+//!   fresh-coordinator oracle,
+//! * **warm strictly faster than cold** — the cached-pilot hit path
+//!   must beat the cold path, since it skips pilot training and the
+//!   statistics phase entirely.
+//!
+//! Usage:
+//! `cargo run --release -p blinkml-bench --bin serving_baseline -- \
+//!  [mode=full|smoke] [n=30000] [dim=20] [n0=1000] [holdout=2000] \
+//!  [queries=256] [workers=4] [zipf=1.1] [reps=3] [seed=1]`
+
+use blinkml_bench::{fmt_duration, BenchArgs, Table};
+use blinkml_core::models::LogisticRegressionSpec;
+use blinkml_core::serve::{DatasetShard, Query, Server};
+use blinkml_core::{BlinkMlConfig, Coordinator, ServeConfig, TrainingOutcome};
+use blinkml_data::generators::synthetic_logistic;
+use blinkml_data::DenseVec;
+use blinkml_prob::split_seed;
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+/// xorshift64* — the bench's deterministic query-mix sampler.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Sample `count` archetype indices from a Zipf(`s`) law over ranks
+/// `1..=k` (cumulative-weight inversion; rank 0 is the hottest).
+fn zipf_mix(k: usize, s: f64, count: usize, rng: &mut XorShift) -> Vec<usize> {
+    let weights: Vec<f64> = (1..=k).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    (0..count)
+        .map(|_| {
+            let mut u = rng.next_f64() * total;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    return i;
+                }
+                u -= w;
+            }
+            k - 1
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn assert_bitwise(context: &str, served: &TrainingOutcome, oracle: &TrainingOutcome) {
+    assert_eq!(
+        served.sample_size, oracle.sample_size,
+        "{context}: chosen n"
+    );
+    assert_eq!(
+        served.initial_epsilon.to_bits(),
+        oracle.initial_epsilon.to_bits(),
+        "{context}: ε₀"
+    );
+    assert_eq!(
+        served.estimated_epsilon.to_bits(),
+        oracle.estimated_epsilon.to_bits(),
+        "{context}: ε̂"
+    );
+    assert_eq!(
+        served.model.parameters(),
+        oracle.model.parameters(),
+        "{context}: θ"
+    );
+}
+
+fn main() {
+    let args = BenchArgs::parse(&[
+        "mode", "n", "dim", "n0", "holdout", "queries", "workers", "zipf", "reps", "seed",
+    ]);
+    let mode = args.get_str("mode", "full");
+    let smoke = mode == "smoke";
+    assert!(
+        smoke || mode == "full",
+        "mode must be 'full' or 'smoke', got '{mode}'"
+    );
+    let (def_n, def_q) = if smoke { (8_000, 48) } else { (30_000, 256) };
+    let n = args.get_usize("n", def_n);
+    let dim = args.get_usize("dim", if smoke { 8 } else { 20 });
+    let n0 = args.get_usize("n0", if smoke { 400 } else { 1_000 });
+    let holdout = args.get_usize("holdout", if smoke { 800 } else { 2_000 });
+    let num_queries = args.get_usize("queries", def_q);
+    let workers = args.get_usize("workers", 4);
+    let zipf_s = args.get_f64("zipf", 1.1);
+    let reps = args.get_usize("reps", 3);
+    let seed = args.get_u64("seed", 1);
+
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let base = BlinkMlConfig {
+        epsilon: 0.10,
+        delta: 0.05,
+        initial_sample_size: n0,
+        holdout_size: holdout,
+        num_param_samples: 32,
+        ..BlinkMlConfig::default()
+    };
+
+    // Two dataset versions; the query archetypes span versions × ε
+    // targets × sampling seeds. Zipf rank order: archetype 0 (hot) …
+    // k-1 (cold tail).
+    let shards: Vec<DatasetShard<DenseVec>> = (1..=2u64)
+        .map(|v| {
+            let (data, _) = synthetic_logistic(n, dim, 2.0, split_seed(seed, v));
+            let split = data.split(holdout, 0, split_seed(seed, 10 + v));
+            DatasetShard::new(v, split.train, split.holdout)
+        })
+        .collect();
+    let epsilons = [0.30, 0.20, 0.14, 0.10];
+    let archetypes: Vec<Query> = (0..2u64)
+        .flat_map(|v| {
+            epsilons
+                .into_iter()
+                .flat_map(move |eps| (0..4u64).map(move |s| Query::new(1 + v, eps, 0.05, s)))
+        })
+        .collect();
+    let mut rng = XorShift::new(seed);
+    let mix = zipf_mix(archetypes.len(), zipf_s, num_queries, &mut rng);
+
+    let server = Server::spawn(
+        base.clone(),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+        spec,
+        shards.clone(),
+    )
+    .expect("spawn server");
+
+    // --- The Zipf mix: submit everything, then drain. ---
+    let wall_start = Instant::now();
+    let handles: Vec<(usize, _)> = mix
+        .iter()
+        .map(|&a| (a, server.submit(archetypes[a]).expect("submit")))
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(num_queries);
+    let mut first_response: Vec<Option<TrainingOutcome>> = vec![None; archetypes.len()];
+    for (a, handle) in handles {
+        let served = handle.wait().expect("served response");
+        latencies.push(served.latency);
+        first_response[a].get_or_insert(served.outcome);
+    }
+    let wall = wall_start.elapsed();
+    let stats = server.stats();
+    assert_eq!(stats.failed, 0, "no query may fail under the mix");
+    assert_eq!(stats.inflight, 0, "no leaked in-flight entries");
+
+    latencies.sort();
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    let qps = num_queries as f64 / wall.as_secs_f64().max(1e-12);
+
+    // --- Bit-identity gate: every archetype served in the mix must
+    // match a serial fresh-coordinator run exactly. ---
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let mut checked = 0usize;
+    for (a, served) in first_response.iter().enumerate() {
+        let Some(served) = served else { continue };
+        let q = archetypes[a];
+        let mut config = base.clone();
+        config.epsilon = q.epsilon;
+        config.delta = q.delta;
+        let oracle = Coordinator::new(config)
+            .train_with_holdout(
+                &spec,
+                &shards[(q.dataset - 1) as usize].train,
+                &shards[(q.dataset - 1) as usize].holdout,
+                q.seed,
+            )
+            .expect("oracle run");
+        assert_bitwise(&format!("archetype {a}"), served, &oracle);
+        checked += 1;
+    }
+    assert!(checked > 0, "the mix must cover at least one archetype");
+
+    // --- Cold vs warm pilot pair: fresh keys lead a pilot train; the
+    // repeat hits the cache and skips pilot + statistics. ---
+    let (mut t_cold, mut t_warm) = (Duration::MAX, Duration::MAX);
+    for r in 0..reps.max(1) as u64 {
+        let q = Query::new(1, 0.30, 0.05, 1_000 + r);
+        let start = Instant::now();
+        server.query(q).expect("cold query");
+        t_cold = t_cold.min(start.elapsed());
+        let start = Instant::now();
+        server.query(q).expect("warm query");
+        t_warm = t_warm.min(start.elapsed());
+    }
+    assert!(
+        t_warm < t_cold,
+        "cached-pilot hit path must be strictly faster than cold \
+         (warm {} >= cold {})",
+        fmt_duration(t_warm),
+        fmt_duration(t_cold),
+    );
+    let final_stats = server.stats();
+    server.shutdown();
+
+    // --- Report. ---
+    let mut table = Table::new(
+        format!(
+            "Serving baseline: {num_queries} queries, Zipf(s={zipf_s}) over \
+             {} archetypes, {workers} workers",
+            archetypes.len()
+        ),
+        &["metric", "value"],
+    );
+    table.row(&["throughput".into(), format!("{qps:.1} q/s")]);
+    table.row(&["p50 latency".into(), fmt_duration(p50)]);
+    table.row(&["p99 latency".into(), fmt_duration(p99)]);
+    table.row(&["pilot trains".into(), final_stats.pilot_trains.to_string()]);
+    table.row(&["cache hits".into(), final_stats.cache_hits.to_string()]);
+    table.row(&[
+        "coalesced waits".into(),
+        final_stats.coalesced_waits.to_string(),
+    ]);
+    table.row(&["evictions".into(), final_stats.evictions.to_string()]);
+    table.row(&["cold pilot path".into(), fmt_duration(t_cold)]);
+    table.row(&["warm pilot path".into(), fmt_duration(t_warm)]);
+    table.print();
+    println!(
+        "\nbit-identity: {checked}/{} archetypes served in the mix match the \
+         serial oracle exactly; warm/cold = {:.2}x",
+        archetypes.len(),
+        t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-12),
+    );
+
+    if smoke {
+        println!("\nsmoke mode: skipping results/BENCH_serving.json");
+        return;
+    }
+
+    let shape = json!({
+        "n": n,
+        "dim": dim,
+        "n0": n0,
+        "holdout": holdout,
+        "datasets": shards.len(),
+        "queries": num_queries,
+        "workers": workers,
+        "zipf_s": zipf_s,
+        "archetypes": archetypes.len(),
+        "epsilons": epsilons.to_vec(),
+    });
+    let latency = json!({
+        "p50_ms": p50.as_secs_f64() * 1e3,
+        "p99_ms": p99.as_secs_f64() * 1e3,
+        "wall_ms": wall.as_secs_f64() * 1e3,
+    });
+    let cache = json!({
+        "pilot_trains": final_stats.pilot_trains,
+        "cache_hits": final_stats.cache_hits,
+        "coalesced_waits": final_stats.coalesced_waits,
+        "evictions": final_stats.evictions,
+        "cached_pilots": final_stats.cached_pilots,
+    });
+    let pilot_path = json!({
+        "cold_ms": t_cold.as_secs_f64() * 1e3,
+        "warm_ms": t_warm.as_secs_f64() * 1e3,
+        "speedup": t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-12),
+    });
+    let exactness = json!({
+        "archetypes_checked": checked,
+        "bit_identical_to_oracle": true,
+    });
+    let doc = json!({
+        "bench": "serving",
+        "seed": seed,
+        "threads": blinkml_data::parallel::max_threads(),
+        "shape": shape,
+        "throughput_qps": qps,
+        "latency": latency,
+        "cache": cache,
+        "pilot_path": pilot_path,
+        "exactness": exactness,
+    });
+    let dir = blinkml_bench::report::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_serving.json");
+    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    println!("\nwrote {}", path.display());
+}

@@ -142,6 +142,59 @@ impl ExecConfig {
     }
 }
 
+/// Serving-layer configuration (see [`crate::serve`]): worker-pool and
+/// pilot-cache knobs for the multi-tenant [`Server`](crate::serve::Server).
+///
+/// Like [`ExecConfig`], none of these knobs can change results — the
+/// serving layer's bit-identity contract holds for any worker count and
+/// any cache capacity; they trade memory and latency only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads processing queries (each owns its capture
+    /// scratch). Workers share the process-wide execution budget
+    /// ([`ExecConfig`]) for their inner kernels.
+    pub workers: usize,
+    /// Maximum pilots (`m₀` + Fisher statistics) held in the keyed LRU.
+    /// Eviction retrains bit-identically on the next miss — a time
+    /// cost, never a correctness one.
+    pub pilot_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            pilot_cache_capacity: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the serving knobs.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.workers == 0 {
+            return Err(CoreError::InvalidConfig(
+                "serve.workers must be at least 1".into(),
+            ));
+        }
+        if self.pilot_cache_capacity == 0 {
+            return Err(CoreError::InvalidConfig(
+                "serve.pilot_cache_capacity must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// A single-worker server (fully serial processing; useful for
+    /// deterministic scheduling in tests).
+    pub fn serial() -> Self {
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        }
+    }
+}
+
 /// Full BlinkML configuration.
 ///
 /// The *approximation contract* is `(epsilon, delta)`: the returned model
@@ -337,6 +390,23 @@ mod tests {
             ..BlinkMlConfig::default()
         };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn serve_config_validation() {
+        assert!(ServeConfig::default().validate().is_ok());
+        assert!(ServeConfig::serial().validate().is_ok());
+        assert_eq!(ServeConfig::serial().workers, 1);
+        let c = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            pilot_cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

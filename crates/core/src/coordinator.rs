@@ -161,7 +161,8 @@ pub(crate) fn build_pool<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
 
 /// The ε-independent artifacts of the pilot phase — the initial model
 /// and its statistics — cached by [`crate::session::Session`] across
-/// repeated `train()` calls with different contracts.
+/// repeated `train()` calls with different contracts, and by the
+/// serving layer's keyed LRU ([`crate::serve`]) across tenants.
 #[derive(Debug, Clone)]
 pub(crate) struct PilotState {
     /// The initial model `m₀` trained on `n₀` examples.

@@ -23,6 +23,9 @@
 //! * [`session`] — the amortized multi-query Session API (pool-resident
 //!   design matrix + cached pilot statistics across repeated `train()`
 //!   calls — the serving scenario),
+//! * [`serve`] — the multi-tenant serving layer (request queue + worker
+//!   pool, keyed LRU over pilot artifacts, in-flight coalescing) that
+//!   promotes the Session's amortization to a concurrent service,
 //! * [`baselines`] — FixedRatio / RelativeRatio / IncEstimator from the
 //!   paper's §5.4 evaluation.
 
@@ -36,17 +39,23 @@ pub mod grads;
 pub mod mcs;
 pub mod models;
 pub mod sample_size;
+pub mod serve;
 pub mod session;
 pub mod stats;
 #[doc(hidden)]
 pub mod testing;
 
 pub use accuracy::ModelAccuracyEstimator;
-pub use config::{BlinkMlConfig, ExecConfig, SamplingMode, SpectralMethod, StatisticsMethod};
+pub use config::{
+    BlinkMlConfig, ExecConfig, SamplingMode, ServeConfig, SpectralMethod, StatisticsMethod,
+};
 pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
 pub use mcs::{ModelClassSpec, TrainedModel};
 pub use sample_size::{SampleSizeEstimate, SampleSizeEstimator};
+pub use serve::{
+    DatasetShard, Query, ResponseHandle, ServeError, ServedResponse, Server, ServerStats,
+};
 pub use session::Session;
 pub use stats::{
     compute_statistics, compute_statistics_cached, compute_statistics_spectral, ModelStatistics,

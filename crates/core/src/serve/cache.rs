@@ -1,0 +1,341 @@
+//! Pilot-artifact cache for the serving layer: a keyed LRU plus an
+//! in-flight coalescing map.
+//!
+//! The cache stores the ε-independent pilot artifacts
+//! ([`PilotState`](crate::coordinator::PilotState): the initial model
+//! `m₀` and its Fisher statistics) keyed by
+//! `(dataset_version, n₀, seed)` — exactly the inputs the pilot phase
+//! depends on. Two invariants carry the serving layer's correctness:
+//!
+//! * **No stale pilots.** The dataset version is part of the key, so a
+//!   pilot trained on one dataset version can never be served for
+//!   another, and eviction only ever costs time (the pilot is retrained
+//!   bit-identically on the next miss), never changes a result.
+//! * **No leaked in-flight entries.** A miss registers the key in the
+//!   coalescing map before training; every exit path — success, train
+//!   error, worker panic — removes the entry and publishes a terminal
+//!   result to the waiters. A failure therefore never wedges later
+//!   queries for the same key: the next arrival simply becomes the new
+//!   leader.
+
+use crate::coordinator::PilotState;
+use crate::serve::ServeError;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache key for pilot artifacts: `(dataset_version, n₀, seed)`.
+///
+/// `n₀` is the *effective* initial sample size
+/// (`min(initial_sample_size, N)`), matching what the coordinator
+/// actually trains on, so two configured sizes that clamp to the same
+/// `n₀` share one pilot — the same rule `Session` uses.
+pub type PilotKey = (u64, usize, u64);
+
+/// A keyed LRU over pilot artifacts.
+///
+/// Eviction is least-recently-*used* (hits refresh recency), with a
+/// hard capacity. The implementation is a `HashMap` with a monotonic
+/// use tick per entry and an `O(len)` scan on eviction — capacities in
+/// a serving deployment are small (each entry holds a full statistics
+/// factor), so the scan is noise next to one pilot training.
+#[derive(Debug)]
+pub struct PilotLru {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<PilotKey, (Arc<PilotState>, u64)>,
+    evictions: u64,
+}
+
+impl PilotLru {
+    /// Empty LRU holding at most `capacity` pilots.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 (validated away by
+    /// [`ServeConfig::validate`](crate::config::ServeConfig::validate)).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pilot cache capacity must be at least 1");
+        PilotLru {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &PilotKey) -> Option<Arc<PilotState>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(pilot, used)| {
+            *used = tick;
+            pilot.clone()
+        })
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used
+    /// entry when the cache is over capacity.
+    pub fn insert(&mut self, key: PilotKey, pilot: Arc<PilotState>) {
+        self.tick += 1;
+        self.entries.insert(key, (pilot, self.tick));
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map over capacity");
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of cached pilots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drop every cached pilot (results are unaffected; subsequent
+    /// queries retrain on demand).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The published terminal result of one in-flight pilot computation.
+type PilotResult = Result<Arc<PilotState>, ServeError>;
+
+/// One in-flight pilot computation: the leader publishes exactly one
+/// terminal result; coalesced waiters block on the condvar.
+#[derive(Debug, Default)]
+pub struct Inflight {
+    slot: Mutex<Option<PilotResult>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    /// Publish the terminal result and wake every waiter. Called once
+    /// by the leader (on success, train error, or caught panic).
+    pub fn publish(&self, result: PilotResult) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(slot.is_none(), "in-flight pilot published twice");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+
+    /// Block until the leader publishes, then return a clone of the
+    /// terminal result.
+    pub fn wait(&self) -> PilotResult {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The serving layer's shared pilot-cache state: LRU + coalescing map
+/// behind one mutex (both maps are touched together on every
+/// resolution, so finer locking buys nothing).
+#[derive(Debug)]
+pub struct PilotCache {
+    state: Mutex<CacheState>,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    lru: PilotLru,
+    inflight: HashMap<PilotKey, Arc<Inflight>>,
+}
+
+/// How a worker should obtain the pilot for its query — the outcome of
+/// one [`PilotCache::resolve`] call.
+#[derive(Debug)]
+pub enum PilotTicket {
+    /// Cache hit: use these artifacts directly.
+    Cached(Arc<PilotState>),
+    /// Another worker is training this pilot right now: wait on the
+    /// in-flight entry.
+    Wait(Arc<Inflight>),
+    /// This worker is the leader: train the pilot, then call
+    /// [`PilotCache::complete`] (or [`PilotCache::fail`]) with the key.
+    Lead,
+}
+
+impl PilotCache {
+    /// Empty cache with the given LRU capacity.
+    pub fn new(capacity: usize) -> Self {
+        PilotCache {
+            state: Mutex::new(CacheState {
+                lru: PilotLru::new(capacity),
+                inflight: HashMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolve `key` to a pilot source: a cached value, an in-flight
+    /// computation to wait on, or leadership of a fresh computation
+    /// (which registers the in-flight entry before returning, so every
+    /// concurrent query for the same key coalesces onto it).
+    pub fn resolve(&self, key: PilotKey) -> PilotTicket {
+        let mut state = self.lock();
+        if let Some(pilot) = state.lru.get(&key) {
+            return PilotTicket::Cached(pilot);
+        }
+        if let Some(inflight) = state.inflight.get(&key) {
+            return PilotTicket::Wait(inflight.clone());
+        }
+        state.inflight.insert(key, Arc::new(Inflight::default()));
+        PilotTicket::Lead
+    }
+
+    /// Leader success path: insert the pilot into the LRU (evicting if
+    /// over capacity), retire the in-flight entry, and publish to the
+    /// waiters.
+    pub fn complete(&self, key: PilotKey, pilot: Arc<PilotState>) {
+        let inflight = {
+            let mut state = self.lock();
+            state.lru.insert(key, pilot.clone());
+            state.inflight.remove(&key)
+        };
+        if let Some(inflight) = inflight {
+            inflight.publish(Ok(pilot));
+        }
+    }
+
+    /// Leader failure path (train error or caught panic): retire the
+    /// in-flight entry *without* caching anything and publish the error
+    /// to the waiters. The next query for this key becomes a fresh
+    /// leader — a failed pilot never poisons the cache or wedges the
+    /// queue.
+    pub fn fail(&self, key: PilotKey, error: ServeError) {
+        let inflight = self.lock().inflight.remove(&key);
+        if let Some(inflight) = inflight {
+            inflight.publish(Err(error));
+        }
+    }
+
+    /// Number of cached pilots.
+    pub fn cached(&self) -> usize {
+        self.lock().lru.len()
+    }
+
+    /// Number of live in-flight entries (0 whenever the server is
+    /// idle — the leak invariant the proptests pin).
+    pub fn inflight(&self) -> usize {
+        self.lock().inflight.len()
+    }
+
+    /// Total LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.lock().lru.evictions()
+    }
+
+    /// Drop every cached pilot (in-flight entries are untouched).
+    pub fn clear(&self) {
+        self.lock().lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs::TrainedModel;
+
+    fn pilot(n0: usize) -> Arc<PilotState> {
+        Arc::new(PilotState {
+            model: TrainedModel::new(vec![n0 as f64], n0, 0, true, 0.0),
+            stats: None,
+            n0,
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = PilotLru::new(2);
+        lru.insert((0, 10, 1), pilot(10));
+        lru.insert((0, 20, 1), pilot(20));
+        // Touch the first entry so the second becomes the LRU victim.
+        assert!(lru.get(&(0, 10, 1)).is_some());
+        lru.insert((0, 30, 1), pilot(30));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get(&(0, 10, 1)).is_some(), "recently used survives");
+        assert!(lru.get(&(0, 20, 1)).is_none(), "LRU entry evicted");
+        assert!(lru.get(&(0, 30, 1)).is_some());
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn lru_capacity_one_holds_the_latest() {
+        let mut lru = PilotLru::new(1);
+        for n0 in [10, 20, 30] {
+            lru.insert((0, n0, 1), pilot(n0));
+            assert_eq!(lru.len(), 1);
+            assert_eq!(lru.get(&(0, n0, 1)).unwrap().n0, n0);
+        }
+        assert_eq!(lru.evictions(), 2);
+        lru.clear();
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn keys_separate_dataset_versions() {
+        let mut lru = PilotLru::new(4);
+        lru.insert((1, 10, 7), pilot(10));
+        assert!(lru.get(&(2, 10, 7)).is_none(), "other version never hits");
+        assert!(lru.get(&(1, 10, 7)).is_some());
+    }
+
+    #[test]
+    fn resolve_coalesces_and_completes() {
+        let cache = PilotCache::new(4);
+        let key = (0, 100, 5);
+        assert!(matches!(cache.resolve(key), PilotTicket::Lead));
+        // Second resolver for the same key coalesces.
+        let waiter = match cache.resolve(key) {
+            PilotTicket::Wait(w) => w,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        assert_eq!(cache.inflight(), 1);
+        cache.complete(key, pilot(100));
+        assert_eq!(cache.inflight(), 0);
+        assert_eq!(cache.cached(), 1);
+        assert_eq!(waiter.wait().expect("published pilot").n0, 100);
+        // Third resolver now hits the LRU.
+        assert!(matches!(cache.resolve(key), PilotTicket::Cached(_)));
+    }
+
+    #[test]
+    fn failure_retires_inflight_without_caching() {
+        let cache = PilotCache::new(4);
+        let key = (0, 100, 5);
+        assert!(matches!(cache.resolve(key), PilotTicket::Lead));
+        let waiter = match cache.resolve(key) {
+            PilotTicket::Wait(w) => w,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        cache.fail(key, ServeError::WorkerPanicked("boom".into()));
+        assert_eq!(cache.inflight(), 0, "failure must retire the entry");
+        assert_eq!(cache.cached(), 0, "failure must not cache a pilot");
+        assert!(matches!(waiter.wait(), Err(ServeError::WorkerPanicked(_))));
+        // The key is free again: the next query leads a fresh attempt.
+        assert!(matches!(cache.resolve(key), PilotTicket::Lead));
+        cache.complete(key, pilot(100));
+    }
+}

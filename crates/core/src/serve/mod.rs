@@ -1,0 +1,847 @@
+//! Multi-tenant serving layer: a request queue + worker pool over the
+//! coordinator workflow.
+//!
+//! [`Session`](crate::Session) amortizes repeated `train(ε, δ, seed)`
+//! queries for **one** caller; this module promotes that amortization to
+//! a concurrent service (the ROADMAP's "millions of users" path — cheap
+//! approximate training is only a serving story if many tenants can
+//! share it). A [`Server`] owns a set of dataset versions and a pool of
+//! worker threads:
+//!
+//! * the **pool-resident design matrix** is built once per dataset
+//!   version and shared by every worker (the datasets themselves are
+//!   `Arc`-shared with the caller via [`DatasetShard`]),
+//! * **pilot artifacts** (`m₀` + Fisher statistics) are cached in a
+//!   keyed LRU by `(dataset_version, n₀, seed)` with a configurable
+//!   capacity ([`ServeConfig::pilot_cache_capacity`]),
+//! * concurrent queries that miss on the same key **coalesce**: one
+//!   worker (the leader) trains the pilot exactly once, the rest block
+//!   on the in-flight entry and reuse the published artifacts,
+//! * each worker owns its **own** capture scratch, so overlapping
+//!   queries can never alias a packing buffer (the scratch is
+//!   per-worker, not per-session).
+//!
+//! # Bit-identity contract
+//!
+//! Every served response is **bit-identical** to a cold
+//! [`Coordinator`](crate::Coordinator) run with the same configuration:
+//! for a query `(dataset, ε, δ, seed)` the response's θ, ε₀, ε̂, and
+//! chosen `n` equal those of
+//! `Coordinator::new(base config with (ε, δ)).train_with_holdout(spec,
+//! train, holdout, seed)` — regardless of worker count, arrival order,
+//! cache hits, coalescing, or evictions. The cache stores exactly the
+//! values a fresh run would recompute (the `Session` argument), the
+//! dataset version is part of the cache key (no stale pilots), and the
+//! deterministic execution layer makes thread budgets invisible to
+//! results. `crates/core/tests/serving.rs` drives interleaved
+//! multi-tenant schedules against a serial fresh-coordinator oracle to
+//! pin this contract, including under injected-slow-worker schedules.
+//!
+//! # Failure semantics
+//!
+//! A query that fails (invalid contract, optimizer error, or a panic
+//! inside training) resolves its response to `Err` and — when the
+//! failing worker led an in-flight pilot — retires the in-flight entry
+//! so the next query for that key leads a fresh attempt. Failures never
+//! poison the cache and never wedge the queue; coalesced waiters
+//! receive a clone of the leader's error.
+
+pub(crate) mod cache;
+
+use crate::config::{BlinkMlConfig, ServeConfig};
+use crate::coordinator::{build_pool, run_train, PilotState, TrainingOutcome};
+use crate::error::CoreError;
+use crate::mcs::ModelClassSpec;
+use crate::serve::cache::{PilotCache, PilotTicket};
+use blinkml_data::{CaptureScratch, Dataset, DatasetMatrix, FeatureVec};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The query named a dataset version the server does not hold.
+    UnknownDataset(u64),
+    /// The underlying training run failed.
+    Train(CoreError),
+    /// A worker panicked while processing the query (the panic is
+    /// contained: the worker keeps serving and any in-flight pilot
+    /// entry is retired).
+    WorkerPanicked(String),
+    /// The server is shut down and no longer accepts queries.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDataset(v) => write!(f, "unknown dataset version {v}"),
+            ServeError::Train(e) => write!(f, "query failed: {e}"),
+            ServeError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            ServeError::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Train(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Train(e)
+    }
+}
+
+/// One tenant query: a dataset version plus the per-query contract.
+///
+/// Everything *else* about a training run — optimizer options,
+/// statistics method, sampling mode, thread budget — comes from the
+/// server's base [`BlinkMlConfig`], deliberately: the cached pilot
+/// artifacts are exact for any `(ε, δ)` but depend on those base knobs,
+/// so holding them fixed per server is what keeps cache reuse
+/// bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Dataset version to train against.
+    pub dataset: u64,
+    /// Error bound `ε` for this query.
+    pub epsilon: f64,
+    /// Violation probability `δ` for this query.
+    pub delta: f64,
+    /// Sampling seed (queries sharing `(dataset, n₀, seed)` share a
+    /// pilot).
+    pub seed: u64,
+    /// Optional per-query initial sample size `n₀` (defaults to the
+    /// server's base configuration). Part of the pilot cache key.
+    pub initial_sample_size: Option<usize>,
+}
+
+impl Query {
+    /// Query with the server's default `n₀`.
+    pub fn new(dataset: u64, epsilon: f64, delta: f64, seed: u64) -> Self {
+        Query {
+            dataset,
+            epsilon,
+            delta,
+            seed,
+            initial_sample_size: None,
+        }
+    }
+
+    /// Override the initial sample size for this query.
+    pub fn with_initial_sample_size(mut self, n0: usize) -> Self {
+        self.initial_sample_size = Some(n0);
+        self
+    }
+}
+
+/// A served training result plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct ServedResponse {
+    /// The training outcome — bit-identical to a cold coordinator run
+    /// for this query.
+    pub outcome: TrainingOutcome,
+    /// Submit-to-completion latency as measured by the server (queue
+    /// wait plus processing).
+    pub latency: Duration,
+}
+
+/// One dataset version registered with a [`Server`]: the training pool
+/// and holdout set, `Arc`-shared so the caller can keep using them
+/// (e.g. to run oracle comparisons) without cloning the data.
+#[derive(Debug, Clone)]
+pub struct DatasetShard<F: FeatureVec> {
+    /// Version identifier — part of every pilot cache key, which is
+    /// what makes cross-version pilot reuse impossible.
+    pub version: u64,
+    /// Training pool (BlinkML samples from this).
+    pub train: Arc<Dataset<F>>,
+    /// Holdout set (prediction-difference evaluation only).
+    pub holdout: Arc<Dataset<F>>,
+}
+
+impl<F: FeatureVec> DatasetShard<F> {
+    /// Register a dataset version from owned datasets.
+    pub fn new(version: u64, train: Dataset<F>, holdout: Dataset<F>) -> Self {
+        DatasetShard {
+            version,
+            train: Arc::new(train),
+            holdout: Arc::new(holdout),
+        }
+    }
+
+    /// Register a dataset version from already-shared datasets.
+    pub fn from_arcs(version: u64, train: Arc<Dataset<F>>, holdout: Arc<Dataset<F>>) -> Self {
+        DatasetShard {
+            version,
+            train,
+            holdout,
+        }
+    }
+}
+
+/// Snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries accepted into the queue.
+    pub submitted: u64,
+    /// Queries resolved with `Ok`.
+    pub completed: u64,
+    /// Queries resolved with `Err`.
+    pub failed: u64,
+    /// Pilot cache hits.
+    pub cache_hits: u64,
+    /// Pilots actually trained (cache misses that led).
+    pub pilot_trains: u64,
+    /// Queries that coalesced onto another worker's in-flight pilot.
+    pub coalesced_waits: u64,
+    /// Pilot cache evictions.
+    pub evictions: u64,
+    /// Pilots currently cached.
+    pub cached_pilots: usize,
+    /// Live in-flight pilot computations (0 when idle).
+    pub inflight: usize,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    pilot_trains: AtomicU64,
+    coalesced_waits: AtomicU64,
+}
+
+/// The handle-side slot a worker publishes one response into.
+#[derive(Debug, Default)]
+struct Ticket {
+    slot: Mutex<Option<Result<ServedResponse, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    fn publish(&self, result: Result<ServedResponse, ServeError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(slot.is_none(), "response published twice");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A pending response: the asynchronous half of [`Server::submit`].
+/// Block on [`ResponseHandle::wait`], or poll with
+/// [`ResponseHandle::is_ready`].
+#[derive(Debug)]
+pub struct ResponseHandle {
+    ticket: Arc<Ticket>,
+}
+
+impl ResponseHandle {
+    /// Block until the query resolves and return its response.
+    pub fn wait(self) -> Result<ServedResponse, ServeError> {
+        let mut slot = self.ticket.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.ticket.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Whether the response has been published (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.ticket
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+}
+
+/// One queued job: the resolved shard index, the query, and where to
+/// publish the response.
+struct Job {
+    shard: usize,
+    query: Query,
+    ticket: Arc<Ticket>,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// State shared between the handle and the worker pool. Holds only
+/// owned data (the generic datasets/pools live in the owner thread), so
+/// the [`Server`] handle itself is not generic.
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    cache: PilotCache,
+    stats: StatCounters,
+}
+
+impl Shared {
+    /// Pop the next job, blocking while the queue is open and empty.
+    /// Returns `None` when the queue is closed **and** drained — the
+    /// worker exit condition, which is what makes shutdown graceful
+    /// (every accepted query still resolves).
+    fn next_job(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = queue.jobs.pop_front() {
+                return Some(job);
+            }
+            if queue.closed {
+                return None;
+            }
+            queue = self.cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A multi-tenant model-serving front end over the coordinator
+/// workflow. See the [module docs](self) for the architecture and the
+/// bit-identity contract.
+///
+/// ```
+/// # use blinkml_core::models::LogisticRegressionSpec;
+/// # use blinkml_core::serve::{DatasetShard, Query, Server};
+/// # use blinkml_core::{BlinkMlConfig, ServeConfig};
+/// # use blinkml_data::generators::synthetic_logistic;
+/// let (data, _) = synthetic_logistic(6_000, 4, 2.0, 1);
+/// let split = data.split(800, 0, 2);
+/// let config = BlinkMlConfig {
+///     initial_sample_size: 300,
+///     num_param_samples: 16,
+///     ..BlinkMlConfig::default()
+/// };
+/// let server = Server::spawn(
+///     config,
+///     ServeConfig::default(),
+///     LogisticRegressionSpec::new(1e-3),
+///     vec![DatasetShard::new(1, split.train, split.holdout)],
+/// )
+/// .unwrap();
+/// let response = server.query(Query::new(1, 0.10, 0.05, 7)).unwrap();
+/// assert!(response.outcome.sample_size > 0);
+/// server.shutdown();
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    versions: HashMap<u64, usize>,
+    owner: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn a server: validates the configuration and datasets, builds
+    /// one pool-resident design matrix per dataset version, and starts
+    /// [`ServeConfig::workers`] worker threads.
+    ///
+    /// The spec and datasets move into the serving threads; keep
+    /// [`DatasetShard`] clones (they are `Arc`-shared) for oracle runs
+    /// or later inspection.
+    pub fn spawn<F, S>(
+        config: BlinkMlConfig,
+        serve: ServeConfig,
+        spec: S,
+        shards: Vec<DatasetShard<F>>,
+    ) -> Result<Server, CoreError>
+    where
+        F: FeatureVec,
+        S: ModelClassSpec<F> + 'static,
+    {
+        config.validate()?;
+        serve.validate()?;
+        if shards.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "server needs at least one dataset version".into(),
+            ));
+        }
+        let mut versions = HashMap::new();
+        for (i, shard) in shards.iter().enumerate() {
+            if shard.train.is_empty() {
+                return Err(CoreError::InvalidData(format!(
+                    "dataset version {} has an empty training pool",
+                    shard.version
+                )));
+            }
+            if shard.holdout.is_empty() {
+                return Err(CoreError::InvalidData(format!(
+                    "dataset version {} has an empty holdout set",
+                    shard.version
+                )));
+            }
+            if versions.insert(shard.version, i).is_some() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "duplicate dataset version {}",
+                    shard.version
+                )));
+            }
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            cache: PilotCache::new(serve.pilot_cache_capacity),
+            stats: StatCounters::default(),
+        });
+        let worker_count = serve.workers;
+        let owner = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                // The owner thread owns the generic state (spec,
+                // datasets, pool matrices); workers are scoped threads
+                // borrowing it, which is what lets the pool-resident
+                // matrices be built once and shared without any
+                // self-referential tricks.
+                config.exec.apply();
+                let pools: Vec<Option<DatasetMatrix<'_>>> = shards
+                    .iter()
+                    .map(|sh| build_pool(&spec, &sh.train, &config))
+                    .collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..worker_count {
+                        let (shared, config, spec, shards, pools) =
+                            (&shared, &config, &spec, &shards, &pools);
+                        scope.spawn(move || {
+                            // One capture scratch per worker — never
+                            // shared, so two overlapping queries cannot
+                            // alias a packing buffer.
+                            let mut scratch = CaptureScratch::new();
+                            while let Some(job) = shared.next_job() {
+                                process_job(config, spec, shards, pools, shared, &mut scratch, job);
+                            }
+                        });
+                    }
+                });
+            })
+        };
+        Ok(Server {
+            shared,
+            versions,
+            owner: Some(owner),
+        })
+    }
+
+    /// Enqueue a query, returning a handle that resolves when a worker
+    /// completes it. Fails fast (without queueing) on an unknown
+    /// dataset version or a shut-down server.
+    pub fn submit(&self, query: Query) -> Result<ResponseHandle, ServeError> {
+        let shard = *self
+            .versions
+            .get(&query.dataset)
+            .ok_or(ServeError::UnknownDataset(query.dataset))?;
+        let ticket = Arc::new(Ticket::default());
+        let job = Job {
+            shard,
+            query,
+            ticket: ticket.clone(),
+            submitted: Instant::now(),
+        };
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.closed {
+                return Err(ServeError::Closed);
+            }
+            queue.jobs.push_back(job);
+        }
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.cv.notify_one();
+        Ok(ResponseHandle { ticket })
+    }
+
+    /// Submit and block for the response — the synchronous convenience
+    /// form of [`Server::submit`].
+    pub fn query(&self, query: Query) -> Result<ServedResponse, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Snapshot the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            pilot_trains: s.pilot_trains.load(Ordering::Relaxed),
+            coalesced_waits: s.coalesced_waits.load(Ordering::Relaxed),
+            evictions: self.shared.cache.evictions(),
+            cached_pilots: self.shared.cache.cached(),
+            inflight: self.shared.cache.inflight(),
+        }
+    }
+
+    /// Drop every cached pilot (e.g. to bound memory in a long-lived
+    /// server). Results are unaffected; subsequent queries retrain on
+    /// demand.
+    pub fn clear_pilot_cache(&self) {
+        self.shared.cache.clear();
+    }
+
+    /// Shut down gracefully: stop accepting queries, drain the queue
+    /// (every already-accepted query still resolves), and join the
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.closed = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(owner) = self.owner.take() {
+            let _ = owner.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Process one job end to end: resolve the pilot through the cache
+/// (hit / coalesce / lead), run the coordinator workflow, and publish
+/// the response. Panics are contained per job.
+fn process_job<F, S>(
+    base: &BlinkMlConfig,
+    spec: &S,
+    shards: &[DatasetShard<F>],
+    pools: &[Option<DatasetMatrix<'_>>],
+    shared: &Shared,
+    scratch: &mut CaptureScratch,
+    job: Job,
+) where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let result = serve_query(base, spec, shards, pools, shared, scratch, &job);
+    let stats = &shared.stats;
+    match result {
+        Ok(outcome) => {
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+            job.ticket.publish(Ok(ServedResponse {
+                outcome,
+                latency: job.submitted.elapsed(),
+            }));
+        }
+        Err(e) => {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+            job.ticket.publish(Err(e));
+        }
+    }
+}
+
+/// The query workflow behind [`process_job`], returning the outcome or
+/// the error to publish.
+fn serve_query<F, S>(
+    base: &BlinkMlConfig,
+    spec: &S,
+    shards: &[DatasetShard<F>],
+    pools: &[Option<DatasetMatrix<'_>>],
+    shared: &Shared,
+    scratch: &mut CaptureScratch,
+    job: &Job,
+) -> Result<TrainingOutcome, ServeError>
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let mut config = base.clone();
+    config.epsilon = job.query.epsilon;
+    config.delta = job.query.delta;
+    if let Some(n0) = job.query.initial_sample_size {
+        config.initial_sample_size = n0;
+    }
+    config.validate()?;
+    // Reinstall the budget: another coordinator in the process may have
+    // moved the global knob. Results are budget-independent either way.
+    config.exec.apply();
+
+    let shard = &shards[job.shard];
+    let pool = pools[job.shard].as_ref();
+    let n0 = config.initial_sample_size.min(shard.train.len());
+    let key = (shard.version, n0, job.query.seed);
+    let stats = &shared.stats;
+
+    match shared.cache.resolve(key) {
+        PilotTicket::Cached(pilot) => {
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            run_contained(config, spec, shard, pool, scratch, job, Some(&pilot), false)
+                .map(|(outcome, _)| outcome)
+        }
+        PilotTicket::Wait(inflight) => {
+            stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+            // The leader publishes exactly one terminal result; share
+            // its failure rather than stampeding retrains.
+            let pilot = inflight.wait()?;
+            run_contained(config, spec, shard, pool, scratch, job, Some(&pilot), false)
+                .map(|(outcome, _)| outcome)
+        }
+        PilotTicket::Lead => {
+            match run_contained(config, spec, shard, pool, scratch, job, None, true) {
+                Ok((outcome, Some(pilot))) => {
+                    stats.pilot_trains.fetch_add(1, Ordering::Relaxed);
+                    shared.cache.complete(key, Arc::new(pilot));
+                    Ok(outcome)
+                }
+                Ok((outcome, None)) => {
+                    // `run_train` always returns pilot artifacts when
+                    // asked; retire the entry defensively so a future
+                    // regression degrades to cache misses, not a wedge.
+                    debug_assert!(false, "leader run returned no pilot artifacts");
+                    shared.cache.fail(
+                        key,
+                        ServeError::Train(CoreError::InvalidConfig(
+                            "pilot artifacts missing from leader run".into(),
+                        )),
+                    );
+                    Ok(outcome)
+                }
+                Err(e) => {
+                    shared.cache.fail(key, e.clone());
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// Run the coordinator workflow with panics contained to this job:
+/// a panic inside training (e.g. a library bug or a pathological
+/// dataset) becomes [`ServeError::WorkerPanicked`] instead of killing
+/// the worker, so one bad query cannot take the queue down.
+#[allow(clippy::too_many_arguments)]
+fn run_contained<F, S>(
+    config: BlinkMlConfig,
+    spec: &S,
+    shard: &DatasetShard<F>,
+    pool: Option<&DatasetMatrix<'_>>,
+    scratch: &mut CaptureScratch,
+    job: &Job,
+    pilot: Option<&PilotState>,
+    want_pilot: bool,
+) -> Result<(TrainingOutcome, Option<PilotState>), ServeError>
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        run_train(
+            &config,
+            spec,
+            &shard.train,
+            &shard.holdout,
+            pool,
+            scratch,
+            job.query.seed,
+            pilot,
+            want_pilot,
+        )
+    }));
+    match attempt {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(e)) => Err(ServeError::Train(e)),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(ServeError::WorkerPanicked(msg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::Coordinator;
+    use crate::models::logreg::LogisticRegressionSpec;
+    use blinkml_data::generators::synthetic_logistic;
+    use blinkml_data::DenseVec;
+
+    fn base_config(n0: usize) -> BlinkMlConfig {
+        BlinkMlConfig {
+            epsilon: 0.05,
+            delta: 0.05,
+            initial_sample_size: n0,
+            holdout_size: 500,
+            num_param_samples: 16,
+            ..BlinkMlConfig::default()
+        }
+    }
+
+    fn shard(version: u64, n: usize, seed: u64) -> DatasetShard<DenseVec> {
+        let (data, _) = synthetic_logistic(n, 4, 2.0, seed);
+        let split = data.split(600, 0, seed + 100);
+        DatasetShard::new(version, split.train, split.holdout)
+    }
+
+    #[test]
+    fn served_response_matches_cold_coordinator() {
+        let sh = shard(1, 6_000, 21);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let server = Server::spawn(
+            base_config(300),
+            ServeConfig::default(),
+            spec.clone(),
+            vec![sh.clone()],
+        )
+        .unwrap();
+        for (eps, delta, seed) in [(0.20, 0.05, 3), (0.03, 0.05, 3), (0.10, 0.10, 4)] {
+            let served = server.query(Query::new(1, eps, delta, seed)).unwrap();
+            let mut cfg = base_config(300);
+            cfg.epsilon = eps;
+            cfg.delta = delta;
+            let cold = Coordinator::new(cfg)
+                .train_with_holdout(&spec, &sh.train, &sh.holdout, seed)
+                .unwrap();
+            assert_eq!(served.outcome.sample_size, cold.sample_size);
+            assert_eq!(served.outcome.initial_epsilon, cold.initial_epsilon);
+            assert_eq!(served.outcome.estimated_epsilon, cold.estimated_epsilon);
+            assert_eq!(served.outcome.model.parameters(), cold.model.parameters());
+        }
+        let stats = server.stats();
+        // Seeds {3, 4} → two pilots; the second ε at seed 3 hits.
+        assert_eq!(stats.pilot_trains, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.inflight, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_dataset_fails_fast() {
+        let server = Server::spawn(
+            base_config(200),
+            ServeConfig::default(),
+            LogisticRegressionSpec::new(1e-3),
+            vec![shard(7, 3_000, 5)],
+        )
+        .unwrap();
+        assert!(matches!(
+            server.submit(Query::new(8, 0.1, 0.05, 1)),
+            Err(ServeError::UnknownDataset(8))
+        ));
+        assert_eq!(server.stats().submitted, 0);
+    }
+
+    #[test]
+    fn invalid_contract_resolves_to_error_without_wedging() {
+        let server = Server::spawn(
+            base_config(200),
+            ServeConfig::default(),
+            LogisticRegressionSpec::new(1e-3),
+            vec![shard(1, 3_000, 6)],
+        )
+        .unwrap();
+        let err = server.query(Query::new(1, 0.0, 0.05, 1));
+        assert!(matches!(err, Err(ServeError::Train(_))), "{err:?}");
+        // The queue keeps serving after the failure.
+        let ok = server.query(Query::new(1, 0.2, 0.05, 1)).unwrap();
+        assert!(ok.outcome.sample_size > 0);
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn rejects_bad_spawn_inputs() {
+        let spec = LogisticRegressionSpec::new(1e-3);
+        // No datasets.
+        assert!(Server::spawn(
+            base_config(200),
+            ServeConfig::default(),
+            spec.clone(),
+            Vec::<DatasetShard<DenseVec>>::new(),
+        )
+        .is_err());
+        // Duplicate versions.
+        assert!(Server::spawn(
+            base_config(200),
+            ServeConfig::default(),
+            spec.clone(),
+            vec![shard(1, 2_000, 1), shard(1, 2_000, 2)],
+        )
+        .is_err());
+        // Empty pool / holdout.
+        let empty = Arc::new(Dataset::<DenseVec>::new("empty", 4, vec![]));
+        let sh = shard(1, 2_000, 3);
+        assert!(Server::spawn(
+            base_config(200),
+            ServeConfig::default(),
+            spec.clone(),
+            vec![DatasetShard::from_arcs(
+                1,
+                empty.clone(),
+                sh.holdout.clone()
+            )],
+        )
+        .is_err());
+        assert!(Server::spawn(
+            base_config(200),
+            ServeConfig::default(),
+            spec,
+            vec![DatasetShard::from_arcs(1, sh.train.clone(), empty)],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_queries_but_drains_accepted_ones() {
+        let server = Server::spawn(
+            base_config(200),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            LogisticRegressionSpec::new(1e-3),
+            vec![shard(1, 3_000, 9)],
+        )
+        .unwrap();
+        let pending: Vec<_> = (0..3)
+            .map(|i| server.submit(Query::new(1, 0.25, 0.05, i)).unwrap())
+            .collect();
+        server.shutdown();
+        for handle in pending {
+            assert!(handle.wait().is_ok(), "accepted queries resolve");
+        }
+    }
+
+    #[test]
+    fn per_query_n0_override_is_part_of_the_key() {
+        let sh = shard(1, 5_000, 31);
+        let server = Server::spawn(
+            base_config(300),
+            ServeConfig::default(),
+            LogisticRegressionSpec::new(1e-3),
+            vec![sh],
+        )
+        .unwrap();
+        let q = Query::new(1, 0.2, 0.05, 2);
+        server.query(q).unwrap();
+        server.query(q.with_initial_sample_size(400)).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.pilot_trains, 2, "distinct n₀ → distinct pilots");
+        assert_eq!(stats.cached_pilots, 2);
+    }
+}

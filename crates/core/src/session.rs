@@ -24,6 +24,12 @@
 //! run would recompute, and the zero-copy sampling layer is bit-exact by
 //! construction (see `docs/ARCHITECTURE.md`, "Zero-copy sampling
 //! layer").
+//!
+//! A `Session` is single-caller (`&mut self` queries, one capture
+//! scratch). For many tenants querying concurrently, the
+//! [`serve`](crate::serve) module promotes the same amortization — one
+//! shared pool matrix, cached pilots, bit-identity — to a thread-safe
+//! server with a worker pool, a keyed LRU, and in-flight coalescing.
 
 use crate::config::BlinkMlConfig;
 use crate::coordinator::{build_pool, run_train, PilotState, TrainingOutcome};

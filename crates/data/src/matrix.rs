@@ -1356,12 +1356,12 @@ mod tests {
         }
 
         // CSR: the packed triple holds the exact stored entries.
-        let sparse = yelp_like(180, 40, 6);
+        let sparse = yelp_like(180, 60, 6);
         let spool = DatasetMatrix::from_dataset(&sparse);
         let sidx: Vec<usize> = (0..sparse.len()).rev().collect();
         let sview = spool.gather(&sidx);
         let spacked = spool.gather_packed(&sidx);
-        let sw: Vec<f64> = (0..40).map(|i| 0.1 * i as f64 - 1.0).collect();
+        let sw: Vec<f64> = (0..60).map(|i| 0.1 * i as f64 - 1.0).collect();
         let mut sa = vec![0.0; sidx.len()];
         let mut sb = vec![0.0; sidx.len()];
         sview.margins_into(&sw, 0.0, &mut sa);
@@ -1386,7 +1386,7 @@ mod tests {
             "dense footprint"
         );
 
-        let sparse = yelp_like(50, 30, 7);
+        let sparse = yelp_like(50, 60, 7);
         let spool = DatasetMatrix::from_dataset(&sparse);
         let nnz: usize = sparse.iter().map(|e| e.x.nnz()).sum();
         assert_eq!(spool.view().data_bytes(), nnz * 12, "CSR footprint");

@@ -61,7 +61,7 @@ pub use blinkml_prob as prob;
 pub mod prelude {
     pub use blinkml_core::accuracy::ModelAccuracyEstimator;
     pub use blinkml_core::baselines::{FixedRatio, IncEstimator, RelativeRatio, SampleSizePolicy};
-    pub use blinkml_core::config::{BlinkMlConfig, StatisticsMethod};
+    pub use blinkml_core::config::{BlinkMlConfig, ServeConfig, StatisticsMethod};
     pub use blinkml_core::coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
     pub use blinkml_core::mcs::{ModelClassSpec, TrainedModel};
     pub use blinkml_core::models::linreg::LinearRegressionSpec;
@@ -70,6 +70,7 @@ pub mod prelude {
     pub use blinkml_core::models::poisson::PoissonRegressionSpec;
     pub use blinkml_core::models::ppca::PpcaSpec;
     pub use blinkml_core::sample_size::SampleSizeEstimator;
+    pub use blinkml_core::serve::{DatasetShard, Query, ServedResponse, Server};
     pub use blinkml_core::session::Session;
     pub use blinkml_data::generators::{
         criteo_like, gas_like, higgs_like, mnist_like, power_like, yelp_like,

@@ -191,3 +191,148 @@ fn model_parameters_roundtrip_through_clone() {
     assert_eq!(model.parameters(), cloned.parameters());
     assert_eq!(model.sample_size, cloned.sample_size);
 }
+
+#[test]
+fn session_rejects_invalid_contracts_per_query() {
+    let data = higgs_like(5_000, 8, 21);
+    let split = data.split(800, 0, 22);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let config = BlinkMlConfig {
+        initial_sample_size: 300,
+        num_param_samples: 16,
+        ..BlinkMlConfig::default()
+    };
+    let session = Session::new(config, &spec, &split.train, &split.holdout).unwrap();
+    for (eps, delta) in [(0.0, 0.05), (1.0, 0.05), (0.05, 0.0), (0.05, 1.0)] {
+        assert!(
+            session.train(eps, delta, 2).is_err(),
+            "session contract ({eps}, {delta}) must be rejected"
+        );
+    }
+    // A bad query leaves the session serviceable.
+    assert!(session.train(0.2, 0.05, 2).is_ok());
+}
+
+#[test]
+fn session_rejects_empty_pool_and_holdout() {
+    let data = higgs_like(3_000, 6, 23);
+    let split = data.split(500, 0, 24);
+    let empty = blinkml::data::Dataset::<blinkml_data::DenseVec>::new("empty", 6, vec![]);
+    let spec = LogisticRegressionSpec::new(1e-3);
+    let config = BlinkMlConfig {
+        initial_sample_size: 200,
+        ..BlinkMlConfig::default()
+    };
+    assert!(Session::new(config.clone(), &spec, &empty, &split.holdout).is_err());
+    assert!(Session::new(config, &spec, &split.train, &empty).is_err());
+}
+
+/// Minimal facade-level spec whose first training call panics mid-train:
+/// the serving layer must contain the panic, surface `Err` to that one
+/// query, retire the in-flight pilot entry (no poisoned cache), and keep
+/// serving — the retry trains a fresh pilot and succeeds.
+struct PanicOnceLinear {
+    inner: LinearRegressionSpec,
+    tripped: std::sync::atomic::AtomicBool,
+}
+
+impl ModelClassSpec<blinkml_data::DenseVec> for PanicOnceLinear {
+    fn name(&self) -> &'static str {
+        "panic-once-linear"
+    }
+    fn param_dim(&self, data_dim: usize) -> usize {
+        ModelClassSpec::<blinkml_data::DenseVec>::param_dim(&self.inner, data_dim)
+    }
+    fn regularization(&self) -> f64 {
+        ModelClassSpec::<blinkml_data::DenseVec>::regularization(&self.inner)
+    }
+    fn objective(
+        &self,
+        theta: &[f64],
+        data: &blinkml::data::Dataset<blinkml_data::DenseVec>,
+    ) -> (f64, Vec<f64>) {
+        self.inner.objective(theta, data)
+    }
+    fn grads(
+        &self,
+        theta: &[f64],
+        data: &blinkml::data::Dataset<blinkml_data::DenseVec>,
+    ) -> blinkml::core::grads::Grads {
+        self.inner.grads(theta, data)
+    }
+    fn predict(&self, theta: &[f64], x: &blinkml_data::DenseVec) -> f64 {
+        self.inner.predict(theta, x)
+    }
+    fn diff(
+        &self,
+        theta_a: &[f64],
+        theta_b: &[f64],
+        holdout: &blinkml::data::Dataset<blinkml_data::DenseVec>,
+    ) -> f64 {
+        self.inner.diff(theta_a, theta_b, holdout)
+    }
+    fn generalization_error(
+        &self,
+        theta: &[f64],
+        data: &blinkml::data::Dataset<blinkml_data::DenseVec>,
+    ) -> f64 {
+        self.inner.generalization_error(theta, data)
+    }
+    fn train(
+        &self,
+        data: &blinkml::data::Dataset<blinkml_data::DenseVec>,
+        warm_start: Option<&[f64]>,
+        options: &OptimOptions,
+    ) -> Result<TrainedModel, blinkml::core::CoreError> {
+        if !self.tripped.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            panic!("injected mid-train panic");
+        }
+        self.inner.train(data, warm_start, options)
+    }
+    fn train_with_matrix(
+        &self,
+        data: &blinkml::data::Dataset<blinkml_data::DenseVec>,
+        xm: Option<&blinkml::data::MatrixView>,
+        warm_start: Option<&[f64]>,
+        options: &OptimOptions,
+    ) -> Result<TrainedModel, blinkml::core::CoreError> {
+        if !self.tripped.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            panic!("injected mid-train panic");
+        }
+        self.inner.train_with_matrix(data, xm, warm_start, options)
+    }
+}
+
+#[test]
+fn server_survives_mid_train_panic_without_poisoned_cache() {
+    let (data, _) = blinkml::data::generators::synthetic_linear(4_000, 4, 0.3, 25);
+    let split = data.split(600, 0, 26);
+    let config = BlinkMlConfig {
+        initial_sample_size: 250,
+        num_param_samples: 16,
+        ..BlinkMlConfig::default()
+    };
+    let spec = PanicOnceLinear {
+        inner: LinearRegressionSpec::new(1e-3),
+        tripped: std::sync::atomic::AtomicBool::new(false),
+    };
+    let server = Server::spawn(
+        config,
+        ServeConfig::serial(),
+        spec,
+        vec![DatasetShard::new(1, split.train, split.holdout)],
+    )
+    .unwrap();
+    let q = Query::new(1, 0.2, 0.05, 3);
+    // First query hits the injected panic: Err, not a hang or a crash.
+    assert!(server.query(q).is_err());
+    // No poisoned entry: the retry leads a fresh pilot and succeeds,
+    // and an unrelated contract keeps working too.
+    assert!(server.query(q).is_ok());
+    assert!(server.query(Query::new(1, 0.3, 0.05, 4)).is_ok());
+    let stats = server.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.inflight, 0);
+    server.shutdown();
+}
