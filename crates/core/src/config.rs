@@ -142,6 +142,37 @@ impl ExecConfig {
     }
 }
 
+/// How the sweep engine ([`crate::sweep`]) warm-starts each grid
+/// point's **final** fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStartPolicy {
+    /// Each λ's final fit warm-starts from that λ's **own** pilot `θ₀` —
+    /// exactly what an independent coordinator run does, so every
+    /// per-point result is bit-identical to a looped
+    /// [`Session::train`](crate::Session::train) baseline. The default.
+    #[default]
+    ExactReplay,
+    /// Path-following: final fits run sequentially in descending-λ order
+    /// and each warm-starts from the **neighboring** grid point's final
+    /// `θ` (the first point starts from its own pilot `θ₀`). When the
+    /// line search rejects a neighbor start (`LineSearchFailed` /
+    /// non-finite objective), the fit falls back to a fresh solve from
+    /// the point's own pilot `θ₀`. Usually fewer optimizer iterations on
+    /// dense grids, but **not** bitwise-reproducible against independent
+    /// runs — per-point θ depends on the grid composition.
+    PathFollow,
+}
+
+impl WarmStartPolicy {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WarmStartPolicy::ExactReplay => "ExactReplay",
+            WarmStartPolicy::PathFollow => "PathFollow",
+        }
+    }
+}
+
 /// Serving-layer configuration (see [`crate::serve`]): worker-pool and
 /// pilot-cache knobs for the multi-tenant [`Server`](crate::serve::Server).
 ///

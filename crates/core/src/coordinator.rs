@@ -174,6 +174,92 @@ pub(crate) struct PilotState {
     pub(crate) n0: usize,
 }
 
+/// The outcome of the coordinator's decision stage (the ε-dependent part
+/// of the workflow): given a pilot's holdout scores and statistics,
+/// either the initial model already satisfies the contract, or the
+/// minimum sample size for the final training has been determined. The
+/// sweep engine runs this stage per grid point against its batched
+/// scorers; [`run_train`] runs it once.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Decision {
+    /// `ε₀ ≤ ε`: return the initial model.
+    InitialSatisfies {
+        /// Accuracy estimate of the initial model.
+        eps0: f64,
+    },
+    /// The contract needs a final model on `n` examples.
+    Train {
+        /// Accuracy estimate of the initial model.
+        eps0: f64,
+        /// Minimum sample size from the estimator's binary search.
+        n: usize,
+        /// Binary-search probes used.
+        probes: usize,
+    },
+}
+
+/// Decision stage shared by [`run_train`] and the sweep engine: estimate
+/// the pilot's accuracy `ε₀` (sub-seed 1) and, when the contract is not
+/// yet met, binary-search the minimum sample size (sub-seed 2) — both
+/// against one [`HoldoutScorer`], so the θ₀ score matrix is built once.
+pub(crate) fn decide<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    config: &BlinkMlConfig,
+    scorer: &HoldoutScorer<'_, F, S>,
+    stats: &crate::stats::ModelStatistics,
+    n0: usize,
+    full_n: usize,
+    seed: u64,
+) -> Decision {
+    let accuracy = ModelAccuracyEstimator::new(config.num_param_samples);
+    let eps0 =
+        accuracy.estimate_scored(scorer, stats, n0, full_n, config.delta, split_seed(seed, 1));
+    if eps0 <= config.epsilon {
+        return Decision::InitialSatisfies { eps0 };
+    }
+    let sse = SampleSizeEstimator::new(config.num_param_samples);
+    let est = sse.estimate_scored(
+        scorer,
+        stats,
+        n0,
+        full_n,
+        config.epsilon,
+        config.delta,
+        split_seed(seed, 2),
+    );
+    Decision::Train {
+        eps0,
+        n: est.n,
+        probes: est.probes,
+    }
+}
+
+/// Closing accuracy estimate of a **final** model (the
+/// `estimate_final_accuracy` option): a fresh holdout scorer for `θ_n`
+/// and an accuracy estimate at sub-seed 4. Shared by [`run_train`] and
+/// the sweep engine so both compute the exact same `ε̂`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn final_accuracy_scored<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    config: &BlinkMlConfig,
+    spec: &S,
+    holdout: &Dataset<F>,
+    stats_n: &crate::stats::ModelStatistics,
+    theta_n: &[f64],
+    n: usize,
+    full_n: usize,
+    seed: u64,
+) -> f64 {
+    let scorer_n = HoldoutScorer::new(spec, holdout, theta_n);
+    let accuracy = ModelAccuracyEstimator::new(config.num_param_samples);
+    accuracy.estimate_scored(
+        &scorer_n,
+        stats_n,
+        n,
+        full_n,
+        config.delta,
+        split_seed(seed, 4),
+    )
+}
+
 /// One sample fit: draw the deterministic sample for `(n, sample_seed)`,
 /// train on it (warm-started when given), and optionally compute its
 /// statistics — reusing one design-matrix view for both. With a pool
@@ -358,62 +444,44 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     }
     let stats = stats0.as_ref().expect("statistics computed when n0 < N");
 
-    // Phase 3a: accuracy of m₀. The holdout scorer (θ₀ score matrix) is
-    // built once and shared with the sample-size search below.
+    // Phases 3a + 3b — the decision stage: accuracy of m₀, then (when
+    // needed) the minimum sample size, both against one holdout scorer
+    // so the θ₀ score matrix is built once.
     let t = Instant::now();
     let scorer = HoldoutScorer::new(spec, holdout, m0.parameters());
-    let accuracy = ModelAccuracyEstimator::new(config.num_param_samples);
-    let eps0 = accuracy.estimate_scored(
-        &scorer,
-        stats,
-        n0,
-        full_n,
-        config.delta,
-        split_seed(seed, 1),
-    );
-    if eps0 <= config.epsilon {
-        phases.sample_size_search = t.elapsed();
-        let cached = pilot_state(&m0, &stats0);
-        return Ok((
-            TrainingOutcome {
-                sample_size: n0,
-                full_data_size: full_n,
-                initial_epsilon: eps0,
-                estimated_epsilon: eps0,
-                used_initial_model: true,
-                phases,
-                search_probes: 0,
-                model: m0,
-            },
-            cached,
-        ));
-    }
-
-    // Phase 3b: minimum sample size (no extra training), sharing the
-    // scorer's base scores.
-    let sse = SampleSizeEstimator::new(config.num_param_samples);
-    let est = sse.estimate_scored(
-        &scorer,
-        stats,
-        n0,
-        full_n,
-        config.epsilon,
-        config.delta,
-        split_seed(seed, 2),
-    );
+    let decision = decide(config, &scorer, stats, n0, full_n, seed);
     phases.sample_size_search = t.elapsed();
+    let (eps0, est_n, probes) = match decision {
+        Decision::InitialSatisfies { eps0 } => {
+            let cached = pilot_state(&m0, &stats0);
+            return Ok((
+                TrainingOutcome {
+                    sample_size: n0,
+                    full_data_size: full_n,
+                    initial_epsilon: eps0,
+                    estimated_epsilon: eps0,
+                    used_initial_model: true,
+                    phases,
+                    search_probes: 0,
+                    model: m0,
+                },
+                cached,
+            ));
+        }
+        Decision::Train { eps0, n, probes } => (eps0, n, probes),
+    };
 
     // Phase 4: final model, warm-started from θ₀, gathered from the
     // same pool matrix; the optional closing statistics pass reuses the
     // final sample's view.
-    let want_final_stats = config.estimate_final_accuracy && est.n < full_n;
+    let want_final_stats = config.estimate_final_accuracy && est_n < full_n;
     let fit = fit_sample(
         config,
         spec,
         train,
         pool,
         cap_scratch,
-        est.n,
+        est_n,
         split_seed(seed, 3),
         Some(m0.parameters()),
         want_final_stats,
@@ -423,18 +491,19 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     let estimated_epsilon = if want_final_stats {
         let t = Instant::now();
         let stats_n = fit.stats.as_ref().expect("final statistics requested");
-        let scorer_n = HoldoutScorer::new(spec, holdout, fit.model.parameters());
-        let eps = accuracy.estimate_scored(
-            &scorer_n,
+        let eps = final_accuracy_scored(
+            config,
+            spec,
+            holdout,
             stats_n,
-            est.n,
+            fit.model.parameters(),
+            est_n,
             full_n,
-            config.delta,
-            split_seed(seed, 4),
+            seed,
         );
         phases.statistics += fit.stats_time + t.elapsed();
         eps
-    } else if est.n >= full_n {
+    } else if est_n >= full_n {
         0.0
     } else {
         config.epsilon
@@ -443,13 +512,13 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     let cached = pilot_state(&m0, &stats0);
     Ok((
         TrainingOutcome {
-            sample_size: est.n,
+            sample_size: est_n,
             full_data_size: full_n,
             initial_epsilon: eps0,
             estimated_epsilon,
             used_initial_model: false,
             phases,
-            search_probes: est.probes,
+            search_probes: probes,
             model: fit.model,
         },
         cached,

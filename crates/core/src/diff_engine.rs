@@ -116,6 +116,66 @@ impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> HoldoutScorer<'a, F, S> {
         }
     }
 
+    /// Score a whole grid of `(spec, θ_base)` pairs over one holdout set
+    /// with **one** fused GEMM: the weight blocks of every pair are
+    /// stacked horizontally and streamed through `batched_scores`
+    /// together, so a λ-sweep's K base score matrices cost one pass over
+    /// the holdout design matrix instead of K.
+    ///
+    /// Bit-exactness: `batched_scores` computes each output column
+    /// independently of how many blocks are stacked beside it, so every
+    /// returned scorer is **bit-identical** to `HoldoutScorer::new(spec,
+    /// holdout, theta)` for its pair. Pairs whose specs expose no weight
+    /// matrix (or disagree on the output count) fall back to per-pair
+    /// construction — identical results, just without the fusion.
+    pub fn new_many(holdout: &'a Dataset<F>, entries: &[(&'a S, &'a [f64])]) -> Vec<Self> {
+        let dim = holdout.dim();
+        let mut blocks: Vec<Matrix> = Vec::with_capacity(entries.len());
+        let mut outputs0 = None;
+        let mut fused = !entries.is_empty();
+        for (spec, theta) in entries {
+            let (Some(outputs), Some(wb)) = (
+                spec.num_margin_outputs(dim),
+                spec.margin_weights(theta, dim),
+            ) else {
+                fused = false;
+                break;
+            };
+            match outputs0 {
+                None => outputs0 = Some(outputs),
+                Some(o) if o == outputs => {}
+                Some(_) => {
+                    fused = false;
+                    break;
+                }
+            }
+            blocks.push(wb);
+        }
+        if !fused {
+            return entries
+                .iter()
+                .map(|(spec, theta)| HoldoutScorer::new(*spec, holdout, theta))
+                .collect();
+        }
+        let outputs = outputs0.expect("non-empty fused stack");
+        let scores = batched_scores(holdout, &Matrix::hstack(&blocks), outputs);
+        entries
+            .iter()
+            .zip(scores)
+            .map(|((spec, theta), s)| HoldoutScorer {
+                spec: *spec,
+                holdout,
+                theta_base: theta,
+                base: Some(BaseScores {
+                    outputs,
+                    rms: spec.diff_is_rms(),
+                    use_weights: true,
+                    scores: Arc::new(s),
+                }),
+            })
+            .collect()
+    }
+
     /// Number of linear-score outputs (None for generic specs).
     pub fn outputs(&self) -> Option<usize> {
         self.base.as_ref().map(|b| b.outputs)
@@ -563,6 +623,60 @@ mod tests {
                 g_standalone.diff_one_stage(i, 0.7)
             );
         }
+    }
+
+    /// One stacked GEMM serving a grid of `(spec, θ₀)` pairs must yield
+    /// scorers bit-identical to independently built ones — the sweep
+    /// engine's shared-scorer construction cannot move a bit.
+    #[test]
+    fn new_many_matches_individual_scorers_bitwise() {
+        let (holdout, _) = synthetic_logistic(350, 4, 2.0, 21);
+        let specs: Vec<LogisticRegressionSpec> = [0.0, 1e-3, 0.5]
+            .iter()
+            .map(|&b| LogisticRegressionSpec::new(b))
+            .collect();
+        let thetas: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..4).map(|j| ((k * 4 + j) as f64 * 0.31).sin()).collect())
+            .collect();
+        let pool_u: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 * 0.17).cos()).collect())
+            .collect();
+        let pool_w: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 * 0.53).sin()).collect())
+            .collect();
+        let entries: Vec<(&LogisticRegressionSpec, &[f64])> = specs
+            .iter()
+            .zip(&thetas)
+            .map(|(s, t)| (s, t.as_slice()))
+            .collect();
+        let many = HoldoutScorer::new_many(&holdout, &entries);
+        assert_eq!(many.len(), 3);
+        for ((scorer, spec), theta) in many.iter().zip(&specs).zip(&thetas) {
+            let solo = HoldoutScorer::new(spec, &holdout, theta);
+            let fast = scorer.engine(&pool_u, &pool_w);
+            let slow = solo.engine(&pool_u, &pool_w);
+            for i in 0..3 {
+                for scale in [0.0, 0.4, 1.0] {
+                    assert_eq!(
+                        fast.diff_one_stage(i, scale).to_bits(),
+                        slow.diff_one_stage(i, scale).to_bits()
+                    );
+                    assert_eq!(
+                        fast.diff_two_stage(i, scale, 0.6).to_bits(),
+                        slow.diff_two_stage(i, scale, 0.6).to_bits()
+                    );
+                }
+            }
+        }
+
+        // Generic specs (no margin weights) fall back per pair.
+        let g_holdout = low_rank_gaussian(40, 4, 2, 0.2, 7);
+        let g_spec = PpcaSpec::new(2);
+        let g_theta: Vec<f64> = (0..9).map(|i| 0.2 + 0.1 * i as f64).collect();
+        let g_entries: Vec<(&PpcaSpec, &[f64])> = vec![(&g_spec, &g_theta), (&g_spec, &g_theta)];
+        let g_many = HoldoutScorer::new_many(&g_holdout, &g_entries);
+        assert_eq!(g_many.len(), 2);
+        assert!(g_many[0].outputs().is_none());
     }
 
     #[test]

@@ -42,21 +42,25 @@ pub mod sample_size;
 pub mod serve;
 pub mod session;
 pub mod stats;
+pub mod sweep;
 #[doc(hidden)]
 pub mod testing;
 
 pub use accuracy::ModelAccuracyEstimator;
 pub use config::{
     BlinkMlConfig, ExecConfig, SamplingMode, ServeConfig, SpectralMethod, StatisticsMethod,
+    WarmStartPolicy,
 };
 pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
-pub use mcs::{ModelClassSpec, TrainedModel};
+pub use mcs::{ModelClassSpec, SweepEval, TrainedModel};
 pub use sample_size::{SampleSizeEstimate, SampleSizeEstimator};
 pub use serve::{
-    DatasetShard, Query, ResponseHandle, ServeError, ServedResponse, Server, ServerStats,
+    DatasetShard, Query, ResponseHandle, ServeError, ServedResponse, ServedSweep, Server,
+    ServerStats, SweepQuery, SweepResponseHandle,
 };
 pub use session::Session;
 pub use stats::{
     compute_statistics, compute_statistics_cached, compute_statistics_spectral, ModelStatistics,
 };
+pub use sweep::{SweepPlan, SweepPoint, SweepResult};

@@ -59,6 +59,40 @@ impl TrainedModel {
     }
 }
 
+/// One grid point of a multi-λ batched objective evaluation
+/// ([`ModelClassSpec::value_grad_batched_multi`]): the probe point `θ`,
+/// the L2 coefficient `β` of this grid point, the sample-size prefix it
+/// evaluates over, and its output buffers.
+#[derive(Debug)]
+pub struct SweepEval<'r> {
+    /// Parameter vector of this grid point's probe.
+    pub theta: &'r [f64],
+    /// L2 regularization coefficient `β` of this grid point (replaces
+    /// the spec's own [`ModelClassSpec::regularization`]).
+    pub beta: f64,
+    /// The probe evaluates over the view's first `rows` rows — the grid
+    /// point's sample, nested as a prefix of the shared capture.
+    pub rows: usize,
+    /// Gradient output `∇f(θ)` (`param_dim` long, overwritten).
+    pub grad: &'r mut [f64],
+    /// Objective value output `f(θ)`.
+    pub value: f64,
+}
+
+impl<'r> SweepEval<'r> {
+    /// An evaluation of probe `θ` under coefficient `beta` over the
+    /// first `rows` rows, writing the gradient into `grad`.
+    pub fn new(theta: &'r [f64], beta: f64, rows: usize, grad: &'r mut [f64]) -> Self {
+        SweepEval {
+            theta,
+            beta,
+            rows,
+            grad,
+            value: 0.0,
+        }
+    }
+}
+
 /// What a model's prediction is computed from, for the fast-diff path.
 ///
 /// Every GLM in the paper predicts through per-output linear scores
@@ -118,6 +152,44 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
         _grad: &mut [f64],
     ) -> f64 {
         unreachable!("value_grad_batched() called on a model without batched training");
+    }
+
+    /// Whether this model class implements
+    /// [`Self::value_grad_batched_multi`] — the fused multi-λ objective
+    /// kernel the sweep engine batches grid points through.
+    fn multi_lambda_batched(&self) -> bool {
+        false
+    }
+
+    /// Batched **multi-λ** objective evaluation: compute every grid
+    /// point's `f(θ_k)` and `∇f(θ_k)` — each under its own L2
+    /// coefficient `β_k` and over its own row-count prefix of `xm` — in
+    /// one fused pass over the shared sample capture (margins computed
+    /// once per chunk per probe while the rows are cache-hot, the K
+    /// regularizer terms applied per-λ afterwards).
+    ///
+    /// The contract is exactness: each eval's `(value, grad)` must be
+    /// **bit-identical** to [`Self::value_grad_batched`] on a spec with
+    /// [`Self::with_regularization`]`(β_k)` applied, over
+    /// `xm.prefix(rows_k)`, at any thread budget.
+    ///
+    /// Only called when [`Self::multi_lambda_batched`] returns true.
+    fn value_grad_batched_multi(
+        &self,
+        _evals: &mut [SweepEval],
+        _xm: &MatrixView,
+        _scratch: &mut TrainScratch,
+    ) {
+        unreachable!("value_grad_batched_multi() called on a model without multi-λ support");
+    }
+
+    /// This spec with its L2 coefficient replaced by `beta` — the
+    /// sweep engine's way of instantiating one grid point. `None` (the
+    /// default) marks model classes whose regularization cannot be
+    /// swapped out (no regularizer, or one that is not a plain L2
+    /// coefficient); `Session::sweep` rejects those with a config error.
+    fn with_regularization(&self, _beta: f64) -> Option<Box<dyn ModelClassSpec<F>>> {
+        None
     }
 
     /// The per-example gradient list `ψ_i = q(θ; x_i, y_i) + r(θ)`

@@ -29,9 +29,9 @@
 //! budget.
 
 use crate::grads::Grads;
-use crate::mcs::{classification_diff, regression_diff, ModelClassSpec};
+use crate::mcs::{classification_diff, regression_diff, ModelClassSpec, SweepEval};
 use blinkml_data::parallel::{par_ranges, par_sum_vecs};
-use blinkml_data::{Dataset, FeatureVec, MatrixView, SparseVec, TrainScratch};
+use blinkml_data::{Dataset, FeatureVec, FoldRequest, MatrixView, SparseVec, TrainScratch};
 use blinkml_linalg::Matrix;
 use std::marker::PhantomData;
 
@@ -229,6 +229,82 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
             }
         }
         value
+    }
+
+    fn multi_lambda_batched(&self) -> bool {
+        true
+    }
+
+    fn value_grad_batched_multi(
+        &self,
+        evals: &mut [SweepEval],
+        xm: &MatrixView,
+        scratch: &mut TrainScratch,
+    ) {
+        let d = xm.dim();
+        let intercept = self.intercept;
+        let dim = d + usize::from(intercept);
+        // One fused multi-request sweep over the shared capture: every
+        // grid point's weight-block fold runs chunk by chunk while the
+        // rows are hot; the λ-dependent regularizer terms are applied
+        // per-eval afterwards, so the data passes are shared across the
+        // whole grid. Request k's (loss, dloss-sum, grad) come out
+        // bit-identical to `value_grad_fold` over `xm.prefix(rows_k)`,
+        // which is what makes each eval below bit-identical to
+        // `value_grad_batched` on a `with_regularization(β_k)` spec.
+        let mut reqs: Vec<FoldRequest> = evals
+            .iter_mut()
+            .map(|e| {
+                debug_assert_eq!(e.theta.len(), dim);
+                debug_assert_eq!(e.grad.len(), dim);
+                let (w, b) = if intercept {
+                    (&e.theta[..d], e.theta[d])
+                } else {
+                    (e.theta, 0.0)
+                };
+                FoldRequest::new(w, b, e.rows, &mut e.grad[..d])
+            })
+            .collect();
+        xm.value_grad_fold_multi(&mut reqs, scratch, |_k, start, margins| {
+            let (mut lpart, mut cpart) = (0.0, 0.0);
+            for (local, m) in margins.iter_mut().enumerate() {
+                let (l, c) = Fam::loss_dloss(*m, xm.label(start + local));
+                lpart += l;
+                cpart += c;
+                *m = c;
+            }
+            (lpart, cpart)
+        });
+        let results: Vec<(f64, f64)> = reqs.iter().map(|r| (r.loss, r.extra)).collect();
+        drop(reqs);
+        for (e, (loss, dloss_sum)) in evals.iter_mut().zip(results) {
+            let n = e.rows.max(1) as f64;
+            let mut value = loss / n;
+            for g in e.grad[..d].iter_mut() {
+                *g /= n;
+            }
+            if intercept {
+                e.grad[d] = dloss_sum / n;
+            }
+            if e.beta > 0.0 {
+                let wlen = self.weight_len(dim);
+                let norm_sq: f64 = e.theta[..wlen].iter().map(|t| t * t).sum();
+                value += 0.5 * e.beta * norm_sq;
+                for (g, t) in e.grad[..wlen].iter_mut().zip(&e.theta[..wlen]) {
+                    *g += e.beta * t;
+                }
+            }
+            e.value = value;
+        }
+    }
+
+    fn with_regularization(&self, beta: f64) -> Option<Box<dyn ModelClassSpec<F>>> {
+        assert!(beta >= 0.0, "regularization must be nonnegative");
+        Some(Box::new(GlmSpec::<Fam> {
+            beta,
+            intercept: self.intercept,
+            _family: PhantomData,
+        }))
     }
 
     fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
@@ -636,6 +712,87 @@ mod tests {
             e_b < e_plain,
             "intercept should help on shifted labels: {e_b} vs {e_plain}"
         );
+    }
+
+    /// The fused multi-λ kernel must equal K independent
+    /// `value_grad_batched` calls on `with_regularization(β_k)` specs
+    /// over the matching sample prefixes — bit for bit, with and
+    /// without an intercept, at thread budgets {1, 4}.
+    #[test]
+    fn multi_lambda_batched_is_bitwise_looped_single_lambda() {
+        use blinkml_data::parallel::{set_max_threads, CHUNK_SIZE};
+        use blinkml_data::DatasetMatrix;
+        let n = CHUNK_SIZE + 257;
+        let (data, _) = synthetic_logistic(n, 4, 2.0, 21);
+        let betas = [0.0, 1e-3, 0.1];
+        let rows = [n, CHUNK_SIZE / 2, n - 7];
+        for intercept in [false, true] {
+            let spec = if intercept {
+                Spec::with_intercept(1e-3)
+            } else {
+                Spec::new(1e-3)
+            };
+            assert!(<Spec as ModelClassSpec<DenseVec>>::multi_lambda_batched(
+                &spec
+            ));
+            let dim = <Spec as ModelClassSpec<DenseVec>>::param_dim(&spec, 4);
+            let thetas: Vec<Vec<f64>> = (0..betas.len())
+                .map(|k| {
+                    (0..dim)
+                        .map(|j| 0.1 * (j as f64 + 1.0) - 0.07 * k as f64)
+                        .collect()
+                })
+                .collect();
+            for budget in [Some(1), Some(4)] {
+                set_max_threads(budget);
+                let pool = DatasetMatrix::from_dataset(&data);
+                let view = pool.view();
+                let mut grads = vec![vec![f64::NAN; dim]; betas.len()];
+                let mut evals: Vec<SweepEval> = thetas
+                    .iter()
+                    .zip(betas.iter())
+                    .zip(rows.iter())
+                    .zip(grads.iter_mut())
+                    .map(|(((t, &b), &r), g)| SweepEval::new(t, b, r, g))
+                    .collect();
+                let mut scratch = TrainScratch::new();
+                <Spec as ModelClassSpec<DenseVec>>::value_grad_batched_multi(
+                    &spec,
+                    &mut evals,
+                    &view,
+                    &mut scratch,
+                );
+                let values: Vec<f64> = evals.iter().map(|e| e.value).collect();
+                drop(evals);
+                for k in 0..betas.len() {
+                    let solo =
+                        <Spec as ModelClassSpec<DenseVec>>::with_regularization(&spec, betas[k])
+                            .unwrap();
+                    let sub = view.prefix(rows[k]);
+                    let mut solo_grad = vec![f64::NAN; dim];
+                    let mut solo_scratch = TrainScratch::new();
+                    let solo_value = solo.value_grad_batched(
+                        &thetas[k],
+                        &sub,
+                        &mut solo_scratch,
+                        &mut solo_grad,
+                    );
+                    assert_eq!(
+                        values[k].to_bits(),
+                        solo_value.to_bits(),
+                        "value k={k} intercept={intercept} budget {budget:?}"
+                    );
+                    for (j, (a, b)) in grads[k].iter().zip(&solo_grad).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "grad[{j}] k={k} intercept={intercept} budget {budget:?}"
+                        );
+                    }
+                }
+            }
+            set_max_threads(None);
+        }
     }
 
     #[test]

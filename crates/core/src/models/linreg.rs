@@ -14,9 +14,9 @@
 //! the `w` block only.
 
 use crate::grads::Grads;
-use crate::mcs::{regression_diff, ModelClassSpec};
+use crate::mcs::{regression_diff, ModelClassSpec, SweepEval};
 use blinkml_data::parallel::par_sum_vecs;
-use blinkml_data::{Dataset, FeatureVec, MatrixView, TrainScratch};
+use blinkml_data::{Dataset, FeatureVec, FoldRequest, MatrixView, TrainScratch};
 use blinkml_linalg::blas::ger;
 use blinkml_linalg::Matrix;
 
@@ -144,6 +144,67 @@ impl<F: FeatureVec> ModelClassSpec<F> for LinearRegressionSpec {
             }
         }
         value
+    }
+
+    fn multi_lambda_batched(&self) -> bool {
+        true
+    }
+
+    fn value_grad_batched_multi(
+        &self,
+        evals: &mut [SweepEval],
+        xm: &MatrixView,
+        scratch: &mut TrainScratch,
+    ) {
+        let d = xm.dim();
+        // One fused multi-request sweep shares each chunk's cache-hot
+        // rows across every grid point; residuals are formed exactly as
+        // the single-λ kernel forms them, so per-request sums and
+        // gradient partials are bit-identical to `value_grad_batched`.
+        let mut reqs: Vec<FoldRequest> = evals
+            .iter_mut()
+            .map(|e| {
+                debug_assert_eq!(e.theta.len(), d + 1);
+                debug_assert_eq!(e.grad.len(), d + 1);
+                FoldRequest::new(&e.theta[..d], 0.0, e.rows, &mut e.grad[..d])
+            })
+            .collect();
+        xm.value_grad_fold_multi(&mut reqs, scratch, |_k, start, margins| {
+            let mut part = 0.0;
+            for (local, m) in margins.iter_mut().enumerate() {
+                let r = *m - xm.label(start + local);
+                part += r * r;
+                *m = r;
+            }
+            (part, 0.0)
+        });
+        let sums: Vec<f64> = reqs.iter().map(|r| r.loss).collect();
+        drop(reqs);
+        for (e, sum_r2) in evals.iter_mut().zip(sums) {
+            let n = e.rows.max(1) as f64;
+            let u = e.theta[d].clamp(-LOG_VAR_CLAMP, LOG_VAR_CLAMP);
+            let inv_s = (-u).exp();
+            let w = &e.theta[..d];
+            // f = (1/n)Σ[r²/(2σ²) + u/2] + (β/2)‖w‖².
+            let mut value = 0.5 * inv_s * sum_r2 / n + 0.5 * u;
+            for g in e.grad[..d].iter_mut() {
+                *g = inv_s * *g / n;
+            }
+            // ∂f/∂u = ½ − (1/2σ²)·mean(r²).
+            e.grad[d] = 0.5 - 0.5 * inv_s * sum_r2 / n;
+            if e.beta > 0.0 {
+                let norm_sq: f64 = w.iter().map(|t| t * t).sum();
+                value += 0.5 * e.beta * norm_sq;
+                for (g, t) in e.grad[..d].iter_mut().zip(w) {
+                    *g += e.beta * t;
+                }
+            }
+            e.value = value;
+        }
+    }
+
+    fn with_regularization(&self, beta: f64) -> Option<Box<dyn ModelClassSpec<F>>> {
+        Some(Box::new(LinearRegressionSpec::new(beta)))
     }
 
     fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
@@ -400,6 +461,60 @@ mod tests {
             );
         }
         assert!(<M>::diff_is_rms(&spec));
+    }
+
+    /// Every grid point of a fused multi-λ evaluation must be
+    /// bit-identical to the single-λ batched kernel run on a
+    /// `with_regularization(β_k)` spec over the matching row prefix, at
+    /// any thread budget.
+    #[test]
+    fn multi_lambda_batched_is_bitwise_looped_single_lambda() {
+        use blinkml_data::parallel::{set_max_threads, CHUNK_SIZE};
+        use blinkml_data::DatasetMatrix;
+        let n = CHUNK_SIZE + 257;
+        let d = 6;
+        let dim = d + 1;
+        let (data, _) = synthetic_linear(n, d, 0.4, 21);
+        let xm = DatasetMatrix::from_dataset(&data);
+        let view = xm.view();
+        let betas = [0.0, 1e-3, 0.1];
+        let rows = [n, CHUNK_SIZE / 2, n - 7];
+        let thetas: Vec<Vec<f64>> = (0..3)
+            .map(|k| {
+                (0..dim)
+                    .map(|j| ((k * dim + j) as f64 * 0.37).sin() * 0.5)
+                    .collect()
+            })
+            .collect();
+        // The host spec's own β must be ignored: each eval carries its own.
+        let spec = LinearRegressionSpec::new(0.5);
+        for budget in [1usize, 4] {
+            set_max_threads(Some(budget));
+            let mut grads: Vec<Vec<f64>> = vec![vec![0.0; dim]; 3];
+            let values: Vec<f64> = {
+                let mut evals: Vec<SweepEval> = thetas
+                    .iter()
+                    .zip(grads.iter_mut())
+                    .enumerate()
+                    .map(|(k, (t, g))| SweepEval::new(t, betas[k], rows[k], g))
+                    .collect();
+                let mut scratch = TrainScratch::new();
+                <M>::value_grad_batched_multi(&spec, &mut evals, &view, &mut scratch);
+                evals.iter().map(|e| e.value).collect()
+            };
+            for k in 0..3 {
+                let solo = <M>::with_regularization(&spec, betas[k]).unwrap();
+                let pv = view.prefix(rows[k]);
+                let mut g = vec![0.0; dim];
+                let mut scratch = TrainScratch::new();
+                let v = solo.value_grad_batched(&thetas[k], &pv, &mut scratch, &mut g);
+                assert_eq!(v.to_bits(), values[k].to_bits(), "value k={k} t={budget}");
+                for (a, b) in g.iter().zip(&grads[k]) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "grad k={k} t={budget}");
+                }
+            }
+        }
+        set_max_threads(None);
     }
 
     #[test]

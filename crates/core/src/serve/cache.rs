@@ -20,7 +20,7 @@
 
 use crate::coordinator::PilotState;
 use crate::serve::ServeError;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache key for pilot artifacts: `(dataset_version, n₀, seed)`.
@@ -34,15 +34,21 @@ pub type PilotKey = (u64, usize, u64);
 /// A keyed LRU over pilot artifacts.
 ///
 /// Eviction is least-recently-*used* (hits refresh recency), with a
-/// hard capacity. The implementation is a `HashMap` with a monotonic
-/// use tick per entry and an `O(len)` scan on eviction — capacities in
-/// a serving deployment are small (each entry holds a full statistics
-/// factor), so the scan is noise next to one pilot training.
+/// hard capacity. Entries live in a `HashMap` stamped with a monotonic
+/// use tick; a `BTreeMap` keyed by tick mirrors the recency order, so
+/// the victim is an `O(log len)` pop of the smallest tick instead of a
+/// full scan — with a grid sweep per query, servers now see pilot
+/// traffic per *grid point*, and the old `O(len)` eviction scan turned
+/// insert-heavy phases quadratic. Ticks are unique (one per operation),
+/// so the ordered index names exactly one victim — the same entry the
+/// scan used to pick.
 #[derive(Debug)]
 pub struct PilotLru {
     capacity: usize,
     tick: u64,
     entries: HashMap<PilotKey, (Arc<PilotState>, u64)>,
+    /// Recency index: tick → key, mirroring `entries`' tick stamps.
+    by_tick: BTreeMap<u64, PilotKey>,
     evictions: u64,
 }
 
@@ -58,6 +64,7 @@ impl PilotLru {
             capacity,
             tick: 0,
             entries: HashMap::new(),
+            by_tick: BTreeMap::new(),
             evictions: 0,
         }
     }
@@ -66,24 +73,26 @@ impl PilotLru {
     pub fn get(&mut self, key: &PilotKey) -> Option<Arc<PilotState>> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.get_mut(key).map(|(pilot, used)| {
-            *used = tick;
-            pilot.clone()
-        })
+        let entry = self.entries.get_mut(key)?;
+        self.by_tick.remove(&entry.1);
+        entry.1 = tick;
+        self.by_tick.insert(tick, *key);
+        Some(entry.0.clone())
     }
 
     /// Insert (or refresh) `key`, evicting the least-recently-used
     /// entry when the cache is over capacity.
     pub fn insert(&mut self, key: PilotKey, pilot: Arc<PilotState>) {
         self.tick += 1;
-        self.entries.insert(key, (pilot, self.tick));
+        if let Some((_, old_tick)) = self.entries.insert(key, (pilot, self.tick)) {
+            self.by_tick.remove(&old_tick);
+        }
+        self.by_tick.insert(self.tick, key);
         while self.entries.len() > self.capacity {
-            let oldest = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(k, _)| *k)
-                .expect("non-empty map over capacity");
+            let (_, oldest) = self
+                .by_tick
+                .pop_first()
+                .expect("recency index mirrors entries");
             self.entries.remove(&oldest);
             self.evictions += 1;
         }
@@ -109,6 +118,7 @@ impl PilotLru {
     /// queries retrain on demand).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.by_tick.clear();
     }
 }
 
@@ -292,6 +302,82 @@ mod tests {
         assert_eq!(lru.evictions(), 2);
         lru.clear();
         assert!(lru.is_empty());
+    }
+
+    /// The ordered-index eviction must pick exactly the victim the old
+    /// `O(len)` min-tick scan picked, on any interleaving of hits,
+    /// refreshes, and inserts. A reference model (plain vector, scan
+    /// eviction) replays a deterministic pseudo-random op sequence next
+    /// to the real LRU; contents must stay identical after every op.
+    #[test]
+    fn eviction_order_matches_reference_scan() {
+        struct Reference {
+            capacity: usize,
+            tick: u64,
+            entries: Vec<(PilotKey, u64)>,
+            evictions: u64,
+        }
+        impl Reference {
+            fn get(&mut self, key: &PilotKey) -> bool {
+                self.tick += 1;
+                let tick = self.tick;
+                if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == key) {
+                    e.1 = tick;
+                    true
+                } else {
+                    false
+                }
+            }
+            fn insert(&mut self, key: PilotKey) {
+                self.tick += 1;
+                let tick = self.tick;
+                if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+                    e.1 = tick;
+                } else {
+                    self.entries.push((key, tick));
+                }
+                while self.entries.len() > self.capacity {
+                    let oldest = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, used))| *used)
+                        .map(|(i, _)| i)
+                        .expect("non-empty over capacity");
+                    self.entries.remove(oldest);
+                    self.evictions += 1;
+                }
+            }
+        }
+
+        let mut lru = PilotLru::new(3);
+        let mut reference = Reference {
+            capacity: 3,
+            tick: 0,
+            entries: Vec::new(),
+            evictions: 0,
+        };
+        // Deterministic LCG op stream over a keyspace larger than the
+        // capacity, so hits, misses, refreshes, and evictions all occur.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key: PilotKey = (0, (state >> 33) as usize % 7, 1);
+            if state & 1 == 0 {
+                assert_eq!(lru.get(&key).is_some(), reference.get(&key));
+            } else {
+                lru.insert(key, pilot(key.1));
+                reference.insert(key);
+            }
+            assert_eq!(lru.len(), reference.entries.len());
+            assert_eq!(lru.evictions(), reference.evictions);
+            for (k, _) in &reference.entries {
+                assert!(lru.entries.contains_key(k), "contents diverged at {k:?}");
+            }
+        }
+        assert!(reference.evictions > 0, "sequence must exercise eviction");
     }
 
     #[test]

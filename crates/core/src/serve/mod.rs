@@ -48,11 +48,12 @@
 
 pub(crate) mod cache;
 
-use crate::config::{BlinkMlConfig, ServeConfig};
+use crate::config::{BlinkMlConfig, ServeConfig, WarmStartPolicy};
 use crate::coordinator::{build_pool, run_train, PilotState, TrainingOutcome};
 use crate::error::CoreError;
 use crate::mcs::ModelClassSpec;
 use crate::serve::cache::{PilotCache, PilotTicket};
+use crate::sweep::{run_sweep, SweepPlan, SweepResult};
 use blinkml_data::{CaptureScratch, Dataset, DatasetMatrix, FeatureVec};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -145,6 +146,61 @@ impl Query {
     }
 }
 
+/// One tenant hyperparameter-sweep query: a dataset version, the λ
+/// grid, and the shared per-query contract — the serving form of
+/// [`Session::sweep`](crate::Session::sweep).
+///
+/// Sweep pilots depend on λ, so sweeps **bypass** the server's pilot
+/// cache in both directions (they neither read nor populate it); the
+/// fused engine's shared pilot capture plays the cache's role within
+/// the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepQuery {
+    /// Dataset version to train against.
+    pub dataset: u64,
+    /// L2 grid, one trained model per λ (results in this order).
+    pub lambdas: Vec<f64>,
+    /// Error bound `ε` shared by every grid point.
+    pub epsilon: f64,
+    /// Violation probability `δ` shared by every grid point.
+    pub delta: f64,
+    /// Sampling seed shared by every grid point.
+    pub seed: u64,
+    /// Warm-start policy for the grid's final fits.
+    pub warm_start: WarmStartPolicy,
+    /// Optional per-query initial sample size `n₀` (defaults to the
+    /// server's base configuration).
+    pub initial_sample_size: Option<usize>,
+}
+
+impl SweepQuery {
+    /// Sweep query with the default ([`WarmStartPolicy::ExactReplay`])
+    /// policy and the server's default `n₀`.
+    pub fn new(dataset: u64, lambdas: Vec<f64>, epsilon: f64, delta: f64, seed: u64) -> Self {
+        SweepQuery {
+            dataset,
+            lambdas,
+            epsilon,
+            delta,
+            seed,
+            warm_start: WarmStartPolicy::default(),
+            initial_sample_size: None,
+        }
+    }
+
+    /// Override the warm-start policy for this query.
+    pub fn with_warm_start(mut self, policy: WarmStartPolicy) -> Self {
+        self.warm_start = policy;
+        self
+    }
+
+    /// Override the initial sample size for this query.
+    pub fn with_initial_sample_size(mut self, n0: usize) -> Self {
+        self.initial_sample_size = Some(n0);
+        self
+    }
+}
+
 /// A served training result plus serving metadata.
 #[derive(Debug, Clone)]
 pub struct ServedResponse {
@@ -153,6 +209,16 @@ pub struct ServedResponse {
     pub outcome: TrainingOutcome,
     /// Submit-to-completion latency as measured by the server (queue
     /// wait plus processing).
+    pub latency: Duration,
+}
+
+/// A served sweep result plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct ServedSweep {
+    /// The grid results — under the default warm-start policy, each
+    /// point bit-identical to an independent cold run with that λ.
+    pub result: SweepResult,
+    /// Submit-to-completion latency as measured by the server.
     pub latency: Duration,
 }
 
@@ -207,6 +273,14 @@ pub struct ServerStats {
     pub coalesced_waits: u64,
     /// Pilot cache evictions.
     pub evictions: u64,
+    /// Sweep queries resolved (success or failure).
+    pub sweep_queries: u64,
+    /// Sweep final fits that accepted a neighbor warm start
+    /// (path-following sweeps only).
+    pub warm_starts_taken: u64,
+    /// Sweep final fits whose neighbor warm start was rejected by the
+    /// line search and fell back to the point's own pilot θ₀.
+    pub warm_starts_rejected: u64,
     /// Pilots currently cached.
     pub cached_pilots: usize,
     /// Live in-flight pilot computations (0 when idle).
@@ -221,21 +295,50 @@ struct StatCounters {
     cache_hits: AtomicU64,
     pilot_trains: AtomicU64,
     coalesced_waits: AtomicU64,
+    sweep_queries: AtomicU64,
+    warm_starts_taken: AtomicU64,
+    warm_starts_rejected: AtomicU64,
 }
 
 /// The handle-side slot a worker publishes one response into.
-#[derive(Debug, Default)]
-struct Ticket {
-    slot: Mutex<Option<Result<ServedResponse, ServeError>>>,
+#[derive(Debug)]
+struct Ticket<T> {
+    slot: Mutex<Option<Result<T, ServeError>>>,
     cv: Condvar,
 }
 
-impl Ticket {
-    fn publish(&self, result: Result<ServedResponse, ServeError>) {
+impl<T> Default for Ticket<T> {
+    fn default() -> Self {
+        Ticket {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl<T> Ticket<T> {
+    fn publish(&self, result: Result<T, ServeError>) {
         let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(slot.is_none(), "response published twice");
         *slot = Some(result);
         self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<T, ServeError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
     }
 }
 
@@ -244,37 +347,51 @@ impl Ticket {
 /// [`ResponseHandle::is_ready`].
 #[derive(Debug)]
 pub struct ResponseHandle {
-    ticket: Arc<Ticket>,
+    ticket: Arc<Ticket<ServedResponse>>,
 }
 
 impl ResponseHandle {
     /// Block until the query resolves and return its response.
     pub fn wait(self) -> Result<ServedResponse, ServeError> {
-        let mut slot = self.ticket.slot.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(result) = slot.take() {
-                return result;
-            }
-            slot = self.ticket.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
-        }
+        self.ticket.wait()
     }
 
     /// Whether the response has been published (non-blocking).
     pub fn is_ready(&self) -> bool {
-        self.ticket
-            .slot
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .is_some()
+        self.ticket.is_ready()
     }
 }
 
-/// One queued job: the resolved shard index, the query, and where to
-/// publish the response.
+/// A pending sweep response: the asynchronous half of
+/// [`Server::submit_sweep`].
+#[derive(Debug)]
+pub struct SweepResponseHandle {
+    ticket: Arc<Ticket<ServedSweep>>,
+}
+
+impl SweepResponseHandle {
+    /// Block until the sweep resolves and return its response.
+    pub fn wait(self) -> Result<ServedSweep, ServeError> {
+        self.ticket.wait()
+    }
+
+    /// Whether the response has been published (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.ticket.is_ready()
+    }
+}
+
+/// One queued request and where to publish its response.
+enum Request {
+    Train(Query, Arc<Ticket<ServedResponse>>),
+    Sweep(SweepQuery, Arc<Ticket<ServedSweep>>),
+}
+
+/// One queued job: the resolved shard index, the request, and its
+/// submission time.
 struct Job {
     shard: usize,
-    query: Query,
-    ticket: Arc<Ticket>,
+    request: Request,
     submitted: Instant,
 }
 
@@ -440,15 +557,30 @@ impl Server {
     /// completes it. Fails fast (without queueing) on an unknown
     /// dataset version or a shut-down server.
     pub fn submit(&self, query: Query) -> Result<ResponseHandle, ServeError> {
+        let ticket = Arc::new(Ticket::default());
+        self.enqueue(query.dataset, Request::Train(query, ticket.clone()))?;
+        Ok(ResponseHandle { ticket })
+    }
+
+    /// Enqueue a hyperparameter-sweep query, returning a handle that
+    /// resolves when a worker completes the whole grid. One sweep is
+    /// one job: the fused engine inside it supplies the per-λ
+    /// parallelism, so grid points never compete with other tenants for
+    /// queue slots mid-sweep.
+    pub fn submit_sweep(&self, query: SweepQuery) -> Result<SweepResponseHandle, ServeError> {
+        let ticket = Arc::new(Ticket::default());
+        self.enqueue(query.dataset, Request::Sweep(query, ticket.clone()))?;
+        Ok(SweepResponseHandle { ticket })
+    }
+
+    fn enqueue(&self, dataset: u64, request: Request) -> Result<(), ServeError> {
         let shard = *self
             .versions
-            .get(&query.dataset)
-            .ok_or(ServeError::UnknownDataset(query.dataset))?;
-        let ticket = Arc::new(Ticket::default());
+            .get(&dataset)
+            .ok_or(ServeError::UnknownDataset(dataset))?;
         let job = Job {
             shard,
-            query,
-            ticket: ticket.clone(),
+            request,
             submitted: Instant::now(),
         };
         {
@@ -460,13 +592,19 @@ impl Server {
         }
         self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.cv.notify_one();
-        Ok(ResponseHandle { ticket })
+        Ok(())
     }
 
     /// Submit and block for the response — the synchronous convenience
     /// form of [`Server::submit`].
     pub fn query(&self, query: Query) -> Result<ServedResponse, ServeError> {
         self.submit(query)?.wait()
+    }
+
+    /// Submit a sweep and block for the response — the synchronous
+    /// convenience form of [`Server::submit_sweep`].
+    pub fn sweep(&self, query: SweepQuery) -> Result<ServedSweep, ServeError> {
+        self.submit_sweep(query)?.wait()
     }
 
     /// Snapshot the server's counters.
@@ -480,6 +618,9 @@ impl Server {
             pilot_trains: s.pilot_trains.load(Ordering::Relaxed),
             coalesced_waits: s.coalesced_waits.load(Ordering::Relaxed),
             evictions: self.shared.cache.evictions(),
+            sweep_queries: s.sweep_queries.load(Ordering::Relaxed),
+            warm_starts_taken: s.warm_starts_taken.load(Ordering::Relaxed),
+            warm_starts_rejected: s.warm_starts_rejected.load(Ordering::Relaxed),
             cached_pilots: self.shared.cache.cached(),
             inflight: self.shared.cache.inflight(),
         }
@@ -517,9 +658,9 @@ impl Drop for Server {
     }
 }
 
-/// Process one job end to end: resolve the pilot through the cache
-/// (hit / coalesce / lead), run the coordinator workflow, and publish
-/// the response. Panics are contained per job.
+/// Process one job end to end — training query (pilot resolved through
+/// the cache: hit / coalesce / lead) or grid sweep (cache bypassed) —
+/// and publish the response. Panics are contained per job.
 fn process_job<F, S>(
     base: &BlinkMlConfig,
     spec: &S,
@@ -532,25 +673,53 @@ fn process_job<F, S>(
     F: FeatureVec,
     S: ModelClassSpec<F> + ?Sized,
 {
-    let result = serve_query(base, spec, shards, pools, shared, scratch, &job);
     let stats = &shared.stats;
-    match result {
-        Ok(outcome) => {
-            stats.completed.fetch_add(1, Ordering::Relaxed);
-            job.ticket.publish(Ok(ServedResponse {
-                outcome,
-                latency: job.submitted.elapsed(),
-            }));
+    match job.request {
+        Request::Train(query, ticket) => {
+            match serve_query(
+                base, spec, shards, pools, shared, scratch, job.shard, &query,
+            ) {
+                Ok(outcome) => {
+                    stats.completed.fetch_add(1, Ordering::Relaxed);
+                    ticket.publish(Ok(ServedResponse {
+                        outcome,
+                        latency: job.submitted.elapsed(),
+                    }));
+                }
+                Err(e) => {
+                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                    ticket.publish(Err(e));
+                }
+            }
         }
-        Err(e) => {
-            stats.failed.fetch_add(1, Ordering::Relaxed);
-            job.ticket.publish(Err(e));
+        Request::Sweep(query, ticket) => {
+            stats.sweep_queries.fetch_add(1, Ordering::Relaxed);
+            match serve_sweep(base, spec, shards, pools, scratch, job.shard, &query) {
+                Ok(result) => {
+                    stats
+                        .warm_starts_taken
+                        .fetch_add(result.warm_starts_taken as u64, Ordering::Relaxed);
+                    stats
+                        .warm_starts_rejected
+                        .fetch_add(result.warm_starts_rejected as u64, Ordering::Relaxed);
+                    stats.completed.fetch_add(1, Ordering::Relaxed);
+                    ticket.publish(Ok(ServedSweep {
+                        result,
+                        latency: job.submitted.elapsed(),
+                    }));
+                }
+                Err(e) => {
+                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                    ticket.publish(Err(e));
+                }
+            }
         }
     }
 }
 
-/// The query workflow behind [`process_job`], returning the outcome or
-/// the error to publish.
+/// The training-query workflow behind [`process_job`], returning the
+/// outcome or the error to publish.
+#[allow(clippy::too_many_arguments)]
 fn serve_query<F, S>(
     base: &BlinkMlConfig,
     spec: &S,
@@ -558,16 +727,17 @@ fn serve_query<F, S>(
     pools: &[Option<DatasetMatrix<'_>>],
     shared: &Shared,
     scratch: &mut CaptureScratch,
-    job: &Job,
+    shard_index: usize,
+    query: &Query,
 ) -> Result<TrainingOutcome, ServeError>
 where
     F: FeatureVec,
     S: ModelClassSpec<F> + ?Sized,
 {
     let mut config = base.clone();
-    config.epsilon = job.query.epsilon;
-    config.delta = job.query.delta;
-    if let Some(n0) = job.query.initial_sample_size {
+    config.epsilon = query.epsilon;
+    config.delta = query.delta;
+    if let Some(n0) = query.initial_sample_size {
         config.initial_sample_size = n0;
     }
     config.validate()?;
@@ -575,28 +745,46 @@ where
     // moved the global knob. Results are budget-independent either way.
     config.exec.apply();
 
-    let shard = &shards[job.shard];
-    let pool = pools[job.shard].as_ref();
+    let shard = &shards[shard_index];
+    let pool = pools[shard_index].as_ref();
     let n0 = config.initial_sample_size.min(shard.train.len());
-    let key = (shard.version, n0, job.query.seed);
+    let key = (shard.version, n0, query.seed);
     let stats = &shared.stats;
 
     match shared.cache.resolve(key) {
         PilotTicket::Cached(pilot) => {
             stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            run_contained(config, spec, shard, pool, scratch, job, Some(&pilot), false)
-                .map(|(outcome, _)| outcome)
+            run_contained(
+                config,
+                spec,
+                shard,
+                pool,
+                scratch,
+                query.seed,
+                Some(&pilot),
+                false,
+            )
+            .map(|(outcome, _)| outcome)
         }
         PilotTicket::Wait(inflight) => {
             stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
             // The leader publishes exactly one terminal result; share
             // its failure rather than stampeding retrains.
             let pilot = inflight.wait()?;
-            run_contained(config, spec, shard, pool, scratch, job, Some(&pilot), false)
-                .map(|(outcome, _)| outcome)
+            run_contained(
+                config,
+                spec,
+                shard,
+                pool,
+                scratch,
+                query.seed,
+                Some(&pilot),
+                false,
+            )
+            .map(|(outcome, _)| outcome)
         }
         PilotTicket::Lead => {
-            match run_contained(config, spec, shard, pool, scratch, job, None, true) {
+            match run_contained(config, spec, shard, pool, scratch, query.seed, None, true) {
                 Ok((outcome, Some(pilot))) => {
                     stats.pilot_trains.fetch_add(1, Ordering::Relaxed);
                     shared.cache.complete(key, Arc::new(pilot));
@@ -624,6 +812,59 @@ where
     }
 }
 
+/// The sweep workflow behind [`process_job`]: configure the contract,
+/// run the fused sweep engine against the shard's pool (pilot cache
+/// bypassed — sweep pilots are λ-dependent), with panics contained the
+/// same way training queries contain them.
+fn serve_sweep<F, S>(
+    base: &BlinkMlConfig,
+    spec: &S,
+    shards: &[DatasetShard<F>],
+    pools: &[Option<DatasetMatrix<'_>>],
+    scratch: &mut CaptureScratch,
+    shard_index: usize,
+    query: &SweepQuery,
+) -> Result<SweepResult, ServeError>
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let mut config = base.clone();
+    config.epsilon = query.epsilon;
+    config.delta = query.delta;
+    if let Some(n0) = query.initial_sample_size {
+        config.initial_sample_size = n0;
+    }
+    config.validate()?;
+    config.exec.apply();
+
+    let shard = &shards[shard_index];
+    let pool = pools[shard_index].as_ref();
+    let plan = SweepPlan::new(
+        query.lambdas.clone(),
+        query.epsilon,
+        query.delta,
+        query.seed,
+    )
+    .with_warm_start(query.warm_start);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        run_sweep(
+            &config,
+            spec,
+            &shard.train,
+            &shard.holdout,
+            pool,
+            scratch,
+            &plan,
+        )
+    }));
+    match attempt {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(e)) => Err(ServeError::Train(e)),
+        Err(payload) => Err(ServeError::WorkerPanicked(panic_message(payload))),
+    }
+}
+
 /// Run the coordinator workflow with panics contained to this job:
 /// a panic inside training (e.g. a library bug or a pathological
 /// dataset) becomes [`ServeError::WorkerPanicked`] instead of killing
@@ -635,7 +876,7 @@ fn run_contained<F, S>(
     shard: &DatasetShard<F>,
     pool: Option<&DatasetMatrix<'_>>,
     scratch: &mut CaptureScratch,
-    job: &Job,
+    seed: u64,
     pilot: Option<&PilotState>,
     want_pilot: bool,
 ) -> Result<(TrainingOutcome, Option<PilotState>), ServeError>
@@ -651,7 +892,7 @@ where
             &shard.holdout,
             pool,
             scratch,
-            job.query.seed,
+            seed,
             pilot,
             want_pilot,
         )
@@ -659,15 +900,17 @@ where
     match attempt {
         Ok(Ok(result)) => Ok(result),
         Ok(Err(e)) => Err(ServeError::Train(e)),
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            Err(ServeError::WorkerPanicked(msg))
-        }
+        Err(payload) => Err(ServeError::WorkerPanicked(panic_message(payload))),
     }
+}
+
+/// Render a caught panic payload for [`ServeError::WorkerPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
 }
 
 #[cfg(test)]
@@ -725,6 +968,78 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.completed, 3);
         assert_eq!(stats.inflight, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn served_sweep_matches_session_and_counts() {
+        let sh = shard(1, 6_000, 41);
+        let spec = LogisticRegressionSpec::new(1e-3);
+        let server = Server::spawn(
+            base_config(300),
+            ServeConfig::default(),
+            spec.clone(),
+            vec![sh.clone()],
+        )
+        .unwrap();
+        let lambdas = vec![0.1, 1e-3];
+        let served = server
+            .sweep(SweepQuery::new(1, lambdas.clone(), 0.03, 0.05, 7))
+            .unwrap();
+        assert!(served.result.fused);
+        let session = crate::session::Session::new(
+            base_config(300),
+            &spec,
+            sh.train.as_ref(),
+            sh.holdout.as_ref(),
+        )
+        .unwrap();
+        let local = session.sweep(&lambdas, 0.03, 0.05, 7).unwrap();
+        for (a, b) in served.result.points.iter().zip(&local.points) {
+            assert_eq!(a.outcome.model.parameters(), b.outcome.model.parameters());
+            assert_eq!(a.outcome.sample_size, b.outcome.sample_size);
+            assert_eq!(a.outcome.initial_epsilon, b.outcome.initial_epsilon);
+            assert_eq!(a.outcome.estimated_epsilon, b.outcome.estimated_epsilon);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.sweep_queries, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cached_pilots, 0, "sweeps bypass the pilot cache");
+        assert_eq!(
+            stats.warm_starts_taken, 0,
+            "ExactReplay takes no warm starts"
+        );
+        assert_eq!(stats.warm_starts_rejected, 0);
+
+        // Path-following sweeps surface their warm-start counters.
+        let pf = server
+            .sweep(
+                SweepQuery::new(1, vec![1.0, 1e-2, 1e-4], 0.02, 0.05, 9)
+                    .with_warm_start(WarmStartPolicy::PathFollow),
+            )
+            .unwrap();
+        let trained = pf
+            .result
+            .points
+            .iter()
+            .filter(|p| !p.outcome.used_initial_model)
+            .count();
+        let stats = server.stats();
+        assert_eq!(stats.sweep_queries, 2);
+        assert_eq!(
+            stats.warm_starts_taken as usize,
+            pf.result.warm_starts_taken
+        );
+        assert_eq!(
+            stats.warm_starts_rejected as usize,
+            pf.result.warm_starts_rejected
+        );
+        if trained > 1 {
+            assert_eq!(
+                (stats.warm_starts_taken + stats.warm_starts_rejected) as usize,
+                trained - 1
+            );
+        }
         server.shutdown();
     }
 

@@ -35,6 +35,7 @@ use crate::config::BlinkMlConfig;
 use crate::coordinator::{build_pool, run_train, PilotState, TrainingOutcome};
 use crate::error::CoreError;
 use crate::mcs::ModelClassSpec;
+use crate::sweep::{run_sweep, SweepPlan, SweepResult};
 use blinkml_data::{CaptureScratch, Dataset, DatasetMatrix, FeatureVec};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -143,6 +144,58 @@ impl<'a, F: FeatureVec, S: ModelClassSpec<F> + ?Sized> Session<'a, F, S> {
     /// [`Session::train`] with the session's default contract.
     pub fn train_default(&self, seed: u64) -> Result<TrainingOutcome, CoreError> {
         self.train_with_config(&self.config, seed)
+    }
+
+    /// Evaluate an L2-regularization grid under one `(ε, δ)` contract
+    /// with the fused sweep engine: every λ trains over the same pilot
+    /// capture, the same stacked holdout scorer pass, and the same
+    /// nested final capture, with per-probe objective evaluations
+    /// batched across live grid points (one fused pass over the data
+    /// per optimizer round instead of one per λ).
+    ///
+    /// Results come back in `lambdas` order, each **bit-identical** to
+    /// an independent [`Session::train`] on a spec carrying that λ
+    /// (`f64::to_bits` on θ, ε₀, ε̂; exact on the chosen `n`). Use
+    /// [`Session::sweep_plan`] to opt into
+    /// [`WarmStartPolicy::PathFollow`](crate::WarmStartPolicy) warm
+    /// starts instead.
+    ///
+    /// The model class must expose a swappable L2 coefficient
+    /// ([`ModelClassSpec::with_regularization`]); otherwise the sweep
+    /// is rejected with [`CoreError::InvalidConfig`]. Classes without
+    /// the fused multi-λ kernel — and sessions in materialized
+    /// sampling mode — are served by an equivalent per-point loop
+    /// (`fused: false` in the result).
+    ///
+    /// Sweep pilots are λ-dependent, so they bypass the session's
+    /// `(n₀, seed)` pilot cache in both directions.
+    pub fn sweep(
+        &self,
+        lambdas: &[f64],
+        epsilon: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Result<SweepResult, CoreError> {
+        self.sweep_plan(&SweepPlan::new(lambdas.to_vec(), epsilon, delta, seed))
+    }
+
+    /// [`Session::sweep`] with an explicit [`SweepPlan`] (grid, contract,
+    /// seed, and warm-start policy).
+    pub fn sweep_plan(&self, plan: &SweepPlan) -> Result<SweepResult, CoreError> {
+        let mut config = self.config.clone();
+        config.epsilon = plan.epsilon;
+        config.delta = plan.delta;
+        config.validate()?;
+        config.exec.apply();
+        run_sweep(
+            &config,
+            self.spec,
+            self.train,
+            self.holdout,
+            self.pool.as_ref(),
+            &mut self.cap_scratch.borrow_mut(),
+            plan,
+        )
     }
 
     fn train_with_config(

@@ -13,7 +13,8 @@ use blinkml_core::config::{BlinkMlConfig, ExecConfig, ServeConfig};
 use blinkml_core::coordinator::Coordinator;
 use blinkml_core::grads::Grads;
 use blinkml_core::models::LogisticRegressionSpec;
-use blinkml_core::serve::{DatasetShard, Query, Server};
+use blinkml_core::serve::{DatasetShard, Query, Server, SweepQuery};
+use blinkml_core::WarmStartPolicy;
 use blinkml_core::{CoreError, ModelClassSpec, TrainedModel, TrainingOutcome};
 use blinkml_data::generators::synthetic_logistic;
 use blinkml_data::{Dataset, DenseVec, MatrixView, TrainScratch};
@@ -423,6 +424,103 @@ fn capacity_one_eviction_thrash_stays_bit_identical() {
     );
     assert!(stats.cached_pilots <= 1);
     assert_eq!(stats.inflight, 0);
+}
+
+/// Sweep queries interleaved with plain training queries: every grid
+/// point must equal the per-λ serial oracle bitwise, sweeps must
+/// neither read nor populate the pilot cache, and the sweep counters
+/// (`sweep_queries`, `warm_starts_taken`, `warm_starts_rejected`) must
+/// reconcile with the per-response bookkeeping.
+#[test]
+fn interleaved_sweeps_match_per_lambda_oracles() {
+    let n0 = 250;
+    let shard = make_shard(1, 6_000, 4, 61);
+    let base = base_config(n0, Some(4));
+    let lambdas = vec![0.1, 1e-3, 1e-5];
+
+    // Per-λ serial oracles: a cold coordinator run per grid point.
+    let expected: Vec<TrainingOutcome> = lambdas
+        .iter()
+        .map(|&l| {
+            oracle(
+                &base,
+                &LogisticRegressionSpec::new(l),
+                &shard,
+                Query::new(1, 0.03, 0.05, 7),
+            )
+        })
+        .collect();
+
+    let server = Server::spawn(
+        base.clone(),
+        ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        },
+        LogisticRegressionSpec::new(1e-3),
+        vec![shard.clone()],
+    )
+    .expect("spawn server");
+
+    // Interleave: sweep, plain query, path-following sweep.
+    let sweep_handle = server
+        .submit_sweep(SweepQuery::new(1, lambdas.clone(), 0.03, 0.05, 7))
+        .expect("submit sweep");
+    let train_handle = server.submit(Query::new(1, 0.10, 0.05, 8)).expect("submit");
+    let pf_handle = server
+        .submit_sweep(
+            SweepQuery::new(1, lambdas.clone(), 0.03, 0.05, 7)
+                .with_warm_start(WarmStartPolicy::PathFollow),
+        )
+        .expect("submit pf sweep");
+
+    let served = sweep_handle.wait().expect("sweep served");
+    assert!(served.result.fused, "zero-copy logistic sweep must fuse");
+    for ((point, expected), &lambda) in served.result.points.iter().zip(&expected).zip(&lambdas) {
+        assert_bitwise_eq(&format!("sweep λ={lambda}"), &point.outcome, expected);
+    }
+    assert_eq!(served.result.warm_starts_taken, 0);
+    assert_eq!(served.result.warm_starts_rejected, 0);
+
+    let plain = train_handle.wait().expect("train served");
+    let plain_oracle = oracle(
+        &base,
+        &LogisticRegressionSpec::new(1e-3),
+        &shard,
+        Query::new(1, 0.10, 0.05, 8),
+    );
+    assert_bitwise_eq("train amid sweeps", &plain.outcome, &plain_oracle);
+
+    let pf = pf_handle.wait().expect("pf sweep served");
+    let pf_trained = pf
+        .result
+        .points
+        .iter()
+        .filter(|p| !p.outcome.used_initial_model)
+        .count();
+    if pf_trained > 1 {
+        assert_eq!(
+            pf.result.warm_starts_taken + pf.result.warm_starts_rejected,
+            pf_trained - 1,
+            "every non-anchor final fit is either taken or rejected"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.sweep_queries, 2);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(
+        stats.warm_starts_taken as usize + stats.warm_starts_rejected as usize,
+        pf.result.warm_starts_taken + pf.result.warm_starts_rejected,
+        "server counters reconcile with per-response counts"
+    );
+    assert_eq!(
+        stats.cached_pilots, 1,
+        "only the plain query populates the pilot cache; sweeps bypass it"
+    );
+    assert_eq!(stats.inflight, 0);
+    server.shutdown();
 }
 
 /// A panic in the middle of pilot training resolves that query to

@@ -35,6 +35,7 @@ pub mod parallel;
 pub use dataset::{Dataset, Example, IndexView, Split};
 pub use features::{DenseVec, FeatureVec, SparseVec};
 pub use matrix::{
-    CaptureScratch, DatasetMatrix, MatrixView, SampleCapture, TrainScratch, PACK_THRESHOLD_BYTES,
+    CaptureScratch, DatasetMatrix, FoldRequest, MatrixView, SampleCapture, TrainScratch,
+    PACK_THRESHOLD_BYTES,
 };
 pub use parallel::par_ranges;

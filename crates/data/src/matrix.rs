@@ -146,6 +146,7 @@ impl<'a> DatasetMatrix<'a> {
             matrix: self,
             indices: None,
             sample: None,
+            limit: None,
         }
     }
 
@@ -167,6 +168,7 @@ impl<'a> DatasetMatrix<'a> {
             matrix: self,
             indices: Some(indices),
             sample: None,
+            limit: None,
         }
     }
 
@@ -443,6 +445,7 @@ impl SampleCapture<'_> {
                 matrix,
                 indices: None,
                 sample: Some(indices),
+                limit: None,
             },
         }
     }
@@ -525,12 +528,20 @@ pub struct MatrixView<'m> {
     /// materialize the right sample even though the storage itself is
     /// no longer a gather.
     sample: Option<&'m [usize]>,
+    /// Row cap for non-gathered views: `Some(n)` restricts the view to
+    /// the matrix's first `n` rows (see [`MatrixView::prefix`]).
+    /// Gathered views never set this — prefixing them slices the index
+    /// list instead.
+    limit: Option<usize>,
 }
 
 impl<'m> MatrixView<'m> {
     /// Number of rows the view selects (`n` of the sample).
     pub fn len(&self) -> usize {
-        self.indices.map_or(self.matrix.rows, |idx| idx.len())
+        match self.indices {
+            Some(idx) => idx.len(),
+            None => self.limit.unwrap_or(self.matrix.rows),
+        }
     }
 
     /// True when the view selects no rows.
@@ -572,6 +583,41 @@ impl<'m> MatrixView<'m> {
         self.matrix
     }
 
+    /// The view restricted to its first `n` rows.
+    ///
+    /// For gathered views this slices the index list; for full or packed
+    /// views it caps the row count. Because every batched pass chunks at
+    /// the fixed [`CHUNK_SIZE`] grid anchored at row 0, each pass over
+    /// `prefix(n)` is **bit-identical** to the same pass over a view of
+    /// the first `n` rows built any other way (a sliced gather list, or
+    /// a matrix packed from just those rows). This is what lets nested
+    /// samples — `sample_indices`' prefix property makes every smaller
+    /// sample a prefix of the largest one — share a single capture.
+    ///
+    /// # Panics
+    /// Panics when `n > len()`.
+    pub fn prefix(&self, n: usize) -> MatrixView<'m> {
+        assert!(
+            n <= self.len(),
+            "prefix: {n} rows from a {}-row view",
+            self.len()
+        );
+        match self.indices {
+            Some(idx) => MatrixView {
+                matrix: self.matrix,
+                indices: Some(&idx[..n]),
+                sample: None,
+                limit: None,
+            },
+            None => MatrixView {
+                matrix: self.matrix,
+                indices: None,
+                sample: self.sample.map(|s| &s[..n]),
+                limit: Some(n),
+            },
+        }
+    }
+
     /// Bytes of feature data the view's rows span: `len·dim·8` for
     /// dense blocks, stored entries (12 bytes each) for CSR. The
     /// footprint [`DatasetMatrix::capture_sample`] compares against
@@ -583,7 +629,7 @@ impl<'m> MatrixView<'m> {
             }
             DesignBlock::Csr { indptr, .. } => {
                 let nnz: usize = match self.indices {
-                    None => indptr[self.matrix.rows],
+                    None => indptr[self.len()],
                     Some(idx) => idx.iter().map(|&i| indptr[i + 1] - indptr[i]).sum(),
                 };
                 nnz * 12
@@ -822,6 +868,131 @@ impl<'m> MatrixView<'m> {
         total
     }
 
+    /// The fused **multi-request** objective sweep: evaluate `K`
+    /// independent `(w, bias)` probes — each over its own row-count
+    /// prefix of this view — in one pass over the data. For every fixed
+    /// [`CHUNK_SIZE`] chunk of rows, all live requests run their
+    /// margins → `chunk_fn` → gradient-partial sequence back to back
+    /// while the chunk's rows are cache-hot, so `K` probes stream the
+    /// sample once instead of `K` times. This is the kernel behind the
+    /// sweep engine's batched multi-λ objective evaluation, where the
+    /// per-λ final-sample prefixes all live inside one shared capture.
+    ///
+    /// `chunk_fn(k, start, margins)` sees the request index, the chunk's
+    /// starting view-row index, and the chunk's margins; it returns the
+    /// chunk's `(loss, extra)` partials and overwrites the margins in
+    /// place with per-row gradient weights. It must be pure per chunk
+    /// (no cross-chunk state): partials are merged into each request's
+    /// [`FoldRequest::loss`]/[`FoldRequest::extra`] in ascending chunk
+    /// order on the caller thread.
+    ///
+    /// Bitwise contract: each request's `(loss, extra, grad)` is
+    /// **bit-identical** to running [`MatrixView::value_grad_fold`] on
+    /// `self.prefix(rows_k)` alone, at any thread budget — the chunk
+    /// grid is anchored at row 0 in both cases (a request's last chunk
+    /// is truncated at its `rows`, exactly where its solo grid would
+    /// end), per-chunk gradient partials start from a zeroed buffer and
+    /// merge in chunk order, and the scalar partials accumulate in the
+    /// same order `value_grad_fold` sums its chunk returns.
+    ///
+    /// # Panics
+    /// Panics when a request's `w`/`grad` length differs from `dim()` or
+    /// its `rows` exceeds `len()`.
+    pub fn value_grad_fold_multi<Fm>(
+        &self,
+        requests: &mut [FoldRequest<'_>],
+        scratch: &mut TrainScratch,
+        chunk_fn: Fm,
+    ) where
+        Fm: Fn(usize, usize, &mut [f64]) -> (f64, f64) + Sync,
+    {
+        let d = self.matrix.dim;
+        let mut max_rows = 0;
+        for req in requests.iter_mut() {
+            assert_eq!(
+                req.w.len(),
+                d,
+                "value_grad_fold_multi: weight length mismatch"
+            );
+            assert_eq!(
+                req.grad.len(),
+                d,
+                "value_grad_fold_multi: gradient length mismatch"
+            );
+            assert!(
+                req.rows <= self.len(),
+                "value_grad_fold_multi: request rows out of range"
+            );
+            req.loss = 0.0;
+            req.extra = 0.0;
+            req.grad.iter_mut().for_each(|g| *g = 0.0);
+            max_rows = max_rows.max(req.rows);
+        }
+        if max_threads() > 1 && max_rows > CHUNK_SIZE {
+            // Parallel form: each chunk of the shared grid computes every
+            // live request's margins, loss/extra partials, and zeroed
+            // gradient partial; partials merge on this thread in chunk
+            // order — the exact accumulation the fused form performs.
+            let specs: Vec<(&[f64], f64, usize)> =
+                requests.iter().map(|r| (r.w, r.bias, r.rows)).collect();
+            let parts = par_ranges(max_rows, |range| {
+                let mut mchunk = vec![0.0; range.len()];
+                specs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(w, bias, rows))| {
+                        if rows <= range.start {
+                            return None;
+                        }
+                        let end = range.end.min(rows);
+                        let ms = &mut mchunk[..end - range.start];
+                        self.margins_range(range.start, end, w, bias, ms);
+                        let (lp, ep) = chunk_fn(k, range.start, ms);
+                        let mut acc = vec![0.0; d];
+                        self.weighted_sum_range(range.start, end, ms, &mut acc);
+                        Some((lp, ep, acc))
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for chunk_parts in parts {
+                for (req, part) in requests.iter_mut().zip(chunk_parts) {
+                    if let Some((lp, ep, acc)) = part {
+                        req.loss += lp;
+                        req.extra += ep;
+                        for (g, p) in req.grad.iter_mut().zip(acc.iter()) {
+                            *g += p;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        // Fused single-thread form: per chunk, every live request reuses
+        // the chunk's rows while hot.
+        let (chunk_buf, partial) = scratch.fold_buffers(CHUNK_SIZE.min(max_rows.max(1)), d);
+        let mut start = 0;
+        while start < max_rows {
+            let chunk_end = (start + CHUNK_SIZE).min(max_rows);
+            for (k, req) in requests.iter_mut().enumerate() {
+                if req.rows <= start {
+                    continue;
+                }
+                let end = chunk_end.min(req.rows);
+                let mchunk = &mut chunk_buf[..end - start];
+                self.margins_range(start, end, req.w, req.bias, mchunk);
+                let (lp, ep) = chunk_fn(k, start, mchunk);
+                req.loss += lp;
+                req.extra += ep;
+                partial.iter_mut().for_each(|v| *v = 0.0);
+                self.weighted_sum_range(start, end, mchunk, partial);
+                for (g, p) in req.grad.iter_mut().zip(partial.iter()) {
+                    *g += p;
+                }
+            }
+            start = chunk_end;
+        }
+    }
+
     /// Weighted Gram accumulation `Σₖ w[k]·x_{row(k)}x_{row(k)}ᵀ`
     /// (`d × d`), the kernel behind closed-form Hessians and the PPCA
     /// second moment. Rows with zero weight are skipped; the upper
@@ -881,6 +1052,43 @@ impl<'m> MatrixView<'m> {
             }
         }
         g
+    }
+}
+
+/// One probe of a multi-request fused sweep
+/// ([`MatrixView::value_grad_fold_multi`]): the probe point `(w, bias)`,
+/// the row-count prefix it runs over, and its output buffers.
+#[derive(Debug)]
+pub struct FoldRequest<'r> {
+    /// Weight vector of this probe (`dim()` long).
+    pub w: &'r [f64],
+    /// Margin offset of this probe.
+    pub bias: f64,
+    /// The probe evaluates over the view's first `rows` rows
+    /// (`rows <= len()`).
+    pub rows: usize,
+    /// Gradient output `Σₖ chunk_weightₖ·x_{row(k)}` (`dim()` long,
+    /// overwritten).
+    pub grad: &'r mut [f64],
+    /// Output: `chunk_fn` loss partials summed in chunk order.
+    pub loss: f64,
+    /// Output: `chunk_fn` secondary partials summed in chunk order
+    /// (e.g. a GLM's `Σ dloss` for the intercept gradient).
+    pub extra: f64,
+}
+
+impl<'r> FoldRequest<'r> {
+    /// A request at probe point `(w, bias)` over the first `rows` rows,
+    /// writing the gradient into `grad`.
+    pub fn new(w: &'r [f64], bias: f64, rows: usize, grad: &'r mut [f64]) -> Self {
+        FoldRequest {
+            w,
+            bias,
+            rows,
+            grad,
+            loss: 0.0,
+            extra: 0.0,
+        }
     }
 }
 
@@ -1410,6 +1618,182 @@ mod tests {
         for (k, e) in data.iter().enumerate() {
             assert_eq!(view.label(k), e.y);
         }
+    }
+
+    /// `prefix(n)` must be indistinguishable — bit for bit — from a view
+    /// of the first `n` rows built any other way: a sliced gather list,
+    /// or a matrix packed from just those rows.
+    #[test]
+    fn prefix_views_are_bitwise_equal_to_sliced_views() {
+        let (dense, w) = dense_pair();
+        let sparse = yelp_like(260, 50, 4);
+        let sw: Vec<f64> = (0..50).map(|i| ((i * 5) % 11) as f64 * 0.1 - 0.3).collect();
+        for budget in [Some(1), Some(4)] {
+            set_max_threads(budget);
+            // Full dense view: prefix(n) vs an explicit 0..n gather.
+            let pool = DatasetMatrix::from_dataset(&dense);
+            let n = 140;
+            let head: Vec<usize> = (0..n).collect();
+            let pre = pool.view().prefix(n);
+            assert_eq!(pre.len(), n);
+            assert!(!pre.is_gathered());
+            let gat = pool.gather(&head);
+            let mut a = vec![0.0; n];
+            let mut b = vec![0.0; n];
+            pre.margins_into(&w, 0.5, &mut a);
+            gat.margins_into(&w, 0.5, &mut b);
+            assert_eq!(a, b, "dense prefix margins budget {budget:?}");
+            let wr: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).sin()).collect();
+            let mut ga = vec![0.0; dense.dim()];
+            let mut gb = vec![0.0; dense.dim()];
+            pre.weighted_sum_into(&wr, &mut ga);
+            gat.weighted_sum_into(&wr, &mut gb);
+            assert_eq!(ga, gb, "dense prefix wsum budget {budget:?}");
+            for k in 0..n {
+                assert_eq!(pre.label(k), gat.label(k));
+            }
+            assert_eq!(pre.data_bytes(), n * dense.dim() * 8);
+
+            // Gathered view: prefix slices the index list.
+            let idx: Vec<usize> = (0..dense.len())
+                .map(|i| (i * 13 + 1) % dense.len())
+                .collect();
+            let gpre = pool.gather(&idx).prefix(n);
+            assert_eq!(gpre.indices(), Some(&idx[..n]));
+
+            // Packed capture: prefix caps the packed matrix and keeps
+            // the sample provenance aligned.
+            let packed = pool.gather_packed(&idx);
+            let pview = SampleCapture::Packed {
+                matrix: packed,
+                indices: &idx,
+            };
+            let ppre = pview.view().prefix(n);
+            assert_eq!(ppre.len(), n);
+            assert_eq!(ppre.sample_of(), Some(&idx[..n]));
+            let gexp = pool.gather(&idx[..n]);
+            let mut pa = vec![0.0; n];
+            let mut pb = vec![0.0; n];
+            ppre.margins_into(&w, -0.25, &mut pa);
+            gexp.margins_into(&w, -0.25, &mut pb);
+            assert_eq!(pa, pb, "packed prefix margins budget {budget:?}");
+
+            // Sparse: prefix data_bytes counts only the prefix's nnz.
+            let spool = DatasetMatrix::from_dataset(&sparse);
+            let sn = 90;
+            let spre = spool.view().prefix(sn);
+            let nnz: usize = (0..sn).map(|i| sparse.get(i).x.nnz()).sum();
+            assert_eq!(spre.data_bytes(), nnz * 12, "CSR prefix footprint");
+            let shead: Vec<usize> = (0..sn).collect();
+            let sgat = spool.gather(&shead);
+            let mut sa = vec![0.0; sn];
+            let mut sb = vec![0.0; sn];
+            spre.margins_into(&sw, 0.0, &mut sa);
+            sgat.margins_into(&sw, 0.0, &mut sb);
+            assert_eq!(sa, sb, "sparse prefix margins budget {budget:?}");
+        }
+        set_max_threads(None);
+    }
+
+    /// The multi-request fold must reproduce K independent
+    /// `value_grad_fold` runs over the matching prefixes — bit for bit,
+    /// dense and sparse, full and gathered, at thread budgets {1, 4},
+    /// with per-request row counts straddling chunk boundaries.
+    #[test]
+    fn multi_fold_is_bitwise_per_request_folds() {
+        let rows = 2 * CHUNK_SIZE + 123;
+        let (dense, _) = synthetic_linear(rows, 7, 0.4, 9);
+        let sparse = yelp_like(rows, 50, 11);
+        let idx: Vec<usize> = (0..rows).map(|i| (i * 7 + 3) % rows).collect();
+
+        // K probe points with row counts on, under, and over chunk
+        // boundaries (including a sub-chunk one and a duplicate-rows
+        // pair with different probes).
+        let probes = |d: usize| -> Vec<(Vec<f64>, f64, usize)> {
+            vec![
+                ((0..d).map(|i| 0.3 * i as f64 - 0.9).collect(), 0.25, rows),
+                (
+                    (0..d).map(|i| (i as f64 * 0.7).sin()).collect(),
+                    -0.5,
+                    CHUNK_SIZE + 7,
+                ),
+                (
+                    (0..d).map(|i| 0.05 * i as f64).collect(),
+                    0.0,
+                    CHUNK_SIZE / 3,
+                ),
+                ((0..d).map(|i| (i as f64 * 0.3).cos()).collect(), 1.5, rows),
+                (
+                    (0..d).map(|i| -0.2 + 0.01 * i as f64).collect(),
+                    0.1,
+                    2 * CHUNK_SIZE,
+                ),
+            ]
+        };
+
+        // Request-dependent synthetic objective: loss = Σ m, extra =
+        // Σ (m + y), weights = (1.5 + k)·m − y.
+        let transform = |k: usize, start: usize, ms: &mut [f64], labels: &[f64]| -> (f64, f64) {
+            let (mut lp, mut ep) = (0.0, 0.0);
+            for (local, m) in ms.iter_mut().enumerate() {
+                let y = labels[start + local];
+                lp += *m;
+                ep += *m + y;
+                *m = (1.5 + k as f64) * *m - y;
+            }
+            (lp, ep)
+        };
+
+        let check = |view: MatrixView<'_>, d: usize, tag: &str| {
+            let pts = probes(d);
+            let labels: Vec<f64> = (0..view.len()).map(|k| view.label(k)).collect();
+            // Multi-request pass.
+            let mut grads: Vec<Vec<f64>> = vec![vec![f64::NAN; d]; pts.len()];
+            let mut reqs: Vec<FoldRequest> = pts
+                .iter()
+                .zip(grads.iter_mut())
+                .map(|((w, bias, n), g)| FoldRequest::new(w, *bias, *n, g))
+                .collect();
+            let mut scratch = TrainScratch::new();
+            view.value_grad_fold_multi(&mut reqs, &mut scratch, |k, start, ms| {
+                transform(k, start, ms, &labels)
+            });
+            let multi: Vec<(f64, f64)> = reqs.iter().map(|r| (r.loss, r.extra)).collect();
+            drop(reqs);
+            // Per-request solo folds over the matching prefixes.
+            for (k, (w, bias, n)) in pts.iter().enumerate() {
+                let sub = view.prefix(*n);
+                let sub_labels: Vec<f64> = (0..sub.len()).map(|r| sub.label(r)).collect();
+                let mut solo_grad = vec![f64::NAN; d];
+                let mut solo_extra = 0.0;
+                let mut solo_scratch = TrainScratch::new();
+                let solo_loss = sub.value_grad_fold(
+                    w,
+                    *bias,
+                    &mut solo_grad,
+                    &mut solo_scratch,
+                    |start, ms| {
+                        let (lp, ep) = transform(k, start, ms, &sub_labels);
+                        solo_extra += ep;
+                        lp
+                    },
+                );
+                assert_eq!(multi[k].0, solo_loss, "{tag} req {k} loss");
+                assert_eq!(multi[k].1, solo_extra, "{tag} req {k} extra");
+                assert_eq!(grads[k], solo_grad, "{tag} req {k} grad");
+            }
+        };
+
+        for budget in [Some(1), Some(4)] {
+            set_max_threads(budget);
+            let pool = DatasetMatrix::from_dataset(&dense);
+            check(pool.view(), dense.dim(), "dense full");
+            check(pool.gather(&idx), dense.dim(), "dense gathered");
+            let spool = DatasetMatrix::from_dataset(&sparse);
+            check(spool.view(), sparse.dim(), "sparse full");
+            check(spool.gather(&idx), sparse.dim(), "sparse gathered");
+        }
+        set_max_threads(None);
     }
 
     #[test]

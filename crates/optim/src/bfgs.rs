@@ -11,6 +11,44 @@ use blinkml_linalg::blas::{gemv, ger};
 use blinkml_linalg::vector::{dot, norm_inf};
 use blinkml_linalg::Matrix;
 
+/// Caller-owned reusable BFGS state for repeated fits
+/// ([`Bfgs::minimize_with`]): the dense `d × d` inverse-Hessian
+/// estimate, the gradient buffer, and the line-search probe pool
+/// survive across solves, so a grid of related fits reuses one
+/// allocation set. Every buffer is fully (re)initialized on entry, so
+/// reuse never changes a bit.
+#[derive(Default)]
+pub struct BfgsWorkspace {
+    h: Option<Matrix>,
+    grad: Vec<f64>,
+    scratch: LineSearchScratch,
+}
+
+impl BfgsWorkspace {
+    /// Empty workspace; buffers grow on first solve.
+    pub fn new() -> Self {
+        BfgsWorkspace::default()
+    }
+
+    /// Ready the workspace for a dimension-`d` solve: zero the gradient
+    /// buffer and reset the inverse-Hessian estimate to the identity,
+    /// reusing its allocation when the dimension matches.
+    fn reset(&mut self, d: usize) {
+        self.grad.clear();
+        self.grad.resize(d, 0.0);
+        match &mut self.h {
+            Some(h) if h.rows() == d && h.cols() == d => {
+                for a in 0..d {
+                    let row = h.row_mut(a);
+                    row.fill(0.0);
+                    row[a] = 1.0;
+                }
+            }
+            h => *h = Some(Matrix::identity(d)),
+        }
+    }
+}
+
 /// BFGS solver.
 #[derive(Debug, Clone)]
 pub struct Bfgs {
@@ -39,6 +77,20 @@ impl Bfgs {
         objective: &dyn Objective,
         theta0: &[f64],
     ) -> Result<OptimResult, OptimError> {
+        self.minimize_with(objective, theta0, &mut BfgsWorkspace::new())
+    }
+
+    /// [`Self::minimize`] with caller-owned reusable state: repeated
+    /// fits hand the same [`BfgsWorkspace`] back in, so the dense
+    /// inverse-Hessian estimate and the line-search probe pool are
+    /// recycled across solves instead of reallocated per fit.
+    /// Bit-identical to [`Self::minimize`].
+    pub fn minimize_with(
+        &self,
+        objective: &dyn Objective,
+        theta0: &[f64],
+        ws: &mut BfgsWorkspace,
+    ) -> Result<OptimResult, OptimError> {
         let d = objective.dim();
         if theta0.len() != d {
             return Err(OptimError::DimensionMismatch {
@@ -47,18 +99,19 @@ impl Bfgs {
             });
         }
         let mut theta = theta0.to_vec();
-        let mut grad = vec![0.0; d];
-        let mut value = objective.value_grad_into(&theta, &mut grad);
+        ws.reset(d);
+        let grad = &mut ws.grad;
+        let mut value = objective.value_grad_into(&theta, grad);
         if !value.is_finite() {
             return Err(OptimError::NonFiniteObjective);
         }
         let mut function_evals = 1usize;
-        let mut h = Matrix::identity(d);
+        let h = ws.h.as_mut().expect("reset installs the estimate");
         let mut first_update_done = false;
-        let mut scratch = LineSearchScratch::new();
+        let scratch = &mut ws.scratch;
 
         for iteration in 0..self.options.max_iterations {
-            let gnorm = norm_inf(&grad);
+            let gnorm = norm_inf(grad);
             if gnorm <= self.options.gradient_tolerance {
                 return Ok(OptimResult {
                     theta,
@@ -70,7 +123,7 @@ impl Bfgs {
                 });
             }
             // Search direction p = −H g.
-            let mut direction = gemv(&h, &grad).expect("H/g dims");
+            let mut direction = gemv(h, grad).expect("H/g dims");
             for p in &mut direction {
                 *p = -*p;
             }
@@ -78,10 +131,10 @@ impl Bfgs {
                 objective,
                 &theta,
                 value,
-                &grad,
+                grad,
                 &direction,
                 &self.wolfe,
-                &mut scratch,
+                scratch,
             );
             // Probe evaluations are charged whether or not the search
             // succeeded — the same accounting as L-BFGS and plain GD.
@@ -108,7 +161,7 @@ impl Bfgs {
             let y: Vec<f64> = ls
                 .gradient
                 .iter()
-                .zip(&grad)
+                .zip(&*grad)
                 .map(|(gn, go)| gn - go)
                 .collect();
             let prev_value = value;
@@ -116,7 +169,7 @@ impl Bfgs {
                 *t += si;
             }
             value = ls.value;
-            scratch.recycle(std::mem::replace(&mut grad, ls.gradient));
+            scratch.recycle(std::mem::replace(grad, ls.gradient));
 
             let sy = dot(&s, &y);
             let yy = dot(&y, &y);
@@ -125,16 +178,16 @@ impl Bfgs {
                     // Scale the initial identity to the secant curvature
                     // (Nocedal & Wright eq. 6.20) before the first update.
                     let gamma = sy / yy;
-                    h = Matrix::identity(d);
+                    *h = Matrix::identity(d);
                     h.scale(gamma);
                     first_update_done = true;
                 }
                 let rho = 1.0 / sy;
-                let hy = gemv(&h, &y).expect("H/y dims");
+                let hy = gemv(h, &y).expect("H/y dims");
                 let coeff = rho * (1.0 + rho * dot(&y, &hy));
-                ger(-rho, &s, &hy, &mut h);
-                ger(-rho, &hy, &s, &mut h);
-                ger(coeff, &s, &s, &mut h);
+                ger(-rho, &s, &hy, h);
+                ger(-rho, &hy, &s, h);
+                ger(coeff, &s, &s, h);
             }
 
             if self.options.value_tolerance > 0.0 {
@@ -143,7 +196,7 @@ impl Bfgs {
                     return Ok(OptimResult {
                         theta,
                         value,
-                        gradient_norm: norm_inf(&grad),
+                        gradient_norm: norm_inf(grad),
                         iterations: iteration + 1,
                         function_evals,
                         converged: true,
@@ -152,7 +205,7 @@ impl Bfgs {
             }
         }
         Ok(OptimResult {
-            gradient_norm: norm_inf(&grad),
+            gradient_norm: norm_inf(grad),
             theta,
             value,
             iterations: self.options.max_iterations,
@@ -228,6 +281,30 @@ mod tests {
         .unwrap();
         assert!(!res.converged);
         assert_eq!(res.iterations, 2);
+    }
+
+    /// Reusing one workspace across solves of different dimensions must
+    /// be bit-identical to fresh `minimize` calls.
+    #[test]
+    fn workspace_reuse_is_bitwise_fresh_solves() {
+        let mut ws = BfgsWorkspace::new();
+        let solver = Bfgs::new(OptimOptions::default());
+        let (q8, _) = spd_quadratic(8);
+        let (q4, _) = spd_quadratic(4);
+        let runs: Vec<(&QuadraticObjective, Vec<f64>)> = vec![
+            (&q8, vec![0.0; 8]),
+            (&q4, vec![0.2; 4]),
+            (&q8, vec![-0.1; 8]),
+        ];
+        for (obj, start) in runs {
+            let fresh = solver.minimize(obj, &start).unwrap();
+            let reused = solver.minimize_with(obj, &start, &mut ws).unwrap();
+            assert_eq!(fresh.iterations, reused.iterations);
+            assert_eq!(fresh.value.to_bits(), reused.value.to_bits());
+            for (a, b) in fresh.theta.iter().zip(&reused.theta) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

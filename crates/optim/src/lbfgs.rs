@@ -16,6 +16,66 @@ struct Pair {
     rho: f64,
 }
 
+/// Caller-owned reusable L-BFGS state for repeated fits
+/// ([`Lbfgs::minimize_with`]): the curvature-pair ring, the two-loop
+/// direction buffers, and the line-search probe pool all survive across
+/// solves, so a grid of related fits (a λ sweep's per-point solves)
+/// allocates nothing after the first. Every buffer is fully
+/// (re)initialized on entry, so reuse never changes a bit.
+#[derive(Default)]
+pub struct LbfgsWorkspace {
+    pairs: VecDeque<Pair>,
+    spare: Vec<Pair>,
+    scratch: LineSearchScratch,
+    direction: Vec<f64>,
+    alphas: Vec<f64>,
+    s_work: Vec<f64>,
+    y_work: Vec<f64>,
+    grad: Vec<f64>,
+}
+
+impl LbfgsWorkspace {
+    /// Empty workspace; buffers grow on first solve.
+    pub fn new() -> Self {
+        LbfgsWorkspace::default()
+    }
+
+    /// Ready the workspace for a dimension-`d` solve: zero the gradient
+    /// and step buffers, retire the previous solve's curvature pairs to
+    /// the spare list (their allocations are recycled pair by pair).
+    fn reset(&mut self, d: usize) {
+        self.grad.clear();
+        self.grad.resize(d, 0.0);
+        self.s_work.clear();
+        self.s_work.resize(d, 0.0);
+        self.y_work.clear();
+        self.y_work.resize(d, 0.0);
+        while let Some(p) = self.pairs.pop_front() {
+            self.spare.push(p);
+        }
+    }
+
+    /// A zeroed dimension-`d` pair, reusing a retired allocation when
+    /// one is available.
+    fn fresh_pair(&mut self, d: usize) -> Pair {
+        match self.spare.pop() {
+            Some(mut p) => {
+                p.s.clear();
+                p.s.resize(d, 0.0);
+                p.y.clear();
+                p.y.resize(d, 0.0);
+                p.rho = 0.0;
+                p
+            }
+            None => Pair {
+                s: vec![0.0; d],
+                y: vec![0.0; d],
+                rho: 0.0,
+            },
+        }
+    }
+}
+
 /// L-BFGS solver.
 #[derive(Debug, Clone)]
 pub struct Lbfgs {
@@ -44,6 +104,20 @@ impl Lbfgs {
         objective: &dyn Objective,
         theta0: &[f64],
     ) -> Result<OptimResult, OptimError> {
+        self.minimize_with(objective, theta0, &mut LbfgsWorkspace::new())
+    }
+
+    /// [`Self::minimize`] with caller-owned reusable state: repeated
+    /// fits hand the same [`LbfgsWorkspace`] back in, so the curvature
+    /// pairs, direction buffers, and line-search probe pool are
+    /// recycled across solves instead of reallocated per fit.
+    /// Bit-identical to [`Self::minimize`].
+    pub fn minimize_with(
+        &self,
+        objective: &dyn Objective,
+        theta0: &[f64],
+        ws: &mut LbfgsWorkspace,
+    ) -> Result<OptimResult, OptimError> {
         let d = objective.dim();
         if theta0.len() != d {
             return Err(OptimError::DimensionMismatch {
@@ -52,26 +126,21 @@ impl Lbfgs {
             });
         }
         let mut theta = theta0.to_vec();
-        let mut grad = vec![0.0; d];
-        let mut value = objective.value_grad_into(&theta, &mut grad);
+        // Per-iteration work buffers: the search direction, the two-loop
+        // alpha stack, the candidate curvature pair, and the line-search
+        // probe pool all live in the workspace and are reused across
+        // iterations (and across fits), so a converged solve allocates
+        // nothing after its first few iterations.
+        ws.reset(d);
+        let mut value = objective.value_grad_into(&theta, &mut ws.grad);
         if !value.is_finite() {
             return Err(OptimError::NonFiniteObjective);
         }
         let mut function_evals = 1usize;
         let memory = self.options.lbfgs_memory.max(1);
-        let mut pairs: VecDeque<Pair> = VecDeque::with_capacity(memory);
-        // Per-iteration work buffers: the search direction, the two-loop
-        // alpha stack, the candidate curvature pair, and the line-search
-        // probe pool are all reused across iterations, so a converged
-        // solve allocates nothing after its first few iterations.
-        let mut scratch = LineSearchScratch::new();
-        let mut direction: Vec<f64> = Vec::with_capacity(d);
-        let mut alphas: Vec<f64> = Vec::with_capacity(memory);
-        let mut s_work = vec![0.0; d];
-        let mut y_work = vec![0.0; d];
 
         for iteration in 0..self.options.max_iterations {
-            let gnorm = norm_inf(&grad);
+            let gnorm = norm_inf(&ws.grad);
             if gnorm <= self.options.gradient_tolerance {
                 return Ok(OptimResult {
                     theta,
@@ -82,15 +151,15 @@ impl Lbfgs {
                     converged: true,
                 });
             }
-            two_loop_direction_into(&grad, &pairs, &mut direction, &mut alphas);
+            two_loop_direction_into(&ws.grad, &ws.pairs, &mut ws.direction, &mut ws.alphas);
             let outcome = strong_wolfe_buffered(
                 objective,
                 &theta,
                 value,
-                &grad,
-                &direction,
+                &ws.grad,
+                &ws.direction,
                 &self.wolfe,
-                &mut scratch,
+                &mut ws.scratch,
             );
             // Probe evaluations are charged whether or not the search
             // succeeded — the same accounting as BFGS and plain GD.
@@ -111,42 +180,39 @@ impl Lbfgs {
                 return Err(OptimError::LineSearchFailed { iteration });
             };
 
-            for (sw, p) in s_work.iter_mut().zip(&direction) {
+            for (sw, p) in ws.s_work.iter_mut().zip(&ws.direction) {
                 *sw = ls.alpha * p;
             }
-            for ((yw, gn), go) in y_work.iter_mut().zip(&ls.gradient).zip(&grad) {
+            for ((yw, gn), go) in ws.y_work.iter_mut().zip(&ls.gradient).zip(&ws.grad) {
                 *yw = gn - go;
             }
             let prev_value = value;
-            for (t, si) in theta.iter_mut().zip(&s_work) {
+            for (t, si) in theta.iter_mut().zip(&ws.s_work) {
                 *t += si;
             }
             value = ls.value;
-            scratch.recycle(std::mem::replace(&mut grad, ls.gradient));
+            let old_grad = std::mem::replace(&mut ws.grad, ls.gradient);
+            ws.scratch.recycle(old_grad);
 
-            let sy = dot(&s_work, &y_work);
-            if sy > 1e-10 * dot(&y_work, &y_work).sqrt().max(1.0) {
+            let sy = dot(&ws.s_work, &ws.y_work);
+            if sy > 1e-10 * dot(&ws.y_work, &ws.y_work).sqrt().max(1.0) {
                 // Recycle the evicted pair's buffers for the new pair.
-                let mut pair = if pairs.len() == memory {
-                    pairs.pop_front().expect("memory > 0")
+                let mut pair = if ws.pairs.len() == memory {
+                    ws.pairs.pop_front().expect("memory > 0")
                 } else {
-                    Pair {
-                        s: vec![0.0; d],
-                        y: vec![0.0; d],
-                        rho: 0.0,
-                    }
+                    ws.fresh_pair(d)
                 };
-                pair.s.copy_from_slice(&s_work);
-                pair.y.copy_from_slice(&y_work);
+                pair.s.copy_from_slice(&ws.s_work);
+                pair.y.copy_from_slice(&ws.y_work);
                 pair.rho = 1.0 / sy;
-                pairs.push_back(pair);
+                ws.pairs.push_back(pair);
             }
 
             if self.options.value_tolerance > 0.0 {
                 let rel = (prev_value - value).abs() / prev_value.abs().max(1.0);
                 if rel < self.options.value_tolerance {
                     return Ok(OptimResult {
-                        gradient_norm: norm_inf(&grad),
+                        gradient_norm: norm_inf(&ws.grad),
                         theta,
                         value,
                         iterations: iteration + 1,
@@ -157,7 +223,7 @@ impl Lbfgs {
             }
         }
         Ok(OptimResult {
-            gradient_norm: norm_inf(&grad),
+            gradient_norm: norm_inf(&ws.grad),
             theta,
             value,
             iterations: self.options.max_iterations,
@@ -284,6 +350,32 @@ mod tests {
         let mut alphas = Vec::new();
         two_loop_direction_into(&grad, &VecDeque::new(), &mut dir, &mut alphas);
         assert_eq!(dir, vec![-1.0, 2.0, -3.0]);
+    }
+
+    /// Reusing one workspace across a stream of solves — different
+    /// problems, dimensions, and starts — must be bit-identical to
+    /// fresh `minimize` calls.
+    #[test]
+    fn workspace_reuse_is_bitwise_fresh_solves() {
+        let mut ws = LbfgsWorkspace::new();
+        let solver = Lbfgs::new(OptimOptions::default());
+        let (q60, _) = spd_quadratic(60);
+        let (q20, _) = spd_quadratic(20);
+        let runs: Vec<(&QuadraticObjective, Vec<f64>)> = vec![
+            (&q60, vec![0.0; 60]),
+            (&q20, vec![0.1; 20]),
+            (&q60, (0..60).map(|i| 0.01 * i as f64).collect()),
+        ];
+        for (obj, start) in runs {
+            let fresh = solver.minimize(obj, &start).unwrap();
+            let reused = solver.minimize_with(obj, &start, &mut ws).unwrap();
+            assert_eq!(fresh.iterations, reused.iterations);
+            assert_eq!(fresh.function_evals, reused.function_evals);
+            assert_eq!(fresh.value.to_bits(), reused.value.to_bits());
+            for (a, b) in fresh.theta.iter().zip(&reused.theta) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -22,9 +22,9 @@ pub mod linesearch;
 pub mod problem;
 pub mod result;
 
-pub use bfgs::Bfgs;
+pub use bfgs::{Bfgs, BfgsWorkspace};
 pub use gd::GradientDescent;
-pub use lbfgs::Lbfgs;
+pub use lbfgs::{Lbfgs, LbfgsWorkspace};
 pub use linesearch::{
     strong_wolfe, strong_wolfe_buffered, LineSearchResult, LineSearchScratch, SearchOutcome,
     WolfeParams,
@@ -43,9 +43,38 @@ pub fn minimize(
     theta0: &[f64],
     options: &OptimOptions,
 ) -> Result<OptimResult, OptimError> {
+    minimize_with(objective, theta0, options, &mut MinimizeWorkspace::new())
+}
+
+/// Caller-owned reusable solver state for [`minimize_with`]: holds both
+/// solvers' workspaces so one instance serves a stream of fits whatever
+/// dimension each dispatches to. A warm-started grid of related solves
+/// (the sweep engine's per-λ fits) reuses the inverse-Hessian estimate,
+/// curvature-pair ring, and line-search probe pools across every fit.
+#[derive(Default)]
+pub struct MinimizeWorkspace {
+    bfgs: BfgsWorkspace,
+    lbfgs: LbfgsWorkspace,
+}
+
+impl MinimizeWorkspace {
+    /// Empty workspace; buffers grow on first solve.
+    pub fn new() -> Self {
+        MinimizeWorkspace::default()
+    }
+}
+
+/// [`minimize`] with caller-owned reusable solver state — bit-identical
+/// to [`minimize`]; only steady-state allocation behavior differs.
+pub fn minimize_with(
+    objective: &dyn Objective,
+    theta0: &[f64],
+    options: &OptimOptions,
+    workspace: &mut MinimizeWorkspace,
+) -> Result<OptimResult, OptimError> {
     if objective.dim() < BFGS_DIMENSION_LIMIT {
-        Bfgs::new(options.clone()).minimize(objective, theta0)
+        Bfgs::new(options.clone()).minimize_with(objective, theta0, &mut workspace.bfgs)
     } else {
-        Lbfgs::new(options.clone()).minimize(objective, theta0)
+        Lbfgs::new(options.clone()).minimize_with(objective, theta0, &mut workspace.lbfgs)
     }
 }
