@@ -173,13 +173,43 @@ impl WarmStartPolicy {
     }
 }
 
-/// Serving-layer configuration (see [`crate::serve`]): worker-pool and
-/// pilot-cache knobs for the multi-tenant [`Server`](crate::serve::Server).
+/// What the admission controller does with a `Train` query that
+/// arrives while the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Fail fast with [`QueueFull`](crate::serve::ServeError::QueueFull)
+    /// — the client sees the overload immediately and can retry.
+    #[default]
+    Reject,
+    /// Accept the query into a pilot-only lane: it resolves to the
+    /// [`Pilot`](crate::serve::resilience::DegradationRung::Pilot) rung (the cached
+    /// or freshly-trained `m₀` with its honest ε₀) instead of the full
+    /// workflow. Sweep queries are never auto-degraded — they have no
+    /// ladder — and are rejected at capacity under either policy.
+    Degrade,
+}
+
+impl ShedPolicy {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::Reject => "Reject",
+            ShedPolicy::Degrade => "Degrade",
+        }
+    }
+}
+
+/// Serving-layer configuration (see [`crate::serve`]): worker-pool,
+/// pilot-cache, and resilience knobs for the multi-tenant
+/// [`Server`](crate::serve::Server).
 ///
-/// Like [`ExecConfig`], none of these knobs can change results — the
-/// serving layer's bit-identity contract holds for any worker count and
-/// any cache capacity; they trade memory and latency only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Like [`ExecConfig`], none of these knobs can change the *bits* of a
+/// fully-served response — the serving layer's bit-identity contract
+/// holds for any worker count, queue depth, or cache capacity. The
+/// resilience knobs decide *which rung* of the degradation ladder a
+/// query resolves to under pressure, and every rung's response is
+/// itself bit-reproducible by a cold coordinator.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads processing queries (each owns its capture
     /// scratch). Workers share the process-wide execution budget
@@ -189,6 +219,29 @@ pub struct ServeConfig {
     /// Eviction retrains bit-identically on the next miss — a time
     /// cost, never a correctness one.
     pub pilot_cache_capacity: usize,
+    /// Bound on the number of queued (accepted, not yet started) jobs.
+    /// Beyond it, admission follows [`ShedPolicy`].
+    pub queue_capacity: usize,
+    /// Overload behavior for `Train` queries at a full queue.
+    pub shed_policy: ShedPolicy,
+    /// Per-tenant cap on in-flight (queued + running) `Train` queries;
+    /// `None` disables the cap. Excess submissions fail fast with
+    /// [`TenantOverloaded`](crate::serve::ServeError::TenantOverloaded).
+    pub tenant_inflight_cap: Option<usize>,
+    /// Re-run attempts for transiently-failed jobs (worker panic, a
+    /// coalesced waiter inheriting its leader's deadline error). `0`
+    /// disables retries.
+    pub retry_budget: u32,
+    /// Base delay for the jittered exponential retry backoff
+    /// (`base · 2^(attempt−1) · [0.5, 1.5)`).
+    pub retry_backoff_base: std::time::Duration,
+    /// How close to its deadline a query must be, at the final-train
+    /// boundary, before the coordinator relaxes the final sample size.
+    pub relax_margin: std::time::Duration,
+    /// Fraction of the pilot→minimum-n span kept when relaxing
+    /// (see [`relaxed_sample_size`](crate::serve::resilience::relaxed_sample_size)).
+    /// Must lie in `(0, 1]`.
+    pub relax_fraction: f64,
 }
 
 impl Default for ServeConfig {
@@ -196,6 +249,13 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             pilot_cache_capacity: 64,
+            queue_capacity: 1024,
+            shed_policy: ShedPolicy::Reject,
+            tenant_inflight_cap: None,
+            retry_budget: 1,
+            retry_backoff_base: std::time::Duration::from_millis(5),
+            relax_margin: std::time::Duration::from_millis(50),
+            relax_fraction: 0.25,
         }
     }
 }
@@ -211,6 +271,21 @@ impl ServeConfig {
         if self.pilot_cache_capacity == 0 {
             return Err(CoreError::InvalidConfig(
                 "serve.pilot_cache_capacity must be at least 1".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(CoreError::InvalidConfig(
+                "serve.queue_capacity must be at least 1".into(),
+            ));
+        }
+        if self.tenant_inflight_cap == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "serve.tenant_inflight_cap must be at least 1 when set".into(),
+            ));
+        }
+        if !(self.relax_fraction > 0.0 && self.relax_fraction <= 1.0) {
+            return Err(CoreError::InvalidConfig(
+                "serve.relax_fraction must lie in (0, 1]".into(),
             ));
         }
         Ok(())
@@ -438,6 +513,26 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            tenant_inflight_cap: Some(0),
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let c = ServeConfig {
+                relax_fraction: bad,
+                ..ServeConfig::default()
+            };
+            assert!(c.validate().is_err(), "relax_fraction {bad} must fail");
+        }
+        assert_eq!(ShedPolicy::Reject.name(), "Reject");
+        assert_eq!(ShedPolicy::Degrade.name(), "Degrade");
+        assert_eq!(ShedPolicy::default(), ShedPolicy::Reject);
     }
 
     #[test]

@@ -12,9 +12,12 @@ use crate::diff_engine::HoldoutScorer;
 use crate::error::CoreError;
 use crate::mcs::{ModelClassSpec, TrainedModel};
 use crate::sample_size::SampleSizeEstimator;
+use crate::serve::resilience::{relaxed_sample_size, CancelToken, DegradationRung, Pressure};
 use crate::stats::{compute_statistics_cached, ModelStatistics};
 use blinkml_data::{CaptureScratch, Dataset, DatasetMatrix, FeatureVec};
+use blinkml_optim::StopCheck;
 use blinkml_prob::split_seed;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each coordinator phase — the decomposition
@@ -144,6 +147,64 @@ impl Coordinator {
         )
         .map(|(outcome, _)| outcome)
     }
+
+    /// The honest ε this coordinator's workflow assigns to a model
+    /// trained on exactly `n` examples — one point on the sample-size
+    /// curve, computed cold: pilot on `n₀` (sub-seed 0), statistics,
+    /// then the curve quantile with the sample-size search's own
+    /// sub-seed (2) and draw pools.
+    ///
+    /// This is the oracle for the serving layer's
+    /// [`RelaxedFinal`](crate::serve::resilience::DegradationRung::RelaxedFinal)
+    /// degradation rung: a degraded response's achieved ε is bit-equal
+    /// to `curve_epsilon_at` for the same `(spec, data, seed, n)`.
+    pub fn curve_epsilon_at<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+        &self,
+        spec: &S,
+        train: &Dataset<F>,
+        holdout: &Dataset<F>,
+        seed: u64,
+        n: usize,
+    ) -> Result<f64, CoreError> {
+        self.config.validate()?;
+        self.config.exec.apply();
+        let full_n = train.len();
+        let n0 = self.config.initial_sample_size.min(full_n);
+        if n < n0 || n > full_n {
+            return Err(CoreError::InvalidConfig(format!(
+                "curve point n = {n} outside [n₀ = {n0}, N = {full_n}]"
+            )));
+        }
+        if n0 == full_n {
+            return Ok(0.0);
+        }
+        let pool = build_pool(spec, train, &self.config);
+        let mut cap_scratch = CaptureScratch::new();
+        let fit = fit_sample(
+            &self.config,
+            spec,
+            train,
+            pool.as_ref(),
+            &mut cap_scratch,
+            n0,
+            split_seed(seed, 0),
+            None,
+            true,
+            None,
+        )?;
+        let stats = fit.stats.as_ref().expect("statistics requested");
+        let scorer = HoldoutScorer::new(spec, holdout, fit.model.parameters());
+        let sse = SampleSizeEstimator::new(self.config.num_param_samples);
+        Ok(sse.epsilon_at_scored(
+            &scorer,
+            stats,
+            n0,
+            n,
+            full_n,
+            self.config.delta,
+            split_seed(seed, 2),
+        ))
+    }
 }
 
 /// The pool-resident design matrix for the zero-copy sampling mode:
@@ -198,6 +259,63 @@ pub(crate) enum Decision {
     },
 }
 
+/// Degradation-aware run parameters for [`run_train_controlled`]: an
+/// optional cancellation token (deadline pressure), the shed lane
+/// (pilot-only), and the relaxed-final sizing knob. The
+/// [`RunControl::unbounded`] default takes exactly the historical
+/// [`run_train`] path — no token, no extra branches on the numeric
+/// path.
+#[derive(Debug, Clone)]
+pub(crate) struct RunControl {
+    /// Cooperative cancellation token; `None` never degrades.
+    pub(crate) cancel: Option<Arc<CancelToken>>,
+    /// Shed lane: skip the sample-size search and final training, and
+    /// return the pilot with its honest ε₀ whenever it does not already
+    /// satisfy the contract.
+    pub(crate) pilot_only: bool,
+    /// Fraction of the `n₀ → n` span the relaxed final model trains on
+    /// under [`Pressure::Relax`] (see
+    /// [`relaxed_sample_size`]).
+    pub(crate) relax_fraction: f64,
+}
+
+impl RunControl {
+    /// No deadline, no shedding: the historical full workflow.
+    pub(crate) fn unbounded() -> Self {
+        RunControl {
+            cancel: None,
+            pilot_only: false,
+            relax_fraction: 0.25,
+        }
+    }
+}
+
+/// Outcome of the degradation-aware decision stage.
+pub(crate) enum ControlledDecision {
+    /// `ε₀ ≤ ε`: return the initial model (a full-rung outcome).
+    InitialSatisfies {
+        /// Accuracy estimate of the initial model.
+        eps0: f64,
+    },
+    /// Deadline pressure or the shed lane: return the pilot with its
+    /// honest ε₀ instead of searching / training further.
+    DegradeToPilot {
+        /// Accuracy estimate of the initial model.
+        eps0: f64,
+        /// Binary-search probes spent before the search was abandoned.
+        probes: usize,
+    },
+    /// The contract needs a final model on `n` examples.
+    Train {
+        /// Accuracy estimate of the initial model.
+        eps0: f64,
+        /// Minimum sample size from the estimator's binary search.
+        n: usize,
+        /// Binary-search probes used.
+        probes: usize,
+    },
+}
+
 /// Decision stage shared by [`run_train`] and the sweep engine: estimate
 /// the pilot's accuracy `ε₀` (sub-seed 1) and, when the contract is not
 /// yet met, binary-search the minimum sample size (sub-seed 2) — both
@@ -210,26 +328,78 @@ pub(crate) fn decide<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     full_n: usize,
     seed: u64,
 ) -> Decision {
-    let accuracy = ModelAccuracyEstimator::new(config.num_param_samples);
-    let eps0 =
-        accuracy.estimate_scored(scorer, stats, n0, full_n, config.delta, split_seed(seed, 1));
-    if eps0 <= config.epsilon {
-        return Decision::InitialSatisfies { eps0 };
-    }
-    let sse = SampleSizeEstimator::new(config.num_param_samples);
-    let est = sse.estimate_scored(
+    match decide_controlled(
+        config,
         scorer,
         stats,
         n0,
         full_n,
-        config.epsilon,
-        config.delta,
-        split_seed(seed, 2),
-    );
-    Decision::Train {
-        eps0,
-        n: est.n,
-        probes: est.probes,
+        seed,
+        &RunControl::unbounded(),
+    ) {
+        ControlledDecision::InitialSatisfies { eps0 } => Decision::InitialSatisfies { eps0 },
+        ControlledDecision::Train { eps0, n, probes } => Decision::Train { eps0, n, probes },
+        ControlledDecision::DegradeToPilot { .. } => {
+            unreachable!("an unbounded control never degrades")
+        }
+    }
+}
+
+/// [`decide`] with deadline / shed awareness: the ε₀ estimate always
+/// completes (it is what makes the pilot rung *honest*), then the shed
+/// lane or an expired token short-circuits to the pilot, and the
+/// binary search itself polls the token before every probe.
+pub(crate) fn decide_controlled<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    config: &BlinkMlConfig,
+    scorer: &HoldoutScorer<'_, F, S>,
+    stats: &crate::stats::ModelStatistics,
+    n0: usize,
+    full_n: usize,
+    seed: u64,
+    control: &RunControl,
+) -> ControlledDecision {
+    let accuracy = ModelAccuracyEstimator::new(config.num_param_samples);
+    let eps0 =
+        accuracy.estimate_scored(scorer, stats, n0, full_n, config.delta, split_seed(seed, 1));
+    if eps0 <= config.epsilon {
+        return ControlledDecision::InitialSatisfies { eps0 };
+    }
+    let expired = || control.cancel.as_deref().is_some_and(CancelToken::expired);
+    if control.pilot_only || expired() {
+        return ControlledDecision::DegradeToPilot { eps0, probes: 0 };
+    }
+    let sse = SampleSizeEstimator::new(config.num_param_samples);
+    let est = match &control.cancel {
+        Some(token) => {
+            let stop = || token.expired();
+            sse.estimate_scored_stoppable(
+                scorer,
+                stats,
+                n0,
+                full_n,
+                config.epsilon,
+                config.delta,
+                split_seed(seed, 2),
+                Some(&stop),
+            )
+        }
+        None => Some(sse.estimate_scored(
+            scorer,
+            stats,
+            n0,
+            full_n,
+            config.epsilon,
+            config.delta,
+            split_seed(seed, 2),
+        )),
+    };
+    match est {
+        Some(est) => ControlledDecision::Train {
+            eps0,
+            n: est.n,
+            probes: est.probes,
+        },
+        None => ControlledDecision::DegradeToPilot { eps0, probes: 0 },
     }
 }
 
@@ -283,7 +453,16 @@ fn fit_sample<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     sample_seed: u64,
     warm_start: Option<&[f64]>,
     with_stats: bool,
+    cancel: Option<&CancelToken>,
 ) -> Result<SampleFit, CoreError> {
+    // Checkpoint between the train and statistics phases: an expired
+    // token stops before the statistics pass starts.
+    let stats_checkpoint = || -> Result<(), CoreError> {
+        match cancel {
+            Some(token) if with_stats && token.expired() => Err(CoreError::Cancelled),
+            _ => Ok(()),
+        }
+    };
     let t = Instant::now();
     match pool {
         Some(pm) => {
@@ -299,6 +478,7 @@ fn fit_sample<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
             let view = capture.view();
             let model = spec.train_with_matrix(train, Some(&view), warm_start, &config.optim)?;
             let train_time = t.elapsed();
+            stats_checkpoint()?;
             let t = Instant::now();
             let stats = with_stats
                 .then(|| {
@@ -335,6 +515,7 @@ fn fit_sample<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
             let xmv = xm.as_ref().map(|m| m.view());
             let model = spec.train_with_matrix(&sample, xmv.as_ref(), warm_start, &config.optim)?;
             let train_time = t.elapsed();
+            stats_checkpoint()?;
             let t = Instant::now();
             let stats = with_stats
                 .then(|| {
@@ -381,6 +562,73 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     pilot: Option<&PilotState>,
     want_pilot: bool,
 ) -> Result<(TrainingOutcome, Option<PilotState>), CoreError> {
+    run_train_controlled(
+        config,
+        spec,
+        train,
+        holdout,
+        pool,
+        cap_scratch,
+        seed,
+        pilot,
+        want_pilot,
+        &RunControl::unbounded(),
+    )
+    .map(|(outcome, cached, _rung)| (outcome, cached))
+}
+
+/// The pilot-rung outcome of the degradation ladder: return `m₀` with
+/// its honest ε₀ as both the initial and the achieved guarantee.
+fn pilot_rung_outcome(
+    m0: TrainedModel,
+    n0: usize,
+    full_n: usize,
+    eps0: f64,
+    phases: TrainingPhaseTimes,
+    probes: usize,
+) -> TrainingOutcome {
+    TrainingOutcome {
+        sample_size: n0,
+        full_data_size: full_n,
+        initial_epsilon: eps0,
+        estimated_epsilon: eps0,
+        used_initial_model: true,
+        phases,
+        search_probes: probes,
+        model: m0,
+    }
+}
+
+/// [`run_train`] with deadline / degradation control (the serving
+/// layer's entry point). Returns which [`DegradationRung`] produced the
+/// outcome. The ladder:
+///
+/// 1. **Full** — no pressure: the historical workflow, bit-identical
+///    to [`run_train`].
+/// 2. **RelaxedFinal** — [`Pressure::Relax`] at the final-train
+///    boundary: the final model trains on
+///    [`relaxed_sample_size`] examples and the response reports the
+///    honest curve ε for that size (same sub-seed and draw pools as
+///    the search — bit-equal to a cold replay).
+/// 3. **Pilot** — the deadline expired after ε₀ was computed (during
+///    the search or final training), or the query was shed into the
+///    pilot-only lane: `m₀` with its honest ε₀.
+/// 4. **Fail-fast** — the deadline expired before any guarantee
+///    existed (before/during the pilot or statistics phases):
+///    [`CoreError::Cancelled`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_train_controlled<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+    config: &BlinkMlConfig,
+    spec: &S,
+    train: &Dataset<F>,
+    holdout: &Dataset<F>,
+    pool: Option<&DatasetMatrix<'_>>,
+    cap_scratch: &mut CaptureScratch,
+    seed: u64,
+    pilot: Option<&PilotState>,
+    want_pilot: bool,
+    control: &RunControl,
+) -> Result<(TrainingOutcome, Option<PilotState>, DegradationRung), CoreError> {
     if train.is_empty() {
         return Err(CoreError::InvalidData("empty training pool".into()));
     }
@@ -391,10 +639,33 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     let n0 = config.initial_sample_size.min(full_n);
     let mut phases = TrainingPhaseTimes::default();
 
+    // Install the optimizer's per-iteration stop probe when a token is
+    // present. The unloaded path (`cancel: None`) borrows the caller's
+    // config untouched — no clone, no probe, no new branches.
+    let controlled_config;
+    let config = match &control.cancel {
+        Some(token) => {
+            let probe = token.clone();
+            let mut c = config.clone();
+            c.optim.stop_check = Some(StopCheck::new(move || probe.expired()));
+            controlled_config = c;
+            &controlled_config
+        }
+        None => config,
+    };
+    let cancel = control.cancel.as_deref();
+    let expired = || cancel.is_some_and(CancelToken::expired);
+
+    // Checkpoint 0: deadline already gone before any work.
+    if expired() {
+        return Err(CoreError::Cancelled);
+    }
+
     // Phases 1 + 2: the pilot — initial model on D₀ plus its statistics
     // (skipped when n₀ = N), one shared sample view for both. A cached
     // pilot (Session) skips the work entirely; the artifacts are
-    // ε-independent, so reuse is exact.
+    // ε-independent, so reuse is exact. Cancellation in here (pilot
+    // train, statistics) is a fail-fast: no guarantee exists yet.
     let (m0, stats0) = match pilot {
         Some(p) => {
             debug_assert_eq!(p.n0, n0, "cached pilot has a different n0");
@@ -411,7 +682,15 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
                 split_seed(seed, 0),
                 None,
                 n0 < full_n,
-            )?;
+                cancel,
+            )
+            .map_err(|e| {
+                if e.is_cancellation() {
+                    CoreError::Cancelled
+                } else {
+                    e
+                }
+            })?;
             phases.initial_training = fit.train_time;
             phases.statistics = fit.stats_time;
             (fit.model, fit.stats)
@@ -440,19 +719,27 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
                 model: m0,
             },
             cached,
+            DegradationRung::Full,
         ));
     }
     let stats = stats0.as_ref().expect("statistics computed when n0 < N");
 
+    // Checkpoint: statistics → search boundary. Still no honest ε₀, so
+    // expiry here is a fail-fast too.
+    if expired() {
+        return Err(CoreError::Cancelled);
+    }
+
     // Phases 3a + 3b — the decision stage: accuracy of m₀, then (when
     // needed) the minimum sample size, both against one holdout scorer
-    // so the θ₀ score matrix is built once.
+    // so the θ₀ score matrix is built once. From here on the pilot rung
+    // is reachable: ε₀ is an honest guarantee for m₀.
     let t = Instant::now();
     let scorer = HoldoutScorer::new(spec, holdout, m0.parameters());
-    let decision = decide(config, &scorer, stats, n0, full_n, seed);
+    let decision = decide_controlled(config, &scorer, stats, n0, full_n, seed, control);
     phases.sample_size_search = t.elapsed();
     let (eps0, est_n, probes) = match decision {
-        Decision::InitialSatisfies { eps0 } => {
+        ControlledDecision::InitialSatisfies { eps0 } => {
             let cached = pilot_state(&m0, &stats0);
             return Ok((
                 TrainingOutcome {
@@ -466,29 +753,97 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
                     model: m0,
                 },
                 cached,
+                DegradationRung::Full,
             ));
         }
-        Decision::Train { eps0, n, probes } => (eps0, n, probes),
+        ControlledDecision::DegradeToPilot { eps0, probes } => {
+            let cached = pilot_state(&m0, &stats0);
+            return Ok((
+                pilot_rung_outcome(m0, n0, full_n, eps0, phases, probes),
+                cached,
+                DegradationRung::Pilot,
+            ));
+        }
+        ControlledDecision::Train { eps0, n, probes } => (eps0, n, probes),
     };
+
+    // Checkpoint: the final-train boundary — the last point where the
+    // ladder can still buy latency. Relax pressure trains a cheaper
+    // final model with an honest curve ε; expiry falls to the pilot.
+    let mut final_n = est_n;
+    let mut rung = DegradationRung::Full;
+    let mut relaxed_eps = None;
+    if let Some(token) = cancel {
+        match token.pressure() {
+            Pressure::Expired => {
+                let cached = pilot_state(&m0, &stats0);
+                return Ok((
+                    pilot_rung_outcome(m0, n0, full_n, eps0, phases, probes),
+                    cached,
+                    DegradationRung::Pilot,
+                ));
+            }
+            Pressure::Relax => {
+                let n_relaxed = relaxed_sample_size(n0, est_n, control.relax_fraction);
+                if n_relaxed < est_n {
+                    // The achieved guarantee for the relaxed size, from
+                    // the search's own sub-seed and draw pools — the
+                    // exact value a cold coordinator computes for this
+                    // curve point.
+                    let sse = SampleSizeEstimator::new(config.num_param_samples);
+                    relaxed_eps = Some(sse.epsilon_at_scored(
+                        &scorer,
+                        stats,
+                        n0,
+                        n_relaxed,
+                        full_n,
+                        config.delta,
+                        split_seed(seed, 2),
+                    ));
+                    final_n = n_relaxed;
+                    rung = DegradationRung::RelaxedFinal;
+                }
+            }
+            Pressure::None => {}
+        }
+    }
 
     // Phase 4: final model, warm-started from θ₀, gathered from the
     // same pool matrix; the optional closing statistics pass reuses the
-    // final sample's view.
-    let want_final_stats = config.estimate_final_accuracy && est_n < full_n;
-    let fit = fit_sample(
+    // final sample's view (full rung only — under pressure the extra
+    // pass is exactly what the ladder is shedding).
+    let want_final_stats =
+        config.estimate_final_accuracy && rung == DegradationRung::Full && final_n < full_n;
+    let fit = match fit_sample(
         config,
         spec,
         train,
         pool,
         cap_scratch,
-        est_n,
+        final_n,
         split_seed(seed, 3),
         Some(m0.parameters()),
         want_final_stats,
-    )?;
+        cancel,
+    ) {
+        Ok(fit) => fit,
+        Err(e) if e.is_cancellation() => {
+            // Mid-final-train expiry: the pilot rung still holds its
+            // honest ε₀.
+            let cached = pilot_state(&m0, &stats0);
+            return Ok((
+                pilot_rung_outcome(m0, n0, full_n, eps0, phases, probes),
+                cached,
+                DegradationRung::Pilot,
+            ));
+        }
+        Err(e) => return Err(e),
+    };
     phases.final_training = fit.train_time;
 
-    let estimated_epsilon = if want_final_stats {
+    let estimated_epsilon = if let Some(eps) = relaxed_eps {
+        eps
+    } else if want_final_stats {
         let t = Instant::now();
         let stats_n = fit.stats.as_ref().expect("final statistics requested");
         let eps = final_accuracy_scored(
@@ -503,7 +858,7 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
         );
         phases.statistics += fit.stats_time + t.elapsed();
         eps
-    } else if est_n >= full_n {
+    } else if final_n >= full_n {
         0.0
     } else {
         config.epsilon
@@ -512,7 +867,7 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     let cached = pilot_state(&m0, &stats0);
     Ok((
         TrainingOutcome {
-            sample_size: est_n,
+            sample_size: final_n,
             full_data_size: full_n,
             initial_epsilon: eps0,
             estimated_epsilon,
@@ -522,6 +877,7 @@ pub(crate) fn run_train<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
             model: fit.model,
         },
         cached,
+        rung,
     ))
 }
 

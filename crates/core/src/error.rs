@@ -23,6 +23,23 @@ pub enum CoreError {
     },
     /// The dataset is unusable for the request (too small, wrong labels).
     InvalidData(String),
+    /// A cooperative cancellation checkpoint fired before training
+    /// could produce any model with a guarantee (deadline expired
+    /// before or during the pilot phase).
+    Cancelled,
+}
+
+impl CoreError {
+    /// True when this error was caused by cooperative cancellation —
+    /// either a checkpoint between training phases or the optimizer's
+    /// per-iteration stop check. The serving layer maps these to
+    /// deadline-specific errors instead of generic training failures.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Cancelled | CoreError::Optimization(OptimError::Cancelled)
+        )
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +52,9 @@ impl fmt::Display for CoreError {
                 write!(f, "{method} statistics are not available for {model}")
             }
             CoreError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            CoreError::Cancelled => {
+                write!(f, "run cancelled before a guaranteed model was available")
+            }
         }
     }
 }
@@ -80,6 +100,15 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(CoreError::InvalidData("y".into()).to_string().contains("y"));
+        assert!(CoreError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn cancellation_predicate() {
+        assert!(CoreError::Cancelled.is_cancellation());
+        assert!(CoreError::Optimization(OptimError::Cancelled).is_cancellation());
+        assert!(!CoreError::Optimization(OptimError::NonFiniteObjective).is_cancellation());
+        assert!(!CoreError::InvalidConfig("x".into()).is_cancellation());
     }
 
     #[test]

@@ -48,13 +48,14 @@ pub mod testing;
 
 pub use accuracy::ModelAccuracyEstimator;
 pub use config::{
-    BlinkMlConfig, ExecConfig, SamplingMode, ServeConfig, SpectralMethod, StatisticsMethod,
-    WarmStartPolicy,
+    BlinkMlConfig, ExecConfig, SamplingMode, ServeConfig, ShedPolicy, SpectralMethod,
+    StatisticsMethod, WarmStartPolicy,
 };
 pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
 pub use mcs::{ModelClassSpec, SweepEval, TrainedModel};
 pub use sample_size::{SampleSizeEstimate, SampleSizeEstimator};
+pub use serve::resilience::{CancelToken, DegradationRung, Pressure};
 pub use serve::{
     DatasetShard, Query, ResponseHandle, ServeError, ServedResponse, ServedSweep, Server,
     ServerStats, SweepQuery, SweepResponseHandle,

@@ -15,7 +15,7 @@ use crate::mcs::ModelClassSpec;
 use crate::stats::ModelStatistics;
 use blinkml_data::parallel::par_ranges_with;
 use blinkml_data::{Dataset, FeatureVec};
-use blinkml_prob::{conservative_level, split_seed};
+use blinkml_prob::{conservative_level, empirical_quantile, split_seed};
 
 /// The sample-size estimator; `num_samples` is the Monte Carlo draw
 /// count `k` per stage.
@@ -82,6 +82,27 @@ impl SampleSizeEstimator {
         delta: f64,
         seed: u64,
     ) -> SampleSizeEstimate {
+        self.estimate_scored_stoppable(scorer, stats, n0, full_n, epsilon, delta, seed, None)
+            .expect("search without a stop probe always completes")
+    }
+
+    /// [`SampleSizeEstimator::estimate_scored`] with a cooperative stop
+    /// probe polled before every binary-search probe: when `stop`
+    /// returns `true` the search bails out with `None` (the caller
+    /// degrades instead). A `None`/never-firing probe takes exactly the
+    /// same numeric path as [`SampleSizeEstimator::estimate_scored`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_scored_stoppable<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+        &self,
+        scorer: &HoldoutScorer<'_, F, S>,
+        stats: &ModelStatistics,
+        n0: usize,
+        full_n: usize,
+        epsilon: f64,
+        delta: f64,
+        seed: u64,
+        stop: Option<&dyn Fn() -> bool>,
+    ) -> Option<SampleSizeEstimate> {
         assert!(n0 > 0 && n0 <= full_n, "need 0 < n0 <= N");
         let k = self.num_samples;
         // Two independent unscaled pools: u drives θ_n | θ_0, w drives
@@ -91,6 +112,7 @@ impl SampleSizeEstimator {
         let engine = scorer.engine(&pool_u, &pool_w);
         let level = conservative_level(delta, k);
         let mut probes = 0usize;
+        let stopped = || stop.is_some_and(|s| s());
 
         let mut satisfied = |n: usize| -> bool {
             probes += 1;
@@ -108,14 +130,20 @@ impl SampleSizeEstimator {
             hits as f64 / k as f64 >= level
         };
 
+        if stopped() {
+            return None;
+        }
         if satisfied(n0) {
-            return SampleSizeEstimate { n: n0, probes };
+            return Some(SampleSizeEstimate { n: n0, probes });
         }
         // At n = N the second-stage scale is zero, so v ≡ 0 ≤ ε: the
         // search interval (lo unsatisfied, hi satisfied] is well-formed.
         let mut lo = n0;
         let mut hi = full_n;
         while hi - lo > 1 {
+            if stopped() {
+                return None;
+            }
             let mid = lo + (hi - lo) / 2;
             if satisfied(mid) {
                 hi = mid;
@@ -123,7 +151,45 @@ impl SampleSizeEstimator {
                 lo = mid;
             }
         }
-        SampleSizeEstimate { n: hi, probes }
+        Some(SampleSizeEstimate { n: hi, probes })
+    }
+
+    /// The honest ε at a **fixed** sample size `n` — one point on the
+    /// sample-size curve the binary search walks: the conservative
+    /// Lemma-2 quantile of the two-stage prediction differences for a
+    /// model trained on `n` of `full_n` examples, estimated from the
+    /// pilot at `n0`. Called with the search's own sub-seed, it uses
+    /// exactly the search's draw pools, so the value is bit-identical
+    /// to what any coordinator (warm or cold) computes for that rung —
+    /// this is what lets a degraded response report an exact achieved
+    /// guarantee instead of the requested one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn epsilon_at_scored<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
+        &self,
+        scorer: &HoldoutScorer<'_, F, S>,
+        stats: &ModelStatistics,
+        n0: usize,
+        n: usize,
+        full_n: usize,
+        delta: f64,
+        seed: u64,
+    ) -> f64 {
+        assert!(n0 > 0 && n0 <= n && n <= full_n, "need 0 < n0 <= n <= N");
+        let k = self.num_samples;
+        let pool_u = draw_pool(stats, k, split_seed(seed, 0));
+        let pool_w = draw_pool(stats, k, split_seed(seed, 1));
+        let engine = scorer.engine(&pool_u, &pool_w);
+        let a1 = alpha(n0, n).sqrt();
+        let a2 = alpha(n, full_n).sqrt();
+        let diffs: Vec<f64> = par_ranges_with(k, DRAW_CHUNK, |range| {
+            range
+                .map(|i| engine.diff_two_stage(i, a1, a2))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        empirical_quantile(&diffs, conservative_level(delta, k))
     }
 }
 
@@ -266,6 +332,88 @@ mod tests {
         assert!(f1 <= f2 + 0.1, "{f1} vs {f2}");
         assert!(f2 <= f3 + 1e-12, "{f2} vs {f3}");
         assert_eq!(f3, 1.0);
+    }
+
+    #[test]
+    fn stop_probe_bails_out_deterministically() {
+        use std::cell::Cell;
+        let (train, holdout, spec, theta0, stats, n0) = setup_logistic();
+        let scorer = HoldoutScorer::new(&spec, &holdout, &theta0);
+        let sse = SampleSizeEstimator::new(32);
+        // A probe that fires after two checks: the search must bail with
+        // None instead of completing.
+        let checks = Cell::new(0usize);
+        let stop = move || {
+            checks.set(checks.get() + 1);
+            checks.get() > 2
+        };
+        let est = sse.estimate_scored_stoppable(
+            &scorer,
+            &stats,
+            n0,
+            train.len(),
+            0.02,
+            0.05,
+            7,
+            Some(&stop),
+        );
+        assert!(est.is_none(), "stop probe must abort the search");
+        // A probe that never fires is bit-identical to the plain search.
+        let never = || false;
+        let a = sse
+            .estimate_scored_stoppable(
+                &scorer,
+                &stats,
+                n0,
+                train.len(),
+                0.02,
+                0.05,
+                7,
+                Some(&never),
+            )
+            .unwrap();
+        let b = sse.estimate_scored(&scorer, &stats, n0, train.len(), 0.02, 0.05, 7);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.probes, b.probes);
+        // Immediately-firing probe: no probes at all.
+        let always = || true;
+        assert!(sse
+            .estimate_scored_stoppable(
+                &scorer,
+                &stats,
+                n0,
+                train.len(),
+                0.02,
+                0.05,
+                7,
+                Some(&always),
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn curve_epsilon_is_monotone_and_consistent_with_search() {
+        let (train, holdout, spec, theta0, stats, n0) = setup_logistic();
+        let scorer = HoldoutScorer::new(&spec, &holdout, &theta0);
+        let sse = SampleSizeEstimator::new(64);
+        let full_n = train.len();
+        let eps_small = sse.epsilon_at_scored(&scorer, &stats, n0, 2 * n0, full_n, 0.05, 7);
+        let eps_big = sse.epsilon_at_scored(&scorer, &stats, n0, 8 * n0, full_n, 0.05, 7);
+        assert!(
+            eps_big <= eps_small,
+            "curve must shrink with n: {eps_big} vs {eps_small}"
+        );
+        let eps_full = sse.epsilon_at_scored(&scorer, &stats, n0, full_n, full_n, 0.05, 7);
+        assert_eq!(eps_full, 0.0, "at n = N the second stage is exact");
+        // At the n the search chose for a target ε, the curve ε meets
+        // the target: same draws, quantile vs hit-fraction duality.
+        let target = 0.05;
+        let est = sse.estimate_scored(&scorer, &stats, n0, full_n, target, 0.05, 7);
+        let eps_at_n = sse.epsilon_at_scored(&scorer, &stats, n0, est.n, full_n, 0.05, 7);
+        assert!(
+            eps_at_n <= target,
+            "curve ε at the chosen n ({eps_at_n}) must meet the target ({target})"
+        );
     }
 
     #[test]

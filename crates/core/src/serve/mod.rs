@@ -45,14 +45,43 @@
 //! so the next query for that key leads a fresh attempt. Failures never
 //! poison the cache and never wedge the queue; coalesced waiters
 //! receive a clone of the leader's error.
+//!
+//! On top of that baseline, the [`resilience`] module adds deadline-
+//! aware degradation (see `ARCHITECTURE.md` § "Failure semantics"):
+//!
+//! * **Deadlines** — [`Query::deadline`] threads a cooperative
+//!   [`CancelToken`] through the coordinator;
+//!   it is polled at phase boundaries and once per optimizer iteration,
+//!   never preemptively.
+//! * **Degradation ladder** — under deadline pressure a query resolves
+//!   to a *degraded* `Ok` instead of an `Err`, walking full model →
+//!   relaxed final model (honest curve ε) → cached pilot (honest ε₀) →
+//!   fail-fast. The reported ε is always the achieved guarantee,
+//!   recomputed for the rung actually served — never the requested one.
+//! * **Admission control** — a bounded queue
+//!   ([`ServeConfig::queue_capacity`]) with a configurable
+//!   [`ShedPolicy`] (reject vs. degrade into
+//!   a pilot-only lane) and optional per-tenant in-flight caps.
+//! * **Retries** — transiently-failed jobs (worker panic, a coalesced
+//!   waiter inheriting its leader's deadline error) are re-run with
+//!   jittered exponential backoff up to [`ServeConfig::retry_budget`].
+//!
+//! `crates/core/tests/resilience.rs` drives scripted fault plans
+//! (deterministic slow-downs, panics, and deadline trips at chosen
+//! phases) against this machinery and pins exactly-once resolution,
+//! bit-equal degraded guarantees, and counter reconciliation.
 
 pub(crate) mod cache;
+pub mod resilience;
 
-use crate::config::{BlinkMlConfig, ServeConfig, WarmStartPolicy};
-use crate::coordinator::{build_pool, run_train, PilotState, TrainingOutcome};
+use crate::config::{BlinkMlConfig, ServeConfig, ShedPolicy, WarmStartPolicy};
+use crate::coordinator::{
+    build_pool, run_train_controlled, PilotState, RunControl, TrainingOutcome,
+};
 use crate::error::CoreError;
 use crate::mcs::ModelClassSpec;
 use crate::serve::cache::{PilotCache, PilotTicket};
+use crate::serve::resilience::{retry_backoff, ActiveTokenGuard, CancelToken, DegradationRung};
 use crate::sweep::{run_sweep, SweepPlan, SweepResult};
 use blinkml_data::{CaptureScratch, Dataset, DatasetMatrix, FeatureVec};
 use std::collections::{HashMap, VecDeque};
@@ -73,8 +102,26 @@ pub enum ServeError {
     /// contained: the worker keeps serving and any in-flight pilot
     /// entry is retired).
     WorkerPanicked(String),
-    /// The server is shut down and no longer accepts queries.
+    /// The server is shut down and no longer accepts queries; queries
+    /// still queued (never started) at shutdown also resolve to this.
     Closed,
+    /// The bounded queue was full and the shed policy rejected the
+    /// query (always the outcome for sweeps at capacity).
+    QueueFull {
+        /// The configured [`ServeConfig::queue_capacity`].
+        capacity: usize,
+    },
+    /// The tenant already had its configured cap of in-flight queries.
+    TenantOverloaded {
+        /// The rejected tenant.
+        tenant: u64,
+        /// The configured [`ServeConfig::tenant_inflight_cap`].
+        cap: usize,
+    },
+    /// The query's deadline expired before any model with an honest
+    /// guarantee existed (the fail-fast floor of the degradation
+    /// ladder).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -84,6 +131,18 @@ impl fmt::Display for ServeError {
             ServeError::Train(e) => write!(f, "query failed: {e}"),
             ServeError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
             ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            ServeError::TenantOverloaded { tenant, cap } => {
+                write!(f, "tenant {tenant} already has {cap} queries in flight")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline expired before any guaranteed model was available"
+                )
+            }
         }
     }
 }
@@ -125,10 +184,20 @@ pub struct Query {
     /// Optional per-query initial sample size `n₀` (defaults to the
     /// server's base configuration). Part of the pilot cache key.
     pub initial_sample_size: Option<usize>,
+    /// Optional completion deadline, measured from submission. Under
+    /// deadline pressure the response degrades down the ladder (see the
+    /// [module docs](self)) instead of failing; a deadline that expires
+    /// before any guaranteed model exists resolves to
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Tenant identifier for per-tenant admission caps
+    /// ([`ServeConfig::tenant_inflight_cap`]). Defaults to `0` (all
+    /// queries share one tenant).
+    pub tenant: u64,
 }
 
 impl Query {
-    /// Query with the server's default `n₀`.
+    /// Query with the server's default `n₀`, no deadline, tenant 0.
     pub fn new(dataset: u64, epsilon: f64, delta: f64, seed: u64) -> Self {
         Query {
             dataset,
@@ -136,12 +205,26 @@ impl Query {
             delta,
             seed,
             initial_sample_size: None,
+            deadline: None,
+            tenant: 0,
         }
     }
 
     /// Override the initial sample size for this query.
     pub fn with_initial_sample_size(mut self, n0: usize) -> Self {
         self.initial_sample_size = Some(n0);
+        self
+    }
+
+    /// Attach a completion deadline (measured from submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attribute this query to a tenant.
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -204,9 +287,14 @@ impl SweepQuery {
 /// A served training result plus serving metadata.
 #[derive(Debug, Clone)]
 pub struct ServedResponse {
-    /// The training outcome — bit-identical to a cold coordinator run
-    /// for this query.
+    /// The training outcome. On the [`DegradationRung::Full`] rung this
+    /// is bit-identical to a cold coordinator run for this query; on a
+    /// degraded rung its `estimated_epsilon` is the honest achieved
+    /// guarantee for that rung, bit-equal to what a cold coordinator
+    /// would compute for the same curve point.
     pub outcome: TrainingOutcome,
+    /// Which rung of the degradation ladder produced the outcome.
+    pub rung: DegradationRung,
     /// Submit-to-completion latency as measured by the server (queue
     /// wait plus processing).
     pub latency: Duration,
@@ -281,6 +369,21 @@ pub struct ServerStats {
     /// Sweep final fits whose neighbor warm start was rejected by the
     /// line search and fell back to the point's own pilot θ₀.
     pub warm_starts_rejected: u64,
+    /// Queries accepted into the pilot-only lane by
+    /// [`ShedPolicy::Degrade`] at a full queue.
+    pub sheds: u64,
+    /// Accepted queries that resolved on a degraded rung because of
+    /// deadline pressure (shed queries are counted in [`sheds`], not
+    /// here — the two causes are disjoint by construction).
+    ///
+    /// [`sheds`]: ServerStats::sheds
+    pub deadline_degraded: u64,
+    /// Transient-failure re-runs (each retry attempt counts once).
+    pub retries: u64,
+    /// Queries rejected with [`ServeError::QueueFull`].
+    pub queue_full_rejects: u64,
+    /// Queries rejected with [`ServeError::TenantOverloaded`].
+    pub tenant_rejects: u64,
     /// Pilots currently cached.
     pub cached_pilots: usize,
     /// Live in-flight pilot computations (0 when idle).
@@ -298,6 +401,11 @@ struct StatCounters {
     sweep_queries: AtomicU64,
     warm_starts_taken: AtomicU64,
     warm_starts_rejected: AtomicU64,
+    sheds: AtomicU64,
+    deadline_degraded: AtomicU64,
+    retries: AtomicU64,
+    queue_full_rejects: AtomicU64,
+    tenant_rejects: AtomicU64,
 }
 
 /// The handle-side slot a worker publishes one response into.
@@ -334,6 +442,31 @@ impl<T> Ticket<T> {
         }
     }
 
+    /// Wait until the response is published or `timeout` elapses;
+    /// `None` means the wait timed out and the response is still owed.
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, ServeError>> {
+        let give_up = Instant::now() + timeout;
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= give_up {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(slot, give_up - now)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = guard;
+        }
+    }
+
+    fn try_take(&self) -> Option<Result<T, ServeError>> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
     fn is_ready(&self) -> bool {
         self.slot
             .lock()
@@ -356,6 +489,22 @@ impl ResponseHandle {
         self.ticket.wait()
     }
 
+    /// Wait up to `timeout` for the response. `None` means the wait
+    /// timed out: the query is **still in flight** and the handle can
+    /// keep waiting. `Some` consumes the response — the response is
+    /// delivered exactly once, so a later `wait`/`try_wait` on this
+    /// handle will not see it again.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServedResponse, ServeError>> {
+        self.ticket.wait_timeout(timeout)
+    }
+
+    /// Take the response if it is already published (non-blocking).
+    /// Like [`wait_timeout`](ResponseHandle::wait_timeout), a `Some`
+    /// consumes the response.
+    pub fn try_wait(&self) -> Option<Result<ServedResponse, ServeError>> {
+        self.ticket.try_take()
+    }
+
     /// Whether the response has been published (non-blocking).
     pub fn is_ready(&self) -> bool {
         self.ticket.is_ready()
@@ -375,6 +524,17 @@ impl SweepResponseHandle {
         self.ticket.wait()
     }
 
+    /// Wait up to `timeout` for the response; `Some` consumes it (see
+    /// [`ResponseHandle::wait_timeout`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServedSweep, ServeError>> {
+        self.ticket.wait_timeout(timeout)
+    }
+
+    /// Take the response if already published; `Some` consumes it.
+    pub fn try_wait(&self) -> Option<Result<ServedSweep, ServeError>> {
+        self.ticket.try_take()
+    }
+
     /// Whether the response has been published (non-blocking).
     pub fn is_ready(&self) -> bool {
         self.ticket.is_ready()
@@ -387,18 +547,26 @@ enum Request {
     Sweep(SweepQuery, Arc<Ticket<ServedSweep>>),
 }
 
-/// One queued job: the resolved shard index, the request, and its
-/// submission time.
+/// One queued job: the resolved shard index, the request, its
+/// submission time, and its admission-time resilience decisions.
 struct Job {
     shard: usize,
     request: Request,
     submitted: Instant,
+    /// Absolute deadline (submission time + [`Query::deadline`]).
+    deadline: Option<Instant>,
+    /// The job was accepted into the pilot-only lane by
+    /// [`ShedPolicy::Degrade`] at a full queue.
+    shed_degraded: bool,
 }
 
 #[derive(Default)]
 struct QueueState {
     jobs: VecDeque<Job>,
     closed: bool,
+    /// In-flight (queued + running) `Train` queries per tenant,
+    /// maintained by admission and [`Shared::finish_tenant`].
+    tenant_inflight: HashMap<u64, usize>,
 }
 
 /// State shared between the handle and the worker pool. Holds only
@@ -409,13 +577,15 @@ struct Shared {
     cv: Condvar,
     cache: PilotCache,
     stats: StatCounters,
+    serve: ServeConfig,
 }
 
 impl Shared {
     /// Pop the next job, blocking while the queue is open and empty.
     /// Returns `None` when the queue is closed **and** drained — the
-    /// worker exit condition, which is what makes shutdown graceful
-    /// (every accepted query still resolves).
+    /// worker exit condition. (Whether "drained" means "served" or
+    /// "aborted" is the shutdown caller's choice; see
+    /// [`Server::shutdown`] vs [`Server::shutdown_drain`].)
     fn next_job(&self) -> Option<Job> {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -426,6 +596,18 @@ impl Shared {
                 return None;
             }
             queue = self.cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Release one unit of a tenant's in-flight budget (after the
+    /// response for one of its `Train` queries is published).
+    fn finish_tenant(&self, tenant: u64) {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(count) = queue.tenant_inflight.get_mut(&tenant) {
+            *count -= 1;
+            if *count == 0 {
+                queue.tenant_inflight.remove(&tenant);
+            }
         }
     }
 }
@@ -514,6 +696,7 @@ impl Server {
             cv: Condvar::new(),
             cache: PilotCache::new(serve.pilot_cache_capacity),
             stats: StatCounters::default(),
+            serve,
         });
         let worker_count = serve.workers;
         let owner = {
@@ -555,7 +738,10 @@ impl Server {
 
     /// Enqueue a query, returning a handle that resolves when a worker
     /// completes it. Fails fast (without queueing) on an unknown
-    /// dataset version or a shut-down server.
+    /// dataset version, a shut-down server, a tenant over its in-flight
+    /// cap, or a full queue under [`ShedPolicy::Reject`]; under
+    /// [`ShedPolicy::Degrade`] a full queue sheds the query into the
+    /// pilot-only lane instead.
     pub fn submit(&self, query: Query) -> Result<ResponseHandle, ServeError> {
         let ticket = Arc::new(Ticket::default());
         self.enqueue(query.dataset, Request::Train(query, ticket.clone()))?;
@@ -578,19 +764,53 @@ impl Server {
             .versions
             .get(&dataset)
             .ok_or(ServeError::UnknownDataset(dataset))?;
-        let job = Job {
+        let serve = &self.shared.serve;
+        let stats = &self.shared.stats;
+        // Tenant / deadline are `Train`-only concepts; sweeps have no
+        // ladder and no per-tenant budget.
+        let (tenant, deadline) = match &request {
+            Request::Train(q, _) => (Some(q.tenant), q.deadline),
+            Request::Sweep(..) => (None, None),
+        };
+        let submitted = Instant::now();
+        let mut job = Job {
             shard,
             request,
-            submitted: Instant::now(),
+            submitted,
+            deadline: deadline.map(|d| submitted + d),
+            shed_degraded: false,
         };
         {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if queue.closed {
                 return Err(ServeError::Closed);
             }
+            if let (Some(tenant), Some(cap)) = (tenant, serve.tenant_inflight_cap) {
+                if queue.tenant_inflight.get(&tenant).copied().unwrap_or(0) >= cap {
+                    stats.tenant_rejects.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::TenantOverloaded { tenant, cap });
+                }
+            }
+            if queue.jobs.len() >= serve.queue_capacity {
+                let shed = tenant.is_some() && serve.shed_policy == ShedPolicy::Degrade;
+                // The degrade lane is itself bounded (at twice the
+                // queue capacity) so overload cannot grow the queue
+                // without limit.
+                if !shed || queue.jobs.len() >= 2 * serve.queue_capacity {
+                    stats.queue_full_rejects.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::QueueFull {
+                        capacity: serve.queue_capacity,
+                    });
+                }
+                job.shed_degraded = true;
+                stats.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(tenant) = tenant {
+                *queue.tenant_inflight.entry(tenant).or_insert(0) += 1;
+            }
             queue.jobs.push_back(job);
         }
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.cv.notify_one();
         Ok(())
     }
@@ -621,6 +841,11 @@ impl Server {
             sweep_queries: s.sweep_queries.load(Ordering::Relaxed),
             warm_starts_taken: s.warm_starts_taken.load(Ordering::Relaxed),
             warm_starts_rejected: s.warm_starts_rejected.load(Ordering::Relaxed),
+            sheds: s.sheds.load(Ordering::Relaxed),
+            deadline_degraded: s.deadline_degraded.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            queue_full_rejects: s.queue_full_rejects.load(Ordering::Relaxed),
+            tenant_rejects: s.tenant_rejects.load(Ordering::Relaxed),
             cached_pilots: self.shared.cache.cached(),
             inflight: self.shared.cache.inflight(),
         }
@@ -633,17 +858,53 @@ impl Server {
         self.shared.cache.clear();
     }
 
-    /// Shut down gracefully: stop accepting queries, drain the queue
-    /// (every already-accepted query still resolves), and join the
-    /// workers.
+    /// Shut down promptly: stop accepting queries, **abort** every job
+    /// still queued (never started) by resolving its handle to
+    /// [`ServeError::Closed`], let jobs already running on a worker
+    /// finish normally, and join the workers.
+    ///
+    /// This is the abort half of the drain-vs-abort contract: accepted
+    /// but unstarted work is *not* silently trained through a shutdown
+    /// — its waiters learn immediately. Use [`Server::shutdown_drain`]
+    /// to serve out the backlog instead. `Drop` behaves like
+    /// `shutdown`.
     pub fn shutdown(mut self) {
-        self.close_and_join();
+        self.close_and_join(true);
     }
 
-    fn close_and_join(&mut self) {
-        {
+    /// Shut down gracefully: stop accepting queries, drain the queue
+    /// (every already-accepted query still resolves through its full
+    /// workflow), and join the workers.
+    pub fn shutdown_drain(mut self) {
+        self.close_and_join(false);
+    }
+
+    fn close_and_join(&mut self, abort_queued: bool) {
+        let aborted = {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             queue.closed = true;
+            if abort_queued {
+                let jobs = std::mem::take(&mut queue.jobs);
+                for job in &jobs {
+                    if let Request::Train(q, _) = &job.request {
+                        if let Some(count) = queue.tenant_inflight.get_mut(&q.tenant) {
+                            *count = count.saturating_sub(1);
+                        }
+                    }
+                }
+                jobs
+            } else {
+                VecDeque::new()
+            }
+        };
+        // Publish outside the queue lock: waiters may wake and call
+        // back into the server (e.g. `stats`).
+        for job in aborted {
+            self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            match job.request {
+                Request::Train(_, ticket) => ticket.publish(Err(ServeError::Closed)),
+                Request::Sweep(_, ticket) => ticket.publish(Err(ServeError::Closed)),
+            }
         }
         self.shared.cv.notify_all();
         if let Some(owner) = self.owner.take() {
@@ -654,7 +915,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.close_and_join();
+        self.close_and_join(true);
     }
 }
 
@@ -676,13 +937,66 @@ fn process_job<F, S>(
     let stats = &shared.stats;
     match job.request {
         Request::Train(query, ticket) => {
-            match serve_query(
-                base, spec, shards, pools, shared, scratch, job.shard, &query,
-            ) {
-                Ok(outcome) => {
+            let serve = &shared.serve;
+            // One token per job (not per attempt): the deadline is a
+            // property of the query, and retries race the same clock.
+            let token = Arc::new(match job.deadline {
+                Some(deadline) => CancelToken::with_deadline(deadline, serve.relax_margin),
+                None => CancelToken::unbounded(),
+            });
+            // Publish the token to the fault-injection harness for the
+            // whole job, retries included.
+            let _guard = ActiveTokenGuard::install(&token);
+            let result = if token.expired() {
+                // Expired while queued: don't start work that can no
+                // longer produce even a pilot in time.
+                Err(ServeError::DeadlineExceeded)
+            } else {
+                let mut attempt: u32 = 0;
+                loop {
+                    let result = serve_query(
+                        base,
+                        spec,
+                        shards,
+                        pools,
+                        shared,
+                        scratch,
+                        job.shard,
+                        &query,
+                        &token,
+                        job.shed_degraded,
+                    );
+                    // Transient failures: a contained panic, or a
+                    // coalesced waiter inheriting its *leader's*
+                    // deadline error while its own deadline is fine (a
+                    // retry leads a fresh pilot attempt).
+                    let transient = match &result {
+                        Err(ServeError::WorkerPanicked(_)) => true,
+                        Err(ServeError::DeadlineExceeded) => !token.expired(),
+                        _ => false,
+                    };
+                    if transient && attempt < serve.retry_budget {
+                        attempt += 1;
+                        stats.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(retry_backoff(
+                            serve.retry_backoff_base,
+                            attempt,
+                            query.seed,
+                        ));
+                        continue;
+                    }
+                    break result;
+                }
+            };
+            match result {
+                Ok((outcome, rung)) => {
                     stats.completed.fetch_add(1, Ordering::Relaxed);
+                    if rung.is_degraded() && !job.shed_degraded {
+                        stats.deadline_degraded.fetch_add(1, Ordering::Relaxed);
+                    }
                     ticket.publish(Ok(ServedResponse {
                         outcome,
+                        rung,
                         latency: job.submitted.elapsed(),
                     }));
                 }
@@ -691,6 +1005,7 @@ fn process_job<F, S>(
                     ticket.publish(Err(e));
                 }
             }
+            shared.finish_tenant(query.tenant);
         }
         Request::Sweep(query, ticket) => {
             stats.sweep_queries.fetch_add(1, Ordering::Relaxed);
@@ -718,7 +1033,7 @@ fn process_job<F, S>(
 }
 
 /// The training-query workflow behind [`process_job`], returning the
-/// outcome or the error to publish.
+/// outcome (and the rung that produced it) or the error to publish.
 #[allow(clippy::too_many_arguments)]
 fn serve_query<F, S>(
     base: &BlinkMlConfig,
@@ -729,7 +1044,9 @@ fn serve_query<F, S>(
     scratch: &mut CaptureScratch,
     shard_index: usize,
     query: &Query,
-) -> Result<TrainingOutcome, ServeError>
+    token: &Arc<CancelToken>,
+    shed_degraded: bool,
+) -> Result<(TrainingOutcome, DegradationRung), ServeError>
 where
     F: FeatureVec,
     S: ModelClassSpec<F> + ?Sized,
@@ -750,6 +1067,11 @@ where
     let n0 = config.initial_sample_size.min(shard.train.len());
     let key = (shard.version, n0, query.seed);
     let stats = &shared.stats;
+    let control = RunControl {
+        cancel: Some(token.clone()),
+        pilot_only: shed_degraded,
+        relax_fraction: shared.serve.relax_fraction,
+    };
 
     match shared.cache.resolve(key) {
         PilotTicket::Cached(pilot) => {
@@ -763,8 +1085,9 @@ where
                 query.seed,
                 Some(&pilot),
                 false,
+                &control,
             )
-            .map(|(outcome, _)| outcome)
+            .map(|(outcome, _, rung)| (outcome, rung))
         }
         PilotTicket::Wait(inflight) => {
             stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
@@ -780,17 +1103,20 @@ where
                 query.seed,
                 Some(&pilot),
                 false,
+                &control,
             )
-            .map(|(outcome, _)| outcome)
+            .map(|(outcome, _, rung)| (outcome, rung))
         }
         PilotTicket::Lead => {
-            match run_contained(config, spec, shard, pool, scratch, query.seed, None, true) {
-                Ok((outcome, Some(pilot))) => {
+            match run_contained(
+                config, spec, shard, pool, scratch, query.seed, None, true, &control,
+            ) {
+                Ok((outcome, Some(pilot), rung)) => {
                     stats.pilot_trains.fetch_add(1, Ordering::Relaxed);
                     shared.cache.complete(key, Arc::new(pilot));
-                    Ok(outcome)
+                    Ok((outcome, rung))
                 }
-                Ok((outcome, None)) => {
+                Ok((outcome, None, rung)) => {
                     // `run_train` always returns pilot artifacts when
                     // asked; retire the entry defensively so a future
                     // regression degrades to cache misses, not a wedge.
@@ -801,7 +1127,7 @@ where
                             "pilot artifacts missing from leader run".into(),
                         )),
                     );
-                    Ok(outcome)
+                    Ok((outcome, rung))
                 }
                 Err(e) => {
                     shared.cache.fail(key, e.clone());
@@ -869,6 +1195,8 @@ where
 /// a panic inside training (e.g. a library bug or a pathological
 /// dataset) becomes [`ServeError::WorkerPanicked`] instead of killing
 /// the worker, so one bad query cannot take the queue down.
+/// Cancellation errors (the fail-fast floor of the ladder) surface as
+/// [`ServeError::DeadlineExceeded`].
 #[allow(clippy::too_many_arguments)]
 fn run_contained<F, S>(
     config: BlinkMlConfig,
@@ -879,13 +1207,14 @@ fn run_contained<F, S>(
     seed: u64,
     pilot: Option<&PilotState>,
     want_pilot: bool,
-) -> Result<(TrainingOutcome, Option<PilotState>), ServeError>
+    control: &RunControl,
+) -> Result<(TrainingOutcome, Option<PilotState>, DegradationRung), ServeError>
 where
     F: FeatureVec,
     S: ModelClassSpec<F> + ?Sized,
 {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        run_train(
+        run_train_controlled(
             &config,
             spec,
             &shard.train,
@@ -895,10 +1224,12 @@ where
             seed,
             pilot,
             want_pilot,
+            control,
         )
     }));
     match attempt {
         Ok(Ok(result)) => Ok(result),
+        Ok(Err(e)) if e.is_cancellation() => Err(ServeError::DeadlineExceeded),
         Ok(Err(e)) => Err(ServeError::Train(e)),
         Err(payload) => Err(ServeError::WorkerPanicked(panic_message(payload))),
     }
@@ -1122,7 +1453,7 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_rejects_new_queries_but_drains_accepted_ones() {
+    fn shutdown_drain_rejects_new_queries_but_drains_accepted_ones() {
         let server = Server::spawn(
             base_config(200),
             ServeConfig {
@@ -1136,10 +1467,42 @@ mod tests {
         let pending: Vec<_> = (0..3)
             .map(|i| server.submit(Query::new(1, 0.25, 0.05, i)).unwrap())
             .collect();
-        server.shutdown();
+        server.shutdown_drain();
         for handle in pending {
             assert!(handle.wait().is_ok(), "accepted queries resolve");
         }
+    }
+
+    #[test]
+    fn abort_shutdown_resolves_every_queued_ticket_as_closed() {
+        // A saturated single worker: whatever job it has started is
+        // drained normally; everything still queued resolves `Closed`.
+        let server = Server::spawn(
+            base_config(200),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            LogisticRegressionSpec::new(1e-3),
+            vec![shard(1, 3_000, 9)],
+        )
+        .unwrap();
+        let pending: Vec<_> = (0..4)
+            .map(|i| server.submit(Query::new(1, 0.25, 0.05, i)).unwrap())
+            .collect();
+        server.shutdown();
+        let mut resolved = 0;
+        let mut closed = 0;
+        for handle in pending {
+            match handle.wait() {
+                Ok(_) => resolved += 1,
+                Err(ServeError::Closed) => closed += 1,
+                Err(e) => panic!("unexpected shutdown error: {e}"),
+            }
+        }
+        // No ticket may be lost; at least the still-queued tail aborts.
+        assert_eq!(resolved + closed, 4, "every ticket resolves exactly once");
+        assert!(closed >= 1, "an idle 1-worker server cannot drain 4 jobs");
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Cooperative cancellation, the degradation ladder, and deterministic
+//! retry backoff for the serving layer.
+//!
+//! BlinkML's core contract makes graceful degradation *possible*: every
+//! sample size `n` carries an honest `(ε, δ)` guarantee, so a
+//! deadline-pressed server never has to choose between blocking and
+//! failing — it can move along the guarantee curve and return a cheaper
+//! model with its true, recomputed ε. This module supplies the
+//! mechanisms:
+//!
+//! * [`CancelToken`] — a per-query deadline plus manually trippable
+//!   pressure flags, polled at coordinator phase boundaries (pilot
+//!   train → statistics → sample-size search → final train) and inside
+//!   optimizer iteration loops via
+//!   [`StopCheck`](blinkml_optim::StopCheck).
+//! * [`DegradationRung`] — which step of the ladder a response came
+//!   from: the full workflow, a relaxed final model, or the pilot.
+//! * [`retry_backoff`] — seeded jittered exponential backoff for
+//!   retrying transiently-failed jobs, deterministic per
+//!   `(seed, attempt)`.
+//! * A thread-local **active token** surface
+//!   ([`trip_active_deadline`] / [`relax_active_deadline`]) so fault
+//!   plans can stage exact deadline races from inside training hooks —
+//!   no wall-clock dependence in tests.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How much deadline pressure a query is under at a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pressure {
+    /// No pressure: proceed with the full workflow.
+    None,
+    /// The deadline is close (within the relax margin) or a soft trip
+    /// was requested: downgrade the final training to a relaxed sample
+    /// size, keeping an honest ε from the sample-size curve.
+    Relax,
+    /// The deadline has passed (or a hard trip was requested): stop as
+    /// soon as a rung with an honest guarantee — or a typed error — is
+    /// reachable.
+    Expired,
+}
+
+/// Per-query cooperative cancellation token.
+///
+/// Combines an optional wall-clock deadline with two manually
+/// trippable flags. The coordinator polls [`CancelToken::pressure`] at
+/// phase boundaries and [`CancelToken::expired`] once per optimizer
+/// iteration; nothing is ever interrupted mid-kernel, so an untripped
+/// token changes no result bit.
+#[derive(Debug)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    relax_margin: Duration,
+    relax: AtomicBool,
+    expire: AtomicBool,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (manual trips still work).
+    pub fn unbounded() -> Self {
+        CancelToken {
+            deadline: None,
+            relax_margin: Duration::ZERO,
+            relax: AtomicBool::new(false),
+            expire: AtomicBool::new(false),
+        }
+    }
+
+    /// A token that expires at `deadline` and reports [`Pressure::Relax`]
+    /// once the remaining time falls below `relax_margin`.
+    pub fn with_deadline(deadline: Instant, relax_margin: Duration) -> Self {
+        CancelToken {
+            deadline: Some(deadline),
+            relax_margin,
+            relax: AtomicBool::new(false),
+            expire: AtomicBool::new(false),
+        }
+    }
+
+    /// Manually force [`Pressure::Expired`] (fault injection, shutdown).
+    pub fn trip_expired(&self) {
+        self.expire.store(true, Ordering::Release);
+    }
+
+    /// Manually force at least [`Pressure::Relax`] (fault injection).
+    pub fn trip_relax(&self) {
+        self.relax.store(true, Ordering::Release);
+    }
+
+    /// Whether the token demands a stop (hard trip or deadline passed).
+    /// This is the probe the optimizer's per-iteration
+    /// [`StopCheck`](blinkml_optim::StopCheck) polls.
+    pub fn expired(&self) -> bool {
+        if self.expire.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Current pressure level for a phase-boundary checkpoint.
+    pub fn pressure(&self) -> Pressure {
+        if self.expired() {
+            return Pressure::Expired;
+        }
+        if self.relax.load(Ordering::Acquire) {
+            return Pressure::Relax;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() + self.relax_margin >= d => Pressure::Relax,
+            _ => Pressure::None,
+        }
+    }
+}
+
+/// Which rung of the degradation ladder produced a served response.
+///
+/// The ladder, top to bottom: [`Full`](DegradationRung::Full) →
+/// [`RelaxedFinal`](DegradationRung::RelaxedFinal) →
+/// [`Pilot`](DegradationRung::Pilot) → a typed error (fail-fast). The
+/// reported ε is always the **achieved** guarantee of the returned
+/// model, recomputed for its actual sample size — never the requested
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradationRung {
+    /// The full BlinkML workflow ran: pilot, search, final model at the
+    /// chosen minimum `n` (or the pilot itself when it already met the
+    /// contract).
+    Full,
+    /// Deadline pressure at the final-train boundary: the final model
+    /// was trained at a relaxed sample size between `n₀` and the chosen
+    /// `n`, and the response carries the honest ε the sample-size curve
+    /// assigns to that size.
+    RelaxedFinal,
+    /// The cached/just-trained pilot `m₀` was returned with its honest
+    /// ε₀ (deadline expired after the accuracy estimate, or the query
+    /// was shed into the pilot-only lane).
+    Pilot,
+}
+
+impl DegradationRung {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradationRung::Full => "Full",
+            DegradationRung::RelaxedFinal => "RelaxedFinal",
+            DegradationRung::Pilot => "Pilot",
+        }
+    }
+
+    /// Whether this rung is below the full workflow.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, DegradationRung::Full)
+    }
+}
+
+/// The relaxed final-training sample size for the
+/// [`RelaxedFinal`](DegradationRung::RelaxedFinal) rung: `n₀ +
+/// ⌈fraction · (n − n₀)⌉`, clamped to `[n₀, n]`. Deterministic in its
+/// inputs, so a cold coordinator replay for the rung lands on the same
+/// size (and hence the bit-identical curve ε).
+pub fn relaxed_sample_size(n0: usize, n: usize, fraction: f64) -> usize {
+    if n <= n0 {
+        return n;
+    }
+    let span = (n - n0) as f64;
+    let step = (span * fraction.clamp(0.0, 1.0)).ceil() as usize;
+    (n0 + step).min(n)
+}
+
+/// Jittered exponential backoff before retry `attempt` (1-based):
+/// `base · 2^(attempt−1) · u` with `u ∈ [0.5, 1.5)` drawn from a
+/// splitmix64 hash of `(seed, attempt)` — deterministic, so retry
+/// schedules are replayable.
+pub fn retry_backoff(base: Duration, attempt: u32, seed: u64) -> Duration {
+    let shift = attempt.saturating_sub(1).min(16);
+    let exp = base.saturating_mul(1u32 << shift);
+    let bits = splitmix64(seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    exp.mul_f64(0.5 + unit)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+thread_local! {
+    /// The token of the query this worker thread is currently running —
+    /// the deterministic deadline-race surface for fault plans.
+    static ACTIVE_TOKEN: RefCell<Option<Arc<CancelToken>>> = const { RefCell::new(None) };
+}
+
+/// RAII installation of a worker's current query token into the
+/// thread-local active slot; cleared on drop (including unwinds out of
+/// a contained panic).
+pub(crate) struct ActiveTokenGuard;
+
+impl ActiveTokenGuard {
+    pub(crate) fn install(token: &Arc<CancelToken>) -> Self {
+        ACTIVE_TOKEN.with(|t| *t.borrow_mut() = Some(token.clone()));
+        ActiveTokenGuard
+    }
+}
+
+impl Drop for ActiveTokenGuard {
+    fn drop(&mut self) {
+        ACTIVE_TOKEN.with(|t| *t.borrow_mut() = None);
+    }
+}
+
+/// Fault-injection surface: hard-trip the deadline of the query the
+/// **current worker thread** is processing. Returns whether a token was
+/// installed. Deterministic replacement for racing a wall clock: a
+/// training hook calls this at an exact phase, so "the deadline expired
+/// during phase X" is a scriptable event.
+pub fn trip_active_deadline() -> bool {
+    ACTIVE_TOKEN.with(|t| match &*t.borrow() {
+        Some(token) => {
+            token.trip_expired();
+            true
+        }
+        None => false,
+    })
+}
+
+/// Fault-injection surface: soft-trip (relax) the deadline of the query
+/// the current worker thread is processing. Returns whether a token was
+/// installed.
+pub fn relax_active_deadline() -> bool {
+    ACTIVE_TOKEN.with(|t| match &*t.borrow() {
+        Some(token) => {
+            token.trip_relax();
+            true
+        }
+        None => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_token_never_fires() {
+        let t = CancelToken::unbounded();
+        assert!(!t.expired());
+        assert_eq!(t.pressure(), Pressure::None);
+    }
+
+    #[test]
+    fn manual_trips_escalate() {
+        let t = CancelToken::unbounded();
+        t.trip_relax();
+        assert_eq!(t.pressure(), Pressure::Relax);
+        assert!(!t.expired());
+        t.trip_expired();
+        assert_eq!(t.pressure(), Pressure::Expired);
+        assert!(t.expired());
+    }
+
+    #[test]
+    fn wall_clock_deadline_fires() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let t = CancelToken::with_deadline(past, Duration::ZERO);
+        assert!(t.expired());
+        assert_eq!(t.pressure(), Pressure::Expired);
+
+        let far = Instant::now() + Duration::from_secs(3600);
+        let t = CancelToken::with_deadline(far, Duration::ZERO);
+        assert!(!t.expired());
+        assert_eq!(t.pressure(), Pressure::None);
+        // A margin wider than the remaining time reports Relax.
+        let t = CancelToken::with_deadline(
+            Instant::now() + Duration::from_millis(10),
+            Duration::from_secs(3600),
+        );
+        assert_eq!(t.pressure(), Pressure::Relax);
+    }
+
+    #[test]
+    fn relaxed_size_is_clamped_and_monotone() {
+        assert_eq!(relaxed_sample_size(100, 100, 0.25), 100);
+        assert_eq!(relaxed_sample_size(100, 50, 0.25), 50);
+        let r = relaxed_sample_size(100, 1100, 0.25);
+        assert_eq!(r, 100 + 250);
+        assert_eq!(relaxed_sample_size(100, 1100, 1.0), 1100);
+        assert_eq!(relaxed_sample_size(100, 1100, 0.0), 100);
+        // ceil: any positive fraction moves past n₀.
+        assert_eq!(relaxed_sample_size(100, 101, 0.01), 101);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(10);
+        let a = retry_backoff(base, 1, 42);
+        let b = retry_backoff(base, 1, 42);
+        assert_eq!(a, b);
+        assert!(a >= base / 2 && a < base * 3 / 2, "{a:?}");
+        let c = retry_backoff(base, 3, 42);
+        assert!(c >= base * 2 && c < base * 6, "{c:?}");
+        assert_ne!(retry_backoff(base, 1, 1), retry_backoff(base, 1, 2));
+    }
+
+    #[test]
+    fn active_token_trips_through_thread_local() {
+        assert!(!trip_active_deadline(), "no token installed");
+        let token = Arc::new(CancelToken::unbounded());
+        {
+            let _guard = ActiveTokenGuard::install(&token);
+            assert!(relax_active_deadline());
+            assert_eq!(token.pressure(), Pressure::Relax);
+            assert!(trip_active_deadline());
+            assert!(token.expired());
+        }
+        assert!(!trip_active_deadline(), "guard cleared the slot");
+    }
+}

@@ -1,10 +1,16 @@
-//! Sequential reference wrappers shared by the workspace's tests and
-//! benchmarks. Not part of the public API (`#[doc(hidden)]` at the
-//! re-export site); semver-exempt.
+//! Sequential reference wrappers and the deterministic fault-injection
+//! harness shared by the workspace's tests and benchmarks. Not part of
+//! the public API (`#[doc(hidden)]` at the re-export site);
+//! semver-exempt.
 
+use crate::error::CoreError;
 use crate::grads::Grads;
-use crate::mcs::ModelClassSpec;
-use blinkml_data::{Dataset, FeatureVec};
+use crate::mcs::{ModelClassSpec, TrainedModel};
+use crate::serve::resilience::{relax_active_deadline, trip_active_deadline};
+use blinkml_data::{Dataset, FeatureVec, MatrixView, TrainScratch};
+use blinkml_optim::OptimOptions;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Wrapper that hides [`ModelClassSpec::batched_training`], forcing
 /// `train()` onto the per-example scalar objective — the pre-batching
@@ -117,4 +123,224 @@ impl<F: FeatureVec, S: ModelClassSpec<F>> ModelClassSpec<F> for NoBatch<S> {
         self.0.diff_is_rms()
     }
     // margin_weights deliberately left at the default `None`.
+}
+
+/// Forwards every [`ModelClassSpec`] method to the inner spec, calling
+/// `hook` at the top of each `train`/`train_with_matrix` with the
+/// sample length about to be trained on. The hook perturbs *scheduling*
+/// only (sleeps, panics, deadline trips) — never math — so served
+/// results must still match the plain oracle bitwise. Shared by the
+/// serving concurrency harness (`tests/serving.rs`) and the resilience
+/// harness (`tests/resilience.rs`).
+pub struct HookedSpec<S, H> {
+    /// The spec every method delegates to.
+    pub inner: S,
+    /// Called with the sample length at each training entry.
+    pub hook: H,
+}
+
+impl<S, H: Fn(usize)> HookedSpec<S, H> {
+    /// Wrap `inner`, calling `hook(sample_len)` at each training entry.
+    pub fn new(inner: S, hook: H) -> Self {
+        HookedSpec { inner, hook }
+    }
+}
+
+impl<F, S, H> ModelClassSpec<F> for HookedSpec<S, H>
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F>,
+    H: Fn(usize) + Send + Sync,
+{
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn param_dim(&self, data_dim: usize) -> usize {
+        self.inner.param_dim(data_dim)
+    }
+    fn regularization(&self) -> f64 {
+        self.inner.regularization()
+    }
+    fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {
+        self.inner.objective(theta, data)
+    }
+    fn batched_training(&self) -> bool {
+        self.inner.batched_training()
+    }
+    fn value_grad_batched(
+        &self,
+        theta: &[f64],
+        xm: &MatrixView,
+        scratch: &mut TrainScratch,
+        grad: &mut [f64],
+    ) -> f64 {
+        self.inner.value_grad_batched(theta, xm, scratch, grad)
+    }
+    fn grads(&self, theta: &[f64], data: &Dataset<F>) -> Grads {
+        self.inner.grads(theta, data)
+    }
+    fn grads_cached(&self, theta: &[f64], data: &Dataset<F>, xm: Option<&MatrixView>) -> Grads {
+        self.inner.grads_cached(theta, data, xm)
+    }
+    fn closed_form_hessian(
+        &self,
+        theta: &[f64],
+        data: &Dataset<F>,
+    ) -> Option<blinkml_linalg::Matrix> {
+        self.inner.closed_form_hessian(theta, data)
+    }
+    fn closed_form_hessian_cached(
+        &self,
+        theta: &[f64],
+        data: &Dataset<F>,
+        xm: Option<&MatrixView>,
+    ) -> Option<blinkml_linalg::Matrix> {
+        self.inner.closed_form_hessian_cached(theta, data, xm)
+    }
+    fn predict(&self, theta: &[f64], x: &F) -> f64 {
+        self.inner.predict(theta, x)
+    }
+    fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<F>) -> f64 {
+        self.inner.diff(theta_a, theta_b, holdout)
+    }
+    fn generalization_error(&self, theta: &[f64], data: &Dataset<F>) -> f64 {
+        self.inner.generalization_error(theta, data)
+    }
+    fn num_margin_outputs(&self, data_dim: usize) -> Option<usize> {
+        self.inner.num_margin_outputs(data_dim)
+    }
+    fn margins(&self, theta: &[f64], x: &F, out: &mut [f64]) {
+        self.inner.margins(theta, x, out)
+    }
+    fn margin_weights(&self, theta: &[f64], data_dim: usize) -> Option<blinkml_linalg::Matrix> {
+        self.inner.margin_weights(theta, data_dim)
+    }
+    fn predict_from_margins(&self, scores: &[f64]) -> f64 {
+        self.inner.predict_from_margins(scores)
+    }
+    fn diff_is_rms(&self) -> bool {
+        self.inner.diff_is_rms()
+    }
+    fn train(
+        &self,
+        data: &Dataset<F>,
+        warm_start: Option<&[f64]>,
+        options: &OptimOptions,
+    ) -> Result<TrainedModel, CoreError> {
+        (self.hook)(data.len());
+        self.inner.train(data, warm_start, options)
+    }
+    fn train_with_matrix(
+        &self,
+        data: &Dataset<F>,
+        xm: Option<&MatrixView>,
+        warm_start: Option<&[f64]>,
+        options: &OptimOptions,
+    ) -> Result<TrainedModel, CoreError> {
+        (self.hook)(xm.map_or(data.len(), |v| v.len()));
+        self.inner.train_with_matrix(data, xm, warm_start, options)
+    }
+}
+
+/// Which training entry a scripted fault fires at. Sites are classified
+/// by the sample length the coordinator passes to training: the pilot
+/// always trains on exactly `n₀` rows, every other fit (relaxed or
+/// full final) on more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A pilot-sized training call (`sample_len == n₀`).
+    PilotTrain,
+    /// Any larger training call (the final model, relaxed or full).
+    FinalTrain,
+}
+
+/// A scripted fault action, performed at a training entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep for the given number of milliseconds (widens race windows
+    /// deterministically).
+    SleepMs(u64),
+    /// Panic (the serving layer must contain it to
+    /// [`WorkerPanicked`](crate::serve::ServeError::WorkerPanicked)).
+    Panic,
+    /// Trip the processing worker's deadline token to **expired** via
+    /// the thread-local active-token slot — a deterministic stand-in
+    /// for a wall-clock deadline race.
+    TripDeadline,
+    /// Trip the token to **relax** pressure (the
+    /// [`RelaxedFinal`](crate::serve::resilience::DegradationRung::RelaxedFinal)
+    /// trigger) without expiring it.
+    RelaxDeadline,
+}
+
+/// A deterministic fault schedule for a [`HookedSpec`] hook: each entry
+/// fires at the `occurrence`-th training entry of its [`FaultSite`]
+/// (counted per site, across all queries the spec serves). Because the
+/// trigger is a per-site occurrence counter — not wall-clock time — a
+/// plan replays identically on every run.
+#[derive(Debug)]
+pub struct FaultPlan {
+    n0: usize,
+    scripted: Vec<(FaultSite, usize, FaultAction)>,
+    pilot_seen: AtomicUsize,
+    final_seen: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// Empty plan for a workflow whose pilot trains on `n0` rows.
+    pub fn new(n0: usize) -> Self {
+        FaultPlan {
+            n0,
+            scripted: Vec::new(),
+            pilot_seen: AtomicUsize::new(0),
+            final_seen: AtomicUsize::new(0),
+        }
+    }
+
+    /// Script `action` at the `occurrence`-th (0-based) entry of `site`.
+    pub fn at(mut self, site: FaultSite, occurrence: usize, action: FaultAction) -> Self {
+        self.scripted.push((site, occurrence, action));
+        self
+    }
+
+    /// The hook body: classify the site, bump its occurrence counter,
+    /// and perform every scripted action for that occurrence. Pass as
+    /// `HookedSpec::new(spec, move |len| plan.on_train(len))`.
+    pub fn on_train(&self, sample_len: usize) {
+        let site = if sample_len == self.n0 {
+            FaultSite::PilotTrain
+        } else {
+            FaultSite::FinalTrain
+        };
+        let counter = match site {
+            FaultSite::PilotTrain => &self.pilot_seen,
+            FaultSite::FinalTrain => &self.final_seen,
+        };
+        let occurrence = counter.fetch_add(1, Ordering::SeqCst);
+        for &(s, occ, action) in &self.scripted {
+            if s != site || occ != occurrence {
+                continue;
+            }
+            match action {
+                FaultAction::SleepMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                FaultAction::Panic => {
+                    panic!("injected fault: scripted panic at {site:?} occurrence {occurrence}")
+                }
+                FaultAction::TripDeadline => {
+                    trip_active_deadline();
+                }
+                FaultAction::RelaxDeadline => {
+                    relax_active_deadline();
+                }
+            }
+        }
+    }
+
+    /// How many training entries each site has seen so far.
+    pub fn seen(&self) -> (usize, usize) {
+        (
+            self.pilot_seen.load(Ordering::SeqCst),
+            self.final_seen.load(Ordering::SeqCst),
+        )
+    }
 }

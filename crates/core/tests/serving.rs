@@ -11,13 +11,13 @@
 
 use blinkml_core::config::{BlinkMlConfig, ExecConfig, ServeConfig};
 use blinkml_core::coordinator::Coordinator;
-use blinkml_core::grads::Grads;
 use blinkml_core::models::LogisticRegressionSpec;
 use blinkml_core::serve::{DatasetShard, Query, Server, SweepQuery};
+use blinkml_core::testing::HookedSpec;
 use blinkml_core::WarmStartPolicy;
-use blinkml_core::{CoreError, ModelClassSpec, TrainedModel, TrainingOutcome};
+use blinkml_core::{ModelClassSpec, TrainingOutcome};
 use blinkml_data::generators::synthetic_logistic;
-use blinkml_data::{Dataset, DenseVec, MatrixView, TrainScratch};
+use blinkml_data::DenseVec;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -125,129 +125,20 @@ fn permute<T>(items: &mut [T], seed: u64) {
 // (never math), so served results must still match the plain oracle.
 // ---------------------------------------------------------------------
 
-/// Forwards every [`ModelClassSpec`] method to the inner spec, calling
-/// `hook` at the top of each `train`/`train_with_matrix` with the
-/// sample length about to be trained on.
-struct HookedSpec<S, H> {
-    inner: S,
-    hook: H,
-}
-
-impl<S, H> ModelClassSpec<DenseVec> for HookedSpec<S, H>
-where
-    S: ModelClassSpec<DenseVec>,
-    H: Fn(usize) + Send + Sync,
-{
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-    fn param_dim(&self, data_dim: usize) -> usize {
-        self.inner.param_dim(data_dim)
-    }
-    fn regularization(&self) -> f64 {
-        self.inner.regularization()
-    }
-    fn objective(&self, theta: &[f64], data: &Dataset<DenseVec>) -> (f64, Vec<f64>) {
-        self.inner.objective(theta, data)
-    }
-    fn batched_training(&self) -> bool {
-        self.inner.batched_training()
-    }
-    fn value_grad_batched(
-        &self,
-        theta: &[f64],
-        xm: &MatrixView,
-        scratch: &mut TrainScratch,
-        grad: &mut [f64],
-    ) -> f64 {
-        self.inner.value_grad_batched(theta, xm, scratch, grad)
-    }
-    fn grads(&self, theta: &[f64], data: &Dataset<DenseVec>) -> Grads {
-        self.inner.grads(theta, data)
-    }
-    fn grads_cached(
-        &self,
-        theta: &[f64],
-        data: &Dataset<DenseVec>,
-        xm: Option<&MatrixView>,
-    ) -> Grads {
-        self.inner.grads_cached(theta, data, xm)
-    }
-    fn closed_form_hessian(
-        &self,
-        theta: &[f64],
-        data: &Dataset<DenseVec>,
-    ) -> Option<blinkml_linalg::Matrix> {
-        self.inner.closed_form_hessian(theta, data)
-    }
-    fn closed_form_hessian_cached(
-        &self,
-        theta: &[f64],
-        data: &Dataset<DenseVec>,
-        xm: Option<&MatrixView>,
-    ) -> Option<blinkml_linalg::Matrix> {
-        self.inner.closed_form_hessian_cached(theta, data, xm)
-    }
-    fn predict(&self, theta: &[f64], x: &DenseVec) -> f64 {
-        self.inner.predict(theta, x)
-    }
-    fn diff(&self, theta_a: &[f64], theta_b: &[f64], holdout: &Dataset<DenseVec>) -> f64 {
-        self.inner.diff(theta_a, theta_b, holdout)
-    }
-    fn generalization_error(&self, theta: &[f64], data: &Dataset<DenseVec>) -> f64 {
-        self.inner.generalization_error(theta, data)
-    }
-    fn num_margin_outputs(&self, data_dim: usize) -> Option<usize> {
-        self.inner.num_margin_outputs(data_dim)
-    }
-    fn margins(&self, theta: &[f64], x: &DenseVec, out: &mut [f64]) {
-        self.inner.margins(theta, x, out)
-    }
-    fn margin_weights(&self, theta: &[f64], data_dim: usize) -> Option<blinkml_linalg::Matrix> {
-        self.inner.margin_weights(theta, data_dim)
-    }
-    fn predict_from_margins(&self, scores: &[f64]) -> f64 {
-        self.inner.predict_from_margins(scores)
-    }
-    fn diff_is_rms(&self) -> bool {
-        self.inner.diff_is_rms()
-    }
-    fn train(
-        &self,
-        data: &Dataset<DenseVec>,
-        warm_start: Option<&[f64]>,
-        options: &blinkml_optim::OptimOptions,
-    ) -> Result<TrainedModel, CoreError> {
-        (self.hook)(data.len());
-        self.inner.train(data, warm_start, options)
-    }
-    fn train_with_matrix(
-        &self,
-        data: &Dataset<DenseVec>,
-        xm: Option<&MatrixView>,
-        warm_start: Option<&[f64]>,
-        options: &blinkml_optim::OptimOptions,
-    ) -> Result<TrainedModel, CoreError> {
-        (self.hook)(xm.map_or(data.len(), |v| v.len()));
-        self.inner.train_with_matrix(data, xm, warm_start, options)
-    }
-}
-
 /// Spec that sleeps before every pilot-sized training call — widens the
 /// in-flight window so coalescing and eviction races actually overlap.
+/// (`HookedSpec` itself lives in `blinkml_core::testing`, shared with
+/// the resilience harness in `tests/resilience.rs`.)
 fn slow_spec(
     reg: f64,
     n0: usize,
     delay: Duration,
 ) -> HookedSpec<LogisticRegressionSpec, impl Fn(usize) + Send + Sync> {
-    HookedSpec {
-        inner: LogisticRegressionSpec::new(reg),
-        hook: move |sample_len| {
-            if sample_len == n0 {
-                std::thread::sleep(delay);
-            }
-        },
-    }
+    HookedSpec::new(LogisticRegressionSpec::new(reg), move |sample_len| {
+        if sample_len == n0 {
+            std::thread::sleep(delay);
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -325,6 +216,18 @@ fn interleaved_tenants_match_serial_oracle_under_thread_budgets() {
                 "every query either led, hit, or coalesced"
             );
             assert_eq!(stats.inflight, 0, "no leaked in-flight entries");
+            // Counter reconciliation: accepted = resolved, and none of
+            // the resilience paths fire on an unloaded, fault-free run.
+            assert_eq!(
+                stats.submitted,
+                stats.completed + stats.failed,
+                "every accepted query resolved exactly once"
+            );
+            assert_eq!(stats.sheds, 0);
+            assert_eq!(stats.deadline_degraded, 0);
+            assert_eq!(stats.retries, 0);
+            assert_eq!(stats.queue_full_rejects, 0);
+            assert_eq!(stats.tenant_rejects, 0);
             server.shutdown();
         }
     }
@@ -403,6 +306,7 @@ fn capacity_one_eviction_thrash_stays_bit_identical() {
         ServeConfig {
             workers: 4,
             pilot_cache_capacity: 1,
+            ..ServeConfig::default()
         },
         slow_spec(1e-3, n0, Duration::from_millis(20)),
         shards.to_vec(),
@@ -537,16 +441,26 @@ fn mid_train_panic_fails_one_query_and_queue_recovers() {
     let expected = oracle(&base, &plain, &shard, query);
 
     let tripped = AtomicBool::new(false);
-    let panicking = HookedSpec {
-        inner: LogisticRegressionSpec::new(1e-3),
-        hook: move |sample_len: usize| {
+    let panicking = HookedSpec::new(
+        LogisticRegressionSpec::new(1e-3),
+        move |sample_len: usize| {
             if sample_len == n0 && !tripped.swap(true, Ordering::SeqCst) {
                 panic!("injected mid-train panic");
             }
         },
-    };
-    let server =
-        Server::spawn(base, ServeConfig::default(), panicking, vec![shard]).expect("spawn server");
+    );
+    // retry_budget 0: this test pins the *un-retried* failure surface;
+    // the retry path is pinned by `tests/resilience.rs`.
+    let server = Server::spawn(
+        base,
+        ServeConfig {
+            retry_budget: 0,
+            ..ServeConfig::default()
+        },
+        panicking,
+        vec![shard],
+    )
+    .expect("spawn server");
 
     let err = server.query(query);
     assert!(
@@ -645,7 +559,7 @@ proptest! {
 
         let server = Server::spawn(
             base.clone(),
-            ServeConfig { workers: 2, pilot_cache_capacity: 1 },
+            ServeConfig { workers: 2, pilot_cache_capacity: 1, ..ServeConfig::default() },
             spec.clone(),
             shards.to_vec(),
         )

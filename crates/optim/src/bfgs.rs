@@ -111,6 +111,9 @@ impl Bfgs {
         let scratch = &mut ws.scratch;
 
         for iteration in 0..self.options.max_iterations {
+            if self.options.should_stop() {
+                return Err(OptimError::Cancelled);
+            }
             let gnorm = norm_inf(grad);
             if gnorm <= self.options.gradient_tolerance {
                 return Ok(OptimResult {

@@ -56,6 +56,9 @@ impl GradientDescent {
         let mut step = self.initial_step;
 
         for iteration in 0..self.options.max_iterations {
+            if self.options.should_stop() {
+                return Err(OptimError::Cancelled);
+            }
             let gnorm = norm_inf(&grad);
             if gnorm <= self.options.gradient_tolerance {
                 return Ok(OptimResult {

@@ -140,6 +140,9 @@ impl Lbfgs {
         let memory = self.options.lbfgs_memory.max(1);
 
         for iteration in 0..self.options.max_iterations {
+            if self.options.should_stop() {
+                return Err(OptimError::Cancelled);
+            }
             let gnorm = norm_inf(&ws.grad);
             if gnorm <= self.options.gradient_tolerance {
                 return Ok(OptimResult {

@@ -30,7 +30,7 @@ pub use linesearch::{
     WolfeParams,
 };
 pub use problem::{Objective, QuadraticObjective};
-pub use result::{OptimError, OptimOptions, OptimResult};
+pub use result::{OptimError, OptimOptions, OptimResult, StopCheck};
 
 /// Dimension threshold at which BlinkML switches from BFGS to L-BFGS
 /// (paper §5.1).

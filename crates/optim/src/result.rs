@@ -1,6 +1,35 @@
 //! Solver options, results, and errors.
 
 use std::fmt;
+use std::sync::Arc;
+
+/// Cooperative cancellation probe polled once per solver iteration.
+///
+/// Wraps a shared closure so callers (e.g. a serving layer enforcing
+/// per-query deadlines) can interrupt a long optimization between
+/// iterations. The solvers never call it inside a line search, so a
+/// run that is not cancelled takes exactly the same numeric path as a
+/// run with no probe installed.
+#[derive(Clone)]
+pub struct StopCheck(pub Arc<dyn Fn() -> bool + Send + Sync>);
+
+impl StopCheck {
+    /// Wrap a closure; `true` means "stop now".
+    pub fn new(f: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        StopCheck(Arc::new(f))
+    }
+
+    /// Poll the probe.
+    pub fn should_stop(&self) -> bool {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for StopCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StopCheck(..)")
+    }
+}
 
 /// Options shared by all solvers.
 #[derive(Debug, Clone)]
@@ -14,6 +43,22 @@ pub struct OptimOptions {
     pub value_tolerance: f64,
     /// L-BFGS history length (ignored by other solvers).
     pub lbfgs_memory: usize,
+    /// Optional cooperative cancellation probe, polled at the top of
+    /// every iteration; when it returns `true` the solver aborts with
+    /// [`OptimError::Cancelled`]. `None` (the default) adds no work to
+    /// the iteration loop.
+    pub stop_check: Option<StopCheck>,
+}
+
+impl OptimOptions {
+    /// Poll the installed stop probe, if any.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        match &self.stop_check {
+            Some(check) => check.should_stop(),
+            None => false,
+        }
+    }
 }
 
 impl Default for OptimOptions {
@@ -23,6 +68,7 @@ impl Default for OptimOptions {
             max_iterations: 500,
             value_tolerance: 0.0,
             lbfgs_memory: 10,
+            stop_check: None,
         }
     }
 }
@@ -64,6 +110,9 @@ pub enum OptimError {
         /// Provided starting-point dimension.
         got: usize,
     },
+    /// The installed [`StopCheck`] asked the solver to abort
+    /// (deadline expiry, external cancellation).
+    Cancelled,
 }
 
 impl fmt::Display for OptimError {
@@ -81,6 +130,7 @@ impl fmt::Display for OptimError {
                     "starting point has dimension {got}, objective expects {expected}"
                 )
             }
+            OptimError::Cancelled => write!(f, "optimization cancelled by stop check"),
         }
     }
 }
@@ -97,6 +147,18 @@ mod tests {
         assert!(o.gradient_tolerance > 0.0);
         assert!(o.max_iterations > 0);
         assert!(o.lbfgs_memory > 0);
+    }
+
+    #[test]
+    fn stop_check_polls_closure() {
+        let opts = OptimOptions::default();
+        assert!(!opts.should_stop());
+        let opts = OptimOptions {
+            stop_check: Some(StopCheck::new(|| true)),
+            ..OptimOptions::default()
+        };
+        assert!(opts.should_stop());
+        assert!(format!("{opts:?}").contains("StopCheck"));
     }
 
     #[test]

@@ -318,7 +318,12 @@ fn server_survives_mid_train_panic_without_poisoned_cache() {
     };
     let server = Server::spawn(
         config,
-        ServeConfig::serial(),
+        // retry_budget 0 exposes the raw failure surface; the automatic
+        // retry path is pinned by crates/core/tests/resilience.rs.
+        ServeConfig {
+            retry_budget: 0,
+            ..ServeConfig::serial()
+        },
         spec,
         vec![DatasetShard::new(1, split.train, split.holdout)],
     )
@@ -326,7 +331,7 @@ fn server_survives_mid_train_panic_without_poisoned_cache() {
     let q = Query::new(1, 0.2, 0.05, 3);
     // First query hits the injected panic: Err, not a hang or a crash.
     assert!(server.query(q).is_err());
-    // No poisoned entry: the retry leads a fresh pilot and succeeds,
+    // No poisoned entry: the resubmit leads a fresh pilot and succeeds,
     // and an unrelated contract keeps working too.
     assert!(server.query(q).is_ok());
     assert!(server.query(Query::new(1, 0.3, 0.05, 4)).is_ok());
