@@ -221,6 +221,8 @@ fn main() {
                     DegradationRung::Full => 0,
                     DegradationRung::RelaxedFinal => 1,
                     DegradationRung::Pilot => 2,
+                    // Static shards never take the streaming drift path.
+                    DegradationRung::StalePilot => unreachable!("no streams in this bench"),
                 }] += 1;
             }
             Err(ServeError::DeadlineExceeded) => failed += 1,

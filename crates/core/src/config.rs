@@ -242,6 +242,32 @@ pub struct ServeConfig {
     /// (see [`relaxed_sample_size`](crate::serve::resilience::relaxed_sample_size)).
     /// Must lie in `(0, 1]`.
     pub relax_fraction: f64,
+    /// Drift score below which a cached pilot from an older epoch is
+    /// still **fresh**: the full workflow runs on the pilot's own
+    /// snapshot. The score is the shift of the pilot's mean holdout
+    /// prediction on newly-appended holdout rows, in units of the base
+    /// scores' standard deviation. Must satisfy
+    /// `0 < drift_warn ≤ drift_fail`.
+    pub drift_warn: f64,
+    /// Drift score above which a cached pilot must **retrain** on the
+    /// current epoch. Between `drift_warn` and `drift_fail` the pilot
+    /// is stale-but-servable: served immediately with an honestly
+    /// recomputed ε (the `curve_epsilon_at` oracle at `n = n₀` on its
+    /// own snapshot) under
+    /// [`DegradationRung::StalePilot`](crate::serve::resilience::DegradationRung).
+    pub drift_fail: f64,
+    /// Epoch-age bound: a cached pilot more than this many epochs
+    /// behind the current one is retired regardless of its drift score
+    /// ([`Server::advance_epoch`](crate::serve::Server::advance_epoch)
+    /// enforces it eagerly).
+    pub max_stale_epochs: u64,
+    /// Warm-start policy for drift-triggered retrains on a streaming
+    /// dataset: [`WarmStartPolicy::ExactReplay`] (default) retrains
+    /// cold — the new pilot is bit-equal to a never-cached run —
+    /// while [`WarmStartPolicy::PathFollow`] seeds the optimizer with
+    /// the previous epoch's θ₀ and falls back to cold start on
+    /// line-search failure, exactly like the sweep engine's rule.
+    pub warm_start: WarmStartPolicy,
 }
 
 impl Default for ServeConfig {
@@ -256,6 +282,10 @@ impl Default for ServeConfig {
             retry_backoff_base: std::time::Duration::from_millis(5),
             relax_margin: std::time::Duration::from_millis(50),
             relax_fraction: 0.25,
+            drift_warn: 0.25,
+            drift_fail: 1.0,
+            max_stale_epochs: u64::MAX,
+            warm_start: WarmStartPolicy::ExactReplay,
         }
     }
 }
@@ -286,6 +316,16 @@ impl ServeConfig {
         if !(self.relax_fraction > 0.0 && self.relax_fraction <= 1.0) {
             return Err(CoreError::InvalidConfig(
                 "serve.relax_fraction must lie in (0, 1]".into(),
+            ));
+        }
+        if !(self.drift_warn > 0.0 && self.drift_warn.is_finite()) {
+            return Err(CoreError::InvalidConfig(
+                "serve.drift_warn must be positive and finite".into(),
+            ));
+        }
+        if !(self.drift_fail >= self.drift_warn && self.drift_fail.is_finite()) {
+            return Err(CoreError::InvalidConfig(
+                "serve.drift_fail must be finite and at least drift_warn".into(),
             ));
         }
         Ok(())
@@ -530,6 +570,24 @@ mod tests {
             };
             assert!(c.validate().is_err(), "relax_fraction {bad} must fail");
         }
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let c = ServeConfig {
+                drift_warn: bad,
+                ..ServeConfig::default()
+            };
+            assert!(c.validate().is_err(), "drift_warn {bad} must fail");
+        }
+        let c = ServeConfig {
+            drift_warn: 0.5,
+            drift_fail: 0.25,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err(), "drift_fail below drift_warn");
+        let c = ServeConfig {
+            drift_fail: f64::INFINITY,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err(), "infinite drift_fail");
         assert_eq!(ShedPolicy::Reject.name(), "Reject");
         assert_eq!(ShedPolicy::Degrade.name(), "Degrade");
         assert_eq!(ShedPolicy::default(), ShedPolicy::Reject);

@@ -23,6 +23,14 @@ pub enum CoreError {
     },
     /// The dataset is unusable for the request (too small, wrong labels).
     InvalidData(String),
+    /// A streamed row failed ingest validation (non-finite feature,
+    /// label outside the model class's domain, dimension mismatch).
+    InvalidRow {
+        /// Index of the offending row within the appended block.
+        index: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
     /// A cooperative cancellation checkpoint fired before training
     /// could produce any model with a guarantee (deadline expired
     /// before or during the pilot phase).
@@ -52,6 +60,9 @@ impl fmt::Display for CoreError {
                 write!(f, "{method} statistics are not available for {model}")
             }
             CoreError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            CoreError::InvalidRow { index, reason } => {
+                write!(f, "ingest rejected row {index}: {reason}")
+            }
             CoreError::Cancelled => {
                 write!(f, "run cancelled before a guaranteed model was available")
             }
@@ -81,6 +92,24 @@ impl From<LinalgError> for CoreError {
     }
 }
 
+impl From<blinkml_data::IngestError> for CoreError {
+    fn from(e: blinkml_data::IngestError) -> Self {
+        match e {
+            blinkml_data::IngestError::InvalidRow { index, reason } => {
+                CoreError::InvalidRow { index, reason }
+            }
+            blinkml_data::IngestError::DimMismatch {
+                index,
+                expected,
+                found,
+            } => CoreError::InvalidRow {
+                index,
+                reason: format!("dimension {found} does not match the pool's {expected}"),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +130,20 @@ mod tests {
             .contains("x"));
         assert!(CoreError::InvalidData("y".into()).to_string().contains("y"));
         assert!(CoreError::Cancelled.to_string().contains("cancelled"));
+        let e: CoreError = blinkml_data::IngestError::InvalidRow {
+            index: 3,
+            reason: "label 2 is not in {0, 1}".into(),
+        }
+        .into();
+        assert!(matches!(e, CoreError::InvalidRow { index: 3, .. }));
+        assert!(e.to_string().contains("row 3"));
+        let e: CoreError = blinkml_data::IngestError::DimMismatch {
+            index: 0,
+            expected: 4,
+            found: 5,
+        }
+        .into();
+        assert!(e.to_string().contains("dimension 5"));
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! * [`serve`] — the multi-tenant serving layer (request queue + worker
 //!   pool, keyed LRU over pilot artifacts, in-flight coalescing) that
 //!   promotes the Session's amortization to a concurrent service,
+//!   including the streaming path: epoch-snapshot isolation over
+//!   `blinkml_data::stream` pools with a drift-honest staleness ladder,
+//! * [`moments`] — incremental rank-k maintenance of the pilot's
+//!   second-moment statistics under streaming appends, with a
+//!   verified-equivalence mode pinning it against cold recomputes,
 //! * [`baselines`] — FixedRatio / RelativeRatio / IncEstimator from the
 //!   paper's §5.4 evaluation.
 
@@ -38,6 +43,7 @@ pub mod error;
 pub mod grads;
 pub mod mcs;
 pub mod models;
+pub mod moments;
 pub mod sample_size;
 pub mod serve;
 pub mod session;
@@ -54,11 +60,12 @@ pub use config::{
 pub use coordinator::{Coordinator, TrainingOutcome, TrainingPhaseTimes};
 pub use error::CoreError;
 pub use mcs::{ModelClassSpec, SweepEval, TrainedModel};
+pub use moments::IncrementalSecondMoment;
 pub use sample_size::{SampleSizeEstimate, SampleSizeEstimator};
 pub use serve::resilience::{CancelToken, DegradationRung, Pressure};
 pub use serve::{
     DatasetShard, Query, ResponseHandle, ServeError, ServedResponse, ServedSweep, Server,
-    ServerStats, SweepQuery, SweepResponseHandle,
+    ServerStats, StreamShard, SweepQuery, SweepResponseHandle,
 };
 pub use session::Session;
 pub use stats::{

@@ -113,6 +113,15 @@ pub trait ModelClassSpec<F: FeatureVec>: Send + Sync {
     /// return 0 for unregularized models.
     fn regularization(&self) -> f64;
 
+    /// The set of label values this model class accepts — the contract
+    /// the streaming ingest gate (`blinkml_data::stream`) enforces at
+    /// append time so out-of-domain labels never poison pooled
+    /// statistics. Defaults to any finite real (regression); supervised
+    /// classification/count models override.
+    fn label_domain(&self) -> blinkml_data::LabelDomain {
+        blinkml_data::LabelDomain::AnyFinite
+    }
+
     /// Averaged objective `f_n(θ)` (Equation 2) and its gradient on
     /// `data`.
     ///

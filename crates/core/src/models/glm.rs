@@ -71,6 +71,12 @@ pub trait GlmFamily: Send + Sync + 'static {
     /// Generalization error of one prediction against the true label:
     /// 0/1 loss for classifiers, squared error for regressors.
     fn example_error(m: f64, y: f64) -> f64;
+
+    /// Label domain the ingest gate enforces for this family; defaults
+    /// to any finite real (regression families).
+    fn label_domain() -> blinkml_data::LabelDomain {
+        blinkml_data::LabelDomain::AnyFinite
+    }
 }
 
 /// A complete model-class specification built from a [`GlmFamily`].
@@ -141,6 +147,10 @@ impl<Fam: GlmFamily, F: FeatureVec> ModelClassSpec<F> for GlmSpec<Fam> {
 
     fn regularization(&self) -> f64 {
         self.beta
+    }
+
+    fn label_domain(&self) -> blinkml_data::LabelDomain {
+        Fam::label_domain()
     }
 
     fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {

@@ -83,6 +83,10 @@ impl GlmFamily for LogisticFamily {
             1.0
         }
     }
+
+    fn label_domain() -> blinkml_data::LabelDomain {
+        blinkml_data::LabelDomain::Binary01
+    }
 }
 
 /// L2-regularized binary logistic regression — the paper's `LR` model

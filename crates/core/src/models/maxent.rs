@@ -86,6 +86,10 @@ impl<F: FeatureVec> ModelClassSpec<F> for MaxEntSpec {
         self.beta
     }
 
+    fn label_domain(&self) -> blinkml_data::LabelDomain {
+        blinkml_data::LabelDomain::ClassIndex(self.num_classes)
+    }
+
     fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {
         let d = data.dim();
         let k_classes = self.num_classes;

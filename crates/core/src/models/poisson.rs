@@ -53,6 +53,10 @@ impl GlmFamily for PoissonFamily {
         let rate = Self::predict(m);
         (rate - y) * (rate - y)
     }
+
+    fn label_domain() -> blinkml_data::LabelDomain {
+        blinkml_data::LabelDomain::NonNegativeCount
+    }
 }
 
 /// L2-regularized Poisson regression.

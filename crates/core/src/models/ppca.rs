@@ -130,6 +130,10 @@ impl<F: FeatureVec> ModelClassSpec<F> for PpcaSpec {
         0.0
     }
 
+    fn label_domain(&self) -> blinkml_data::LabelDomain {
+        blinkml_data::LabelDomain::Unused
+    }
+
     fn objective(&self, theta: &[f64], data: &Dataset<F>) -> (f64, Vec<f64>) {
         let d = data.dim();
         let q = self.num_factors;

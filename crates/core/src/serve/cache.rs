@@ -4,13 +4,22 @@
 //! The cache stores the ε-independent pilot artifacts
 //! ([`PilotState`](crate::coordinator::PilotState): the initial model
 //! `m₀` and its Fisher statistics) keyed by
-//! `(dataset_version, n₀, seed)` — exactly the inputs the pilot phase
-//! depends on. Two invariants carry the serving layer's correctness:
+//! `(dataset_version, epoch, n₀, seed)` — exactly the inputs the pilot
+//! phase depends on. Three invariants carry the serving layer's
+//! correctness:
 //!
-//! * **No stale pilots.** The dataset version is part of the key, so a
-//!   pilot trained on one dataset version can never be served for
-//!   another, and eviction only ever costs time (the pilot is retrained
-//!   bit-identically on the next miss), never changes a result.
+//! * **No stale pilots.** The dataset version *and epoch* are part of
+//!   the key, so a pilot trained on one pool state can never be served
+//!   for another, and eviction only ever costs time (the pilot is
+//!   retrained bit-identically on the next miss), never changes a
+//!   result.
+//! * **Eager retirement.** Streaming datasets carry a per-dataset
+//!   epoch **floor** ([`PilotCache::retire`]): entries below it are
+//!   dropped immediately, and — the mid-coalesce guarantee — a leader
+//!   that *completes* a pilot for a below-floor epoch still publishes
+//!   to its waiters (their responses honestly describe the snapshot
+//!   they were computed on) but the pilot is **not** admitted to the
+//!   LRU, so no later query can be served from it.
 //! * **No leaked in-flight entries.** A miss registers the key in the
 //!   coalescing map before training; every exit path — success, train
 //!   error, worker panic — removes the entry and publishes a terminal
@@ -23,13 +32,15 @@ use crate::serve::ServeError;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Cache key for pilot artifacts: `(dataset_version, n₀, seed)`.
+/// Cache key for pilot artifacts:
+/// `(dataset_version, epoch, n₀, seed)`.
 ///
-/// `n₀` is the *effective* initial sample size
+/// `epoch` is the streaming pool's snapshot epoch (always 0 for static
+/// shards). `n₀` is the *effective* initial sample size
 /// (`min(initial_sample_size, N)`), matching what the coordinator
 /// actually trains on, so two configured sizes that clamp to the same
 /// `n₀` share one pilot — the same rule `Session` uses.
-pub type PilotKey = (u64, usize, u64);
+pub type PilotKey = (u64, u64, usize, u64);
 
 /// A keyed LRU over pilot artifacts.
 ///
@@ -114,6 +125,24 @@ impl PilotLru {
         self.evictions
     }
 
+    /// Drop every entry of `dataset` with an epoch below `floor`,
+    /// returning how many were retired. Retirements are counted
+    /// separately from capacity evictions.
+    pub fn retire(&mut self, dataset: u64, floor: u64) -> usize {
+        let victims: Vec<PilotKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.0 == dataset && k.1 < floor)
+            .copied()
+            .collect();
+        for key in &victims {
+            if let Some((_, tick)) = self.entries.remove(key) {
+                self.by_tick.remove(&tick);
+            }
+        }
+        victims.len()
+    }
+
     /// Drop every cached pilot (results are unaffected; subsequent
     /// queries retrain on demand).
     pub fn clear(&mut self) {
@@ -168,6 +197,11 @@ pub struct PilotCache {
 struct CacheState {
     lru: PilotLru,
     inflight: HashMap<PilotKey, Arc<Inflight>>,
+    /// Per-dataset epoch floor: entries (and completions) below it are
+    /// never admitted. Monotone per dataset.
+    floors: HashMap<u64, u64>,
+    /// Entries dropped by [`PilotCache::retire`] (floor advances).
+    retired: u64,
 }
 
 /// How a worker should obtain the pilot for its query — the outcome of
@@ -191,6 +225,8 @@ impl PilotCache {
             state: Mutex::new(CacheState {
                 lru: PilotLru::new(capacity),
                 inflight: HashMap::new(),
+                floors: HashMap::new(),
+                retired: 0,
             }),
         }
     }
@@ -215,18 +251,56 @@ impl PilotCache {
         PilotTicket::Lead
     }
 
+    /// Look up `key` in the LRU only (refreshing recency on a hit) —
+    /// never registers leadership. The streaming drift ladder uses this
+    /// to scan older epochs for a reusable pilot without committing to
+    /// train one.
+    pub fn lookup(&self, key: &PilotKey) -> Option<Arc<PilotState>> {
+        self.lock().lru.get(key)
+    }
+
     /// Leader success path: insert the pilot into the LRU (evicting if
     /// over capacity), retire the in-flight entry, and publish to the
     /// waiters.
+    ///
+    /// The mid-coalesce guarantee: when the dataset's epoch floor
+    /// advanced past `key`'s epoch while this pilot was training, the
+    /// waiters are still served (their responses are honest for the
+    /// snapshot they asked about) but the pilot is **not** admitted to
+    /// the LRU — a superseded epoch can never be served from cache
+    /// afterwards.
     pub fn complete(&self, key: PilotKey, pilot: Arc<PilotState>) {
         let inflight = {
             let mut state = self.lock();
-            state.lru.insert(key, pilot.clone());
+            let admit = state.floors.get(&key.0).is_none_or(|&floor| key.1 >= floor);
+            if admit {
+                state.lru.insert(key, pilot.clone());
+            }
             state.inflight.remove(&key)
         };
         if let Some(inflight) = inflight {
             inflight.publish(Ok(pilot));
         }
+    }
+
+    /// Advance `dataset`'s epoch floor to `floor` (monotone: a lower
+    /// value than the current floor is ignored) and eagerly drop every
+    /// cached entry below it. Returns how many entries were retired.
+    pub fn retire(&self, dataset: u64, floor: u64) -> usize {
+        let mut state = self.lock();
+        let entry = state.floors.entry(dataset).or_insert(0);
+        if floor <= *entry {
+            return 0;
+        }
+        *entry = floor;
+        let dropped = state.lru.retire(dataset, floor);
+        state.retired += dropped as u64;
+        dropped
+    }
+
+    /// Entries dropped by floor advances so far.
+    pub fn retired(&self) -> u64 {
+        self.lock().retired
     }
 
     /// Leader failure path (train error or caught panic): retire the
@@ -279,15 +353,15 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut lru = PilotLru::new(2);
-        lru.insert((0, 10, 1), pilot(10));
-        lru.insert((0, 20, 1), pilot(20));
+        lru.insert((0, 0, 10, 1), pilot(10));
+        lru.insert((0, 0, 20, 1), pilot(20));
         // Touch the first entry so the second becomes the LRU victim.
-        assert!(lru.get(&(0, 10, 1)).is_some());
-        lru.insert((0, 30, 1), pilot(30));
+        assert!(lru.get(&(0, 0, 10, 1)).is_some());
+        lru.insert((0, 0, 30, 1), pilot(30));
         assert_eq!(lru.len(), 2);
-        assert!(lru.get(&(0, 10, 1)).is_some(), "recently used survives");
-        assert!(lru.get(&(0, 20, 1)).is_none(), "LRU entry evicted");
-        assert!(lru.get(&(0, 30, 1)).is_some());
+        assert!(lru.get(&(0, 0, 10, 1)).is_some(), "recently used survives");
+        assert!(lru.get(&(0, 0, 20, 1)).is_none(), "LRU entry evicted");
+        assert!(lru.get(&(0, 0, 30, 1)).is_some());
         assert_eq!(lru.evictions(), 1);
     }
 
@@ -295,9 +369,9 @@ mod tests {
     fn lru_capacity_one_holds_the_latest() {
         let mut lru = PilotLru::new(1);
         for n0 in [10, 20, 30] {
-            lru.insert((0, n0, 1), pilot(n0));
+            lru.insert((0, 0, n0, 1), pilot(n0));
             assert_eq!(lru.len(), 1);
-            assert_eq!(lru.get(&(0, n0, 1)).unwrap().n0, n0);
+            assert_eq!(lru.get(&(0, 0, n0, 1)).unwrap().n0, n0);
         }
         assert_eq!(lru.evictions(), 2);
         lru.clear();
@@ -364,11 +438,11 @@ mod tests {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            let key: PilotKey = (0, (state >> 33) as usize % 7, 1);
+            let key: PilotKey = (0, 0, (state >> 33) as usize % 7, 1);
             if state & 1 == 0 {
                 assert_eq!(lru.get(&key).is_some(), reference.get(&key));
             } else {
-                lru.insert(key, pilot(key.1));
+                lru.insert(key, pilot(key.2));
                 reference.insert(key);
             }
             assert_eq!(lru.len(), reference.entries.len());
@@ -383,15 +457,19 @@ mod tests {
     #[test]
     fn keys_separate_dataset_versions() {
         let mut lru = PilotLru::new(4);
-        lru.insert((1, 10, 7), pilot(10));
-        assert!(lru.get(&(2, 10, 7)).is_none(), "other version never hits");
-        assert!(lru.get(&(1, 10, 7)).is_some());
+        lru.insert((1, 0, 10, 7), pilot(10));
+        assert!(
+            lru.get(&(2, 0, 10, 7)).is_none(),
+            "other version never hits"
+        );
+        assert!(lru.get(&(1, 1, 10, 7)).is_none(), "other epoch never hits");
+        assert!(lru.get(&(1, 0, 10, 7)).is_some());
     }
 
     #[test]
     fn resolve_coalesces_and_completes() {
         let cache = PilotCache::new(4);
-        let key = (0, 100, 5);
+        let key = (0, 0, 100, 5);
         assert!(matches!(cache.resolve(key), PilotTicket::Lead));
         // Second resolver for the same key coalesces.
         let waiter = match cache.resolve(key) {
@@ -410,7 +488,7 @@ mod tests {
     #[test]
     fn failure_retires_inflight_without_caching() {
         let cache = PilotCache::new(4);
-        let key = (0, 100, 5);
+        let key = (0, 0, 100, 5);
         assert!(matches!(cache.resolve(key), PilotTicket::Lead));
         let waiter = match cache.resolve(key) {
             PilotTicket::Wait(w) => w,
@@ -423,5 +501,68 @@ mod tests {
         // The key is free again: the next query leads a fresh attempt.
         assert!(matches!(cache.resolve(key), PilotTicket::Lead));
         cache.complete(key, pilot(100));
+    }
+
+    #[test]
+    fn retire_drops_superseded_epochs_eagerly() {
+        let cache = PilotCache::new(8);
+        for epoch in 0..3u64 {
+            let key = (7, epoch, 100, 5);
+            assert!(matches!(cache.resolve(key), PilotTicket::Lead));
+            cache.complete(key, pilot(100));
+        }
+        // Another dataset's entries are untouched by dataset 7's floor.
+        let other = (8, 0, 100, 5);
+        assert!(matches!(cache.resolve(other), PilotTicket::Lead));
+        cache.complete(other, pilot(100));
+        assert_eq!(cache.cached(), 4);
+
+        assert_eq!(cache.retire(7, 2), 2);
+        assert_eq!(cache.retired(), 2);
+        assert_eq!(cache.cached(), 2);
+        assert!(cache.lookup(&(7, 0, 100, 5)).is_none());
+        assert!(cache.lookup(&(7, 1, 100, 5)).is_none());
+        assert!(cache.lookup(&(7, 2, 100, 5)).is_some());
+        assert!(cache.lookup(&(8, 0, 100, 5)).is_some());
+
+        // The floor is monotone: a lower retire is a no-op.
+        assert_eq!(cache.retire(7, 1), 0);
+        assert!(cache.lookup(&(7, 2, 100, 5)).is_some());
+    }
+
+    #[test]
+    fn mid_coalesce_completion_below_the_floor_serves_waiters_without_caching() {
+        let cache = PilotCache::new(8);
+        let key = (3, 5, 100, 9);
+        // A leader starts training the epoch-5 pilot...
+        assert!(matches!(cache.resolve(key), PilotTicket::Lead));
+        let waiter = match cache.resolve(key) {
+            PilotTicket::Wait(w) => w,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        // ...the epoch advances past it while it trains...
+        assert_eq!(cache.retire(3, 6), 0);
+        // ...and its completion still serves the coalesced waiter but
+        // is never admitted to the LRU.
+        cache.complete(key, pilot(100));
+        assert_eq!(waiter.wait().expect("published pilot").n0, 100);
+        assert_eq!(cache.inflight(), 0);
+        assert!(cache.lookup(&key).is_none(), "superseded pilot cached");
+        assert_eq!(cache.cached(), 0);
+
+        // At or above the floor, completions are admitted as usual.
+        let fresh = (3, 6, 100, 9);
+        assert!(matches!(cache.resolve(fresh), PilotTicket::Lead));
+        cache.complete(fresh, pilot(100));
+        assert!(cache.lookup(&fresh).is_some());
+    }
+
+    #[test]
+    fn lookup_never_registers_leadership() {
+        let cache = PilotCache::new(4);
+        let key = (0, 2, 50, 1);
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.inflight(), 0, "lookup must not lead");
+        assert!(matches!(cache.resolve(key), PilotTicket::Lead));
     }
 }

@@ -70,20 +70,50 @@
 //! (deterministic slow-downs, panics, and deadline trips at chosen
 //! phases) against this machinery and pins exactly-once resolution,
 //! bit-equal degraded guarantees, and counter reconciliation.
+//!
+//! # Streaming ingest & drift
+//!
+//! A [`StreamShard`] registers a
+//! [`StreamingPool`] instead of a frozen
+//! [`DatasetShard`]: writers keep appending validated row blocks (each
+//! admitted block bumps the pool's **epoch**) while queries pin an
+//! immutable epoch snapshot and train against exactly that snapshot —
+//! [`ServedResponse::epoch`] names it, and the bit-identity contract
+//! holds *per snapshot*: the response equals a cold coordinator run on
+//! the materialized pool of that epoch.
+//!
+//! Cached pilots from older epochs walk a **drift ladder** keyed by a
+//! cheap holdout-shift score ([`ServeConfig::drift_warn`] /
+//! [`ServeConfig::drift_fail`]): a fresh-enough pilot serves the full
+//! workflow on its own snapshot; a stale-but-servable pilot is served
+//! directly as [`DegradationRung::StalePilot`] with an honestly
+//! *recomputed* (inflated) ε — the `curve_epsilon_at` oracle at
+//! `n = n₀` on the pilot's snapshot — and a drifted-out pilot triggers
+//! a retrain at the current epoch, warm-started from the stale θ under
+//! [`WarmStartPolicy::PathFollow`] (with the sweep engine's cold
+//! fallback) or cold under the default
+//! [`WarmStartPolicy::ExactReplay`]. [`Server::advance_epoch`] retires
+//! superseded cache entries eagerly; the cache's floor keeps a
+//! mid-coalesce completion for a superseded epoch out of the LRU.
 
 pub(crate) mod cache;
 pub mod resilience;
 
 use crate::config::{BlinkMlConfig, ServeConfig, ShedPolicy, WarmStartPolicy};
 use crate::coordinator::{
-    build_pool, run_train_controlled, PilotState, RunControl, TrainingOutcome,
+    build_pool, run_train_controlled, PilotState, RunControl, TrainingOutcome, TrainingPhaseTimes,
 };
+use crate::diff_engine::HoldoutScorer;
 use crate::error::CoreError;
 use crate::mcs::ModelClassSpec;
-use crate::serve::cache::{PilotCache, PilotTicket};
+use crate::sample_size::SampleSizeEstimator;
+use crate::serve::cache::{PilotCache, PilotKey, PilotTicket};
 use crate::serve::resilience::{retry_backoff, ActiveTokenGuard, CancelToken, DegradationRung};
 use crate::sweep::{run_sweep, SweepPlan, SweepResult};
-use blinkml_data::{CaptureScratch, Dataset, DatasetMatrix, FeatureVec};
+use blinkml_data::{
+    CaptureScratch, Dataset, DatasetMatrix, FeatureVec, StreamSnapshot, StreamingPool,
+};
+use blinkml_prob::split_seed;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -295,6 +325,13 @@ pub struct ServedResponse {
     pub outcome: TrainingOutcome,
     /// Which rung of the degradation ladder produced the outcome.
     pub rung: DegradationRung,
+    /// The epoch snapshot this response was computed against: always 0
+    /// for static [`DatasetShard`]s; for a [`StreamShard`], the epoch
+    /// whose materialized pool reproduces this response bit-for-bit in
+    /// a cold coordinator run (the current epoch on the fresh path, the
+    /// pilot's own epoch on drift-reuse and
+    /// [`DegradationRung::StalePilot`] paths).
+    pub epoch: u64,
     /// Submit-to-completion latency as measured by the server (queue
     /// wait plus processing).
     pub latency: Duration,
@@ -344,6 +381,48 @@ impl<F: FeatureVec> DatasetShard<F> {
     }
 }
 
+/// One streaming dataset registered with a [`Server`]: an appendable
+/// [`StreamingPool`] shared between the caller (who keeps appending)
+/// and the serving threads (who pin epoch snapshots). The `id` plays
+/// the role of [`DatasetShard::version`] in queries and cache keys.
+#[derive(Debug, Clone)]
+pub struct StreamShard<F: FeatureVec> {
+    /// Dataset identifier — shares the keyspace with static shard
+    /// versions, so ids must be unique across both.
+    pub id: u64,
+    /// The appendable pool. Keep a clone of this `Arc` to append.
+    pub pool: Arc<StreamingPool<F>>,
+}
+
+impl<F: FeatureVec> StreamShard<F> {
+    /// Register a streaming dataset from an owned pool.
+    pub fn new(id: u64, pool: StreamingPool<F>) -> Self {
+        StreamShard {
+            id,
+            pool: Arc::new(pool),
+        }
+    }
+
+    /// Register a streaming dataset from an already-shared pool.
+    pub fn from_arc(id: u64, pool: Arc<StreamingPool<F>>) -> Self {
+        StreamShard { id, pool }
+    }
+}
+
+/// Where a dataset id resolves: a frozen shard or a streaming pool
+/// (index into the respective registration vector).
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    Static(usize),
+    Stream(usize),
+}
+
+/// Epoch-scan bound for the drift ladder: pilots more than this many
+/// epochs behind the current snapshot are treated as absent (cold
+/// retrain) even when [`ServeConfig::max_stale_epochs`] is unbounded,
+/// keeping the per-query cache scan O(1)-ish under fast append rates.
+const MAX_DRIFT_LOOKBACK: u64 = 32;
+
 /// Snapshot of the server's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -384,6 +463,24 @@ pub struct ServerStats {
     pub queue_full_rejects: u64,
     /// Queries rejected with [`ServeError::TenantOverloaded`].
     pub tenant_rejects: u64,
+    /// Streaming queries that reused an older-epoch pilot whose drift
+    /// score stayed at or below [`ServeConfig::drift_warn`] (full
+    /// workflow on the pilot's own snapshot).
+    pub drift_fresh: u64,
+    /// Streaming queries answered on the
+    /// [`DegradationRung::StalePilot`] rung (drift score between the
+    /// warn and fail thresholds).
+    pub drift_stale_served: u64,
+    /// Streaming queries whose cached pilot drifted past
+    /// [`ServeConfig::drift_fail`] and triggered a retrain at the
+    /// current epoch.
+    pub drift_retrains: u64,
+    /// Cache entries dropped by epoch-floor advances
+    /// ([`Server::advance_epoch`] / [`Server::retire_dataset`]) —
+    /// counted separately from capacity [`evictions`].
+    ///
+    /// [`evictions`]: ServerStats::evictions
+    pub pilots_retired: u64,
     /// Pilots currently cached.
     pub cached_pilots: usize,
     /// Live in-flight pilot computations (0 when idle).
@@ -406,6 +503,9 @@ struct StatCounters {
     retries: AtomicU64,
     queue_full_rejects: AtomicU64,
     tenant_rejects: AtomicU64,
+    drift_fresh: AtomicU64,
+    drift_stale_served: AtomicU64,
+    drift_retrains: AtomicU64,
 }
 
 /// The handle-side slot a worker publishes one response into.
@@ -547,10 +647,10 @@ enum Request {
     Sweep(SweepQuery, Arc<Ticket<ServedSweep>>),
 }
 
-/// One queued job: the resolved shard index, the request, its
+/// One queued job: the resolved target, the request, its
 /// submission time, and its admission-time resilience decisions.
 struct Job {
-    shard: usize,
+    target: Target,
     request: Request,
     submitted: Instant,
     /// Absolute deadline (submission time + [`Query::deadline`]).
@@ -641,7 +741,11 @@ impl Shared {
 /// ```
 pub struct Server {
     shared: Arc<Shared>,
-    versions: HashMap<u64, usize>,
+    versions: HashMap<u64, Target>,
+    /// Per-stream current-epoch probes (the pools themselves are
+    /// generic and live in the owner thread; the handle only ever needs
+    /// their epoch counter, for [`Server::advance_epoch`]).
+    stream_epochs: HashMap<u64, Arc<dyn Fn() -> u64 + Send + Sync>>,
     owner: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -663,9 +767,28 @@ impl Server {
         F: FeatureVec,
         S: ModelClassSpec<F> + 'static,
     {
+        Server::spawn_with_streams(config, serve, spec, shards, Vec::new())
+    }
+
+    /// [`Server::spawn`] plus streaming datasets: each [`StreamShard`]
+    /// registers an appendable [`StreamingPool`] whose queries resolve
+    /// through the drift ladder (see the [module docs](self)). Static
+    /// shards and streams share one id keyspace. Streams must hold at
+    /// least one training and one holdout row at spawn.
+    pub fn spawn_with_streams<F, S>(
+        config: BlinkMlConfig,
+        serve: ServeConfig,
+        spec: S,
+        shards: Vec<DatasetShard<F>>,
+        streams: Vec<StreamShard<F>>,
+    ) -> Result<Server, CoreError>
+    where
+        F: FeatureVec,
+        S: ModelClassSpec<F> + 'static,
+    {
         config.validate()?;
         serve.validate()?;
-        if shards.is_empty() {
+        if shards.is_empty() && streams.is_empty() {
             return Err(CoreError::InvalidConfig(
                 "server needs at least one dataset version".into(),
             ));
@@ -684,12 +807,36 @@ impl Server {
                     shard.version
                 )));
             }
-            if versions.insert(shard.version, i).is_some() {
+            if versions.insert(shard.version, Target::Static(i)).is_some() {
                 return Err(CoreError::InvalidConfig(format!(
                     "duplicate dataset version {}",
                     shard.version
                 )));
             }
+        }
+        let mut stream_epochs: HashMap<u64, Arc<dyn Fn() -> u64 + Send + Sync>> = HashMap::new();
+        for (i, stream) in streams.iter().enumerate() {
+            let snapshot = stream.pool.snapshot();
+            if snapshot.train_len() == 0 {
+                return Err(CoreError::InvalidData(format!(
+                    "streaming dataset {} has an empty training pool",
+                    stream.id
+                )));
+            }
+            if snapshot.holdout_len() == 0 {
+                return Err(CoreError::InvalidData(format!(
+                    "streaming dataset {} has an empty holdout set",
+                    stream.id
+                )));
+            }
+            if versions.insert(stream.id, Target::Stream(i)).is_some() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "duplicate dataset version {}",
+                    stream.id
+                )));
+            }
+            let pool = stream.pool.clone();
+            stream_epochs.insert(stream.id, Arc::new(move || pool.epoch()));
         }
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
@@ -706,7 +853,9 @@ impl Server {
                 // datasets, pool matrices); workers are scoped threads
                 // borrowing it, which is what lets the pool-resident
                 // matrices be built once and shared without any
-                // self-referential tricks.
+                // self-referential tricks. Streaming pools have no
+                // resident matrix — every query pins its own epoch
+                // snapshot and materializes (and pools) exactly that.
                 config.exec.apply();
                 let pools: Vec<Option<DatasetMatrix<'_>>> = shards
                     .iter()
@@ -714,15 +863,24 @@ impl Server {
                     .collect();
                 std::thread::scope(|scope| {
                     for _ in 0..worker_count {
-                        let (shared, config, spec, shards, pools) =
-                            (&shared, &config, &spec, &shards, &pools);
+                        let (shared, config, spec, shards, streams, pools) =
+                            (&shared, &config, &spec, &shards, &streams, &pools);
                         scope.spawn(move || {
                             // One capture scratch per worker — never
                             // shared, so two overlapping queries cannot
                             // alias a packing buffer.
                             let mut scratch = CaptureScratch::new();
                             while let Some(job) = shared.next_job() {
-                                process_job(config, spec, shards, pools, shared, &mut scratch, job);
+                                process_job(
+                                    config,
+                                    spec,
+                                    shards,
+                                    streams,
+                                    pools,
+                                    shared,
+                                    &mut scratch,
+                                    job,
+                                );
                             }
                         });
                     }
@@ -732,6 +890,7 @@ impl Server {
         Ok(Server {
             shared,
             versions,
+            stream_epochs,
             owner: Some(owner),
         })
     }
@@ -760,7 +919,7 @@ impl Server {
     }
 
     fn enqueue(&self, dataset: u64, request: Request) -> Result<(), ServeError> {
-        let shard = *self
+        let target = *self
             .versions
             .get(&dataset)
             .ok_or(ServeError::UnknownDataset(dataset))?;
@@ -774,7 +933,7 @@ impl Server {
         };
         let submitted = Instant::now();
         let mut job = Job {
-            shard,
+            target,
             request,
             submitted,
             deadline: deadline.map(|d| submitted + d),
@@ -846,6 +1005,10 @@ impl Server {
             retries: s.retries.load(Ordering::Relaxed),
             queue_full_rejects: s.queue_full_rejects.load(Ordering::Relaxed),
             tenant_rejects: s.tenant_rejects.load(Ordering::Relaxed),
+            drift_fresh: s.drift_fresh.load(Ordering::Relaxed),
+            drift_stale_served: s.drift_stale_served.load(Ordering::Relaxed),
+            drift_retrains: s.drift_retrains.load(Ordering::Relaxed),
+            pilots_retired: self.shared.cache.retired(),
             cached_pilots: self.shared.cache.cached(),
             inflight: self.shared.cache.inflight(),
         }
@@ -856,6 +1019,35 @@ impl Server {
     /// demand.
     pub fn clear_pilot_cache(&self) {
         self.shared.cache.clear();
+    }
+
+    /// Explicit epoch-advance hook for a streaming dataset: read the
+    /// pool's current epoch and eagerly retire every cached pilot more
+    /// than [`ServeConfig::max_stale_epochs`] epochs behind it,
+    /// returning how many entries were dropped. With the default
+    /// unbounded staleness budget this is a no-op; with
+    /// `max_stale_epochs = 0` it retires every superseded epoch, and
+    /// the cache's floor additionally guarantees that a pilot
+    /// *completing* for a superseded epoch mid-coalesce is never
+    /// admitted. Call it after appends when stale service is not
+    /// acceptable; the drift ladder enforces the same budget lazily
+    /// either way.
+    pub fn advance_epoch(&self, dataset: u64) -> Result<usize, ServeError> {
+        let epoch_of = self
+            .stream_epochs
+            .get(&dataset)
+            .ok_or(ServeError::UnknownDataset(dataset))?;
+        let floor = epoch_of().saturating_sub(self.shared.serve.max_stale_epochs);
+        Ok(self.shared.cache.retire(dataset, floor))
+    }
+
+    /// Retire **every** cached pilot of one dataset (static or
+    /// streaming) and pin its cache floor so nothing for it is ever
+    /// admitted again — the decommissioning hook. Returns how many
+    /// entries were dropped. The dataset stays queryable (queries
+    /// simply retrain cold); unknown ids retire nothing.
+    pub fn retire_dataset(&self, dataset: u64) -> usize {
+        self.shared.cache.retire(dataset, u64::MAX)
     }
 
     /// Shut down promptly: stop accepting queries, **abort** every job
@@ -922,10 +1114,12 @@ impl Drop for Server {
 /// Process one job end to end — training query (pilot resolved through
 /// the cache: hit / coalesce / lead) or grid sweep (cache bypassed) —
 /// and publish the response. Panics are contained per job.
+#[allow(clippy::too_many_arguments)]
 fn process_job<F, S>(
     base: &BlinkMlConfig,
     spec: &S,
     shards: &[DatasetShard<F>],
+    streams: &[StreamShard<F>],
     pools: &[Option<DatasetMatrix<'_>>],
     shared: &Shared,
     scratch: &mut CaptureScratch,
@@ -954,18 +1148,30 @@ fn process_job<F, S>(
             } else {
                 let mut attempt: u32 = 0;
                 loop {
-                    let result = serve_query(
-                        base,
-                        spec,
-                        shards,
-                        pools,
-                        shared,
-                        scratch,
-                        job.shard,
-                        &query,
-                        &token,
-                        job.shed_degraded,
-                    );
+                    let result = match job.target {
+                        Target::Static(i) => serve_query(
+                            base,
+                            spec,
+                            &shards[i],
+                            pools[i].as_ref(),
+                            shared,
+                            scratch,
+                            &query,
+                            &token,
+                            job.shed_degraded,
+                        )
+                        .map(|(outcome, rung)| (outcome, rung, 0)),
+                        Target::Stream(i) => serve_stream_query(
+                            base,
+                            spec,
+                            &streams[i],
+                            shared,
+                            scratch,
+                            &query,
+                            &token,
+                            job.shed_degraded,
+                        ),
+                    };
                     // Transient failures: a contained panic, or a
                     // coalesced waiter inheriting its *leader's*
                     // deadline error while its own deadline is fine (a
@@ -989,7 +1195,7 @@ fn process_job<F, S>(
                 }
             };
             match result {
-                Ok((outcome, rung)) => {
+                Ok((outcome, rung, epoch)) => {
                     stats.completed.fetch_add(1, Ordering::Relaxed);
                     if rung.is_degraded() && !job.shed_degraded {
                         stats.deadline_degraded.fetch_add(1, Ordering::Relaxed);
@@ -997,6 +1203,7 @@ fn process_job<F, S>(
                     ticket.publish(Ok(ServedResponse {
                         outcome,
                         rung,
+                        epoch,
                         latency: job.submitted.elapsed(),
                     }));
                 }
@@ -1009,7 +1216,27 @@ fn process_job<F, S>(
         }
         Request::Sweep(query, ticket) => {
             stats.sweep_queries.fetch_add(1, Ordering::Relaxed);
-            match serve_sweep(base, spec, shards, pools, scratch, job.shard, &query) {
+            let result = match job.target {
+                Target::Static(i) => serve_sweep(
+                    base,
+                    spec,
+                    &shards[i].train,
+                    &shards[i].holdout,
+                    pools[i].as_ref(),
+                    scratch,
+                    &query,
+                ),
+                Target::Stream(i) => {
+                    // Sweeps pin the submission-time snapshot too: the
+                    // whole grid trains against one epoch.
+                    let snapshot = streams[i].pool.snapshot();
+                    let train = snapshot.train_dataset();
+                    let holdout = snapshot.holdout_dataset();
+                    let pool = build_pool(spec, &train, base);
+                    serve_sweep(base, spec, &train, &holdout, pool.as_ref(), scratch, &query)
+                }
+            };
+            match result {
                 Ok(result) => {
                     stats
                         .warm_starts_taken
@@ -1032,17 +1259,17 @@ fn process_job<F, S>(
     }
 }
 
-/// The training-query workflow behind [`process_job`], returning the
-/// outcome (and the rung that produced it) or the error to publish.
+/// The static-shard training-query workflow behind [`process_job`],
+/// returning the outcome (and the rung that produced it) or the error
+/// to publish.
 #[allow(clippy::too_many_arguments)]
 fn serve_query<F, S>(
     base: &BlinkMlConfig,
     spec: &S,
-    shards: &[DatasetShard<F>],
-    pools: &[Option<DatasetMatrix<'_>>],
+    shard: &DatasetShard<F>,
+    pool: Option<&DatasetMatrix<'_>>,
     shared: &Shared,
     scratch: &mut CaptureScratch,
-    shard_index: usize,
     query: &Query,
     token: &Arc<CancelToken>,
     shed_degraded: bool,
@@ -1062,30 +1289,65 @@ where
     // moved the global knob. Results are budget-independent either way.
     config.exec.apply();
 
-    let shard = &shards[shard_index];
-    let pool = pools[shard_index].as_ref();
     let n0 = config.initial_sample_size.min(shard.train.len());
-    let key = (shard.version, n0, query.seed);
-    let stats = &shared.stats;
+    // Static shards never move: their pilots live at epoch 0 forever.
+    let key: PilotKey = (shard.version, 0, n0, query.seed);
     let control = RunControl {
         cancel: Some(token.clone()),
         pilot_only: shed_degraded,
         relax_fraction: shared.serve.relax_fraction,
+        pilot_warm_start: None,
     };
+    resolve_and_run(
+        config,
+        spec,
+        &shard.train,
+        &shard.holdout,
+        pool,
+        shared,
+        scratch,
+        query.seed,
+        key,
+        &control,
+    )
+}
 
+/// The hit / coalesce / lead resolution protocol shared by static
+/// shards and the streaming cold path: resolve `key` through the pilot
+/// cache and run the coordinator workflow, completing or failing the
+/// in-flight entry on the leader path.
+#[allow(clippy::too_many_arguments)]
+fn resolve_and_run<F, S>(
+    config: BlinkMlConfig,
+    spec: &S,
+    train: &Dataset<F>,
+    holdout: &Dataset<F>,
+    pool: Option<&DatasetMatrix<'_>>,
+    shared: &Shared,
+    scratch: &mut CaptureScratch,
+    seed: u64,
+    key: PilotKey,
+    control: &RunControl,
+) -> Result<(TrainingOutcome, DegradationRung), ServeError>
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let stats = &shared.stats;
     match shared.cache.resolve(key) {
         PilotTicket::Cached(pilot) => {
             stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             run_contained(
                 config,
                 spec,
-                shard,
+                train,
+                holdout,
                 pool,
                 scratch,
-                query.seed,
+                seed,
                 Some(&pilot),
                 false,
-                &control,
+                control,
             )
             .map(|(outcome, _, rung)| (outcome, rung))
         }
@@ -1097,19 +1359,20 @@ where
             run_contained(
                 config,
                 spec,
-                shard,
+                train,
+                holdout,
                 pool,
                 scratch,
-                query.seed,
+                seed,
                 Some(&pilot),
                 false,
-                &control,
+                control,
             )
             .map(|(outcome, _, rung)| (outcome, rung))
         }
         PilotTicket::Lead => {
             match run_contained(
-                config, spec, shard, pool, scratch, query.seed, None, true, &control,
+                config, spec, train, holdout, pool, scratch, seed, None, true, control,
             ) {
                 Ok((outcome, Some(pilot), rung)) => {
                     stats.pilot_trains.fetch_add(1, Ordering::Relaxed);
@@ -1138,17 +1401,268 @@ where
     }
 }
 
+/// The streaming-dataset query workflow: pin an epoch snapshot, then
+/// walk the drift ladder. A current-epoch pilot serves the full
+/// workflow directly; a cached pilot from a recent epoch is
+/// drift-tested and either reused (full workflow on **its** snapshot),
+/// served as-is with an honestly recomputed inflated ε
+/// ([`DegradationRung::StalePilot`]), or abandoned into a retrain at
+/// the current epoch — warm-started from the stale θ under
+/// [`WarmStartPolicy::PathFollow`] (the coordinator falls back to a
+/// cold start on line-search failure, mirroring the sweep rule).
+/// Returns the outcome, the rung, and the epoch the response is
+/// bit-reproducible against.
+#[allow(clippy::too_many_arguments)]
+fn serve_stream_query<F, S>(
+    base: &BlinkMlConfig,
+    spec: &S,
+    stream: &StreamShard<F>,
+    shared: &Shared,
+    scratch: &mut CaptureScratch,
+    query: &Query,
+    token: &Arc<CancelToken>,
+    shed_degraded: bool,
+) -> Result<(TrainingOutcome, DegradationRung, u64), ServeError>
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let mut config = base.clone();
+    config.epsilon = query.epsilon;
+    config.delta = query.delta;
+    if let Some(n0) = query.initial_sample_size {
+        config.initial_sample_size = n0;
+    }
+    config.validate()?;
+    config.exec.apply();
+
+    let serve = &shared.serve;
+    let stats = &shared.stats;
+    // Everything below trains and reports against exactly one epoch
+    // snapshot — this one, or the found pilot's own.
+    let snapshot = stream.pool.snapshot();
+    let epoch = snapshot.epoch();
+    let n0 = config.initial_sample_size.min(snapshot.train_len());
+    let key: PilotKey = (stream.id, epoch, n0, query.seed);
+    let mut control = RunControl {
+        cancel: Some(token.clone()),
+        pilot_only: shed_degraded,
+        relax_fraction: serve.relax_fraction,
+        pilot_warm_start: None,
+    };
+
+    // 1. A pilot for the current epoch: no drift by construction.
+    if let Some(pilot) = shared.cache.lookup(&key) {
+        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let train = snapshot.train_dataset();
+        let holdout = snapshot.holdout_dataset();
+        let pool = build_pool(spec, &train, &config);
+        return run_contained(
+            config,
+            spec,
+            &train,
+            &holdout,
+            pool.as_ref(),
+            scratch,
+            query.seed,
+            Some(&pilot),
+            false,
+            &control,
+        )
+        .map(|(outcome, _, rung)| (outcome, rung, epoch));
+    }
+
+    // 2. Scan recent epochs (bounded by the staleness budget) for a
+    // cached pilot of this query and drift-test the newest one found.
+    let lookback = serve.max_stale_epochs.min(MAX_DRIFT_LOOKBACK).min(epoch);
+    let mut found: Option<(u64, Arc<PilotState>)> = None;
+    for back in 1..=lookback {
+        let e = epoch - back;
+        let Some(mark) = snapshot.mark_at(e) else {
+            break;
+        };
+        let n0_e = config.initial_sample_size.min(mark.train_len);
+        if let Some(pilot) = shared.cache.lookup(&(stream.id, e, n0_e, query.seed)) {
+            found = Some((e, pilot));
+            break;
+        }
+    }
+    if let Some((e, pilot)) = found {
+        let score = drift_score(spec, &snapshot, e, pilot.model.parameters());
+        if score <= serve.drift_warn {
+            // Fresh enough: the full workflow on the pilot's own
+            // snapshot — bit-equal to a cold run at epoch `e`.
+            stats.drift_fresh.fetch_add(1, Ordering::Relaxed);
+            let snap = stream
+                .pool
+                .snapshot_at(e)
+                .expect("marks retain every epoch");
+            let train = snap.train_dataset();
+            let holdout = snap.holdout_dataset();
+            let pool = build_pool(spec, &train, &config);
+            return run_contained(
+                config,
+                spec,
+                &train,
+                &holdout,
+                pool.as_ref(),
+                scratch,
+                query.seed,
+                Some(&pilot),
+                false,
+                &control,
+            )
+            .map(|(outcome, _, rung)| (outcome, rung, e));
+        }
+        if score <= serve.drift_fail {
+            // Stale but servable: m₀ as-is, with the honestly
+            // recomputed (inflated) curve ε at n = n₀ for the data the
+            // pilot actually saw.
+            stats.drift_stale_served.fetch_add(1, Ordering::Relaxed);
+            let snap = stream
+                .pool
+                .snapshot_at(e)
+                .expect("marks retain every epoch");
+            let holdout = snap.holdout_dataset();
+            let outcome = stale_pilot_outcome(
+                &config,
+                spec,
+                &holdout,
+                &pilot,
+                snap.train_len(),
+                query.seed,
+            );
+            return Ok((outcome, DegradationRung::StalePilot, e));
+        }
+        // Drifted past the servable band: abandon the stale pilot and
+        // lead a fresh one at the current epoch.
+        stats.drift_retrains.fetch_add(1, Ordering::Relaxed);
+        if serve.warm_start == WarmStartPolicy::PathFollow {
+            control.pilot_warm_start = Some(pilot.model.parameters().to_vec());
+        }
+    }
+
+    // 3. Cold path at the current epoch: hit / coalesce / lead, the
+    // same resolution protocol as static shards.
+    let train = snapshot.train_dataset();
+    let holdout = snapshot.holdout_dataset();
+    let pool = build_pool(spec, &train, &config);
+    resolve_and_run(
+        config,
+        spec,
+        &train,
+        &holdout,
+        pool.as_ref(),
+        shared,
+        scratch,
+        query.seed,
+        key,
+        &control,
+    )
+    .map(|(outcome, rung)| (outcome, rung, epoch))
+}
+
+/// Cheap drift test for a cached pilot from `pilot_epoch` against the
+/// current snapshot: the shift of the pilot's mean prediction on
+/// holdout rows appended *after* its epoch, in units of the spread of
+/// its predictions on the rows it was validated against. 0 when no new
+/// holdout rows arrived (train-only appends change the pilot's
+/// coverage, not the evidence about its task — the guarantee math
+/// already accounts for `N` through the snapshot it is computed on).
+fn drift_score<F, S>(spec: &S, snapshot: &StreamSnapshot<F>, pilot_epoch: u64, theta: &[f64]) -> f64
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let Some(mark) = snapshot.mark_at(pilot_epoch) else {
+        return f64::INFINITY;
+    };
+    let base_len = mark.holdout_len;
+    let now_len = snapshot.holdout_len();
+    if now_len <= base_len {
+        return 0.0;
+    }
+    if base_len == 0 {
+        return f64::INFINITY;
+    }
+    let base = snapshot.holdout_rows(0, base_len);
+    let fresh = snapshot.holdout_rows(base_len, now_len);
+    let mean = |rows: &[blinkml_data::Example<F>]| {
+        rows.iter().map(|r| spec.predict(theta, &r.x)).sum::<f64>() / rows.len() as f64
+    };
+    let base_mean = mean(&base);
+    let fresh_mean = mean(&fresh);
+    let base_var = base
+        .iter()
+        .map(|r| {
+            let d = spec.predict(theta, &r.x) - base_mean;
+            d * d
+        })
+        .sum::<f64>()
+        / base_len as f64;
+    (fresh_mean - base_mean).abs() / base_var.sqrt().max(1e-9)
+}
+
+/// Build the [`DegradationRung::StalePilot`] response: the cached `m₀`
+/// served as-is, reporting the honestly recomputed curve ε at `n = n₀`
+/// on the pilot's **own** snapshot — exactly the value
+/// [`Coordinator::curve_epsilon_at`](crate::Coordinator::curve_epsilon_at)
+/// returns for `(train_e, holdout_e, seed, n₀)` on that snapshot's
+/// materialized datasets.
+fn stale_pilot_outcome<F, S>(
+    config: &BlinkMlConfig,
+    spec: &S,
+    holdout: &Dataset<F>,
+    pilot: &PilotState,
+    full_n: usize,
+    seed: u64,
+) -> TrainingOutcome
+where
+    F: FeatureVec,
+    S: ModelClassSpec<F> + ?Sized,
+{
+    let n0 = pilot.n0;
+    let eps0 = match pilot.stats.as_ref() {
+        Some(stats) if n0 < full_n => {
+            let scorer = HoldoutScorer::new(spec, holdout, pilot.model.parameters());
+            let sse = SampleSizeEstimator::new(config.num_param_samples);
+            sse.epsilon_at_scored(
+                &scorer,
+                stats,
+                n0,
+                n0,
+                full_n,
+                config.delta,
+                split_seed(seed, 2),
+            )
+        }
+        // n₀ = N at the pilot's epoch: the pilot is exact for it.
+        _ => 0.0,
+    };
+    TrainingOutcome {
+        model: pilot.model.clone(),
+        sample_size: n0,
+        full_data_size: full_n,
+        initial_epsilon: eps0,
+        estimated_epsilon: eps0,
+        used_initial_model: true,
+        phases: TrainingPhaseTimes::default(),
+        search_probes: 0,
+    }
+}
+
 /// The sweep workflow behind [`process_job`]: configure the contract,
 /// run the fused sweep engine against the shard's pool (pilot cache
 /// bypassed — sweep pilots are λ-dependent), with panics contained the
 /// same way training queries contain them.
+#[allow(clippy::too_many_arguments)]
 fn serve_sweep<F, S>(
     base: &BlinkMlConfig,
     spec: &S,
-    shards: &[DatasetShard<F>],
-    pools: &[Option<DatasetMatrix<'_>>],
+    train: &Dataset<F>,
+    holdout: &Dataset<F>,
+    pool: Option<&DatasetMatrix<'_>>,
     scratch: &mut CaptureScratch,
-    shard_index: usize,
     query: &SweepQuery,
 ) -> Result<SweepResult, ServeError>
 where
@@ -1164,8 +1678,6 @@ where
     config.validate()?;
     config.exec.apply();
 
-    let shard = &shards[shard_index];
-    let pool = pools[shard_index].as_ref();
     let plan = SweepPlan::new(
         query.lambdas.clone(),
         query.epsilon,
@@ -1174,15 +1686,7 @@ where
     )
     .with_warm_start(query.warm_start);
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        run_sweep(
-            &config,
-            spec,
-            &shard.train,
-            &shard.holdout,
-            pool,
-            scratch,
-            &plan,
-        )
+        run_sweep(&config, spec, train, holdout, pool, scratch, &plan)
     }));
     match attempt {
         Ok(Ok(result)) => Ok(result),
@@ -1201,7 +1705,8 @@ where
 fn run_contained<F, S>(
     config: BlinkMlConfig,
     spec: &S,
-    shard: &DatasetShard<F>,
+    train: &Dataset<F>,
+    holdout: &Dataset<F>,
     pool: Option<&DatasetMatrix<'_>>,
     scratch: &mut CaptureScratch,
     seed: u64,
@@ -1215,16 +1720,7 @@ where
 {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         run_train_controlled(
-            &config,
-            spec,
-            &shard.train,
-            &shard.holdout,
-            pool,
-            scratch,
-            seed,
-            pilot,
-            want_pilot,
-            control,
+            &config, spec, train, holdout, pool, scratch, seed, pilot, want_pilot, control,
         )
     }));
     match attempt {

@@ -122,10 +122,11 @@ impl CancelToken {
 ///
 /// The ladder, top to bottom: [`Full`](DegradationRung::Full) →
 /// [`RelaxedFinal`](DegradationRung::RelaxedFinal) →
-/// [`Pilot`](DegradationRung::Pilot) → a typed error (fail-fast). The
-/// reported ε is always the **achieved** guarantee of the returned
-/// model, recomputed for its actual sample size — never the requested
-/// contract.
+/// [`Pilot`](DegradationRung::Pilot) → a typed error (fail-fast);
+/// streaming datasets add the drift branch
+/// [`StalePilot`](DegradationRung::StalePilot). The reported ε is
+/// always the **achieved** guarantee of the returned model, recomputed
+/// for its actual sample size — never the requested contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DegradationRung {
     /// The full BlinkML workflow ran: pilot, search, final model at the
@@ -141,6 +142,12 @@ pub enum DegradationRung {
     /// ε₀ (deadline expired after the accuracy estimate, or the query
     /// was shed into the pilot-only lane).
     Pilot,
+    /// A streaming dataset's cached pilot from an older epoch was
+    /// served between the drift thresholds: the response carries the
+    /// honestly-recomputed ε of the `curve_epsilon_at` oracle at
+    /// `n = n₀` **on the pilot's own snapshot** — an inflated but true
+    /// guarantee for the data the pilot actually saw.
+    StalePilot,
 }
 
 impl DegradationRung {
@@ -150,6 +157,7 @@ impl DegradationRung {
             DegradationRung::Full => "Full",
             DegradationRung::RelaxedFinal => "RelaxedFinal",
             DegradationRung::Pilot => "Pilot",
+            DegradationRung::StalePilot => "StalePilot",
         }
     }
 

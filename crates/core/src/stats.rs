@@ -414,6 +414,26 @@ fn explicit_factor_from_j(
     l
 }
 
+/// Build ObservedFisher-style statistics directly from eigenpairs of
+/// `J` — the streaming incremental-moments path
+/// ([`crate::moments::IncrementalSecondMoment`]) maintains the
+/// eigendecomposition itself, so the factor `L = U diag(√λ/(λ+β))`
+/// comes straight from the maintained pairs with the same truncation
+/// guard the cold ObservedFisher path applies.
+pub(crate) fn statistics_from_eigenpairs(
+    dim: usize,
+    eigenvalues: &[f64],
+    eigenvectors: &Matrix,
+    beta: f64,
+    spectral: SpectralMethod,
+) -> ModelStatistics {
+    let l = explicit_factor_from_j(eigenvalues, eigenvectors, beta, cutoff_tol(spectral));
+    ModelStatistics {
+        dim,
+        factor: Factor::Explicit(l),
+    }
+}
+
 /// ClosedForm (paper §3.4 Method 1) with the exact dense engine.
 pub fn closed_form<F: FeatureVec, S: ModelClassSpec<F> + ?Sized>(
     spec: &S,

@@ -252,6 +252,31 @@ pub enum FaultSite {
     PilotTrain,
     /// Any larger training call (the final model, relaxed or full).
     FinalTrain,
+    /// Ingest fault site: fires at a pilot-sized training entry — the
+    /// first point after a streaming worker has pinned its epoch
+    /// snapshot and captured the pilot sample — so a scripted
+    /// [`at_call`](FaultPlan::at_call) closure can append rows mid-query
+    /// and prove the response still describes the pinned snapshot.
+    AppendDuringCapture,
+    /// Ingest fault site: fires at a pilot-sized training entry so a
+    /// scripted closure can bump the stream's epoch (append + eager
+    /// retirement) while the pilot leader is still training — the
+    /// mid-coalesce window where a completed pilot must reach its
+    /// waiters without being cached below the epoch floor.
+    EpochBumpDuringPilotTrain,
+}
+
+impl FaultSite {
+    /// Whether a scripted entry at `self` fires when a training entry
+    /// classifies to `base` (the ingest sites alias the pilot entry).
+    fn triggers_on(self, base: FaultSite) -> bool {
+        self == base
+            || (base == FaultSite::PilotTrain
+                && matches!(
+                    self,
+                    FaultSite::AppendDuringCapture | FaultSite::EpochBumpDuringPilotTrain
+                ))
+    }
 }
 
 /// A scripted fault action, performed at a training entry.
@@ -273,17 +298,32 @@ pub enum FaultAction {
     RelaxDeadline,
 }
 
+/// A scripted side-effect entry: `(site, occurrence, closure)`.
+type ScriptedCall = (FaultSite, usize, Box<dyn Fn() + Send + Sync>);
+
 /// A deterministic fault schedule for a [`HookedSpec`] hook: each entry
 /// fires at the `occurrence`-th training entry of its [`FaultSite`]
 /// (counted per site, across all queries the spec serves). Because the
 /// trigger is a per-site occurrence counter — not wall-clock time — a
 /// plan replays identically on every run.
-#[derive(Debug)]
 pub struct FaultPlan {
     n0: usize,
     scripted: Vec<(FaultSite, usize, FaultAction)>,
+    calls: Vec<ScriptedCall>,
     pilot_seen: AtomicUsize,
     final_seen: AtomicUsize,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("n0", &self.n0)
+            .field("scripted", &self.scripted)
+            .field("calls", &self.calls.len())
+            .field("pilot_seen", &self.pilot_seen)
+            .field("final_seen", &self.final_seen)
+            .finish()
+    }
 }
 
 impl FaultPlan {
@@ -292,6 +332,7 @@ impl FaultPlan {
         FaultPlan {
             n0,
             scripted: Vec::new(),
+            calls: Vec::new(),
             pilot_seen: AtomicUsize::new(0),
             final_seen: AtomicUsize::new(0),
         }
@@ -300,6 +341,20 @@ impl FaultPlan {
     /// Script `action` at the `occurrence`-th (0-based) entry of `site`.
     pub fn at(mut self, site: FaultSite, occurrence: usize, action: FaultAction) -> Self {
         self.scripted.push((site, occurrence, action));
+        self
+    }
+
+    /// Script an arbitrary closure at the `occurrence`-th (0-based)
+    /// entry of `site` — the ingest fault sites use this to append rows
+    /// or bump epochs from inside a training entry. Closures fire after
+    /// every [`FaultAction`] scripted at the same entry.
+    pub fn at_call(
+        mut self,
+        site: FaultSite,
+        occurrence: usize,
+        call: impl Fn() + Send + Sync + 'static,
+    ) -> Self {
+        self.calls.push((site, occurrence, Box::new(call)));
         self
     }
 
@@ -315,10 +370,12 @@ impl FaultPlan {
         let counter = match site {
             FaultSite::PilotTrain => &self.pilot_seen,
             FaultSite::FinalTrain => &self.final_seen,
+            // Ingest sites are aliases of PilotTrain, never a base.
+            _ => unreachable!(),
         };
         let occurrence = counter.fetch_add(1, Ordering::SeqCst);
         for &(s, occ, action) in &self.scripted {
-            if s != site || occ != occurrence {
+            if !s.triggers_on(site) || occ != occurrence {
                 continue;
             }
             match action {
@@ -332,6 +389,11 @@ impl FaultPlan {
                 FaultAction::RelaxDeadline => {
                     relax_active_deadline();
                 }
+            }
+        }
+        for (s, occ, call) in &self.calls {
+            if s.triggers_on(site) && *occ == occurrence {
+                call();
             }
         }
     }

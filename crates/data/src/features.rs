@@ -61,6 +61,14 @@ pub trait FeatureVec: Clone + Send + Sync + 'static {
     /// Squared Euclidean norm.
     fn norm_sq(&self) -> f64;
 
+    /// True when every stored value is finite (no NaN/±Inf). The ingest
+    /// validation gate ([`crate::stream`]) calls this per appended row;
+    /// implementations check only stored entries (structural zeros are
+    /// finite by definition).
+    fn all_finite(&self) -> bool {
+        self.to_dense().iter().all(|v| v.is_finite())
+    }
+
     /// `out += xᵀ T` for a row-major table `T` of shape `dim() × width`:
     /// `out[c] += Σ_i x_i · T[i·width + c]`.
     ///
@@ -145,6 +153,10 @@ impl FeatureVec for DenseVec {
 
     fn norm_sq(&self) -> f64 {
         self.0.iter().map(|v| v * v).sum()
+    }
+
+    fn all_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
     }
 
     fn scaled_sparse(&self, coef: f64, out_dim: usize, offset: usize) -> SparseVec {
@@ -271,6 +283,10 @@ impl FeatureVec for SparseVec {
 
     fn norm_sq(&self) -> f64 {
         self.values.iter().map(|v| v * v).sum()
+    }
+
+    fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
     }
 
     fn scaled_sparse(&self, coef: f64, out_dim: usize, offset: usize) -> SparseVec {

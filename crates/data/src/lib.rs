@@ -19,6 +19,12 @@
 //!   reusable training scratch buffers ([`TrainScratch`]), the substrate
 //!   of the batched training engine (contiguous dense blocks, CSR for
 //!   sparse features, bit-exact batched margin/gradient passes),
+//! * [`stream`] — epoch-versioned append-only pools
+//!   ([`StreamingPool`]) with immutable prefix snapshots
+//!   ([`StreamSnapshot`]) and an ingest validation gate
+//!   ([`LabelDomain`], [`IngestPolicy`]): the substrate of the serve
+//!   layer's streaming path, where every query trains and reports
+//!   against one consistent epoch,
 //! * [`parallel`] — the workspace's deterministic execution facade
 //!   (fixed-chunk parallel maps and reductions, re-exported from
 //!   `blinkml_linalg::exec`) used by every embarrassingly parallel hot
@@ -31,6 +37,7 @@ pub mod generators;
 pub mod io;
 pub mod matrix;
 pub mod parallel;
+pub mod stream;
 
 pub use dataset::{Dataset, Example, IndexView, Split};
 pub use features::{DenseVec, FeatureVec, SparseVec};
@@ -39,3 +46,6 @@ pub use matrix::{
     PACK_THRESHOLD_BYTES,
 };
 pub use parallel::par_ranges;
+pub use stream::{
+    AppendReceipt, EpochMark, IngestError, IngestPolicy, LabelDomain, StreamSnapshot, StreamingPool,
+};

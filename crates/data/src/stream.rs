@@ -1,0 +1,711 @@
+//! Streaming ingest: epoch-versioned append-only pools with immutable
+//! snapshots.
+//!
+//! BlinkML's (ε, δ) contract is a statement about **one** pool: the
+//! pilot statistics, the sample-size search, and the final model must
+//! all see the same `N` rows, or the reported ε is a lie. Under write
+//! traffic the coordinator therefore never reads a live pool directly.
+//! Writers append whole row blocks to a [`StreamingPool`], each append
+//! advancing a monotone **epoch**; readers take a [`StreamSnapshot`] —
+//! an immutable prefix of the block list pinned at one epoch — and run
+//! the entire train/estimate/report workflow against that snapshot.
+//!
+//! Two properties make the snapshot contract cheap and exact:
+//!
+//! * **Append-only prefixes.** Rows are only ever appended, so "the
+//!   pool at epoch `e`" is exactly the first `train_len(e)` rows in
+//!   insertion order. A snapshot is a handful of `Arc` clones — no row
+//!   is copied until a query materializes its [`Dataset`] view.
+//! * **Epoch-as-prefix bit-equality.** A materialized snapshot is an
+//!   ordinary [`Dataset`] of exactly the epoch's length, so every
+//!   deterministic downstream stage (`sample_indices` over the pool
+//!   length, chunked reductions, the ε oracles) produces bitwise the
+//!   result a cold run on that dataset would — concurrency is
+//!   invisible in the served numbers.
+//!
+//! Appends pass through a validation gate before any row becomes
+//! visible: non-finite features and labels outside the model class's
+//! [`LabelDomain`] are rejected atomically ([`IngestPolicy::Reject`])
+//! or skipped with a per-row receipt ([`IngestPolicy::Quarantine`]),
+//! so a poisoned producer can never corrupt pooled statistics.
+
+use crate::dataset::{Dataset, Example};
+use crate::features::FeatureVec;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// The set of labels a model class accepts, enforced at append time.
+///
+/// Each `ModelClassSpec` advertises its domain; the ingest gate
+/// validates labels against it so rows that would silently corrupt the
+/// training objective (a label of 3.0 fed to logistic regression, a
+/// negative count fed to Poisson) are caught at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelDomain {
+    /// Any finite real value (regression).
+    AnyFinite,
+    /// Exactly `0.0` or `1.0` (binary classification).
+    Binary01,
+    /// An integer class index in `0..num_classes` (multiclass).
+    ClassIndex(usize),
+    /// A non-negative integer count (Poisson regression).
+    NonNegativeCount,
+    /// The label is ignored by the model (unsupervised); any value —
+    /// even NaN — passes.
+    Unused,
+}
+
+impl LabelDomain {
+    /// Check one label against the domain; `Err` carries a
+    /// human-readable reason.
+    pub fn validate(&self, y: f64) -> Result<(), String> {
+        match *self {
+            LabelDomain::Unused => Ok(()),
+            LabelDomain::AnyFinite => {
+                if y.is_finite() {
+                    Ok(())
+                } else {
+                    Err(format!("label {y} is not finite"))
+                }
+            }
+            LabelDomain::Binary01 => {
+                if y == 0.0 || y == 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("label {y} is not in {{0, 1}}"))
+                }
+            }
+            LabelDomain::ClassIndex(k) => {
+                if y.is_finite() && y.fract() == 0.0 && y >= 0.0 && (y as usize) < k {
+                    Ok(())
+                } else {
+                    Err(format!("label {y} is not a class index in 0..{k}"))
+                }
+            }
+            LabelDomain::NonNegativeCount => {
+                if y.is_finite() && y.fract() == 0.0 && y >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("label {y} is not a non-negative count"))
+                }
+            }
+        }
+    }
+}
+
+/// What the ingest gate does with an invalid row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPolicy {
+    /// Reject the **whole block** on the first invalid row: either
+    /// every row of an append becomes visible or none does.
+    #[default]
+    Reject,
+    /// Skip invalid rows, admit the rest, and report the skipped
+    /// indices in the [`AppendReceipt`].
+    Quarantine,
+}
+
+/// A typed ingest failure (only produced under [`IngestPolicy::Reject`];
+/// quarantine never fails, it reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// Row `index` of the appended block failed validation.
+    InvalidRow {
+        /// Index of the offending row within the appended block.
+        index: usize,
+        /// Human-readable reason (non-finite feature, label domain).
+        reason: String,
+    },
+    /// Row `index` has a feature dimension other than the pool's.
+    DimMismatch {
+        /// Index of the offending row within the appended block.
+        index: usize,
+        /// The pool's feature dimension.
+        expected: usize,
+        /// The row's feature dimension.
+        found: usize,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::InvalidRow { index, reason } => {
+                write!(f, "invalid row {index}: {reason}")
+            }
+            IngestError::DimMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "row {index} has dimension {found} but the pool has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// The pool's row counts at one epoch: the watermark a snapshot pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMark {
+    /// The epoch this mark describes.
+    pub epoch: u64,
+    /// Training rows visible at this epoch.
+    pub train_len: usize,
+    /// Holdout rows visible at this epoch.
+    pub holdout_len: usize,
+}
+
+/// Shared append-only state behind the pool's `RwLock`.
+struct PoolState<F> {
+    train_blocks: Vec<Arc<Vec<Example<F>>>>,
+    holdout_blocks: Vec<Arc<Vec<Example<F>>>>,
+    epoch: u64,
+    /// One mark per epoch, in epoch order (`marks[e] == epoch e`).
+    marks: Vec<EpochMark>,
+}
+
+/// What an append did: the epoch it produced and which rows it skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// The pool epoch after the append (unchanged when no row was
+    /// admitted).
+    pub epoch: u64,
+    /// Rows admitted to the pool.
+    pub accepted: usize,
+    /// Block-relative indices of quarantined rows (always empty under
+    /// [`IngestPolicy::Reject`]).
+    pub quarantined: Vec<usize>,
+}
+
+/// An epoch-versioned append-only pool of train + holdout rows.
+///
+/// Writers call [`StreamingPool::append`] / `append_holdout`; each
+/// admitted block bumps the epoch. Readers call
+/// [`StreamingPool::snapshot`] (or `snapshot_at`) and work exclusively
+/// against the returned [`StreamSnapshot`]. The lock is held only to
+/// push a block or clone the `Arc` list — never across training.
+pub struct StreamingPool<F> {
+    name: Arc<str>,
+    dim: usize,
+    domain: LabelDomain,
+    policy: IngestPolicy,
+    state: RwLock<PoolState<F>>,
+}
+
+impl<F: FeatureVec> StreamingPool<F> {
+    /// Build a pool from initial train/holdout rows. The initial rows
+    /// pass through the same validation gate as appends and form
+    /// epoch 0.
+    pub fn new(
+        name: impl Into<String>,
+        dim: usize,
+        train: Vec<Example<F>>,
+        holdout: Vec<Example<F>>,
+        domain: LabelDomain,
+        policy: IngestPolicy,
+    ) -> Result<Self, IngestError> {
+        let (train, _) = validate_rows(train, dim, domain, policy)?;
+        let (holdout, _) = validate_rows(holdout, dim, domain, policy)?;
+        let marks = vec![EpochMark {
+            epoch: 0,
+            train_len: train.len(),
+            holdout_len: holdout.len(),
+        }];
+        Ok(StreamingPool {
+            name: Arc::from(name.into()),
+            dim,
+            domain,
+            policy,
+            state: RwLock::new(PoolState {
+                train_blocks: vec![Arc::new(train)],
+                holdout_blocks: vec![Arc::new(holdout)],
+                epoch: 0,
+                marks,
+            }),
+        })
+    }
+
+    /// Build a pool seeded from existing datasets (rows are cloned
+    /// once; thereafter only appended blocks allocate).
+    pub fn from_datasets(
+        train: &Dataset<F>,
+        holdout: &Dataset<F>,
+        domain: LabelDomain,
+        policy: IngestPolicy,
+    ) -> Result<Self, IngestError> {
+        StreamingPool::new(
+            train.name().to_string(),
+            train.dim(),
+            train.examples().to_vec(),
+            holdout.examples().to_vec(),
+            domain,
+            policy,
+        )
+    }
+
+    /// Pool name (shared with materialized snapshots).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feature dimension every row must match.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The label domain the gate enforces.
+    pub fn domain(&self) -> LabelDomain {
+        self.domain
+    }
+
+    /// The configured invalid-row policy.
+    pub fn policy(&self) -> IngestPolicy {
+        self.policy
+    }
+
+    /// Current epoch (monotone; bumped by every admitted append).
+    pub fn epoch(&self) -> u64 {
+        self.state.read().expect("pool lock").epoch
+    }
+
+    /// Append a block of training rows. All-or-nothing under
+    /// [`IngestPolicy::Reject`]; under `Quarantine` invalid rows are
+    /// skipped and reported. An append that admits at least one row
+    /// bumps the epoch; an empty (or fully quarantined) append leaves
+    /// the pool untouched.
+    pub fn append(&self, rows: Vec<Example<F>>) -> Result<AppendReceipt, IngestError> {
+        self.append_inner(rows, false)
+    }
+
+    /// Append a block of holdout rows (same gate and epoch semantics as
+    /// [`StreamingPool::append`]). Fresh holdout rows are what the
+    /// serve layer's drift test scores, so streams that want drift
+    /// detection should tee a fraction of ingest here.
+    pub fn append_holdout(&self, rows: Vec<Example<F>>) -> Result<AppendReceipt, IngestError> {
+        self.append_inner(rows, true)
+    }
+
+    fn append_inner(
+        &self,
+        rows: Vec<Example<F>>,
+        holdout: bool,
+    ) -> Result<AppendReceipt, IngestError> {
+        let (rows, quarantined) = validate_rows(rows, self.dim, self.domain, self.policy)?;
+        let mut st = self.state.write().expect("pool lock");
+        if rows.is_empty() {
+            return Ok(AppendReceipt {
+                epoch: st.epoch,
+                accepted: 0,
+                quarantined,
+            });
+        }
+        let accepted = rows.len();
+        if holdout {
+            st.holdout_blocks.push(Arc::new(rows));
+        } else {
+            st.train_blocks.push(Arc::new(rows));
+        }
+        st.epoch += 1;
+        let mark = EpochMark {
+            epoch: st.epoch,
+            train_len: st.marks.last().expect("mark 0").train_len
+                + if holdout { 0 } else { accepted },
+            holdout_len: st.marks.last().expect("mark 0").holdout_len
+                + if holdout { accepted } else { 0 },
+        };
+        st.marks.push(mark);
+        Ok(AppendReceipt {
+            epoch: st.epoch,
+            accepted,
+            quarantined,
+        })
+    }
+
+    /// Pin the current epoch as an immutable snapshot (`O(blocks)` Arc
+    /// clones; no row copies).
+    pub fn snapshot(&self) -> StreamSnapshot<F> {
+        let st = self.state.read().expect("pool lock");
+        StreamSnapshot {
+            name: self.name.clone(),
+            dim: self.dim,
+            train_blocks: st.train_blocks.clone(),
+            holdout_blocks: st.holdout_blocks.clone(),
+            marks: st.marks.clone(),
+            epoch: st.epoch,
+        }
+    }
+
+    /// Pin a **past** epoch as a snapshot; `None` when the epoch does
+    /// not exist (yet). Because the pool is append-only, every past
+    /// epoch stays reconstructible as a prefix.
+    pub fn snapshot_at(&self, epoch: u64) -> Option<StreamSnapshot<F>> {
+        let st = self.state.read().expect("pool lock");
+        if epoch > st.epoch {
+            return None;
+        }
+        Some(StreamSnapshot {
+            name: self.name.clone(),
+            dim: self.dim,
+            train_blocks: st.train_blocks.clone(),
+            holdout_blocks: st.holdout_blocks.clone(),
+            marks: st.marks.clone(),
+            epoch,
+        })
+    }
+
+    /// The watermark for one epoch (`None` when it doesn't exist yet).
+    pub fn mark_at(&self, epoch: u64) -> Option<EpochMark> {
+        let st = self.state.read().expect("pool lock");
+        st.marks.get(epoch as usize).copied()
+    }
+
+    /// The full watermark history, one mark per epoch in order.
+    pub fn marks(&self) -> Vec<EpochMark> {
+        self.state.read().expect("pool lock").marks.clone()
+    }
+}
+
+impl<F> fmt::Debug for StreamingPool<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.read().expect("pool lock");
+        f.debug_struct("StreamingPool")
+            .field("name", &self.name)
+            .field("dim", &self.dim)
+            .field("epoch", &st.epoch)
+            .field("train_len", &st.marks.last().expect("mark 0").train_len)
+            .field("holdout_len", &st.marks.last().expect("mark 0").holdout_len)
+            .finish()
+    }
+}
+
+/// An immutable view of a [`StreamingPool`] pinned at one epoch.
+///
+/// Holds `Arc`s to the underlying blocks, so it stays valid (and
+/// bitwise stable) no matter how many appends happen after it was
+/// taken. Materializing the train/holdout [`Dataset`] clones exactly
+/// the prefix rows visible at the snapshot's epoch, in insertion order.
+#[derive(Clone)]
+pub struct StreamSnapshot<F> {
+    name: Arc<str>,
+    dim: usize,
+    train_blocks: Vec<Arc<Vec<Example<F>>>>,
+    holdout_blocks: Vec<Arc<Vec<Example<F>>>>,
+    marks: Vec<EpochMark>,
+    epoch: u64,
+}
+
+impl<F: FeatureVec> StreamSnapshot<F> {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Pool name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The watermark of this snapshot's epoch.
+    pub fn mark(&self) -> EpochMark {
+        self.marks[self.epoch as usize]
+    }
+
+    /// The watermark of any epoch at or before this snapshot's.
+    pub fn mark_at(&self, epoch: u64) -> Option<EpochMark> {
+        if epoch > self.epoch {
+            return None;
+        }
+        self.marks.get(epoch as usize).copied()
+    }
+
+    /// Training rows visible at this epoch (the coordinator's `N`).
+    pub fn train_len(&self) -> usize {
+        self.mark().train_len
+    }
+
+    /// Holdout rows visible at this epoch.
+    pub fn holdout_len(&self) -> usize {
+        self.mark().holdout_len
+    }
+
+    /// Materialize the training prefix as an ordinary [`Dataset`].
+    pub fn train_dataset(&self) -> Dataset<F> {
+        materialize(&self.name, self.dim, &self.train_blocks, self.train_len())
+    }
+
+    /// Materialize the holdout prefix as an ordinary [`Dataset`].
+    pub fn holdout_dataset(&self) -> Dataset<F> {
+        materialize(
+            &self.name,
+            self.dim,
+            &self.holdout_blocks,
+            self.holdout_len(),
+        )
+    }
+
+    /// Clone holdout rows `range.start..range.end` (insertion order) —
+    /// the drift test's "new rows since epoch e" window. The range is
+    /// clamped to the snapshot's holdout length.
+    pub fn holdout_rows(&self, start: usize, end: usize) -> Vec<Example<F>> {
+        let end = end.min(self.holdout_len());
+        let start = start.min(end);
+        let mut out = Vec::with_capacity(end - start);
+        let mut base = 0usize;
+        for block in &self.holdout_blocks {
+            let block_end = base + block.len();
+            if block_end > start && base < end {
+                let lo = start.saturating_sub(base);
+                let hi = (end - base).min(block.len());
+                out.extend_from_slice(&block[lo..hi]);
+            }
+            base = block_end;
+            if base >= end {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl<F> fmt::Debug for StreamSnapshot<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamSnapshot")
+            .field("name", &self.name)
+            .field("epoch", &self.epoch)
+            .field("mark", &self.marks.get(self.epoch as usize))
+            .finish()
+    }
+}
+
+/// Clone the first `len` rows of `blocks` (insertion order) into a
+/// dataset.
+fn materialize<F: FeatureVec>(
+    name: &Arc<str>,
+    dim: usize,
+    blocks: &[Arc<Vec<Example<F>>>],
+    len: usize,
+) -> Dataset<F> {
+    let mut examples = Vec::with_capacity(len);
+    for block in blocks {
+        let take = (len - examples.len()).min(block.len());
+        examples.extend_from_slice(&block[..take]);
+        if examples.len() == len {
+            break;
+        }
+    }
+    debug_assert_eq!(examples.len(), len, "snapshot shorter than its mark");
+    Dataset::new(name.to_string(), dim, examples)
+}
+
+/// Run the ingest gate over one block: returns the admitted rows plus
+/// the quarantined indices, or the first failure under `Reject`.
+fn validate_rows<F: FeatureVec>(
+    rows: Vec<Example<F>>,
+    dim: usize,
+    domain: LabelDomain,
+    policy: IngestPolicy,
+) -> Result<(Vec<Example<F>>, Vec<usize>), IngestError> {
+    let mut admitted = Vec::with_capacity(rows.len());
+    let mut quarantined = Vec::new();
+    for (index, row) in rows.into_iter().enumerate() {
+        let verdict = if row.x.dim() != dim {
+            Some(IngestError::DimMismatch {
+                index,
+                expected: dim,
+                found: row.x.dim(),
+            })
+        } else if !row.x.all_finite() {
+            Some(IngestError::InvalidRow {
+                index,
+                reason: "non-finite feature value".to_string(),
+            })
+        } else {
+            match domain.validate(row.y) {
+                Ok(()) => None,
+                Err(reason) => Some(IngestError::InvalidRow { index, reason }),
+            }
+        };
+        match (verdict, policy) {
+            (None, _) => admitted.push(row),
+            (Some(err), IngestPolicy::Reject) => return Err(err),
+            (Some(_), IngestPolicy::Quarantine) => quarantined.push(index),
+        }
+    }
+    Ok((admitted, quarantined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::DenseVec;
+
+    fn row(v: f64, y: f64) -> Example<DenseVec> {
+        Example {
+            x: DenseVec::new(vec![v, -v]),
+            y,
+        }
+    }
+
+    fn pool(policy: IngestPolicy) -> StreamingPool<DenseVec> {
+        StreamingPool::new(
+            "t",
+            2,
+            vec![row(1.0, 0.0), row(2.0, 1.0)],
+            vec![row(3.0, 1.0)],
+            LabelDomain::Binary01,
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn appends_bump_epochs_and_snapshots_pin_prefixes() {
+        let p = pool(IngestPolicy::Reject);
+        assert_eq!(p.epoch(), 0);
+        let snap0 = p.snapshot();
+
+        let r1 = p.append(vec![row(4.0, 0.0), row(5.0, 1.0)]).unwrap();
+        assert_eq!(r1.epoch, 1);
+        assert_eq!(r1.accepted, 2);
+        let r2 = p.append_holdout(vec![row(6.0, 0.0)]).unwrap();
+        assert_eq!(r2.epoch, 2);
+
+        // The pre-append snapshot is untouched by later writes.
+        assert_eq!(snap0.epoch(), 0);
+        assert_eq!(snap0.train_len(), 2);
+        assert_eq!(snap0.holdout_len(), 1);
+        let d0 = snap0.train_dataset();
+        assert_eq!(d0.len(), 2);
+        assert_eq!(d0.get(1).x.as_slice(), &[2.0, -2.0]);
+
+        // The current snapshot sees everything, in insertion order.
+        let snap2 = p.snapshot();
+        assert_eq!(snap2.epoch(), 2);
+        assert_eq!(snap2.train_len(), 4);
+        assert_eq!(snap2.holdout_len(), 2);
+        assert_eq!(snap2.train_dataset().get(3).x.as_slice(), &[5.0, -5.0]);
+
+        // Past epochs stay reconstructible as prefixes.
+        let snap1 = p.snapshot_at(1).unwrap();
+        assert_eq!(snap1.train_len(), 4);
+        assert_eq!(snap1.holdout_len(), 1);
+        assert!(p.snapshot_at(3).is_none());
+        assert_eq!(
+            p.mark_at(2),
+            Some(EpochMark {
+                epoch: 2,
+                train_len: 4,
+                holdout_len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn snapshot_matches_incremental_dataset() {
+        // A snapshot's materialized dataset equals building the same
+        // dataset by hand from the admitted rows in order.
+        let p = pool(IngestPolicy::Reject);
+        p.append(vec![row(7.0, 1.0)]).unwrap();
+        p.append(vec![row(8.0, 0.0), row(9.0, 1.0)]).unwrap();
+        let snap = p.snapshot();
+        let d = snap.train_dataset();
+        let expect = [1.0, 2.0, 7.0, 8.0, 9.0];
+        assert_eq!(d.len(), expect.len());
+        for (i, v) in expect.iter().enumerate() {
+            assert_eq!(d.get(i).x.as_slice(), &[*v, -*v]);
+        }
+    }
+
+    #[test]
+    fn reject_policy_is_atomic() {
+        let p = pool(IngestPolicy::Reject);
+        let err = p.append(vec![row(1.0, 0.0), row(2.0, 0.5)]).unwrap_err();
+        assert!(matches!(err, IngestError::InvalidRow { index: 1, .. }));
+        // Nothing from the failed block is visible.
+        assert_eq!(p.epoch(), 0);
+        assert_eq!(p.snapshot().train_len(), 2);
+    }
+
+    #[test]
+    fn quarantine_policy_skips_and_reports() {
+        let p = pool(IngestPolicy::Quarantine);
+        let bad_feature = Example {
+            x: DenseVec::new(vec![f64::NAN, 0.0]),
+            y: 1.0,
+        };
+        let r = p
+            .append(vec![
+                row(1.0, 0.0),
+                bad_feature,
+                row(2.0, 2.0),
+                row(3.0, 1.0),
+            ])
+            .unwrap();
+        assert_eq!(r.accepted, 2);
+        assert_eq!(r.quarantined, vec![1, 2]);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(p.snapshot().train_len(), 4);
+
+        // A fully-quarantined block is a no-op: no epoch bump.
+        let r = p.append(vec![row(1.0, 7.0)]).unwrap();
+        assert_eq!(r.accepted, 0);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(p.epoch(), 1);
+    }
+
+    #[test]
+    fn dim_mismatch_is_typed() {
+        let p = pool(IngestPolicy::Reject);
+        let wide = Example {
+            x: DenseVec::new(vec![1.0, 2.0, 3.0]),
+            y: 0.0,
+        };
+        let err = p.append(vec![wide]).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::DimMismatch {
+                index: 0,
+                expected: 2,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn label_domains_validate() {
+        assert!(LabelDomain::AnyFinite.validate(-3.5).is_ok());
+        assert!(LabelDomain::AnyFinite.validate(f64::INFINITY).is_err());
+        assert!(LabelDomain::Binary01.validate(1.0).is_ok());
+        assert!(LabelDomain::Binary01.validate(0.5).is_err());
+        assert!(LabelDomain::ClassIndex(5).validate(4.0).is_ok());
+        assert!(LabelDomain::ClassIndex(5).validate(5.0).is_err());
+        assert!(LabelDomain::ClassIndex(5).validate(1.5).is_err());
+        assert!(LabelDomain::NonNegativeCount.validate(12.0).is_ok());
+        assert!(LabelDomain::NonNegativeCount.validate(-1.0).is_err());
+        assert!(LabelDomain::NonNegativeCount.validate(0.25).is_err());
+        assert!(LabelDomain::Unused.validate(f64::NAN).is_ok());
+    }
+
+    #[test]
+    fn holdout_rows_window_clamps() {
+        let p = pool(IngestPolicy::Reject);
+        p.append_holdout(vec![row(10.0, 0.0), row(11.0, 1.0)])
+            .unwrap();
+        let snap = p.snapshot();
+        let rows = snap.holdout_rows(1, 100);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].x.as_slice(), &[10.0, -10.0]);
+        assert!(snap.holdout_rows(3, 3).is_empty());
+        // The old snapshot's window never sees the appended rows.
+        let snap0 = p.snapshot_at(0).unwrap();
+        assert_eq!(snap0.holdout_rows(0, 100).len(), 1);
+    }
+}
