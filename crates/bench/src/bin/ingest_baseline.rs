@@ -324,9 +324,6 @@ fn main() {
         "incremental_stats": incremental_stats,
         "drift_serving": drift_serving,
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_ingest.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_ingest.json", &doc);
     println!("\nwrote {}", path.display());
 }

@@ -173,9 +173,6 @@ fn main() {
         "chunk_size": blinkml_data::parallel::CHUNK_SIZE,
         "pairs": Value::Array(entries),
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_pipeline.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_pipeline.json", &doc);
     println!("\nwrote {}", path.display());
 }

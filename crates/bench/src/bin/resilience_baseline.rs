@@ -324,9 +324,6 @@ fn main() {
         "unloaded": unloaded,
         "overload": overload,
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_resilience.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_resilience.json", &doc);
     println!("\nwrote {}", path.display());
 }

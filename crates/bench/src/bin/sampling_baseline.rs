@@ -381,9 +381,6 @@ fn main() {
         "sample_capture": sample_capture,
         "exactness": exactness,
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_sampling.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_sampling.json", &doc);
     println!("\nwrote {}", path.display());
 }

@@ -310,9 +310,6 @@ fn main() {
         "pilot_path": pilot_path,
         "exactness": exactness,
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_serving.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_serving.json", &doc);
     println!("\nwrote {}", path.display());
 }

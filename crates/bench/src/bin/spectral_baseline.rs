@@ -215,9 +215,6 @@ fn main() {
         "statistics_phase": statistics_phase,
         "estimate_quality": estimate_quality,
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_spectral.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_spectral.json", &doc);
     println!("\nwrote {}", path.display());
 }

@@ -277,9 +277,6 @@ fn main() {
         "exact_replay": exact_replay,
         "path_follow": path_follow,
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_sweep.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_sweep.json", &doc);
     println!("\nwrote {}", path.display());
 }

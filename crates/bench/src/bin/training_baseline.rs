@@ -261,10 +261,7 @@ fn main() {
         "single_eval_logistic": single_eval,
         "coordinator": coordinator,
     });
-    let dir = blinkml_bench::report::results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("BENCH_training.json");
-    std::fs::write(&path, format!("{doc}\n")).expect("write baseline");
+    let path = blinkml_bench::report::write_baseline("BENCH_training.json", &doc);
     println!("\nwrote {}", path.display());
 }
 

@@ -140,6 +140,28 @@ pub fn append_result(experiment: &str, json: &serde_json::Value) {
     }
 }
 
+/// Write one `results/BENCH_*.json` baseline document atomically:
+/// the bytes land in a same-directory temp file which is fsynced and
+/// renamed over the target, so a crash (or a SIGKILLed bench run) can
+/// never leave a truncated or interleaved baseline behind — readers
+/// see either the old document or the new one, whole.
+///
+/// Panics on I/O failure: a baseline run whose results cannot be
+/// captured has nothing to report.
+pub fn write_baseline(filename: &str, doc: &serde_json::Value) -> PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(filename);
+    let tmp = dir.join(format!("{filename}.tmp.{}", std::process::id()));
+    let mut f = std::fs::File::create(&tmp).expect("create temp baseline");
+    f.write_all(format!("{doc}\n").as_bytes())
+        .expect("write baseline");
+    f.sync_all().expect("sync baseline");
+    drop(f);
+    std::fs::rename(&tmp, &path).expect("publish baseline");
+    path
+}
+
 /// The results directory (override with `BLINKML_RESULTS_DIR`).
 pub fn results_dir() -> PathBuf {
     std::env::var_os("BLINKML_RESULTS_DIR")

@@ -209,7 +209,7 @@ impl ShedPolicy {
 /// resilience knobs decide *which rung* of the degradation ladder a
 /// query resolves to under pressure, and every rung's response is
 /// itself bit-reproducible by a cold coordinator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads processing queries (each owns its capture
     /// scratch). Workers share the process-wide execution budget
@@ -268,6 +268,14 @@ pub struct ServeConfig {
     /// the previous epoch's θ₀ and falls back to cold start on
     /// line-search failure, exactly like the sweep engine's rule.
     pub warm_start: WarmStartPolicy,
+    /// Warm-state sidecar file for the pilot cache. When set, the
+    /// server persists every cached pilot (plus the per-dataset epoch
+    /// floors) to this path at shutdown — atomically, via temp + rename
+    /// — and reloads it at spawn, revalidated against the registered
+    /// datasets and their recovered epochs. A missing or damaged
+    /// sidecar is ignored (the server starts cold); correctness never
+    /// depends on it. `None` (the default) disables warm restore.
+    pub pilot_sidecar: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -286,6 +294,7 @@ impl Default for ServeConfig {
             drift_fail: 1.0,
             max_stale_epochs: u64::MAX,
             warm_start: WarmStartPolicy::ExactReplay,
+            pilot_sidecar: None,
         }
     }
 }

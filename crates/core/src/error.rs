@@ -35,6 +35,17 @@ pub enum CoreError {
     /// could produce any model with a guarantee (deadline expired
     /// before or during the pilot phase).
     Cancelled,
+    /// A durable pool's log or snapshot is damaged mid-file (a CRC
+    /// mismatch with complete records after it, a malformed record, an
+    /// inconsistent epoch mark). Distinct from a torn tail, which
+    /// recovery truncates silently: this error means acknowledged data
+    /// may be unrecoverable and needs operator attention.
+    CorruptLog {
+        /// Byte offset of the damage within the file.
+        offset: u64,
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl CoreError {
@@ -65,6 +76,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Cancelled => {
                 write!(f, "run cancelled before a guaranteed model was available")
+            }
+            CoreError::CorruptLog { offset, reason } => {
+                write!(f, "corrupt durability log at byte {offset}: {reason}")
             }
         }
     }
@@ -106,6 +120,23 @@ impl From<blinkml_data::IngestError> for CoreError {
                 index,
                 reason: format!("dimension {found} does not match the pool's {expected}"),
             },
+            blinkml_data::IngestError::Durability(reason) => {
+                CoreError::InvalidData(format!("append not durable, rows not admitted: {reason}"))
+            }
+        }
+    }
+}
+
+impl From<blinkml_data::WalError> for CoreError {
+    fn from(e: blinkml_data::WalError) -> Self {
+        match e {
+            blinkml_data::WalError::Corrupt { offset, reason } => {
+                CoreError::CorruptLog { offset, reason }
+            }
+            blinkml_data::WalError::Io(io) => {
+                CoreError::InvalidData(format!("durability I/O failure: {io}"))
+            }
+            blinkml_data::WalError::Rejected(ingest) => ingest.into(),
         }
     }
 }
@@ -144,6 +175,13 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("dimension 5"));
+        let e: CoreError = blinkml_data::WalError::Corrupt {
+            offset: 42,
+            reason: "record CRC mismatch".into(),
+        }
+        .into();
+        assert!(matches!(e, CoreError::CorruptLog { offset: 42, .. }));
+        assert!(e.to_string().contains("byte 42"));
     }
 
     #[test]

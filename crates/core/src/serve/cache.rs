@@ -42,6 +42,11 @@ use std::sync::{Arc, Condvar, Mutex};
 /// `n₀` share one pilot — the same rule `Session` uses.
 pub type PilotKey = (u64, u64, usize, u64);
 
+/// A cache image crossing the warm-state sidecar boundary: every
+/// entry in recency order (oldest first) plus the per-dataset epoch
+/// floors.
+pub type WarmImage = (Vec<(PilotKey, Arc<PilotState>)>, HashMap<u64, u64>);
+
 /// A keyed LRU over pilot artifacts.
 ///
 /// Eviction is least-recently-*used* (hits refresh recency), with a
@@ -148,6 +153,16 @@ impl PilotLru {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.by_tick.clear();
+    }
+
+    /// Every entry in recency order, **oldest first** — replaying the
+    /// list through [`PilotLru::insert`] reproduces the same eviction
+    /// order, which is how the warm-state sidecar round-trips recency.
+    pub fn export(&self) -> Vec<(PilotKey, Arc<PilotState>)> {
+        self.by_tick
+            .values()
+            .map(|key| (*key, self.entries[key].0.clone()))
+            .collect()
     }
 }
 
@@ -334,6 +349,38 @@ impl PilotCache {
     /// Drop every cached pilot (in-flight entries are untouched).
     pub fn clear(&self) {
         self.lock().lru.clear();
+    }
+
+    /// Snapshot the cache for the warm-state sidecar: every entry in
+    /// recency order (oldest first) plus the per-dataset epoch floors.
+    pub fn export(&self) -> WarmImage {
+        let state = self.lock();
+        (state.lru.export(), state.floors.clone())
+    }
+
+    /// Seed the cache from a persisted sidecar: floors are applied
+    /// first (monotone, like [`PilotCache::retire`]), then entries are
+    /// inserted oldest-first so recency survives the roundtrip. An
+    /// entry below its dataset's floor is never admitted. Returns how
+    /// many entries were admitted.
+    pub fn seed(
+        &self,
+        entries: Vec<(PilotKey, Arc<PilotState>)>,
+        floors: HashMap<u64, u64>,
+    ) -> usize {
+        let mut state = self.lock();
+        for (dataset, floor) in floors {
+            let entry = state.floors.entry(dataset).or_insert(0);
+            *entry = (*entry).max(floor);
+        }
+        let mut admitted = 0;
+        for (key, pilot) in entries {
+            if state.floors.get(&key.0).is_none_or(|&floor| key.1 >= floor) {
+                state.lru.insert(key, pilot);
+                admitted += 1;
+            }
+        }
+        admitted
     }
 }
 

@@ -95,9 +95,23 @@
 //! [`WarmStartPolicy::ExactReplay`]. [`Server::advance_epoch`] retires
 //! superseded cache entries eagerly; the cache's floor keeps a
 //! mid-coalesce completion for a superseded epoch out of the LRU.
+//!
+//! # Warm restart
+//!
+//! [`ServeConfig::pilot_sidecar`] names a file the server writes its
+//! pilot cache to at shutdown (atomically) and reloads at spawn, so a
+//! restarted server answers its first queries from warm pilots — bit-
+//! identical to the uninterrupted server's answers — instead of
+//! retraining them. Restored entries are revalidated against the
+//! registered datasets and their recovered epochs; see the `sidecar`
+//! module docs for the contract. Pair it with durable
+//! [`StreamingPool`]s (`StreamingPool::open`) to bring a crashed
+//! serving process back bit-exactly: the WAL recovers the data, the
+//! sidecar recovers the warm state.
 
 pub(crate) mod cache;
 pub mod resilience;
+pub(crate) mod sidecar;
 
 use crate::config::{BlinkMlConfig, ServeConfig, ShedPolicy, WarmStartPolicy};
 use crate::coordinator::{
@@ -485,6 +499,9 @@ pub struct ServerStats {
     pub cached_pilots: usize,
     /// Live in-flight pilot computations (0 when idle).
     pub inflight: usize,
+    /// Pilots restored from the warm-state sidecar at spawn (0 when
+    /// [`ServeConfig::pilot_sidecar`] is unset or the file was absent).
+    pub warm_pilots: u64,
 }
 
 #[derive(Debug, Default)]
@@ -746,6 +763,8 @@ pub struct Server {
     /// generic and live in the owner thread; the handle only ever needs
     /// their epoch counter, for [`Server::advance_epoch`]).
     stream_epochs: HashMap<u64, Arc<dyn Fn() -> u64 + Send + Sync>>,
+    /// Pilots admitted from the warm-state sidecar at spawn.
+    warm_pilots: u64,
     owner: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -838,6 +857,32 @@ impl Server {
             let pool = stream.pool.clone();
             stream_epochs.insert(stream.id, Arc::new(move || pool.epoch()));
         }
+        // Warm restore: read the pilot sidecar (when configured) before
+        // any worker starts. Best-effort — a missing or damaged sidecar
+        // means a cold start, never a spawn error. Entries are
+        // revalidated here: the dataset must be registered with *this*
+        // server, and the pilot's epoch must exist on the (possibly
+        // crash-recovered) pool — a durable pool that lost an unsynced
+        // tail recovers to an earlier epoch, and pilots for the lost
+        // epochs describe snapshots that no longer exist. Persisted
+        // floors are re-applied by the seed, so retired epochs stay
+        // retired across restarts.
+        let mut warm_entries = Vec::new();
+        let mut warm_floors = HashMap::new();
+        if let Some(path) = &serve.pilot_sidecar {
+            if let Ok((entries, floors)) = sidecar::load(path) {
+                warm_entries = entries
+                    .into_iter()
+                    .filter(|(key, _)| match versions.get(&key.0) {
+                        Some(Target::Static(_)) => key.1 == 0,
+                        Some(Target::Stream(_)) => stream_epochs[&key.0]() >= key.1,
+                        None => false,
+                    })
+                    .collect();
+                warm_floors = floors;
+            }
+        }
+        let worker_count = serve.workers;
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             cv: Condvar::new(),
@@ -845,7 +890,7 @@ impl Server {
             stats: StatCounters::default(),
             serve,
         });
-        let worker_count = serve.workers;
+        let warm_pilots = shared.cache.seed(warm_entries, warm_floors) as u64;
         let owner = {
             let shared = shared.clone();
             std::thread::spawn(move || {
@@ -891,6 +936,7 @@ impl Server {
             shared,
             versions,
             stream_epochs,
+            warm_pilots,
             owner: Some(owner),
         })
     }
@@ -1011,7 +1057,23 @@ impl Server {
             pilots_retired: self.shared.cache.retired(),
             cached_pilots: self.shared.cache.cached(),
             inflight: self.shared.cache.inflight(),
+            warm_pilots: self.warm_pilots,
         }
+    }
+
+    /// Write the pilot cache to the configured
+    /// [`ServeConfig::pilot_sidecar`] right now (shutdown does this
+    /// automatically; call this for periodic checkpoints in a
+    /// long-lived server). Returns how many pilots were persisted. The
+    /// write is atomic (temp + rename): a crash mid-persist leaves the
+    /// previous sidecar intact.
+    pub fn persist_pilots(&self) -> Result<usize, CoreError> {
+        let path = self.shared.serve.pilot_sidecar.as_ref().ok_or_else(|| {
+            CoreError::InvalidConfig("no pilot_sidecar configured for this server".into())
+        })?;
+        let (entries, floors) = self.shared.cache.export();
+        sidecar::save(path, &entries, &floors)
+            .map_err(|e| CoreError::InvalidData(format!("pilot sidecar write failed: {e}")))
     }
 
     /// Drop every cached pilot (e.g. to bound memory in a long-lived
@@ -1101,6 +1163,14 @@ impl Server {
         self.shared.cv.notify_all();
         if let Some(owner) = self.owner.take() {
             let _ = owner.join();
+            // Persist the warm-state sidecar after the workers joined,
+            // so the export sees every drained completion. Best-effort:
+            // shutdown never fails because a checkpoint could not be
+            // written (use `persist_pilots` to observe errors).
+            if let Some(path) = &self.shared.serve.pilot_sidecar {
+                let (entries, floors) = self.shared.cache.export();
+                let _ = sidecar::save(path, &entries, &floors);
+            }
         }
     }
 }

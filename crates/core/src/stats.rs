@@ -42,8 +42,14 @@ const EIGEN_TOLERANCE: f64 = 1e-10;
 const PROBE_EPSILON: f64 = 1e-6;
 
 /// A factor `L` with `L Lᵀ = H⁻¹ J H⁻¹`, in explicit or implicit form.
+///
+/// `pub(crate)` (not `pub`) so the warm-state sidecar can serialize the
+/// factor **in its stored form** — an implicit factor must round-trip
+/// as implicit, because the explicit and implicit branches take
+/// different (bit-exact but distinct) floating-point paths when
+/// sampling parameter draws.
 #[derive(Debug, Clone)]
-enum Factor {
+pub(crate) enum Factor {
     /// Dense `D × k` factor.
     Explicit(Matrix),
     /// Implicit factor through the gradient rows:
@@ -72,6 +78,16 @@ impl ModelStatistics {
     /// Parameter dimension `D`.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The stored covariance factor (sidecar serialization only).
+    pub(crate) fn factor(&self) -> &Factor {
+        &self.factor
+    }
+
+    /// Rebuild statistics from a deserialized factor (sidecar only).
+    pub(crate) fn from_parts(dim: usize, factor: Factor) -> Self {
+        ModelStatistics { dim, factor }
     }
 
     /// Rank of the factor (number of standard-normal inputs consumed per

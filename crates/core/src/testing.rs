@@ -9,6 +9,7 @@ use crate::mcs::{ModelClassSpec, TrainedModel};
 use crate::serve::resilience::{relax_active_deadline, trip_active_deadline};
 use blinkml_data::{Dataset, FeatureVec, MatrixView, TrainScratch};
 use blinkml_optim::OptimOptions;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -405,4 +406,95 @@ impl FaultPlan {
             self.final_seen.load(Ordering::SeqCst),
         )
     }
+
+    /// Script a WAL crash image: at the `occurrence`-th entry of
+    /// `site`, freeze a copy of the durable pool directory `src` into
+    /// `dst` and apply `fault` to the copy — simulating a crash at a
+    /// deterministic mid-query point without disturbing the live pool.
+    /// The test then opens `dst` as the "restarted" pool.
+    pub fn at_wal_crash(
+        self,
+        site: FaultSite,
+        occurrence: usize,
+        src: PathBuf,
+        dst: PathBuf,
+        fault: WalFault,
+    ) -> Self {
+        self.at_call(site, occurrence, move || {
+            crash_image(&src, &dst, &[fault]).expect("failed to freeze WAL crash image");
+        })
+    }
+}
+
+/// A scripted durability fault, applied to a (copy of a) durable pool
+/// directory to simulate what a crash can leave on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFault {
+    /// Truncate `wal.log` to this many bytes — a torn final write or a
+    /// lost unsynced suffix. Recovery must silently truncate back to
+    /// the last committed group boundary at or before this point.
+    TruncateLogAt(u64),
+    /// XOR one byte of `wal.log` at this offset with `0x40` — mid-log
+    /// damage inside a complete record. Recovery must refuse the log
+    /// with a typed `CorruptLog` error, never resynchronize past it.
+    FlipLogByte(u64),
+    /// Truncate `snapshot.bin` to this many bytes — a torn snapshot
+    /// (impossible under the atomic temp + rename protocol, kept in
+    /// the vocabulary to pin that recovery *rejects* rather than
+    /// misreads one).
+    TruncateSnapshotAt(u64),
+}
+
+/// Apply one scripted [`WalFault`] to the durable pool directory `dir`.
+pub fn apply_wal_fault(dir: &Path, fault: WalFault) -> std::io::Result<()> {
+    use std::fs;
+    match fault {
+        WalFault::TruncateLogAt(len) => {
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(blinkml_data::wal::log_path(dir))?;
+            f.set_len(len)
+        }
+        WalFault::FlipLogByte(offset) => {
+            let path = blinkml_data::wal::log_path(dir);
+            let mut bytes = fs::read(&path)?;
+            let byte = bytes.get_mut(offset as usize).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("flip offset {offset} beyond log length"),
+                )
+            })?;
+            *byte ^= 0x40;
+            fs::write(&path, &bytes)
+        }
+        WalFault::TruncateSnapshotAt(len) => {
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(blinkml_data::wal::snapshot_path(dir))?;
+            f.set_len(len)
+        }
+    }
+}
+
+/// Freeze a crash image: copy the durable pool files (`snapshot.bin`,
+/// `wal.log`) from `src` into `dst` (created if absent) and apply each
+/// scripted fault to the **copy**. The live pool at `src` is never
+/// touched, so a test can keep appending to it while the frozen image
+/// plays the role of the machine that died.
+pub fn crash_image(src: &Path, dst: &Path, faults: &[WalFault]) -> std::io::Result<()> {
+    use std::fs;
+    fs::create_dir_all(dst)?;
+    for path_of in [
+        blinkml_data::wal::snapshot_path,
+        blinkml_data::wal::log_path,
+    ] {
+        let from = path_of(src);
+        if from.exists() {
+            fs::copy(&from, path_of(dst))?;
+        }
+    }
+    for &fault in faults {
+        apply_wal_fault(dst, fault)?;
+    }
+    Ok(())
 }

@@ -99,6 +99,11 @@ impl<F: FeatureVec> Dataset<F> {
         &self.examples
     }
 
+    /// Take ownership of the examples (drops the dataset shell).
+    pub fn into_examples(self) -> Vec<Example<F>> {
+        self.examples
+    }
+
     /// Iterate over examples.
     pub fn iter(&self) -> std::slice::Iter<'_, Example<F>> {
         self.examples.iter()

@@ -24,6 +24,26 @@ pub enum IoError {
         /// Description of the problem.
         message: String,
     },
+    /// A failure loading a specific file: the underlying error wrapped
+    /// with the offending path (produced by the `load_*_file` helpers,
+    /// which would otherwise surface a bare error with no way to tell
+    /// *which* file was unreadable or malformed).
+    File {
+        /// The path passed to the loader.
+        path: String,
+        /// The underlying error (line numbers stay 1-based).
+        source: Box<IoError>,
+    },
+}
+
+impl IoError {
+    /// Wrap this error with the file path it arose from.
+    fn for_path(self, path: &Path) -> IoError {
+        IoError::File {
+            path: path.display().to_string(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for IoError {
@@ -31,11 +51,20 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::File { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+            IoError::File { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
@@ -194,20 +223,26 @@ pub fn write_csv<W: Write>(dataset: &Dataset<DenseVec>, writer: W) -> Result<(),
     Ok(())
 }
 
-/// Convenience: load LIBSVM from a path.
+/// Convenience: load LIBSVM from a path. Errors (unreadable file or
+/// malformed content) carry the path via [`IoError::File`].
 pub fn load_libsvm_file(
     path: impl AsRef<Path>,
     dim: Option<usize>,
 ) -> Result<Dataset<SparseVec>, IoError> {
-    read_libsvm(std::fs::File::open(path)?, dim)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| IoError::Io(e).for_path(path))?;
+    read_libsvm(file, dim).map_err(|e| e.for_path(path))
 }
 
-/// Convenience: load CSV from a path.
+/// Convenience: load CSV from a path. Errors (unreadable file or
+/// malformed content) carry the path via [`IoError::File`].
 pub fn load_csv_file(
     path: impl AsRef<Path>,
     label_column: usize,
 ) -> Result<Dataset<DenseVec>, IoError> {
-    read_csv(std::fs::File::open(path)?, label_column)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| IoError::Io(e).for_path(path))?;
+    read_csv(file, label_column).map_err(|e| e.for_path(path))
 }
 
 #[cfg(test)]
@@ -314,5 +349,32 @@ mod tests {
         let data = load_libsvm_file(&path, None).unwrap();
         assert_eq!(data.len(), 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_helper_errors_carry_the_path() {
+        let dir = std::env::temp_dir();
+
+        // Missing file: the path appears in the message.
+        let missing = dir.join("blinkml_io_no_such_file.libsvm");
+        let err = load_libsvm_file(&missing, None).unwrap_err();
+        assert!(matches!(err, IoError::File { .. }));
+        assert!(err.to_string().contains("blinkml_io_no_such_file"));
+
+        // Malformed content: both the path and the 1-based line number
+        // survive the wrapping.
+        let bad = dir.join("blinkml_io_bad.csv");
+        std::fs::write(&bad, "1,2\n1,abc\n").unwrap();
+        let err = load_csv_file(&bad, 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("blinkml_io_bad.csv"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        match err {
+            IoError::File { source, .. } => {
+                assert!(matches!(*source, IoError::Parse { line: 2, .. }))
+            }
+            other => panic!("expected File wrapper, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&bad);
     }
 }

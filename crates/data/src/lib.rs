@@ -25,6 +25,10 @@
 //!   ([`LabelDomain`], [`IngestPolicy`]): the substrate of the serve
 //!   layer's streaming path, where every query trains and reports
 //!   against one consistent epoch,
+//! * [`wal`] — write-ahead durability for streaming pools: a
+//!   CRC-checksummed record log plus snapshot compaction, so
+//!   `StreamingPool::open` reconstructs a crashed pool's committed
+//!   epoch-prefix state bit-exactly,
 //! * [`parallel`] — the workspace's deterministic execution facade
 //!   (fixed-chunk parallel maps and reductions, re-exported from
 //!   `blinkml_linalg::exec`) used by every embarrassingly parallel hot
@@ -38,6 +42,7 @@ pub mod io;
 pub mod matrix;
 pub mod parallel;
 pub mod stream;
+pub mod wal;
 
 pub use dataset::{Dataset, Example, IndexView, Split};
 pub use features::{DenseVec, FeatureVec, SparseVec};
@@ -47,5 +52,7 @@ pub use matrix::{
 };
 pub use parallel::par_ranges;
 pub use stream::{
-    AppendReceipt, EpochMark, IngestError, IngestPolicy, LabelDomain, StreamSnapshot, StreamingPool,
+    AppendReceipt, EpochMark, IngestError, IngestPolicy, LabelDomain, QuarantineReceipt,
+    StreamSnapshot, StreamingPool,
 };
+pub use wal::{DurableOptions, SyncPolicy, WalError, WalRow};

@@ -31,7 +31,9 @@
 
 use crate::dataset::{Dataset, Example};
 use crate::features::FeatureVec;
+use crate::wal::{self, DurableOptions, WalError, WalRecord, WalRow, WalWriter};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 /// The set of labels a model class accepts, enforced at append time.
@@ -125,6 +127,10 @@ pub enum IngestError {
         /// The row's feature dimension.
         found: usize,
     },
+    /// A durable pool could not write the append's WAL group. The rows
+    /// were **not** admitted: in-memory state never mutates before its
+    /// log group is on disk, so a failed append is invisible.
+    Durability(String),
 }
 
 impl fmt::Display for IngestError {
@@ -141,11 +147,31 @@ impl fmt::Display for IngestError {
                 f,
                 "row {index} has dimension {found} but the pool has {expected}"
             ),
+            IngestError::Durability(reason) => {
+                write!(f, "append not durable, rows not admitted: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for IngestError {}
+
+/// The retained record of one append's quarantined rows.
+///
+/// Receipts returned inline by [`StreamingPool::append`] are also kept
+/// in pool state (and persisted by durable pools), so an operator can
+/// audit every skipped row even across a restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineReceipt {
+    /// The append attempt's monotone sequence number (0 = seed rows).
+    pub seq: u64,
+    /// The pool epoch after the append was applied.
+    pub epoch: u64,
+    /// Whether the append targeted the holdout side.
+    pub holdout: bool,
+    /// Block-relative indices of the skipped rows.
+    pub quarantined: Vec<usize>,
+}
 
 /// The pool's row counts at one epoch: the watermark a snapshot pins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +191,29 @@ struct PoolState<F> {
     epoch: u64,
     /// One mark per epoch, in epoch order (`marks[e] == epoch e`).
     marks: Vec<EpochMark>,
+    /// Monotone append-attempt counter (0 = the seed rows); every
+    /// append that admits or quarantines at least one row bumps it.
+    seq: u64,
+    /// Retained quarantine receipts, in sequence order.
+    receipts: Vec<QuarantineReceipt>,
+    /// WAL machinery, present only for durable pools.
+    durable: Option<Durability<F>>,
+}
+
+/// The write-ahead half of a durable pool. Lives inside `PoolState` so
+/// log order is state order: the append lock serializes both.
+struct Durability<F> {
+    dir: PathBuf,
+    writer: WalWriter,
+    /// Monomorphized row encoder, captured at construction where the
+    /// `WalRow` bound is in scope (plain appends stay bound-free).
+    encode_row: fn(&Example<F>, &mut Vec<u8>),
+    /// Reused group-encode buffer: append groups run to hundreds of
+    /// kilobytes, where a fresh `Vec` per append costs an mmap round
+    /// trip plus first-touch page faults on the hot path.
+    encode_buf: Vec<u8>,
+    compact_every: Option<u64>,
+    appends_since_compact: u64,
 }
 
 /// What an append did: the epoch it produced and which rows it skipped.
@@ -207,13 +256,14 @@ impl<F: FeatureVec> StreamingPool<F> {
         domain: LabelDomain,
         policy: IngestPolicy,
     ) -> Result<Self, IngestError> {
-        let (train, _) = validate_rows(train, dim, domain, policy)?;
-        let (holdout, _) = validate_rows(holdout, dim, domain, policy)?;
+        let (train, train_q) = validate_rows(train, dim, domain, policy)?;
+        let (holdout, holdout_q) = validate_rows(holdout, dim, domain, policy)?;
         let marks = vec![EpochMark {
             epoch: 0,
             train_len: train.len(),
             holdout_len: holdout.len(),
         }];
+        let receipts = seed_receipts(train_q, holdout_q);
         Ok(StreamingPool {
             name: Arc::from(name.into()),
             dim,
@@ -224,6 +274,9 @@ impl<F: FeatureVec> StreamingPool<F> {
                 holdout_blocks: vec![Arc::new(holdout)],
                 epoch: 0,
                 marks,
+                seq: 0,
+                receipts,
+                durable: None,
             }),
         })
     }
@@ -295,28 +348,75 @@ impl<F: FeatureVec> StreamingPool<F> {
     ) -> Result<AppendReceipt, IngestError> {
         let (rows, quarantined) = validate_rows(rows, self.dim, self.domain, self.policy)?;
         let mut st = self.state.write().expect("pool lock");
-        if rows.is_empty() {
+        if rows.is_empty() && quarantined.is_empty() {
+            // A genuinely empty append: no record, no state change.
             return Ok(AppendReceipt {
                 epoch: st.epoch,
                 accepted: 0,
                 quarantined,
             });
         }
+        let seq = st.seq + 1;
         let accepted = rows.len();
-        if holdout {
-            st.holdout_blocks.push(Arc::new(rows));
-        } else {
-            st.train_blocks.push(Arc::new(rows));
+        let next_epoch = if accepted > 0 { st.epoch + 1 } else { st.epoch };
+        let prev = *st.marks.last().expect("mark 0");
+        let mark = (accepted > 0).then_some(EpochMark {
+            epoch: next_epoch,
+            train_len: prev.train_len + if holdout { 0 } else { accepted },
+            holdout_len: prev.holdout_len + if holdout { accepted } else { 0 },
+        });
+
+        // WAL-ahead: the whole group hits the log (one write) before
+        // any in-memory mutation; a failed write admits nothing.
+        if let Some(dur) = st.durable.as_mut() {
+            let mut frames = std::mem::take(&mut dur.encode_buf);
+            wal::encode_group_into(
+                &mut frames,
+                &wal::GroupMeta {
+                    seq,
+                    holdout,
+                    receipt_epoch: next_epoch,
+                    mark,
+                },
+                &rows,
+                &quarantined,
+                dur.encode_row,
+            );
+            let written = dur.writer.append_group(&frames);
+            dur.encode_buf = frames;
+            written.map_err(|e| IngestError::Durability(e.to_string()))?;
         }
-        st.epoch += 1;
-        let mark = EpochMark {
-            epoch: st.epoch,
-            train_len: st.marks.last().expect("mark 0").train_len
-                + if holdout { 0 } else { accepted },
-            holdout_len: st.marks.last().expect("mark 0").holdout_len
-                + if holdout { accepted } else { 0 },
-        };
-        st.marks.push(mark);
+
+        st.seq = seq;
+        if !quarantined.is_empty() {
+            st.receipts.push(QuarantineReceipt {
+                seq,
+                epoch: next_epoch,
+                holdout,
+                quarantined: quarantined.clone(),
+            });
+        }
+        if accepted > 0 {
+            if holdout {
+                st.holdout_blocks.push(Arc::new(rows));
+            } else {
+                st.train_blocks.push(Arc::new(rows));
+            }
+            st.epoch = next_epoch;
+            st.marks.push(mark.expect("mark when rows admitted"));
+        }
+        if let Some(dur) = st.durable.as_mut() {
+            dur.appends_since_compact += 1;
+            if dur
+                .compact_every
+                .is_some_and(|k| dur.appends_since_compact >= k.max(1))
+            {
+                // Compaction is an optimization over a log that is
+                // already durable; a failed attempt leaves the log
+                // intact and retries on the next threshold crossing.
+                let _ = self.compact_locked(&mut st);
+            }
+        }
         Ok(AppendReceipt {
             epoch: st.epoch,
             accepted,
@@ -366,6 +466,321 @@ impl<F: FeatureVec> StreamingPool<F> {
     pub fn marks(&self) -> Vec<EpochMark> {
         self.state.read().expect("pool lock").marks.clone()
     }
+
+    /// All retained quarantine receipts, in sequence order (durable
+    /// pools persist these across restarts).
+    pub fn receipts(&self) -> Vec<QuarantineReceipt> {
+        self.state.read().expect("pool lock").receipts.clone()
+    }
+
+    /// The latest append-attempt sequence number (0 = only seed rows).
+    pub fn seq(&self) -> u64 {
+        self.state.read().expect("pool lock").seq
+    }
+
+    /// Whether this pool writes a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.state.read().expect("pool lock").durable.is_some()
+    }
+
+    /// Current WAL length in bytes (0 for in-memory pools). Crash-
+    /// injection harnesses use this to script truncation offsets.
+    pub fn wal_len(&self) -> u64 {
+        let st = self.state.read().expect("pool lock");
+        st.durable.as_ref().map_or(0, |d| d.writer.len())
+    }
+
+    /// fsync the WAL now, regardless of the configured [`SyncPolicy`]
+    /// (no-op for in-memory pools).
+    ///
+    /// [`SyncPolicy`]: crate::wal::SyncPolicy
+    pub fn sync(&self) -> Result<(), WalError> {
+        let mut st = self.state.write().expect("pool lock");
+        match st.durable.as_mut() {
+            Some(dur) => dur.writer.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Compact now: atomically replace the snapshot with the full pool
+    /// state and truncate the log (no-op for in-memory pools).
+    pub fn compact(&self) -> Result<(), WalError> {
+        let mut st = self.state.write().expect("pool lock");
+        self.compact_locked(&mut st)
+    }
+
+    fn compact_locked(&self, st: &mut PoolState<F>) -> Result<(), WalError> {
+        let Some(encode_row) = st.durable.as_ref().map(|d| d.encode_row) else {
+            return Ok(());
+        };
+        let snapshot = wal::SnapshotState {
+            name: self.name.to_string(),
+            dim: self.dim,
+            domain: self.domain,
+            policy: self.policy,
+            seq: st.seq,
+            epoch: st.epoch,
+            marks: st.marks.clone(),
+            train_blocks: st.train_blocks.clone(),
+            holdout_blocks: st.holdout_blocks.clone(),
+            receipts: st.receipts.clone(),
+        };
+        let dur = st.durable.as_mut().expect("durable checked above");
+        wal::write_snapshot(&dur.dir, &snapshot, encode_row)?;
+        // A crash here leaves the new snapshot plus a log whose
+        // records all carry seq ≤ snapshot.seq: replay skips them.
+        dur.writer.truncate_all()?;
+        dur.appends_since_compact = 0;
+        Ok(())
+    }
+}
+
+impl<F: WalRow> StreamingPool<F> {
+    /// Create a durable pool in (empty) directory `dir`: the seed rows
+    /// pass the ingest gate, become the epoch-0 snapshot on disk, and
+    /// every later append is WAL-logged before it is admitted.
+    ///
+    /// Fails with `AlreadyExists` if `dir` already holds a pool — use
+    /// [`StreamingPool::open`] to recover one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_durable(
+        dir: impl AsRef<Path>,
+        name: impl Into<String>,
+        dim: usize,
+        train: Vec<Example<F>>,
+        holdout: Vec<Example<F>>,
+        domain: LabelDomain,
+        policy: IngestPolicy,
+        options: DurableOptions,
+    ) -> Result<Self, WalError> {
+        let dir = dir.as_ref();
+        let (train, train_q) = validate_rows(train, dim, domain, policy)?;
+        let (holdout, holdout_q) = validate_rows(holdout, dim, domain, policy)?;
+        std::fs::create_dir_all(dir)?;
+        if wal::snapshot_path(dir).exists() {
+            return Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already holds a pool; use open()", dir.display()),
+            )));
+        }
+        let name: String = name.into();
+        let marks = vec![EpochMark {
+            epoch: 0,
+            train_len: train.len(),
+            holdout_len: holdout.len(),
+        }];
+        let receipts = seed_receipts(train_q, holdout_q);
+        let snapshot = wal::SnapshotState {
+            name: name.clone(),
+            dim,
+            domain,
+            policy,
+            seq: 0,
+            epoch: 0,
+            marks: marks.clone(),
+            train_blocks: vec![Arc::new(train)],
+            holdout_blocks: vec![Arc::new(holdout)],
+            receipts: receipts.clone(),
+        };
+        wal::write_snapshot(dir, &snapshot, wal::encode_example::<F>)?;
+        let writer = WalWriter::create(&wal::log_path(dir), options.sync)?;
+        Ok(StreamingPool {
+            name: Arc::from(name),
+            dim,
+            domain,
+            policy,
+            state: RwLock::new(PoolState {
+                train_blocks: snapshot.train_blocks,
+                holdout_blocks: snapshot.holdout_blocks,
+                epoch: 0,
+                marks,
+                seq: 0,
+                receipts,
+                durable: Some(Durability {
+                    dir: dir.to_path_buf(),
+                    writer,
+                    encode_row: wal::encode_example::<F>,
+                    encode_buf: Vec::new(),
+                    compact_every: options.compact_every,
+                    appends_since_compact: 0,
+                }),
+            }),
+        })
+    }
+
+    /// Recover a durable pool: read the snapshot, replay the log, and
+    /// reconstruct **exactly** the committed epoch-prefix state.
+    ///
+    /// An interrupted trailing append (a torn final record, or a group
+    /// the crash cut before its `Mark`) is truncated silently — it was
+    /// never acknowledged. Damage anywhere else (a CRC mismatch with
+    /// complete records after it, a malformed record, an inconsistent
+    /// mark) fails with [`WalError::Corrupt`].
+    pub fn open(dir: impl AsRef<Path>, options: DurableOptions) -> Result<Self, WalError> {
+        let dir = dir.as_ref();
+        let snap = wal::read_snapshot::<F>(dir)?;
+        let (records, file_len) = wal::scan_log::<F>(&wal::log_path(dir))?;
+
+        let mut epoch = snap.epoch;
+        let mut marks = snap.marks;
+        let mut train_blocks = snap.train_blocks;
+        let mut holdout_blocks = snap.holdout_blocks;
+        let mut receipts = snap.receipts;
+        let mut seq = snap.seq;
+        // Log offset of the last committed group boundary; everything
+        // past it is an unacknowledged tail and gets truncated.
+        let mut committed: u64 = 0;
+        let mut pending: Option<(u64, bool, Vec<Example<F>>)> = None;
+        let mut pending_receipt: Option<QuarantineReceipt> = None;
+        for scanned in records {
+            let end = scanned.end;
+            let rec_seq = match &scanned.record {
+                WalRecord::Append { seq, .. }
+                | WalRecord::Receipt { seq, .. }
+                | WalRecord::Mark { seq, .. } => *seq,
+            };
+            if rec_seq <= snap.seq {
+                // Already materialized in the snapshot (a crash landed
+                // between snapshot rename and log truncation).
+                if pending.is_some() {
+                    return Err(wal::corrupt(end, "stale record inside an open group"));
+                }
+                committed = end;
+                continue;
+            }
+            match scanned.record {
+                WalRecord::Append {
+                    seq: s,
+                    holdout,
+                    rows,
+                } => {
+                    if pending.is_some() {
+                        return Err(wal::corrupt(end, "append while a group is open"));
+                    }
+                    if rows.is_empty() {
+                        return Err(wal::corrupt(end, "empty append record"));
+                    }
+                    pending = Some((s, holdout, rows));
+                }
+                WalRecord::Receipt {
+                    seq: s,
+                    holdout,
+                    quarantined,
+                } => match &pending {
+                    Some((ps, ph, _)) => {
+                        if *ps != s || *ph != holdout {
+                            return Err(wal::corrupt(end, "receipt does not match its group"));
+                        }
+                        pending_receipt = Some(QuarantineReceipt {
+                            seq: s,
+                            epoch: epoch + 1,
+                            holdout,
+                            quarantined,
+                        });
+                    }
+                    None => {
+                        // A fully-quarantined append: receipt-only
+                        // group, no epoch bump, commits by itself.
+                        if s != seq + 1 {
+                            return Err(wal::corrupt(end, "sequence gap at receipt"));
+                        }
+                        seq = s;
+                        receipts.push(QuarantineReceipt {
+                            seq: s,
+                            epoch,
+                            holdout,
+                            quarantined,
+                        });
+                        committed = end;
+                    }
+                },
+                WalRecord::Mark { seq: s, mark } => {
+                    let Some((ps, holdout, rows)) = pending.take() else {
+                        return Err(wal::corrupt(end, "mark without an open append"));
+                    };
+                    if ps != s {
+                        return Err(wal::corrupt(end, "mark does not match its group"));
+                    }
+                    if s != seq + 1 {
+                        return Err(wal::corrupt(end, "sequence gap at mark"));
+                    }
+                    let accepted = rows.len();
+                    let prev = *marks.last().expect("mark 0");
+                    let expect = EpochMark {
+                        epoch: epoch + 1,
+                        train_len: prev.train_len + if holdout { 0 } else { accepted },
+                        holdout_len: prev.holdout_len + if holdout { accepted } else { 0 },
+                    };
+                    if mark != expect {
+                        return Err(wal::corrupt(end, "inconsistent epoch mark"));
+                    }
+                    if holdout {
+                        holdout_blocks.push(Arc::new(rows));
+                    } else {
+                        train_blocks.push(Arc::new(rows));
+                    }
+                    epoch += 1;
+                    marks.push(mark);
+                    seq = s;
+                    if let Some(r) = pending_receipt.take() {
+                        receipts.push(r);
+                    }
+                    committed = end;
+                }
+            }
+        }
+        // `pending` still open ⇒ the crash cut the group before its
+        // Mark; a torn final frame leaves `committed < file_len` too.
+        // Either way the unacknowledged tail is dropped silently:
+        // the log is truncated back to the last committed boundary.
+        debug_assert!(committed <= file_len);
+        let writer = WalWriter::open_at(&wal::log_path(dir), committed, options.sync)?;
+
+        Ok(StreamingPool {
+            name: Arc::from(snap.name),
+            dim: snap.dim,
+            domain: snap.domain,
+            policy: snap.policy,
+            state: RwLock::new(PoolState {
+                train_blocks,
+                holdout_blocks,
+                epoch,
+                marks,
+                seq,
+                receipts,
+                durable: Some(Durability {
+                    dir: dir.to_path_buf(),
+                    writer,
+                    encode_row: wal::encode_example::<F>,
+                    encode_buf: Vec::new(),
+                    compact_every: options.compact_every,
+                    appends_since_compact: 0,
+                }),
+            }),
+        })
+    }
+}
+
+/// Receipts for quarantined seed rows (sequence 0, epoch 0).
+fn seed_receipts(train_q: Vec<usize>, holdout_q: Vec<usize>) -> Vec<QuarantineReceipt> {
+    let mut receipts = Vec::new();
+    if !train_q.is_empty() {
+        receipts.push(QuarantineReceipt {
+            seq: 0,
+            epoch: 0,
+            holdout: false,
+            quarantined: train_q,
+        });
+    }
+    if !holdout_q.is_empty() {
+        receipts.push(QuarantineReceipt {
+            seq: 0,
+            epoch: 0,
+            holdout: true,
+            quarantined: holdout_q,
+        });
+    }
+    receipts
 }
 
 impl<F> fmt::Debug for StreamingPool<F> {
@@ -692,6 +1107,226 @@ mod tests {
         assert!(LabelDomain::NonNegativeCount.validate(-1.0).is_err());
         assert!(LabelDomain::NonNegativeCount.validate(0.25).is_err());
         assert!(LabelDomain::Unused.validate(f64::NAN).is_ok());
+    }
+
+    use crate::wal::{DurableOptions, SyncPolicy, WalError};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("blinkml_stream_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable(dir: &std::path::Path, policy: IngestPolicy) -> StreamingPool<DenseVec> {
+        StreamingPool::create_durable(
+            dir,
+            "t",
+            2,
+            vec![row(1.0, 0.0), row(2.0, 1.0)],
+            vec![row(3.0, 1.0)],
+            LabelDomain::Binary01,
+            policy,
+            DurableOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn assert_pools_bit_equal(a: &StreamingPool<DenseVec>, b: &StreamingPool<DenseVec>) {
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.seq(), b.seq());
+        assert_eq!(a.marks(), b.marks());
+        assert_eq!(a.receipts(), b.receipts());
+        for (da, db) in [
+            (a.snapshot().train_dataset(), b.snapshot().train_dataset()),
+            (
+                a.snapshot().holdout_dataset(),
+                b.snapshot().holdout_dataset(),
+            ),
+        ] {
+            assert_eq!(da.len(), db.len());
+            for (ea, eb) in da.iter().zip(db.iter()) {
+                assert_eq!(ea.y.to_bits(), eb.y.to_bits());
+                let bits = |e: &Example<DenseVec>| -> Vec<u64> {
+                    e.x.as_slice().iter().map(|v| v.to_bits()).collect()
+                };
+                assert_eq!(bits(ea), bits(eb));
+            }
+        }
+    }
+
+    #[test]
+    fn durable_pool_replays_bit_exactly() {
+        let dir = tmpdir("replay");
+        let p = durable(&dir, IngestPolicy::Quarantine);
+        p.append(vec![row(4.0, 0.0), row(5.0, 1.0)]).unwrap();
+        p.append_holdout(vec![row(6.0, 0.0)]).unwrap();
+        // A partly-quarantined block and a fully-quarantined one.
+        let r = p.append(vec![row(7.0, 1.0), row(8.0, 0.5)]).unwrap();
+        assert_eq!(r.quarantined, vec![1]);
+        let r = p.append(vec![row(9.0, 3.0)]).unwrap();
+        assert_eq!(r.accepted, 0);
+        drop(p);
+
+        let q = StreamingPool::<DenseVec>::open(&dir, DurableOptions::default()).unwrap();
+        let p = durable(&tmpdir("replay_oracle"), IngestPolicy::Quarantine);
+        p.append(vec![row(4.0, 0.0), row(5.0, 1.0)]).unwrap();
+        p.append_holdout(vec![row(6.0, 0.0)]).unwrap();
+        p.append(vec![row(7.0, 1.0), row(8.0, 0.5)]).unwrap();
+        p.append(vec![row(9.0, 3.0)]).unwrap();
+        assert_pools_bit_equal(&q, &p);
+        assert_eq!(q.epoch(), 3);
+        assert_eq!(q.seq(), 4);
+        assert_eq!(q.receipts().len(), 2);
+
+        // The recovered pool keeps accepting appends.
+        let r = q.append(vec![row(10.0, 1.0)]).unwrap();
+        assert_eq!(r.epoch, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_a_committed_prefix() {
+        let dir = tmpdir("torn");
+        let p = durable(&dir, IngestPolicy::Reject);
+        p.append(vec![row(4.0, 0.0)]).unwrap();
+        let committed_len = p.wal_len();
+        p.append(vec![row(5.0, 1.0), row(6.0, 0.0)]).unwrap();
+        let full_len = p.wal_len();
+        drop(p);
+
+        // Cut the log anywhere inside the second group: recovery lands
+        // exactly on the first committed append.
+        let log = crate::wal::log_path(&dir);
+        for cut in [
+            committed_len + 1,
+            full_len - 1,
+            (committed_len + full_len) / 2,
+        ] {
+            let bytes = std::fs::read(&log).unwrap();
+            std::fs::write(&log, &bytes[..cut as usize]).unwrap();
+            let q = StreamingPool::<DenseVec>::open(&dir, DurableOptions::default()).unwrap();
+            assert_eq!(q.epoch(), 1);
+            assert_eq!(q.snapshot().train_len(), 3);
+            assert_eq!(q.wal_len(), committed_len, "log truncated to the boundary");
+            // Restore the full log for the next cut.
+            drop(q);
+            std::fs::write(&log, &bytes).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn midlog_damage_is_typed_corruption() {
+        let dir = tmpdir("flip");
+        let p = durable(&dir, IngestPolicy::Reject);
+        p.append(vec![row(4.0, 0.0)]).unwrap();
+        p.append(vec![row(5.0, 1.0)]).unwrap();
+        drop(p);
+        let log = crate::wal::log_path(&dir);
+        let mut bytes = std::fs::read(&log).unwrap();
+        bytes[12] ^= 0x40; // payload byte of the first record
+        std::fs::write(&log, &bytes).unwrap();
+        let err = StreamingPool::<DenseVec>::open(&dir, DurableOptions::default()).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_snapshots_and_skips_stale_records() {
+        let dir = tmpdir("compact");
+        let p = durable(&dir, IngestPolicy::Quarantine);
+        p.append(vec![row(4.0, 0.0), row(5.0, 0.5)]).unwrap();
+        p.append_holdout(vec![row(6.0, 1.0)]).unwrap();
+        let log = crate::wal::log_path(&dir);
+        let pre_compact_log = std::fs::read(&log).unwrap();
+        p.compact().unwrap();
+        assert_eq!(p.wal_len(), 0);
+        p.append(vec![row(7.0, 1.0)]).unwrap();
+
+        // Plain recovery after compaction.
+        let q = StreamingPool::<DenseVec>::open(&dir, DurableOptions::default()).unwrap();
+        assert_pools_bit_equal(&q, &p);
+        drop(q);
+
+        // Simulate the compaction crash window (snapshot renamed, log
+        // not yet truncated): prepend the stale records back. Replay
+        // must skip every record with seq ≤ snapshot.seq.
+        let post = std::fs::read(&log).unwrap();
+        let mut stale = pre_compact_log;
+        stale.extend_from_slice(&post);
+        std::fs::write(&log, &stale).unwrap();
+        let q = StreamingPool::<DenseVec>::open(&dir, DurableOptions::default()).unwrap();
+        assert_pools_bit_equal(&q, &p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_threshold() {
+        let dir = tmpdir("autocompact");
+        let p = StreamingPool::create_durable(
+            &dir,
+            "t",
+            2,
+            vec![row(1.0, 0.0)],
+            vec![],
+            LabelDomain::Binary01,
+            IngestPolicy::Reject,
+            DurableOptions {
+                sync: SyncPolicy::OsManaged,
+                compact_every: Some(2),
+            },
+        )
+        .unwrap();
+        p.append(vec![row(2.0, 1.0)]).unwrap();
+        assert!(p.wal_len() > 0, "one append: below the threshold");
+        p.append(vec![row(3.0, 0.0)]).unwrap();
+        assert_eq!(p.wal_len(), 0, "second append: compacted");
+        let q = StreamingPool::<DenseVec>::open(&dir, DurableOptions::default()).unwrap();
+        assert_pools_bit_equal(&q, &p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_durable_refuses_existing_directory() {
+        let dir = tmpdir("exists");
+        let p = durable(&dir, IngestPolicy::Reject);
+        drop(p);
+        let err = StreamingPool::<DenseVec>::create_durable(
+            &dir,
+            "t",
+            2,
+            vec![],
+            vec![],
+            LabelDomain::Binary01,
+            IngestPolicy::Reject,
+            DurableOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, WalError::Io(ref e) if e.kind() == std::io::ErrorKind::AlreadyExists)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_quarantines_are_receipted() {
+        let p = StreamingPool::new(
+            "t",
+            2,
+            vec![row(1.0, 0.0), row(2.0, 0.5)],
+            vec![row(3.0, 9.0)],
+            LabelDomain::Binary01,
+            IngestPolicy::Quarantine,
+        )
+        .unwrap();
+        let receipts = p.receipts();
+        assert_eq!(receipts.len(), 2);
+        assert_eq!(receipts[0].quarantined, vec![1]);
+        assert!(!receipts[0].holdout);
+        assert!(receipts[1].holdout);
+        assert_eq!(p.seq(), 0);
+        assert!(!p.is_durable());
     }
 
     #[test]

@@ -1,0 +1,1150 @@
+//! Write-ahead durability for [`StreamingPool`]s.
+//!
+//! A durable pool lives in a directory with two files:
+//!
+//! * `snapshot.bin` — a CRC-checksummed materialization of the whole
+//!   pool state (blocks, epoch marks, quarantine receipts) at one
+//!   compaction point, always replaced atomically (temp + rename),
+//! * `wal.log` — a length-prefixed, CRC-checksummed record log of
+//!   every append admitted since that snapshot.
+//!
+//! Each admitted append is written as one **group** of framed records
+//! — `Append` (the admitted rows), an optional `Receipt` (quarantined
+//! row indices), and a terminating `Mark` (the epoch watermark the
+//! append produced) — sharing a monotone sequence number, and the
+//! whole group goes to the log in a single `write` before the
+//! in-memory state mutates. Replay commits a group only at its `Mark`
+//! (a `Receipt` with no open group commits alone: a fully-quarantined
+//! append bumps no epoch), so recovery always lands on an exact epoch
+//! prefix of the uninterrupted pool.
+//!
+//! **Torn-tail rule.** A final record whose header or declared payload
+//! extends past EOF — and any trailing group with no `Mark` — is the
+//! residue of an interrupted append: it is truncated silently. A
+//! *complete* record that fails its CRC, or any structural violation
+//! mid-log, is real corruption and surfaces as [`WalError::Corrupt`]
+//! (mapped to `CoreError::CorruptLog` upstream); the log is never
+//! silently resynchronized past damage.
+//!
+//! All floats travel as raw `f64::to_bits` little-endian words, so a
+//! replayed pool is *bitwise* the pool that wrote the log — the
+//! foundation of the workspace's post-restart bit-equality contract.
+//!
+//! [`StreamingPool`]: crate::stream::StreamingPool
+
+use crate::dataset::Example;
+use crate::features::{DenseVec, FeatureVec, SparseVec};
+use crate::stream::{EpochMark, IngestError, IngestPolicy, LabelDomain, QuarantineReceipt};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Largest payload one WAL record may carry (a length field beyond
+/// this is treated as corruption, not as a gigantic pending record).
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// Magic + format version prefix of `snapshot.bin`.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"BMLSNAP1";
+
+/// The record log of a durable pool directory.
+pub fn log_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// The compacted snapshot of a durable pool directory.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.bin")
+}
+
+// ---------------------------------------------------------------------
+// CRC-32C (Castagnoli, reflected) — no external crates. The Castagnoli
+// polynomial (not IEEE 802.3) is deliberate: x86-64 ships a dedicated
+// `crc32` instruction for it (SSE 4.2), which keeps the checksum off
+// the append hot path. The portable fallback processes eight bytes per
+// table round; both paths produce identical standard CRC-32C values.
+// ---------------------------------------------------------------------
+
+/// Slice-by-8 tables: `CRC_TABLES[k][b]` advances a CRC whose next
+/// byte is `b` with `k` more bytes after it in the current 8-byte lane.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0x82F6_3B78 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+fn crc32_portable(mut c: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes")) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes"));
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// # Safety
+/// The caller must have verified that the CPU supports SSE 4.2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32_hw(mut c: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    let mut wide = c as u64;
+    for chunk in &mut chunks {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        wide = std::arch::x86_64::_mm_crc32_u64(wide, v);
+    }
+    c = wide as u32;
+    for &b in chunks.remainder() {
+        c = std::arch::x86_64::_mm_crc32_u8(c, b);
+    }
+    c
+}
+
+/// Standard CRC-32C of `bytes` (the checksum in every record frame).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let c = 0xFFFF_FFFFu32;
+    #[cfg(target_arch = "x86_64")]
+    // The detection result is cached by std, so this is one relaxed
+    // atomic load per call.
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: sse4.2 support was just verified.
+        return unsafe { crc32_hw(c, bytes) } ^ 0xFFFF_FFFF;
+    }
+    crc32_portable(c, bytes) ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Errors and options.
+// ---------------------------------------------------------------------
+
+/// When the log file is fsynced relative to append groups.
+///
+/// Data written without fsync still survives process death (it sits in
+/// the OS page cache); only a machine crash can lose it. The policy
+/// therefore trades machine-crash durability against append latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every append group (strongest, slowest).
+    Always,
+    /// fsync once every `k` append groups.
+    EveryN(u64),
+    /// Never fsync explicitly; the OS flushes on its own schedule
+    /// (fastest; survives process crashes, not power loss).
+    OsManaged,
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy::EveryN(64)
+    }
+}
+
+/// Runtime knobs of a durable pool (never persisted: the same
+/// directory can be reopened under a different policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurableOptions {
+    /// fsync cadence for the record log.
+    pub sync: SyncPolicy,
+    /// Compact (snapshot + truncate the log) automatically after this
+    /// many admitted appends; `None` leaves compaction to explicit
+    /// `compact()` calls.
+    pub compact_every: Option<u64>,
+}
+
+/// A durability failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The log or snapshot is damaged at `offset` (CRC mismatch,
+    /// malformed record, inconsistent replay) — distinct from a torn
+    /// tail, which recovery truncates silently.
+    Corrupt {
+        /// Byte offset of the damage within the file.
+        offset: u64,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Initial rows failed the ingest validation gate at pool creation.
+    Rejected(IngestError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal I/O error: {e}"),
+            WalError::Corrupt { offset, reason } => {
+                write!(f, "corrupt log at byte {offset}: {reason}")
+            }
+            WalError::Rejected(e) => write!(f, "initial rows rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Rejected(e) => Some(e),
+            WalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<IngestError> for WalError {
+    fn from(e: IngestError) -> Self {
+        WalError::Rejected(e)
+    }
+}
+
+/// Build a [`WalError::Corrupt`] at `offset` — for callers framing
+/// their own CRC-checked files with these codec primitives (e.g. the
+/// serve layer's pilot sidecar).
+pub fn corrupt(offset: u64, reason: impl Into<String>) -> WalError {
+    WalError::Corrupt {
+        offset,
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec primitives.
+// ---------------------------------------------------------------------
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `usize` as a `u64`.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append an `f64` as its raw bits (bit-exact roundtrip, NaN included).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over one record payload; every failure
+/// carries the absolute file offset for [`WalError::Corrupt`].
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: u64,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wrap a payload whose first byte sits at file offset `base`.
+    pub fn new(buf: &'a [u8], base: u64) -> Self {
+        Decoder { buf, pos: 0, base }
+    }
+
+    /// A [`WalError::Corrupt`] pinned at the current read position.
+    pub fn corrupt(&self, reason: impl Into<String>) -> WalError {
+        corrupt(self.base + self.pos as u64, reason)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        if self.remaining() < n {
+            return Err(self.corrupt("record payload truncated"));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WalError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WalError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `u64` into a `usize`.
+    pub fn usize(&mut self) -> Result<usize, WalError> {
+        usize::try_from(self.u64()?).map_err(|_| self.corrupt("value exceeds usize"))
+    }
+
+    /// Read raw `f64` bits.
+    pub fn f64(&mut self) -> Result<f64, WalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WalError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid UTF-8"))
+    }
+
+    /// Require the payload to be fully consumed.
+    pub fn finish(&self) -> Result<(), WalError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt("trailing bytes in record payload"));
+        }
+        Ok(())
+    }
+}
+
+/// A feature row the WAL can persist bit-exactly.
+///
+/// Separate from [`FeatureVec`] so custom feature types opt in
+/// explicitly; durable pool constructors require it.
+pub trait WalRow: FeatureVec {
+    /// Append this row's binary encoding to `out`.
+    fn encode_wal(&self, out: &mut Vec<u8>);
+
+    /// Decode one row previously written by [`WalRow::encode_wal`].
+    fn decode_wal(dec: &mut Decoder<'_>) -> Result<Self, WalError>;
+}
+
+impl WalRow for DenseVec {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.0.len());
+        #[cfg(target_endian = "little")]
+        {
+            // The wire format is little-endian `f64::to_bits` words,
+            // which on a little-endian host is the in-memory layout:
+            // one bulk copy instead of a store per value.
+            // SAFETY: f64 has no padding and u8 has alignment 1.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(self.0.as_ptr().cast::<u8>(), self.0.len() * 8)
+            };
+            out.extend_from_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
+        for &v in &self.0 {
+            put_f64(out, v);
+        }
+    }
+
+    fn decode_wal(dec: &mut Decoder<'_>) -> Result<Self, WalError> {
+        let len = dec.usize()?;
+        if len > dec.remaining() / 8 {
+            return Err(dec.corrupt("dense row longer than its record"));
+        }
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(dec.f64()?);
+        }
+        Ok(DenseVec(values))
+    }
+}
+
+impl WalRow for SparseVec {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.dim());
+        put_usize(out, self.nnz());
+        for &i in self.indices() {
+            put_u32(out, i);
+        }
+        for &v in self.values() {
+            put_f64(out, v);
+        }
+    }
+
+    fn decode_wal(dec: &mut Decoder<'_>) -> Result<Self, WalError> {
+        let dim = dec.usize()?;
+        let nnz = dec.usize()?;
+        if nnz > dec.remaining() / 12 {
+            return Err(dec.corrupt("sparse row longer than its record"));
+        }
+        let mut indices = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            indices.push(dec.u32()?);
+        }
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            values.push(dec.f64()?);
+        }
+        // Validate up front: SparseVec::new panics on malformed input.
+        for w in indices.windows(2) {
+            if w[0] >= w[1] {
+                return Err(dec.corrupt("sparse indices not strictly increasing"));
+            }
+        }
+        if indices.last().is_some_and(|&last| last as usize >= dim) {
+            return Err(dec.corrupt("sparse index out of range"));
+        }
+        Ok(SparseVec::new(dim, indices, values))
+    }
+}
+
+/// Encode one labelled row: raw label bits, then the feature vector.
+pub(crate) fn encode_example<F: WalRow>(e: &Example<F>, out: &mut Vec<u8>) {
+    put_f64(out, e.y);
+    e.x.encode_wal(out);
+}
+
+fn decode_example<F: WalRow>(dec: &mut Decoder<'_>) -> Result<Example<F>, WalError> {
+    let y = dec.f64()?;
+    let x = F::decode_wal(dec)?;
+    Ok(Example { x, y })
+}
+
+fn put_domain(out: &mut Vec<u8>, domain: LabelDomain) {
+    match domain {
+        LabelDomain::AnyFinite => out.push(0),
+        LabelDomain::Binary01 => out.push(1),
+        LabelDomain::ClassIndex(k) => {
+            out.push(2);
+            put_usize(out, k);
+        }
+        LabelDomain::NonNegativeCount => out.push(3),
+        LabelDomain::Unused => out.push(4),
+    }
+}
+
+fn domain_of(dec: &mut Decoder<'_>) -> Result<LabelDomain, WalError> {
+    match dec.u8()? {
+        0 => Ok(LabelDomain::AnyFinite),
+        1 => Ok(LabelDomain::Binary01),
+        2 => Ok(LabelDomain::ClassIndex(dec.usize()?)),
+        3 => Ok(LabelDomain::NonNegativeCount),
+        4 => Ok(LabelDomain::Unused),
+        t => Err(dec.corrupt(format!("unknown label domain tag {t}"))),
+    }
+}
+
+fn put_policy(out: &mut Vec<u8>, policy: IngestPolicy) {
+    out.push(match policy {
+        IngestPolicy::Reject => 0,
+        IngestPolicy::Quarantine => 1,
+    });
+}
+
+fn policy_of(dec: &mut Decoder<'_>) -> Result<IngestPolicy, WalError> {
+    match dec.u8()? {
+        0 => Ok(IngestPolicy::Reject),
+        1 => Ok(IngestPolicy::Quarantine),
+        t => Err(dec.corrupt(format!("unknown ingest policy tag {t}"))),
+    }
+}
+
+fn put_mark(out: &mut Vec<u8>, mark: &EpochMark) {
+    put_u64(out, mark.epoch);
+    put_usize(out, mark.train_len);
+    put_usize(out, mark.holdout_len);
+}
+
+fn mark_of(dec: &mut Decoder<'_>) -> Result<EpochMark, WalError> {
+    Ok(EpochMark {
+        epoch: dec.u64()?,
+        train_len: dec.usize()?,
+        holdout_len: dec.usize()?,
+    })
+}
+
+fn put_receipt(out: &mut Vec<u8>, r: &QuarantineReceipt) {
+    put_u64(out, r.seq);
+    put_u64(out, r.epoch);
+    out.push(r.holdout as u8);
+    put_usize(out, r.quarantined.len());
+    for &i in &r.quarantined {
+        put_usize(out, i);
+    }
+}
+
+fn receipt_of(dec: &mut Decoder<'_>) -> Result<QuarantineReceipt, WalError> {
+    let seq = dec.u64()?;
+    let epoch = dec.u64()?;
+    let holdout = dec.u8()? != 0;
+    let count = dec.usize()?;
+    if count > dec.remaining() / 8 {
+        return Err(dec.corrupt("receipt longer than its record"));
+    }
+    let mut quarantined = Vec::with_capacity(count);
+    for _ in 0..count {
+        quarantined.push(dec.usize()?);
+    }
+    Ok(QuarantineReceipt {
+        seq,
+        epoch,
+        holdout,
+        quarantined,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Record log.
+// ---------------------------------------------------------------------
+
+const TAG_APPEND: u8 = 1;
+const TAG_RECEIPT: u8 = 2;
+const TAG_MARK: u8 = 3;
+
+/// One decoded log record.
+pub(crate) enum WalRecord<F> {
+    /// The admitted rows of one append attempt.
+    Append {
+        seq: u64,
+        holdout: bool,
+        rows: Vec<Example<F>>,
+    },
+    /// Quarantined row indices of one append attempt.
+    Receipt {
+        seq: u64,
+        holdout: bool,
+        quarantined: Vec<usize>,
+    },
+    /// The epoch watermark terminating an append group.
+    Mark { seq: u64, mark: EpochMark },
+}
+
+/// Frame a payload as `[len: u32][crc32: u32][payload]`.
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(!payload.is_empty() && payload.len() <= MAX_RECORD_LEN as usize);
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+/// Open a frame in `out` by reserving the 8-byte header; the payload
+/// is then encoded **in place** (no separate payload buffer, no second
+/// copy) and sealed by [`seal_frame`]. This is the append hot path.
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    at
+}
+
+/// Patch the length and CRC of the frame opened at `at`.
+fn seal_frame(out: &mut [u8], at: usize) {
+    let len = out.len() - at - 8;
+    debug_assert!(len > 0 && len <= MAX_RECORD_LEN as usize);
+    let crc = crc32(&out[at + 8..]);
+    out[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+    out[at + 4..at + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The group-level facts of one append attempt, shared by every
+/// record [`encode_group_into`] writes for it.
+pub(crate) struct GroupMeta {
+    /// Monotone sequence number shared by every record of the group.
+    pub seq: u64,
+    /// Whether the append targets the holdout log.
+    pub holdout: bool,
+    /// Epoch stamped on the quarantine receipt, when one is written.
+    pub receipt_epoch: u64,
+    /// The epoch watermark committing the group, when the append
+    /// bumped the epoch.
+    pub mark: Option<EpochMark>,
+}
+
+/// Encode one append attempt into `frames` (cleared first) as a framed
+/// record group, ready for a single [`WalWriter::append_group`] write:
+/// `Append` (when rows were admitted), `Receipt` (when rows were
+/// quarantined), `Mark` (when the epoch bumped), all sharing the
+/// group's sequence number.
+///
+/// The caller passes the buffer so the append hot path can reuse one
+/// allocation across appends (group buffers are large enough that a
+/// fresh `Vec` per append costs an mmap round trip).
+pub(crate) fn encode_group_into<F>(
+    frames: &mut Vec<u8>,
+    meta: &GroupMeta,
+    rows: &[Example<F>],
+    quarantined: &[usize],
+    encode_row: fn(&Example<F>, &mut Vec<u8>),
+) {
+    let &GroupMeta {
+        seq,
+        holdout,
+        receipt_epoch,
+        mark,
+    } = meta;
+    // Rows are encoded straight into the output buffer (header
+    // patched afterwards): the group is CRC'd and written exactly
+    // once, with no intermediate payload copy.
+    frames.clear();
+    if !rows.is_empty() {
+        let at = begin_frame(frames);
+        frames.push(TAG_APPEND);
+        put_u64(frames, seq);
+        frames.push(holdout as u8);
+        put_usize(frames, rows.len());
+        for row in rows {
+            encode_row(row, frames);
+        }
+        seal_frame(frames, at);
+    }
+    if !quarantined.is_empty() {
+        let at = begin_frame(frames);
+        frames.push(TAG_RECEIPT);
+        put_receipt(
+            frames,
+            &QuarantineReceipt {
+                seq,
+                epoch: receipt_epoch,
+                holdout,
+                quarantined: quarantined.to_vec(),
+            },
+        );
+        seal_frame(frames, at);
+    }
+    if let Some(mark) = mark {
+        let at = begin_frame(frames);
+        frames.push(TAG_MARK);
+        put_u64(frames, seq);
+        put_mark(frames, &mark);
+        seal_frame(frames, at);
+    }
+}
+
+fn decode_record<F: WalRow>(payload: &[u8], base: u64) -> Result<WalRecord<F>, WalError> {
+    let mut dec = Decoder::new(payload, base);
+    let record = match dec.u8()? {
+        TAG_APPEND => {
+            let seq = dec.u64()?;
+            let holdout = dec.u8()? != 0;
+            let count = dec.usize()?;
+            if count > dec.remaining() / 8 {
+                return Err(dec.corrupt("append block longer than its record"));
+            }
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push(decode_example(&mut dec)?);
+            }
+            WalRecord::Append { seq, holdout, rows }
+        }
+        TAG_RECEIPT => {
+            let r = receipt_of(&mut dec)?;
+            WalRecord::Receipt {
+                seq: r.seq,
+                holdout: r.holdout,
+                quarantined: r.quarantined,
+            }
+        }
+        TAG_MARK => {
+            let seq = dec.u64()?;
+            let mark = mark_of(&mut dec)?;
+            WalRecord::Mark { seq, mark }
+        }
+        t => return Err(dec.corrupt(format!("unknown record tag {t}"))),
+    };
+    dec.finish()?;
+    Ok(record)
+}
+
+/// One complete record plus the file offset just past its frame.
+pub(crate) struct ScannedRecord<F> {
+    pub end: u64,
+    pub record: WalRecord<F>,
+}
+
+/// Parse every complete record frame in the log.
+///
+/// A final frame whose header or declared payload extends past EOF is
+/// a torn tail: scanning stops there and the caller truncates. A
+/// complete frame with a CRC mismatch, a malformed payload, or an
+/// impossible length field is corruption and fails typed.
+pub(crate) fn scan_log<F: WalRow>(path: &Path) -> Result<(Vec<ScannedRecord<F>>, u64), WalError> {
+    let buf = fs::read(path)?;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]);
+        let crc = u32::from_le_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
+        if len == 0 || len > MAX_RECORD_LEN {
+            return Err(corrupt(pos as u64, format!("invalid record length {len}")));
+        }
+        let len = len as usize;
+        if buf.len() - pos < 8 + len {
+            break; // Torn tail: the payload never finished writing.
+        }
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            return Err(corrupt(pos as u64, "record CRC mismatch"));
+        }
+        let record = decode_record(payload, (pos + 8) as u64)?;
+        pos += 8 + len;
+        records.push(ScannedRecord {
+            end: pos as u64,
+            record,
+        });
+    }
+    Ok((records, buf.len() as u64))
+}
+
+/// Appender over `wal.log`: one contiguous `write` per group, fsync
+/// per the configured [`SyncPolicy`].
+pub(crate) struct WalWriter {
+    file: File,
+    policy: SyncPolicy,
+    unsynced_groups: u64,
+    len: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh (empty) log.
+    pub(crate) fn create(path: &Path, policy: SyncPolicy) -> Result<Self, WalError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(WalWriter {
+            file,
+            policy,
+            unsynced_groups: 0,
+            len: 0,
+        })
+    }
+
+    /// Reopen an existing log, truncating it to `len` (the last
+    /// committed group boundary found by replay).
+    pub(crate) fn open_at(path: &Path, len: u64, policy: SyncPolicy) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        if file.metadata()?.len() != len {
+            file.set_len(len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(len))?;
+        Ok(WalWriter {
+            file,
+            policy,
+            unsynced_groups: 0,
+            len,
+        })
+    }
+
+    /// Append one framed record group and apply the sync policy.
+    pub(crate) fn append_group(&mut self, frames: &[u8]) -> Result<(), WalError> {
+        self.file.write_all(frames)?;
+        self.len += frames.len() as u64;
+        match self.policy {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(k) => {
+                self.unsynced_groups += 1;
+                if self.unsynced_groups >= k.max(1) {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::OsManaged => {}
+        }
+        Ok(())
+    }
+
+    /// fsync the log now.
+    pub(crate) fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        self.unsynced_groups = 0;
+        Ok(())
+    }
+
+    /// Empty the log after a successful compaction.
+    pub(crate) fn truncate_all(&mut self) -> Result<(), WalError> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()?;
+        self.len = 0;
+        self.unsynced_groups = 0;
+        Ok(())
+    }
+
+    /// Current log length in bytes.
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------
+
+/// Everything a compaction point materializes (the full pool state).
+pub(crate) struct SnapshotState<F> {
+    pub name: String,
+    pub dim: usize,
+    pub domain: LabelDomain,
+    pub policy: IngestPolicy,
+    pub seq: u64,
+    pub epoch: u64,
+    pub marks: Vec<EpochMark>,
+    pub train_blocks: Vec<Arc<Vec<Example<F>>>>,
+    pub holdout_blocks: Vec<Arc<Vec<Example<F>>>>,
+    pub receipts: Vec<QuarantineReceipt>,
+}
+
+fn put_blocks<F>(
+    out: &mut Vec<u8>,
+    blocks: &[Arc<Vec<Example<F>>>],
+    encode_row: fn(&Example<F>, &mut Vec<u8>),
+) {
+    put_usize(out, blocks.len());
+    for block in blocks {
+        put_usize(out, block.len());
+        for row in block.iter() {
+            encode_row(row, out);
+        }
+    }
+}
+
+fn blocks_of<F: WalRow>(dec: &mut Decoder<'_>) -> Result<Vec<Arc<Vec<Example<F>>>>, WalError> {
+    let count = dec.usize()?;
+    if count > dec.remaining() {
+        return Err(dec.corrupt("more blocks than bytes"));
+    }
+    let mut blocks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rows = dec.usize()?;
+        if rows > dec.remaining() / 8 {
+            return Err(dec.corrupt("block longer than the snapshot"));
+        }
+        let mut block = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            block.push(decode_example(dec)?);
+        }
+        blocks.push(Arc::new(block));
+    }
+    Ok(blocks)
+}
+
+/// Atomically replace `snapshot.bin`: write a temp file, fsync it,
+/// rename over the target, fsync the directory. A crash at any point
+/// leaves either the old or the new snapshot intact, never a torn one.
+pub(crate) fn write_snapshot<F>(
+    dir: &Path,
+    state: &SnapshotState<F>,
+    encode_row: fn(&Example<F>, &mut Vec<u8>),
+) -> Result<(), WalError> {
+    let mut payload = Vec::new();
+    put_str(&mut payload, &state.name);
+    put_usize(&mut payload, state.dim);
+    put_domain(&mut payload, state.domain);
+    put_policy(&mut payload, state.policy);
+    put_u64(&mut payload, state.seq);
+    put_u64(&mut payload, state.epoch);
+    put_usize(&mut payload, state.marks.len());
+    for mark in &state.marks {
+        put_mark(&mut payload, mark);
+    }
+    put_blocks(&mut payload, &state.train_blocks, encode_row);
+    put_blocks(&mut payload, &state.holdout_blocks, encode_row);
+    put_usize(&mut payload, state.receipts.len());
+    for r in &state.receipts {
+        put_receipt(&mut payload, r);
+    }
+
+    let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 8 + payload.len());
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    push_frame(&mut bytes, &payload);
+
+    let tmp = dir.join("snapshot.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, snapshot_path(dir))?;
+    // Persist the rename itself (best-effort on platforms where
+    // directories cannot be opened for sync).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read and verify `snapshot.bin`.
+pub(crate) fn read_snapshot<F: WalRow>(dir: &Path) -> Result<SnapshotState<F>, WalError> {
+    let buf = fs::read(snapshot_path(dir))?;
+    if buf.len() < SNAPSHOT_MAGIC.len() + 8 || &buf[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(corrupt(0, "missing snapshot magic"));
+    }
+    let head = SNAPSHOT_MAGIC.len();
+    let len = u32::from_le_bytes([buf[head], buf[head + 1], buf[head + 2], buf[head + 3]]);
+    let crc = u32::from_le_bytes([buf[head + 4], buf[head + 5], buf[head + 6], buf[head + 7]]);
+    if len as usize != buf.len() - head - 8 {
+        return Err(corrupt(head as u64, "snapshot length mismatch"));
+    }
+    let payload = &buf[head + 8..];
+    if crc32(payload) != crc {
+        return Err(corrupt(head as u64, "snapshot CRC mismatch"));
+    }
+    let mut dec = Decoder::new(payload, (head + 8) as u64);
+    let name = dec.string()?;
+    let dim = dec.usize()?;
+    let domain = domain_of(&mut dec)?;
+    let policy = policy_of(&mut dec)?;
+    let seq = dec.u64()?;
+    let epoch = dec.u64()?;
+    let mark_count = dec.usize()?;
+    if mark_count > dec.remaining() / 24 {
+        return Err(dec.corrupt("more marks than bytes"));
+    }
+    let mut marks = Vec::with_capacity(mark_count);
+    for _ in 0..mark_count {
+        marks.push(mark_of(&mut dec)?);
+    }
+    let train_blocks = blocks_of(&mut dec)?;
+    let holdout_blocks = blocks_of(&mut dec)?;
+    let receipt_count = dec.usize()?;
+    if receipt_count > dec.remaining() {
+        return Err(dec.corrupt("more receipts than bytes"));
+    }
+    let mut receipts = Vec::with_capacity(receipt_count);
+    for _ in 0..receipt_count {
+        receipts.push(receipt_of(&mut dec)?);
+    }
+    dec.finish()?;
+    if marks.len() != (epoch + 1) as usize {
+        return Err(corrupt(0, "snapshot marks do not cover its epochs"));
+    }
+    Ok(SnapshotState {
+        name,
+        dim,
+        domain,
+        policy,
+        seq,
+        epoch,
+        marks,
+        train_blocks,
+        holdout_blocks,
+        receipts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard CRC-32C (Castagnoli) check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x2262_0404
+        );
+    }
+
+    #[test]
+    fn crc32_portable_matches_the_accelerated_path() {
+        // Unaligned lengths exercise both the 8-byte lanes and the
+        // remainder loop of each implementation.
+        let data: Vec<u8> = (0..4_099u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
+            .collect();
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 4_099] {
+            let c = 0xFFFF_FFFFu32;
+            let expected = crc32_portable(c, &data[..len]) ^ 0xFFFF_FFFF;
+            assert_eq!(crc32(&data[..len]), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dense_row_roundtrips_bitwise() {
+        let row = DenseVec(vec![1.5, -0.0, f64::MIN_POSITIVE, 3.7e300]);
+        let mut buf = Vec::new();
+        row.encode_wal(&mut buf);
+        let mut dec = Decoder::new(&buf, 0);
+        let back = DenseVec::decode_wal(&mut dec).unwrap();
+        dec.finish().unwrap();
+        let bits: Vec<u64> = row.0.iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u64> = back.0.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, back_bits);
+    }
+
+    #[test]
+    fn sparse_row_roundtrips_and_rejects_garbage() {
+        let row = SparseVec::new(10, vec![1, 4, 9], vec![0.5, -2.0, 1.0e-300]);
+        let mut buf = Vec::new();
+        row.encode_wal(&mut buf);
+        let mut dec = Decoder::new(&buf, 0);
+        let back = SparseVec::decode_wal(&mut dec).unwrap();
+        assert_eq!(back, row);
+
+        // Corrupt an index so it lands out of range: decode must fail
+        // typed, not panic.
+        let mut bad = Vec::new();
+        put_usize(&mut bad, 4); // dim
+        put_usize(&mut bad, 1); // nnz
+        put_u32(&mut bad, 9); // index ≥ dim
+        put_f64(&mut bad, 1.0);
+        let mut dec = Decoder::new(&bad, 0);
+        assert!(matches!(
+            SparseVec::decode_wal(&mut dec),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_reports_truncation_with_offset() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 7);
+        let mut dec = Decoder::new(&buf[..4], 100);
+        let err = dec.u64().unwrap_err();
+        match err {
+            WalError::Corrupt { offset, .. } => assert_eq!(offset, 100),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_group_encodes_and_decodes() {
+        let rows = vec![
+            Example {
+                x: DenseVec(vec![1.0, 2.0]),
+                y: 1.0,
+            },
+            Example {
+                x: DenseVec(vec![-1.0, 0.5]),
+                y: 0.0,
+            },
+        ];
+        let mark = EpochMark {
+            epoch: 3,
+            train_len: 12,
+            holdout_len: 4,
+        };
+        let mut frames = Vec::new();
+        encode_group_into(
+            &mut frames,
+            &GroupMeta {
+                seq: 7,
+                holdout: false,
+                receipt_epoch: 3,
+                mark: Some(mark),
+            },
+            &rows,
+            &[2],
+            encode_example::<DenseVec>,
+        );
+        let dir = std::env::temp_dir().join("blinkml_wal_unit_group");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("wal.log");
+        fs::write(&path, &frames).unwrap();
+        let (records, len) = scan_log::<DenseVec>(&path).unwrap();
+        assert_eq!(len, frames.len() as u64);
+        assert_eq!(records.len(), 3);
+        assert!(matches!(
+            records[0].record,
+            WalRecord::Append { seq: 7, holdout: false, ref rows } if rows.len() == 2
+        ));
+        assert!(matches!(
+            records[1].record,
+            WalRecord::Receipt { seq: 7, holdout: false, ref quarantined } if quarantined == &[2]
+        ));
+        assert!(matches!(records[2].record, WalRecord::Mark { seq: 7, mark: m } if m == mark));
+        assert_eq!(records[2].end, frames.len() as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_stops_scan_but_flip_is_corrupt() {
+        let rows = vec![Example {
+            x: DenseVec(vec![4.0]),
+            y: 1.0,
+        }];
+        let mark = EpochMark {
+            epoch: 1,
+            train_len: 1,
+            holdout_len: 0,
+        };
+        let mut frames = Vec::new();
+        encode_group_into(
+            &mut frames,
+            &GroupMeta {
+                seq: 1,
+                holdout: false,
+                receipt_epoch: 1,
+                mark: Some(mark),
+            },
+            &rows,
+            &[],
+            encode_example::<DenseVec>,
+        );
+        let dir = std::env::temp_dir().join("blinkml_wal_unit_tail");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("wal.log");
+
+        // Truncate mid final record: the scan stops at the last
+        // complete frame, silently.
+        fs::write(&path, &frames[..frames.len() - 3]).unwrap();
+        let (records, _) = scan_log::<DenseVec>(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the complete Append frame survives");
+
+        // Flip one payload byte of the *first* record while a complete
+        // record follows: that is mid-log corruption, typed.
+        let mut flipped = frames.clone();
+        flipped[10] ^= 0xFF;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            scan_log::<DenseVec>(&path),
+            Err(WalError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
